@@ -1,0 +1,263 @@
+(* The vmsh command-line tool.
+
+   Because this reproduction runs against a simulated host (see
+   DESIGN.md), every subcommand first stands up a simulated machine with
+   a running hypervisor, then exercises the *real* VMSH code paths
+   against it:
+
+     vmsh attach   -- attach to a freshly booted VM and run shell commands
+     vmsh matrix   -- the Table-1 support matrix
+     vmsh debloat  -- trace + strip one of the top-40 images
+     vmsh rescue   -- the password-reset use case end to end *)
+
+module H = Hostos
+module Sfs = Blockdev.Simplefs
+module Vmm = Hypervisor.Vmm
+module Profile = Hypervisor.Profile
+module KV = Linux_guest.Kernel_version
+module Guest = Linux_guest.Guest
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let profile_of_string = function
+  | "qemu" -> Ok Profile.qemu
+  | "kvmtool" -> Ok Profile.kvmtool
+  | "firecracker" -> Ok Profile.firecracker
+  | "crosvm" -> Ok Profile.crosvm
+  | "cloud-hypervisor" -> Ok Profile.cloud_hypervisor
+  | s -> Error (`Msg ("unknown hypervisor: " ^ s))
+
+let profile_conv =
+  Arg.conv
+    ( profile_of_string,
+      fun ppf p -> Format.pp_print_string ppf p.Profile.prof_name )
+
+let version_conv =
+  Arg.conv
+    ( (fun s ->
+        match KV.of_string s with
+        | Some v -> Ok v
+        | None -> Error (`Msg ("unknown kernel version: " ^ s))),
+      fun ppf v -> Format.pp_print_string ppf (KV.to_string v) )
+
+let transport_conv =
+  Arg.conv
+    ( (function
+      | "ioregionfd" -> Ok Vmsh.Devices.Ioregionfd
+      | "wrap_syscall" -> Ok Vmsh.Devices.Wrap_syscall
+      | s -> Error (`Msg ("unknown transport: " ^ s))),
+      fun ppf t -> Format.pp_print_string ppf (Vmsh.Devices.show_transport t) )
+
+let boot_vm ~profile ~version ~seed =
+  let h = H.Host.create ~seed () in
+  let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:4096 () in
+  let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev disk) ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  ignore (Sfs.mkdir_p fs "/etc");
+  ignore (Sfs.write_file fs "/etc/hostname" (Bytes.of_string "cli-vm\n"));
+  Sfs.sync fs;
+  let disable_seccomp = profile.Profile.prof_name = "Firecracker" in
+  let vmm = Vmm.create h ~profile ~disk ~disable_seccomp () in
+  let g = Vmm.boot vmm ~version in
+  (h, vmm, g)
+
+let tools_image clock =
+  match
+    Blockdev.Image.pack ~clock
+      [ Blockdev.Image.file "/bin/busybox" 800_000 ]
+  with
+  | Ok (backend, _) -> backend
+  | Error e -> failwith (H.Errno.show e)
+
+(* --- attach --- *)
+
+let attach_cmd =
+  let run verbose profile version transport commands =
+    setup_logs verbose;
+    let h, vmm, _g = boot_vm ~profile ~version ~seed:11 in
+    Printf.printf "booted %s with guest kernel v%s (hypervisor pid %d)\n"
+      profile.Profile.prof_name (KV.to_string version) (Vmm.pid vmm);
+    let config = { Vmsh.Attach.default_config with transport } in
+    match
+      Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+        ~fs_image:(tools_image h.H.Host.clock)
+        ~config
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    with
+    | Error e ->
+        Printf.eprintf "attach failed: %s\n" e;
+        exit 1
+    | Ok session ->
+        let anal = Vmsh.Attach.analysis session in
+        Printf.printf
+          "attached (%s): kernel at 0x%x, %d symbols, ksymtab layout %s\n"
+          (Vmsh.Devices.show_transport transport)
+          anal.Vmsh.Symbol_analysis.kernel_base
+          (List.length anal.Vmsh.Symbol_analysis.symbols)
+          (match anal.Vmsh.Symbol_analysis.layout with
+          | KV.Prel32 -> "prel32"
+          | KV.Absolute_value_first -> "absolute (value first)"
+          | KV.Absolute_name_first -> "absolute (name first)");
+        ignore (Vmsh.Attach.console_recv session);
+        let commands = if commands = [] then [ "ls /"; "hostname"; "ps" ] else commands in
+        List.iter
+          (fun cmd ->
+            Printf.printf "vmsh> %s\n%s" cmd
+              (Vmsh.Attach.console_roundtrip session cmd))
+          commands;
+        Vmsh.Attach.detach session;
+        Printf.printf "detached; %d block requests served by vmsh-blk\n"
+          (Vmsh.Devices.stats_requests (Vmsh.Attach.devices session))
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Profile.qemu
+      & info [ "hypervisor" ] ~docv:"NAME"
+          ~doc:"Hypervisor: qemu, kvmtool, firecracker, crosvm, cloud-hypervisor.")
+  in
+  let version =
+    Arg.(
+      value
+      & opt version_conv KV.V5_10
+      & info [ "kernel" ] ~docv:"VER" ~doc:"Guest kernel LTS version.")
+  in
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv Vmsh.Devices.Ioregionfd
+      & info [ "transport" ] ~docv:"T" ~doc:"MMIO transport: ioregionfd or wrap_syscall.")
+  in
+  let commands =
+    Arg.(value & opt_all string [] & info [ "exec"; "e" ] ~docv:"CMD"
+           ~doc:"Shell command to run (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
+    Term.(const run $ verbose $ profile $ version $ transport $ commands)
+
+(* --- matrix --- *)
+
+let matrix_cmd =
+  let run () =
+    Printf.printf "%-18s %s\n" "hypervisor" "vmsh attach";
+    List.iter
+      (fun profile ->
+        let h, vmm, _ = boot_vm ~profile ~version:KV.V5_10 ~seed:21 in
+        let result =
+          match
+            Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+              ~fs_image:(tools_image h.H.Host.clock)
+              ~pump:(fun () -> Vmm.run_until_idle vmm)
+              ()
+          with
+          | Ok _ -> "supported"
+          | Error _ -> "unsupported"
+        in
+        Printf.printf "%-18s %s\n" profile.Profile.prof_name result)
+      Profile.all;
+    Printf.printf "\n%-10s %s\n" "kernel" "vmsh attach";
+    List.iter
+      (fun version ->
+        let h, vmm, _ = boot_vm ~profile:Profile.qemu ~version ~seed:23 in
+        let result =
+          match
+            Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+              ~fs_image:(tools_image h.H.Host.clock)
+              ~pump:(fun () -> Vmm.run_until_idle vmm)
+              ()
+          with
+          | Ok _ -> "supported"
+          | Error e -> "FAILED: " ^ e
+        in
+        Printf.printf "v%-9s %s\n" (KV.to_string version) result)
+      KV.all_lts
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the hypervisor/kernel support matrix (Table 1)")
+    Term.(const run $ const ())
+
+(* --- debloat --- *)
+
+let debloat_cmd =
+  let run name =
+    match Debloat.Dataset.find name with
+    | None ->
+        Printf.eprintf "unknown image %S; available: %s\n" name
+          (String.concat ", "
+             (List.map (fun i -> i.Debloat.Dataset.iname) (Debloat.Dataset.top40 ())));
+        exit 1
+    | Some image ->
+        let h = H.Host.create ~seed:33 () in
+        let r = Debloat.Analyze.analyze h image in
+        let scale = Debloat.Dataset.size_scale in
+        let mb b = Float.of_int (b * scale) /. 1048576.0 in
+        Printf.printf
+          "%s: %.1f MB -> %.1f MB (%.0f%% reduction); app still works: %b\n"
+          r.Debloat.Analyze.r_name
+          (mb r.Debloat.Analyze.before_bytes)
+          (mb r.Debloat.Analyze.after_bytes)
+          r.Debloat.Analyze.reduction_pct r.Debloat.Analyze.still_works
+  in
+  let image_arg =
+    Arg.(value & pos 0 string "nginx" & info [] ~docv:"IMAGE" ~doc:"Image name.")
+  in
+  Cmd.v
+    (Cmd.info "debloat" ~doc:"Trace and strip one of the top-40 images (Fig. 8)")
+    Term.(const run $ image_arg)
+
+(* --- monitor --- *)
+
+let monitor_cmd =
+  let run () =
+    let h, vmm, g = boot_vm ~profile:Profile.qemu ~version:KV.V5_10 ~seed:51 in
+    (* some workload to observe *)
+    Vmm.in_guest vmm (fun () ->
+        ignore
+          (Guest.spawn_container g ~name:"web"
+             ~image:[ ("/etc/nginx.conf", "worker_processes 4;\n") ]));
+    match Usecases.Monitor.collect h ~vmm with
+    | Error e ->
+        Printf.eprintf "monitor failed: %s\n" e;
+        exit 1
+    | Ok report -> Format.printf "%a@." Usecases.Monitor.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Collect guest-OS metrics (process list, disk usage) without an agent")
+    Term.(const run $ const ())
+
+(* --- rescue --- *)
+
+let rescue_cmd =
+  let run user password =
+    let h, vmm, g = boot_vm ~profile:Profile.qemu ~version:KV.V5_10 ~seed:41 in
+    Vmm.in_guest vmm (fun () ->
+        ignore
+          (Guest.file_write g ~ns:(Guest.root_ns g) "/etc/shadow"
+             (Bytes.of_string (user ^ ":$6$lost$00000000:19000:0:99999:7:::\n"))));
+    match Usecases.Rescue.reset_password h ~vmm ~user ~password with
+    | Error e ->
+        Printf.eprintf "rescue failed: %s\n" e;
+        exit 1
+    | Ok _ ->
+        Printf.printf "password for %S reset on the running VM: %b\n" user
+          (Usecases.Rescue.verify_password_set vmm g ~user ~password)
+  in
+  let user = Arg.(value & pos 0 string "root" & info [] ~docv:"USER") in
+  let password = Arg.(value & pos 1 string "hunter2" & info [] ~docv:"PASSWORD") in
+  Cmd.v
+    (Cmd.info "rescue" ~doc:"Reset a password in a running VM (use case #2)")
+    Term.(const run $ user $ password)
+
+let () =
+  let info =
+    Cmd.info "vmsh" ~version:"0.1.0"
+      ~doc:"Hypervisor-agnostic guest overlays for VMs (simulated reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd ]))

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blockdev Bytes Hostos Hypervisor Linux_guest List Printf Result Vmsh

@@ -1,0 +1,1 @@
+examples/rescue_system.ml: Blockdev Bytes Hostos Hypervisor Linux_guest Printf Result String Usecases

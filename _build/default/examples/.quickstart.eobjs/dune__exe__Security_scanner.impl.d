@@ -1,0 +1,1 @@
+examples/security_scanner.ml: Blockdev Bytes Hostos Hypervisor Linux_guest List Printf Result Usecases

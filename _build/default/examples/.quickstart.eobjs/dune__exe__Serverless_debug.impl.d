@@ -1,0 +1,1 @@
+examples/serverless_debug.ml: Hostos Hypervisor List Printf String Usecases Vmsh

@@ -1,0 +1,1 @@
+lib/blockdev/backend.ml: Bytes Dev Hostos Printf

@@ -1,0 +1,1 @@
+lib/blockdev/backend.mli: Dev Hostos

@@ -1,0 +1,1 @@
+lib/blockdev/image.ml: Backend Bytes Char Dev Hashtbl Hostos List Result Simplefs String

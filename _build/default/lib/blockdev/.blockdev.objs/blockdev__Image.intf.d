@@ -1,0 +1,1 @@
+lib/blockdev/image.mli: Backend Hostos Simplefs

@@ -1,0 +1,1 @@
+lib/blockdev/simplefs.ml: Array Buffer Bytes Char Dev Hostos Int32 Int64 List Printf Result String

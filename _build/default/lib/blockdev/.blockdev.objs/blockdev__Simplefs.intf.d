@@ -1,0 +1,1 @@
+lib/blockdev/simplefs.mli: Dev Hostos

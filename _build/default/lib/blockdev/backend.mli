@@ -1,0 +1,30 @@
+(** Host-side block backends and their statistics.
+
+    A backend models the NVMe drive (or image file) behind a virtual
+    disk. Accesses charge device service time to the host clock, which
+    is where storage latency enters every IO benchmark. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable flushes : int;
+  mutable trims : int;
+}
+
+type t
+
+val create : ?clock:Hostos.Clock.t -> blocks:int -> unit -> t
+(** An in-memory backing store of [blocks] 4 KiB blocks. *)
+
+val of_mem : ?clock:Hostos.Clock.t -> Hostos.Mem.t -> t
+(** Wrap an existing buffer (e.g. a packed file-system image) as a
+    backend; its length must be block aligned. *)
+
+val dev : t -> Dev.t
+val stats : t -> stats
+val mem : t -> Hostos.Mem.t
+(** The raw backing buffer (for imaging and mmap-style access). *)
+
+val fd_ops : t -> Hostos.Fd.ops
+(** pread/pwrite operations for exposing the backend as an open file of
+    a host process (QEMU's disk image file). *)

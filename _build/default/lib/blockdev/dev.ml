@@ -1,0 +1,56 @@
+type t = {
+  block_size : int;
+  blocks : int;
+  read_block : int -> bytes;
+  write_block : int -> bytes -> unit;
+  flush : unit -> unit;
+  trim : int -> int -> unit;
+}
+
+let block_size = 4096
+let size_bytes t = t.block_size * t.blocks
+
+let read_range t ~off ~len =
+  let bs = t.block_size in
+  let out = Bytes.create len in
+  let rec go off dst remaining =
+    if remaining > 0 then begin
+      let blk = off / bs and boff = off mod bs in
+      let chunk = min remaining (bs - boff) in
+      let data = t.read_block blk in
+      Bytes.blit data boff out dst chunk;
+      go (off + chunk) (dst + chunk) (remaining - chunk)
+    end
+  in
+  go off 0 len;
+  out
+
+let write_range t ~off b =
+  let bs = t.block_size in
+  let rec go off src remaining =
+    if remaining > 0 then begin
+      let blk = off / bs and boff = off mod bs in
+      let chunk = min remaining (bs - boff) in
+      if chunk = bs then begin
+        t.write_block blk (Bytes.sub b src chunk)
+      end
+      else begin
+        let data = t.read_block blk in
+        Bytes.blit b src data boff chunk;
+        t.write_block blk data
+      end;
+      go (off + chunk) (src + chunk) (remaining - chunk)
+    end
+  in
+  go off 0 (Bytes.length b)
+
+let sub t ~first_block ~blocks =
+  if first_block + blocks > t.blocks then invalid_arg "Dev.sub: out of range";
+  {
+    block_size = t.block_size;
+    blocks;
+    read_block = (fun i -> t.read_block (first_block + i));
+    write_block = (fun i b -> t.write_block (first_block + i) b);
+    flush = t.flush;
+    trim = (fun first count -> t.trim (first_block + first) count);
+  }

@@ -1,0 +1,29 @@
+(** The block-device interface: what a file system mounts on.
+
+    A record of closures so the same file-system code runs over an
+    in-memory backend on the host, over the qemu-blk VirtIO device, or
+    over VMSH's vmsh-blk device inside the guest — the substitution at
+    the heart of the paper's robustness experiment (§6.1). *)
+
+type t = {
+  block_size : int;
+  blocks : int;
+  read_block : int -> bytes;
+  (** [read_block i] returns exactly [block_size] bytes. *)
+  write_block : int -> bytes -> unit;
+  flush : unit -> unit;  (** barrier / FUA; devices count these *)
+  trim : int -> int -> unit;  (** [trim first count] discards blocks *)
+}
+
+val block_size : int
+(** The simulation-wide block size (4096). *)
+
+val size_bytes : t -> int
+
+val read_range : t -> off:int -> len:int -> bytes
+(** Byte-granular helper built on block reads (read-modify for edges). *)
+
+val write_range : t -> off:int -> bytes -> unit
+
+val sub : t -> first_block:int -> blocks:int -> t
+(** A window onto a contiguous range of an existing device (partition). *)

@@ -1,0 +1,34 @@
+(** Building file-system images from manifests.
+
+    VMSH serves its tools to the guest as a block-device image holding a
+    SimpleFS; this module packs a list of files (the "container image"
+    of the guest overlay) into such an image, and can diff/strip
+    manifests for the de-bloating experiment (§6.4). *)
+
+type entry = {
+  path : string;  (** absolute path inside the image *)
+  size : int;  (** file size in bytes *)
+  content : string option;
+      (** explicit content; [None] fills [size] deterministic
+          pseudo-random bytes (a stand-in for binaries) *)
+}
+
+type manifest = entry list
+
+val file : ?content:string -> string -> int -> entry
+(** [file path size] is a manifest entry. *)
+
+val total_size : manifest -> int
+
+val pack :
+  ?extra_blocks:int -> ?clock:Hostos.Clock.t -> manifest ->
+  (Backend.t * Simplefs.t) Hostos.Errno.result
+(** Build a backend just large enough for the manifest (plus
+    [extra_blocks] of headroom) and populate a SimpleFS with it —
+    directories are created implicitly. *)
+
+val strip : manifest -> keep:(string -> bool) -> manifest
+(** Remove entries whose path the predicate rejects. *)
+
+val synthetic_content : path:string -> int -> string
+(** The deterministic filler used for [content = None] entries. *)

@@ -1,0 +1,1 @@
+lib/core/attach.ml: Bytes Devices Hostos Hyp_mem Int32 Int64 Klib_builder Kvm Linux_guest List Loader Logs Memslot_discovery Overlay Printf Result String Symbol_analysis Tracee X86

@@ -1,0 +1,1 @@
+lib/core/attach.mli: Blockdev Devices Hostos Hyp_mem Symbol_analysis

@@ -1,0 +1,1 @@
+lib/core/devices.ml: Blockdev Bytes Hostos Hyp_mem Kvm List Logs Option Tracee Virtio X86

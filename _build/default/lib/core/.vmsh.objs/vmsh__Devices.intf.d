@@ -1,0 +1,1 @@
+lib/core/devices.mli: Blockdev Hostos Hyp_mem Tracee

@@ -1,0 +1,1 @@
+lib/core/hyp_mem.ml: Bytes Hostos Int64 List Option Printf X86

@@ -1,0 +1,1 @@
+lib/core/hyp_mem.mli: Hostos X86

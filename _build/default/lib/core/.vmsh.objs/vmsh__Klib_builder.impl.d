@@ -1,0 +1,1 @@
+lib/core/klib_builder.ml: Buffer Bytes Elfkit Int64 Linux_guest List Option Virtio X86

@@ -1,0 +1,1 @@
+lib/core/klib_builder.mli: Elfkit Linux_guest

@@ -1,0 +1,1 @@
+lib/core/loader.ml: Bytes Elfkit Hostos Hyp_mem Int32 Int64 Klib_builder Kvm List Logs Result Symbol_analysis Tracee X86

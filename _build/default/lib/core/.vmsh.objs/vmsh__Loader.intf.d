@@ -1,0 +1,1 @@
+lib/core/loader.mli: Elfkit Hyp_mem Klib_builder Symbol_analysis Tracee X86

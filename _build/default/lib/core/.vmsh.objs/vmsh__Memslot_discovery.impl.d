@@ -1,0 +1,1 @@
+lib/core/memslot_discovery.ml: Bytes Hostos Hyp_mem Int32 Int64 Kvm List Tracee

@@ -1,0 +1,1 @@
+lib/core/memslot_discovery.mli: Hyp_mem Tracee

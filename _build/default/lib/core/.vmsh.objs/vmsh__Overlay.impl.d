@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Blockdev Bytes Effect Hostos Kvm Linux_guest Logs Option Printf Result Shell Virtio

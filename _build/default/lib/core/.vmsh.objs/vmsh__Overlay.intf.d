@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Blockdev Linux_guest

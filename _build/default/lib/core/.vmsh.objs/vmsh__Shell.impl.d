@@ -1,0 +1,1 @@
+lib/core/shell.ml: Blockdev Bytes Digest Hostos Linux_guest List Printf String Virtio

@@ -1,0 +1,1 @@
+lib/core/symbol_analysis.ml: Bytes Char Hyp_mem Int32 Int64 Linux_guest List Option Printf Result String X86

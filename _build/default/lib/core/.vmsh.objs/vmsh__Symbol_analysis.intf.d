@@ -1,0 +1,1 @@
+lib/core/symbol_analysis.mli: Hyp_mem Linux_guest

@@ -1,0 +1,1 @@
+lib/core/tracee.ml: Bytes Hostos Kvm List Logs Option Printf Result Scanf String

@@ -1,0 +1,1 @@
+lib/core/tracee.mli: Hostos X86

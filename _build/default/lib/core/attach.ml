@@ -1,0 +1,303 @@
+module Host = Hostos.Host
+module Proc = Hostos.Proc
+module Fd = Hostos.Fd
+module Syscall = Hostos.Syscall
+module Layout = X86.Layout
+module KV = Linux_guest.Kernel_version
+
+let src = Logs.Src.create "vmsh.attach" ~doc:"VMSH attach orchestration"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  transport : Devices.transport;
+  copy_mode : Hyp_mem.copy_mode;
+  container_pid : int option;
+  command : string option;
+  drop_privileges : bool;
+  seccomp_heuristic : bool;
+  pci : bool;
+}
+
+let default_config =
+  {
+    transport = Devices.Ioregionfd;
+    copy_mode = Hyp_mem.Bulk;
+    container_pid = None;
+    command = None;
+    drop_privileges = true;
+    seccomp_heuristic = false;
+    pci = false;
+  }
+
+type session = {
+  cfg : config;
+  vmsh : Proc.t;
+  tracee : Tracee.t;
+  mem : Hyp_mem.t;
+  devs : Devices.t;
+  anal : Symbol_analysis.analysis;
+  loaded : Loader.loaded;
+  pump : unit -> unit;
+}
+
+let vmsh_process s = s.vmsh
+let devices s = s.devs
+let transport s = s.cfg.transport
+let analysis s = s.anal
+let status s = Loader.poll_status ~mem:s.mem s.loaded
+
+let ( let* ) = Result.bind
+
+(* The twelve kernel interfaces VMSH relies on (paper §5). *)
+let required_symbols =
+  [
+    "printk"; "register_virtio_mmio_dev"; "unregister_virtio_mmio_dev";
+    "filp_open"; "filp_close"; "kernel_read"; "kernel_write";
+    "kthread_create_on_node"; "wake_up_process"; "kernel_clone"; "do_exit";
+    "schedule";
+  ]
+
+let console_gsi = 24
+let blk_gsi = 25
+
+(* Install an MSI route for [gsi] (the PCI transport's interrupt path:
+   MSI-X-only irqchips accept irqfds only for MSI-routed GSIs). *)
+let install_msi_route tracee ~gsi =
+  let arg = Bytes.make Kvm.Api.msi_route_size '\000' in
+  Bytes.set_int32_le arg 0 (Int32.of_int gsi);
+  Bytes.set_int64_le arg 4 0xfee0_0000L;
+  Bytes.set_int32_le arg 12 (Int32.of_int (0x4000 lor gsi));
+  match
+    Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
+      ~code:Kvm.Api.set_gsi_routing ~arg ()
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error ("KVM_SET_GSI_ROUTING: " ^ e)
+
+(* Create an eventfd inside the hypervisor, register it as an irqfd for
+   [gsi], and return the tracee-side descriptor number. *)
+let make_remote_irqfd tracee ~gsi =
+  let* ev = Tracee.inject tracee ~nr:Syscall.Nr.eventfd2 ~args:[||] in
+  let arg = Bytes.make Kvm.Api.irqfd_req_size '\000' in
+  Bytes.set_int32_le arg 0 (Int32.of_int ev);
+  Bytes.set_int32_le arg 4 (Int32.of_int gsi);
+  let* _ =
+    match
+      Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee) ~code:Kvm.Api.irqfd
+        ~arg ()
+    with
+    | Ok r -> Ok r
+    | Error _ ->
+        Error
+          "KVM_IRQFD rejected: this hypervisor's VM has no GSI-capable \
+           irqchip (PCIe MSI-X only) — MMIO transport unsupported (retry \
+           with the VirtIO-over-PCI transport)"
+  in
+  Ok ev
+
+(* Pull tracee descriptors into the VMSH process over an injected
+   UNIX-socket connection with SCM_RIGHTS. *)
+let retrieve_fds host vmsh tracee remote_fds ~path =
+  let* listener =
+    match Host.unix_bind host vmsh ~path with
+    | Ok fd -> Ok fd
+    | Error e -> Error ("bind " ^ path ^ ": " ^ Hostos.Errno.show e)
+  in
+  let* remote_sock = Tracee.connect_back tracee ~path in
+  let* local_sock =
+    match Host.unix_accept host vmsh ~listener with
+    | Ok fd -> Ok fd
+    | Error e -> Error ("accept: " ^ Hostos.Errno.show e)
+  in
+  let* () = Tracee.send_fds_back tracee ~sock_fd:remote_sock remote_fds in
+  let rec recv n acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      match Host.recv_fd host vmsh ~sock:local_sock with
+      | Ok fd -> recv (n - 1) (fd :: acc)
+      | Error e -> Error ("recv_fd: " ^ Hostos.Errno.show e)
+  in
+  let* fds = recv (List.length remote_fds) [] in
+  Ok (fds, local_sock, remote_sock)
+
+let setup_ioregionfd host vmsh tracee devs ~hypervisor_pid =
+  let path =
+    Printf.sprintf "/run/vmsh-ioregion-%d-%d.sock" hypervisor_pid
+      vmsh.Proc.pid
+  in
+  let* listener =
+    match Host.unix_bind host vmsh ~path with
+    | Ok fd -> Ok fd
+    | Error e -> Error ("bind " ^ path ^ ": " ^ Hostos.Errno.show e)
+  in
+  let* remote_sock = Tracee.connect_back tracee ~path in
+  let* local_sock =
+    match Host.unix_accept host vmsh ~listener with
+    | Ok fd -> Ok fd
+    | Error e -> Error ("accept: " ^ Hostos.Errno.show e)
+  in
+  let region_base, region_len = Devices.region devs in
+  let arg = Bytes.make Kvm.Api.ioregion_req_size '\000' in
+  Bytes.set_int64_le arg 0 (Int64.of_int region_base);
+  Bytes.set_int64_le arg 8 (Int64.of_int region_len);
+  Bytes.set_int32_le arg 16 (Int32.of_int remote_sock);
+  Bytes.set_int32_le arg 20 (Int32.of_int remote_sock);
+  let* _ =
+    match
+      Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
+        ~code:Kvm.Api.set_ioregion ~arg ()
+    with
+    | Ok r -> Ok r
+    | Error e -> Error ("KVM_SET_IOREGION: " ^ e)
+  in
+  (* Scheduling seam of the simulation: register the service callback
+     that stands for "the VMSH process wakes up when its socket becomes
+     readable" (see DESIGN.md). *)
+  let* vm =
+    let hyp = Host.proc_exn host ~pid:hypervisor_pid in
+    match Proc.fd hyp (Tracee.vm_fd tracee) with
+    | Ok fd -> (
+        match Kvm.Vm.vm_of_fd fd with
+        | Some vm -> Ok vm
+        | None -> Error "vm fd does not denote a VM")
+    | Error e -> Error ("vm fd lookup: " ^ Hostos.Errno.show e)
+  in
+  Kvm.Vm.add_ioregion_pump vm (Devices.ioregion_pump devs ~sock:local_sock);
+  Ok ()
+
+let wait_ready ~mem ~loaded ~pump =
+  let rec go tries =
+    let s = Loader.poll_status ~mem loaded in
+    if s = Klib_builder.status_done then Ok ()
+    else if s >= 0x80 then
+      Error
+        (Printf.sprintf "guest library failed with status 0x%x%s" s
+           (match s with
+           | s when s = Klib_builder.status_err_console ->
+               " (console device registration)"
+           | s when s = Klib_builder.status_err_blk ->
+               " (block device registration)"
+           | s when s = Klib_builder.status_err_open -> " (opening exec file)"
+           | s when s = Klib_builder.status_err_write -> " (writing program)"
+           | s when s = Klib_builder.status_err_spawn -> " (spawning process)"
+           | _ -> ""))
+    else if tries = 0 then
+      Error (Printf.sprintf "guest library did not complete (status %d)" s)
+    else begin
+      pump ();
+      go (tries - 1)
+    end
+  in
+  go 16
+
+let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
+  (* VMSH starts with the privileges it needs for discovery and drops
+     them afterwards (paper §4.5). *)
+  let vmsh =
+    Host.spawn host ~name:"vmsh" ~uid:1000
+      ~caps:[ Proc.CAP_BPF; Proc.CAP_SYS_PTRACE ] ()
+  in
+    let* tracee =
+    Tracee.attach ~seccomp_heuristic:config.seccomp_heuristic host ~vmsh
+      ~pid:hypervisor_pid
+  in
+  let* slots = Memslot_discovery.discover tracee in
+  if config.drop_privileges then begin
+    Proc.drop_cap vmsh Proc.CAP_BPF;
+    Proc.drop_cap vmsh Proc.CAP_SYS_ADMIN
+  end;
+  let mem =
+    Hyp_mem.create host ~vmsh ~hypervisor_pid ~slots ~mode:config.copy_mode ()
+  in
+  let* regs =
+    match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
+    | Ok r -> Ok r
+    | Error e -> Error ("KVM_GET_REGS injection: " ^ e)
+  in
+  let* anal = Symbol_analysis.analyze mem ~cr3:regs.X86.Regs.cr3 in
+  let* () =
+    let missing =
+      List.filter
+        (fun s -> Symbol_analysis.resolve anal s = None)
+        required_symbols
+    in
+    if missing = [] then Ok ()
+    else
+      Error
+        ("guest kernel does not export required symbols: "
+        ^ String.concat ", " missing)
+  in
+  (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
+     first, so the irqfds work on MSI-X-only irqchips *)
+  let* () =
+    if config.pci then
+      let* () = install_msi_route tracee ~gsi:console_gsi in
+      install_msi_route tracee ~gsi:blk_gsi
+    else Ok ()
+  in
+  let* console_ev = make_remote_irqfd tracee ~gsi:console_gsi in
+  let* blk_ev = make_remote_irqfd tracee ~gsi:blk_gsi in
+  let* fds, _ctl_local, _ctl_remote =
+    retrieve_fds host vmsh tracee [ console_ev; blk_ev ]
+      ~path:
+        (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
+  in
+  let* console_irqfd, blk_irqfd =
+    match fds with
+    | [ c; b ] -> Ok (c, b)
+    | _ -> Error "fd passing returned the wrong number of descriptors"
+  in
+  let devs =
+    Devices.create ~mem ~tracee ~image:fs_image ~blk_irqfd ~console_irqfd
+      ~pci:config.pci ()
+  in
+  let* () =
+    match config.transport with
+    | Devices.Wrap_syscall ->
+        Devices.install_wrap_syscall devs;
+        Ok ()
+    | Devices.Ioregionfd -> setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
+  in
+  (* guest program + kernel library *)
+  let program =
+    Overlay.register
+      {
+        Overlay.container_pid = config.container_pid;
+        command = config.command;
+      }
+  in
+  let image, layout =
+    Klib_builder.build ~version:anal.Symbol_analysis.version
+      ~guest_program:program ~pci:config.pci
+      ~console_base:(if config.pci then fst (Devices.region devs) else Devices.console_base devs)
+      ~blk_base:
+        (if config.pci then fst (Devices.region devs) + Layout.virtio_mmio_stride
+         else Devices.blk_base devs)
+      ~console_gsi ~blk_gsi ()
+  in
+  let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
+  let* () = Loader.redirect ~tracee loaded in
+  pump ();
+  let* () = wait_ready ~mem ~loaded ~pump in
+  Ok { cfg = config; vmsh; tracee; mem; devs; anal; loaded; pump }
+
+let console_send s line =
+  Devices.feed_console_input s.devs (Bytes.of_string (line ^ "\n"));
+  s.pump ()
+
+let console_recv s =
+  s.pump ();
+  Bytes.to_string (Devices.read_console_output s.devs)
+
+let console_roundtrip s line =
+  (* drain any pending output (e.g. the prompt) first *)
+  ignore (console_recv s);
+  console_send s line;
+  console_recv s
+
+let detach s =
+  (match s.cfg.transport with
+  | Devices.Wrap_syscall -> Devices.uninstall_wrap_syscall s.devs
+  | Devices.Ioregionfd -> ());
+  Tracee.detach s.tracee

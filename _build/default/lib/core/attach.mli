@@ -1,0 +1,71 @@
+(** End-to-end VMSH attach: the vm-exec abstraction (paper §3, §4).
+
+    [attach] performs the full sequence against a running hypervisor
+    process, with no cooperation from it:
+
+    + ptrace-attach and discover the KVM descriptors through /proc;
+    + dump the memslot table with the eBPF program, then drop
+      privileges;
+    + read vCPU 0's registers by injected KVM_GET_REGS; walk the page
+      tables from CR3; run the symbol analysis (kernel base, ksymtab,
+      version);
+    + create irqfds inside the hypervisor and smuggle them back over an
+      injected UNIX-socket connection (SCM_RIGHTS);
+    + stand up the vmsh-blk / vmsh-console devices on the chosen MMIO
+      transport;
+    + build the kernel library for the detected kernel version, link it
+      against the recovered symbol addresses, side-load it, and redirect
+      the vCPU through its trampoline;
+    + drive the VM (via the caller's [pump]) until the library reports
+      the overlay process is running.
+
+    The caller owns the pump because in this simulation the hypervisor's
+    vCPU loop must be driven explicitly; with a real VMM the guest
+    simply keeps running. *)
+
+type config = {
+  transport : Devices.transport;
+  copy_mode : Hyp_mem.copy_mode;
+  container_pid : int option;  (** container-aware attach target *)
+  command : string option;  (** one-shot command instead of a shell *)
+  drop_privileges : bool;  (** drop CAP_BPF & co. after discovery *)
+  seccomp_heuristic : bool;
+      (** probe the hypervisor's threads for one whose seccomp filter
+          admits each injected syscall (lets VMSH attach to stock
+          Firecracker without disabling its filters — the heuristic the
+          paper leaves as future work, implemented here) *)
+  pci : bool;
+      (** use the VirtIO-over-PCI transport: PCI config spaces in front
+          of the register windows and MSI-routed interrupts — attaches
+          to Cloud Hypervisor's MSI-X-only irqchip (the paper's other
+          future-work item, implemented here) *)
+}
+
+val default_config : config
+(** ioregionfd transport, bulk copies, interactive shell. *)
+
+type session
+
+val attach :
+  Hostos.Host.t -> hypervisor_pid:int -> fs_image:Blockdev.Backend.t ->
+  ?config:config -> pump:(unit -> unit) -> unit -> (session, string) result
+
+val vmsh_process : session -> Hostos.Proc.t
+val devices : session -> Devices.t
+val transport : session -> Devices.transport
+val analysis : session -> Symbol_analysis.analysis
+val status : session -> int
+(** Current status word of the side-loaded library. *)
+
+val console_send : session -> string -> unit
+(** Type a line into the attached console (appends the newline). *)
+
+val console_recv : session -> string
+(** Pump the VM and collect pending console output. *)
+
+val console_roundtrip : session -> string -> string
+(** [console_send] + [console_recv]: one command, its output. *)
+
+val detach : session -> unit
+(** Remove syscall hooks and ptrace. Guest devices stay registered (as
+    with the real prototype, a detached overlay keeps running). *)

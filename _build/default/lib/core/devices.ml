@@ -1,0 +1,336 @@
+module Fd = Hostos.Fd
+module Chan = Hostos.Chan
+module Clock = Hostos.Clock
+module Layout = X86.Layout
+module Mmio = Virtio.Mmio
+module Queue = Virtio.Queue
+module Gmem = Virtio.Gmem
+
+let src = Logs.Src.create "vmsh.devices" ~doc:"VMSH virtio devices"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type transport = Wrap_syscall | Ioregionfd
+
+let show_transport = function
+  | Wrap_syscall -> "wrap_syscall"
+  | Ioregionfd -> "ioregionfd"
+
+type t = {
+  mem : Hyp_mem.t;
+  tracee : Tracee.t;
+  image : Blockdev.Backend.t;
+  blk_regs : Mmio.Device.t;
+  console_regs : Mmio.Device.t;
+  mutable blk_queue : Queue.Device.t option;
+  mutable console_rx : Queue.Device.t option;
+  mutable console_tx : Queue.Device.t option;
+  blk_irqfd : Fd.t;
+  console_irqfd : Fd.t;
+  cons_base : int;
+  b_base : int;
+  region_base : int;
+  region_len : int;
+  pci_configs : (int * bytes) list;  (** (window base, header bytes) *)
+  console_in : Chan.t;
+  console_out : Chan.t;
+  mutable requests : int;
+  clock : Clock.t;
+}
+
+let console_base t = t.cons_base
+let blk_base t = t.b_base
+let region t = (t.region_base, t.region_len)
+let console_gsi _t = 24
+let blk_gsi _t = 25
+let stats_requests t = t.requests
+
+(* Remote view of guest memory for the device-side queue halves. *)
+let remote_gmem t =
+  {
+    Gmem.read = (fun ~addr ~len -> Hyp_mem.read_phys t.mem ~gpa:addr ~len);
+    write = (fun ~addr b -> Hyp_mem.write_phys t.mem ~gpa:addr b);
+  }
+
+let ensure_queue t regs slot getter setter =
+  match getter () with
+  | Some q -> Some q
+  | None ->
+      let qs = Mmio.Device.queue regs slot in
+      if not qs.Mmio.Device.ready then None
+      else begin
+        let q =
+          Queue.Device.create (remote_gmem t) ~qsz:qs.Mmio.Device.num
+            ~desc:qs.Mmio.Device.desc ~avail:qs.Mmio.Device.avail
+            ~used:qs.Mmio.Device.used
+        in
+        setter (Some q);
+        Some q
+      end
+
+(* Signal an irqfd from the VMSH process: one write syscall. *)
+let signal t fd =
+  Clock.syscall t.clock;
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 1L;
+  ignore (fd.Fd.ops.write b)
+
+(* The image is served with synchronous, unpipelined file IO (the
+   prototype's device is single-threaded), so each request pays the full
+   device latency again instead of overlapping with its neighbours —
+   the main reason vmsh-blk runs at about half of qemu-blk (§6.3C). *)
+let blk_backend t =
+  let b = Virtio.Blk.Device.backend_of_blockdev (Blockdev.Backend.dev t.image) in
+  let sync_penalty len =
+    Clock.context_switch t.clock;
+    Clock.device_op t.clock ~blocks:(max 1 (len / Blockdev.Dev.block_size))
+  in
+  {
+    b with
+    Virtio.Blk.Device.read =
+      (fun ~sector ~len ->
+        sync_penalty len;
+        b.Virtio.Blk.Device.read ~sector ~len);
+    write =
+      (fun ~sector data ->
+        sync_penalty (Bytes.length data);
+        b.Virtio.Blk.Device.write ~sector data);
+  }
+
+let process_blk t =
+  match
+    ensure_queue t t.blk_regs 0
+      (fun () -> t.blk_queue)
+      (fun q -> t.blk_queue <- q)
+  with
+  | None -> ()
+  | Some q ->
+      let n = Virtio.Blk.Device.process q (remote_gmem t) (blk_backend t) in
+      if n > 0 then begin
+        t.requests <- t.requests + n;
+        Mmio.Device.assert_irq t.blk_regs;
+        signal t t.blk_irqfd
+      end
+
+let try_feed_console t =
+  match
+    ensure_queue t t.console_regs 0
+      (fun () -> t.console_rx)
+      (fun q -> t.console_rx <- q)
+  with
+  | None -> ()
+  | Some rxq -> (
+      match Chan.read t.console_in 4096 with
+      | Ok pending when Bytes.length pending > 0 ->
+          let delivered =
+            Virtio.Console.Device.feed_rx rxq (remote_gmem t) pending
+          in
+          (* anything not delivered goes back to the front of the input *)
+          if delivered < Bytes.length pending then
+            ignore
+              (Chan.write t.console_in
+                 (Bytes.sub pending delivered (Bytes.length pending - delivered)));
+          if delivered > 0 then begin
+            Mmio.Device.assert_irq t.console_regs;
+            signal t t.console_irqfd
+          end
+      | _ -> ())
+
+let process_console_tx t =
+  match
+    ensure_queue t t.console_regs 1
+      (fun () -> t.console_tx)
+      (fun q -> t.console_tx <- q)
+  with
+  | None -> ()
+  | Some txq ->
+      let n =
+        Virtio.Console.Device.process_tx txq (remote_gmem t) ~sink:(fun b ->
+            ignore (Chan.write t.console_out b))
+      in
+      if n > 0 then begin
+        Mmio.Device.assert_irq t.console_regs;
+        signal t t.console_irqfd
+      end
+
+let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ?(pci = false)
+    ?console_base ?blk_base () =
+  let stride = Layout.virtio_mmio_stride in
+  let region_base = if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base in
+  let region_len = (if pci then 4 else 2) * stride in
+  (* PCI layout: [cfg console][cfg blk][bar console][bar blk];
+     MMIO layout: [regs console][regs blk] *)
+  let console_base =
+    Option.value console_base
+      ~default:(if pci then region_base + (2 * stride) else region_base)
+  in
+  let blk_base =
+    Option.value blk_base
+      ~default:
+        (if pci then region_base + (3 * stride) else region_base + stride)
+  in
+  let pci_configs =
+    if not pci then []
+    else
+      [
+        ( region_base,
+          Virtio.Pci.Config.encode ~device_type:Virtio.Console.device_id
+            ~bar0:console_base ~msix_gsi:24 );
+        ( region_base + stride,
+          Virtio.Pci.Config.encode ~device_type:Virtio.Blk.device_id
+            ~bar0:blk_base ~msix_gsi:25 );
+      ]
+  in
+  let capacity =
+    Blockdev.Dev.size_bytes (Blockdev.Backend.dev image)
+    / Virtio.Blk.sector_size
+  in
+  let t =
+    {
+      mem;
+      tracee;
+      image;
+      blk_regs =
+        Mmio.Device.create ~device_id:Virtio.Blk.device_id ~num_queues:1
+          ~config:(Virtio.Blk.Device.config ~capacity_sectors:capacity)
+          ();
+      console_regs =
+        Mmio.Device.create ~device_id:Virtio.Console.device_id ~num_queues:2
+          ~config:(Bytes.make 8 '\000') ();
+      blk_queue = None;
+      console_rx = None;
+      console_tx = None;
+      blk_irqfd;
+      console_irqfd;
+      cons_base = console_base;
+      b_base = blk_base;
+      region_base;
+      region_len;
+      pci_configs;
+      console_in = Chan.create ~capacity:65536 ();
+      console_out = Chan.create ~capacity:1048576 ();
+      requests = 0;
+      clock = (Tracee.host tracee).Hostos.Host.clock;
+    }
+  in
+  Mmio.Device.set_notify t.blk_regs (fun ~queue:_ -> process_blk t);
+  Mmio.Device.set_notify t.console_regs (fun ~queue ->
+      if queue = 1 then process_console_tx t else try_feed_console t);
+  t
+
+let window_of t addr =
+  if addr >= t.cons_base && addr < t.cons_base + Layout.virtio_mmio_stride then
+    Some (t.console_regs, addr - t.cons_base)
+  else if addr >= t.b_base && addr < t.b_base + Layout.virtio_mmio_stride then
+    Some (t.blk_regs, addr - t.b_base)
+  else None
+
+let config_of t addr =
+  List.find_opt
+    (fun (base, _) -> addr >= base && addr < base + Layout.virtio_mmio_stride)
+    t.pci_configs
+
+let handle_mmio_read t ~addr ~len =
+  match window_of t addr with
+  | Some (regs, off) -> Some (Mmio.Device.read regs ~off ~len)
+  | None -> (
+      match config_of t addr with
+      | Some (base, header) ->
+          (* PCI config read: bytes from the header, 0xff beyond it (as
+             unimplemented config space reads on real hardware) *)
+          let off = addr - base in
+          Some
+            (Bytes.init len (fun i ->
+                 if off + i < Bytes.length header then Bytes.get header (off + i)
+                 else '\xff'))
+      | None -> None)
+
+let handle_mmio_write t ~addr ~data =
+  match window_of t addr with
+  | Some (regs, off) ->
+      Mmio.Device.write regs ~off data;
+      true
+  | None -> (
+      match config_of t addr with
+      | Some _ -> true (* config writes (e.g. BAR probing) are absorbed *)
+      | None -> false)
+
+(* --- wrap_syscall transport --- *)
+
+let install_wrap_syscall t =
+  let vcpus = Tracee.vcpus t.tracee in
+  Tracee.hook_syscalls t.tracee
+    ~on_entry:(fun _ -> ())
+    ~on_exit:(fun th ->
+      let regs = th.Hostos.Proc.regs in
+      let vcpu =
+        if regs.X86.Regs.rsi = Kvm.Api.run then
+          List.find_opt
+            (fun v -> v.Tracee.fd_num = regs.X86.Regs.rdi)
+            vcpus
+        else None
+      in
+      match vcpu with
+      | None -> Hostos.Proc.Deliver
+      | Some v -> (
+          (* read the kvm_run page remotely and look at the exit *)
+          let page =
+            Hostos.Mem.of_bytes
+              (Hyp_mem.read_hva t.mem ~hva:v.Tracee.run_hva ~len:32)
+          in
+          match Kvm.Api.read_exit page with
+          | Kvm.Api.Exit_mmio { phys_addr; len; is_write; data } -> (
+              if is_write then
+                if handle_mmio_write t ~addr:phys_addr ~data then
+                  Hostos.Proc.Reenter
+                else Hostos.Proc.Deliver
+              else
+                match handle_mmio_read t ~addr:phys_addr ~len with
+                | Some resp ->
+                    (* complete the MMIO read: place the data where KVM
+                       picks it up on re-entry *)
+                    let buf = Bytes.make 8 '\000' in
+                    Bytes.blit resp 0 buf 0 (min 8 (Bytes.length resp));
+                    Hyp_mem.write_hva t.mem ~hva:(v.Tracee.run_hva + 24) buf;
+                    Hostos.Proc.Reenter
+                | None -> Hostos.Proc.Deliver)
+          | _ -> Hostos.Proc.Deliver))
+
+let uninstall_wrap_syscall t = Tracee.unhook_syscalls t.tracee
+
+(* --- ioregionfd transport --- *)
+
+let ioregion_pump t ~sock () =
+  let rec drain () =
+    match sock.Fd.ops.read ~len:32 with
+    | Error _ -> ()
+    | Ok frame when Bytes.length frame = 0 -> ()
+    | Ok frame ->
+        (match Kvm.Api.decode_ioregion_msg frame with
+        | Some (Kvm.Api.Ioreg_read { offset; len }) ->
+            let addr = t.region_base + offset in
+            let resp =
+              match handle_mmio_read t ~addr ~len with
+              | Some b -> b
+              | None -> Bytes.make len '\000'
+            in
+            ignore (sock.Fd.ops.write (Kvm.Api.encode_ioregion_resp resp))
+        | Some (Kvm.Api.Ioreg_write { offset; data }) ->
+            let addr = t.region_base + offset in
+            ignore (handle_mmio_write t ~addr ~data);
+            ignore (sock.Fd.ops.write (Kvm.Api.encode_ioregion_resp Bytes.empty))
+        | None -> ());
+        drain ()
+  in
+  drain ()
+
+(* --- console host side --- *)
+
+let feed_console_input t b =
+  ignore (Chan.write t.console_in b);
+  try_feed_console t
+
+let read_console_output t =
+  match Chan.read t.console_out 1048576 with
+  | Ok b -> b
+  | Error _ -> Bytes.empty

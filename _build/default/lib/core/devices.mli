@@ -1,0 +1,70 @@
+(** VMSH's VirtIO devices, emulated inside the VMSH process (§4.3).
+
+    Unlike qemu-blk, these devices live *outside* the hypervisor: they
+    reach the virtqueues in guest memory through process_vm_readv-style
+    remote accesses ({!Hyp_mem}), and their MMIO doorbells arrive
+    through one of two transports:
+
+    - {b wrap_syscall}: ptrace interception around every syscall of the
+      hypervisor, peeking at KVM_RUN exits — taxes the whole hypervisor
+      (Fig. 6's wrap_syscall rows);
+    - {b ioregionfd}: the in-kernel MMIO-to-socket dispatch, invisible
+      to the hypervisor (no tax on qemu-blk). *)
+
+type transport = Wrap_syscall | Ioregionfd
+
+val show_transport : transport -> string
+
+type t
+
+val create :
+  mem:Hyp_mem.t -> tracee:Tracee.t ->
+  image:Blockdev.Backend.t ->
+  blk_irqfd:Hostos.Fd.t -> console_irqfd:Hostos.Fd.t ->
+  ?pci:bool -> ?console_base:int -> ?blk_base:int -> unit -> t
+(** [image] is the file-system image served by vmsh-blk; the irqfds are
+    VMSH's local ends of the descriptors passed back from the
+    hypervisor. With [pci] the devices additionally expose PCI config
+    spaces (vendor id, BAR0, MSI-X GSI) ahead of their register
+    windows — the VirtIO-over-PCI transport. *)
+
+val console_base : t -> int
+(** Base of the console's *register* window (its BAR0 under PCI). *)
+
+val blk_base : t -> int
+
+val region : t -> int * int
+(** [(base, len)] of the full guest-physical region VMSH claims — the
+    range to trap (two register windows, plus two config spaces under
+    PCI). *)
+
+val console_gsi : t -> int
+val blk_gsi : t -> int
+
+val handle_mmio_read : t -> addr:int -> len:int -> bytes option
+(** [None] when the address is outside VMSH's windows. *)
+
+val handle_mmio_write : t -> addr:int -> data:bytes -> bool
+(** [false] when the address is outside VMSH's windows. *)
+
+val install_wrap_syscall : t -> unit
+(** Hook the tracee's syscalls; KVM_RUN exits for VMSH's MMIO windows
+    are serviced and transparently re-entered. *)
+
+val uninstall_wrap_syscall : t -> unit
+
+val ioregion_pump : t -> sock:Hostos.Fd.t -> unit -> unit
+(** The service loop run when KVM pushes request frames into VMSH's end
+    of the ioregionfd socket: drain, dispatch, respond. *)
+
+(** {1 Console plumbing (host side)} *)
+
+val feed_console_input : t -> bytes -> unit
+(** Deliver host-terminal input to the guest's receive queue (raising
+    the console interrupt). *)
+
+val read_console_output : t -> bytes
+(** Drain what the guest transmitted. *)
+
+val stats_requests : t -> int
+(** Block requests served (for tests and benches). *)

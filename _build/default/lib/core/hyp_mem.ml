@@ -1,0 +1,176 @@
+module Host = Hostos.Host
+module Proc = Hostos.Proc
+
+type slot = { gpa : int; size : int; hva : int }
+type copy_mode = Bulk | Chunked_4k | Peek_u64
+
+type t = {
+  host : Host.t;
+  vmsh : Proc.t;
+  pid : int;
+  mutable slot_list : slot list;
+  mutable cmode : copy_mode;
+}
+
+let create host ~vmsh ~hypervisor_pid ~slots ?(mode = Bulk) () =
+  { host; vmsh; pid = hypervisor_pid; slot_list = slots; cmode = mode }
+
+let slots t = t.slot_list
+let add_slot t s = t.slot_list <- t.slot_list @ [ s ]
+let mode t = t.cmode
+let set_mode t m = t.cmode <- m
+
+let gpa_to_hva t gpa =
+  List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
+  |> Option.map (fun s -> s.hva + (gpa - s.gpa))
+
+let top_of_guest_phys t =
+  List.fold_left (fun acc s -> max acc (s.gpa + s.size)) 0 t.slot_list
+
+let fail_errno what e =
+  failwith (Printf.sprintf "Hyp_mem.%s: %s" what (Hostos.Errno.show e))
+
+let read_hva t ~hva ~len =
+  match t.cmode with
+  | Bulk -> (
+      match
+        Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid ~addr:hva ~len
+      with
+      | Ok b -> b
+      | Error e -> fail_errno "read_hva" e)
+  | Chunked_4k ->
+      let clock = t.host.Host.clock in
+      let out = Bytes.create len in
+      let rec go off =
+        if off < len then begin
+          let chunk = min 4096 (len - off) in
+          (* bounce through a local buffer: the extra pread syscall and
+             the extra memcpy of the unoptimised path *)
+          Hostos.Clock.syscall clock;
+          Hostos.Clock.copy_bytes clock chunk;
+          (match
+             Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid
+               ~addr:(hva + off) ~len:chunk
+           with
+          | Ok b -> Bytes.blit b 0 out off chunk
+          | Error e -> fail_errno "read_hva(chunked)" e);
+          go (off + chunk)
+        end
+      in
+      go 0;
+      out
+  | Peek_u64 ->
+      let out = Bytes.create len in
+      let rec go off =
+        if off < len then begin
+          let chunk = min 8 (len - off) in
+          (match
+             Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid
+               ~addr:(hva + off) ~len:chunk
+           with
+          | Ok b -> Bytes.blit b 0 out off chunk
+          | Error e -> fail_errno "read_hva(peek)" e);
+          go (off + 8)
+        end
+      in
+      go 0;
+      out
+
+let write_hva t ~hva b =
+  match t.cmode with
+  | Bulk -> (
+      match Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid ~addr:hva b with
+      | Ok () -> ()
+      | Error e -> fail_errno "write_hva" e)
+  | Chunked_4k ->
+      let clock = t.host.Host.clock in
+      let len = Bytes.length b in
+      let rec go off =
+        if off < len then begin
+          let chunk = min 4096 (len - off) in
+          Hostos.Clock.syscall clock;
+          Hostos.Clock.copy_bytes clock chunk;
+          (match
+             Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid
+               ~addr:(hva + off)
+               (Bytes.sub b off chunk)
+           with
+          | Ok () -> ()
+          | Error e -> fail_errno "write_hva(chunked)" e);
+          go (off + chunk)
+        end
+      in
+      go 0
+  | Peek_u64 ->
+      let len = Bytes.length b in
+      let rec go off =
+        if off < len then begin
+          let chunk = min 8 (len - off) in
+          (match
+             Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid
+               ~addr:(hva + off)
+               (Bytes.sub b off chunk)
+           with
+          | Ok () -> ()
+          | Error e -> fail_errno "write_hva(peek)" e);
+          go (off + 8)
+        end
+      in
+      go 0
+
+(* Physical accesses may cross slot boundaries. *)
+let rec read_phys t ~gpa ~len =
+  if len = 0 then Bytes.empty
+  else
+    match
+      List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
+    with
+    | None -> failwith (Printf.sprintf "Hyp_mem.read_phys: 0x%x unbacked" gpa)
+    | Some s ->
+        let avail = s.gpa + s.size - gpa in
+        let chunk = min avail len in
+        let part = read_hva t ~hva:(s.hva + (gpa - s.gpa)) ~len:chunk in
+        if chunk = len then part
+        else Bytes.cat part (read_phys t ~gpa:(gpa + chunk) ~len:(len - chunk))
+
+let rec write_phys t ~gpa b =
+  let len = Bytes.length b in
+  if len > 0 then
+    match
+      List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
+    with
+    | None -> failwith (Printf.sprintf "Hyp_mem.write_phys: 0x%x unbacked" gpa)
+    | Some s ->
+        let avail = s.gpa + s.size - gpa in
+        let chunk = min avail len in
+        write_hva t ~hva:(s.hva + (gpa - s.gpa)) (Bytes.sub b 0 chunk);
+        if chunk < len then
+          write_phys t ~gpa:(gpa + chunk) (Bytes.sub b chunk (len - chunk))
+
+let read_phys_u64 t gpa =
+  Int64.to_int (Bytes.get_int64_le (read_phys t ~gpa ~len:8) 0)
+
+let write_phys_u64 t gpa v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  write_phys t ~gpa b
+
+let pt_access t =
+  { X86.Page_table.read_u64 = read_phys_u64 t; write_u64 = write_phys_u64 t }
+
+let read_virt t ~cr3 ~va ~len =
+  let acc = pt_access t in
+  let out = Bytes.create len in
+  let page = X86.Layout.page_size in
+  let rec go va dst remaining =
+    if remaining = 0 then Some out
+    else
+      let page_rem = page - (va land (page - 1)) in
+      let chunk = min remaining page_rem in
+      match X86.Page_table.translate acc ~root:cr3 va with
+      | None -> None
+      | Some pa ->
+          Bytes.blit (read_phys t ~gpa:pa ~len:chunk) 0 out dst chunk;
+          go (va + chunk) (dst + chunk) (remaining - chunk)
+  in
+  go va 0 len

@@ -1,0 +1,64 @@
+(** VMSH's window into guest memory, through the hypervisor process.
+
+    Built from the memslot table recovered by the eBPF program: guest-
+    physical addresses resolve to hypervisor-virtual addresses, which
+    are then read/written with process_vm_readv / process_vm_writev.
+    Two copy strategies are supported — the optimised bulk path the
+    paper ships, and the 8-bytes-at-a-time fallback used before that
+    optimisation ("doubles the performance", §5) — selectable for the
+    ablation benchmark. *)
+
+type slot = { gpa : int; size : int; hva : int }
+
+type copy_mode =
+  | Bulk
+      (** one process_vm call per transfer, directly between the
+          hypervisor and the device file (the paper's optimisation) *)
+  | Chunked_4k
+      (** the pre-optimisation path: pread/pwrite through a local bounce
+          buffer, 4 KiB at a time — an extra syscall and an extra copy
+          per page ("doubles the performance in Phoronix", §5) *)
+  | Peek_u64
+      (** PTRACE_PEEKDATA-style: one call per 8 bytes (the naive
+          fallback a debugger-API-only implementation would use) *)
+
+type t
+
+val create :
+  Hostos.Host.t -> vmsh:Hostos.Proc.t -> hypervisor_pid:int ->
+  slots:slot list -> ?mode:copy_mode -> unit -> t
+
+val slots : t -> slot list
+
+(** [add_slot] records a memslot VMSH itself registered (its own
+    guest-physical allocation at the top of the address space). *)
+val add_slot : t -> slot -> unit
+val mode : t -> copy_mode
+val set_mode : t -> copy_mode -> unit
+
+val gpa_to_hva : t -> int -> int option
+
+val top_of_guest_phys : t -> int
+(** One past the highest guest-physical address backed by a slot — where
+    VMSH places its own memory ("hypervisors allocate from low to
+    high", §4.2). *)
+
+val read_phys : t -> gpa:int -> len:int -> bytes
+(** Raises [Failure] on unbacked addresses or access errors. *)
+
+val write_phys : t -> gpa:int -> bytes -> unit
+val read_phys_u64 : t -> int -> int
+val write_phys_u64 : t -> int -> int -> unit
+
+val pt_access : t -> X86.Page_table.access
+(** Page-table accessors over this remote view (what the sideloader's
+    CR3 walk uses). *)
+
+val read_virt : t -> cr3:int -> va:int -> len:int -> bytes option
+(** Guest-virtual read: walk the tables, then read each page. [None] if
+    any page is unmapped. *)
+
+val read_hva : t -> hva:int -> len:int -> bytes
+(** Raw hypervisor-virtual read (e.g. the kvm_run pages). *)
+
+val write_hva : t -> hva:int -> bytes -> unit

@@ -1,0 +1,49 @@
+(** Builder of the side-loaded guest kernel library (paper §5).
+
+    Emits a genuine ET_DYN ELF image whose [.text] holds the klib
+    bytecode followed by an embedded data area (descriptor structs,
+    strings, the guest userspace program) and a status page. Undefined
+    symbols are the guest kernel functions; internal references use
+    relocations against a local base symbol, so the image is fully
+    position-independent until {!Elfkit.Elf.link} runs.
+
+    The builder conditions two things on the detected kernel version,
+    exactly as the paper reports having to: the [kernel_write] call ABI
+    (old: offset by value; new: position pointer) and the version tags
+    of the two structures passed to driver/thread creation. *)
+
+type layout = {
+  text_len : int;  (** bytecode + data bytes *)
+  status_off : int;  (** page-aligned offset of the status page *)
+  blob_off : int;  (** offset of the saved-registers blob within image *)
+  total_len : int;  (** full image size incl. status page *)
+}
+
+(** Values the guest library stores at [status_off]. *)
+val status_devices_ready : int
+
+val status_done : int
+val status_err_console : int
+val status_err_blk : int
+val status_err_open : int
+val status_err_write : int
+val status_err_spawn : int
+
+val required_imports : string list
+(** The kernel functions the library links against. *)
+
+val build :
+  version:Linux_guest.Kernel_version.t ->
+  guest_program:bytes ->
+  ?pci:bool ->
+  ?console_base:int -> ?blk_base:int -> ?console_gsi:int -> ?blk_gsi:int ->
+  ?exec_path:string ->
+  ?force_rw_abi:Linux_guest.Kernel_version.rw_abi ->
+  ?force_struct_version:int ->
+  unit -> Elfkit.Elf.t * layout
+(** With [pci], the library registers the devices through
+    [register_virtio_pci_dev] and the base addresses are PCI config
+    spaces rather than MMIO windows (the VirtIO-over-PCI transport for
+    Cloud Hypervisor). [force_rw_abi] / [force_struct_version]
+    deliberately mis-build the library (for the version-compatibility
+    failure tests). *)

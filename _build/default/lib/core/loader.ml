@@ -1,0 +1,117 @@
+module Syscall = Hostos.Syscall
+module Layout = X86.Layout
+module PT = X86.Page_table
+
+let src = Logs.Src.create "vmsh.loader" ~doc:"VMSH sideloader"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type loaded = {
+  va_base : int;
+  gpa_base : int;
+  entry_va : int;
+  status_gpa : int;
+  blob_va : int;
+  saved_regs : X86.Regs.t;
+}
+
+let memslot_base_index = 61
+
+(* Each attach claims a fresh slot: replacing a previous attach's slot
+   would unback guest memory that still holds that attach's library and
+   the page-table pages it allocated. *)
+let next_memslot = ref memslot_base_index
+
+let memslot_index = memslot_base_index
+let pt_arena_pages = 16
+
+let ( let* ) = Result.bind
+
+let page_align n = (n + Layout.page_size - 1) land lnot (Layout.page_size - 1)
+
+let load ~tracee ~mem ~analysis ~image ~layout =
+  let region_len =
+    page_align layout.Klib_builder.total_len + (pt_arena_pages * Layout.page_size)
+  in
+  (* guest-physical placement: top of the existing allocations, rounded
+     up generously so nothing the hypervisor adds later collides *)
+  let gpa_base = max (page_align (Hyp_mem.top_of_guest_phys mem)) 0x1000_0000 in
+  (* 1. fresh memory in the hypervisor *)
+  let* hva = Tracee.inject tracee ~nr:Syscall.Nr.mmap ~args:[| 0; region_len |] in
+  (* 2. register it as a memslot *)
+  let slot_index = !next_memslot in
+  incr next_memslot;
+  let* _ =
+    Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
+      ~code:Kvm.Api.set_user_memory_region
+      ~arg:
+        (let b = Bytes.make Kvm.Api.memory_region_size '\000' in
+         Bytes.set_int32_le b 0 (Int32.of_int slot_index);
+         Bytes.set_int64_le b 8 (Int64.of_int gpa_base);
+         Bytes.set_int64_le b 16 (Int64.of_int region_len);
+         Bytes.set_int64_le b 24 (Int64.of_int hva);
+         b)
+      ()
+  in
+  Hyp_mem.add_slot mem { Hyp_mem.gpa = gpa_base; size = region_len; hva };
+  (* 3. link the image for its final virtual address *)
+  let va_base =
+    analysis.Symbol_analysis.kernel_base + analysis.Symbol_analysis.image_len
+  in
+  let* text, entry_va =
+    match
+      Elfkit.Elf.link image ~base:va_base
+        ~resolve:(fun name -> Symbol_analysis.resolve analysis name)
+    with
+    | Ok v -> Ok v
+    | Error e -> Error ("linking guest library: " ^ e)
+  in
+  (* 4. copy into the new guest-physical region *)
+  Hyp_mem.write_phys mem ~gpa:gpa_base text;
+  (* 5. map into guest virtual memory after the kernel image, using
+     page-table pages from our own region's arena *)
+  let* regs =
+    match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
+    | Ok r -> Ok r
+    | Error e -> Error ("reading vCPU registers: " ^ e)
+  in
+  let arena_base = gpa_base + page_align layout.Klib_builder.total_len in
+  let arena_next = ref arena_base in
+  let alloc () =
+    let pa = !arena_next in
+    arena_next := pa + Layout.page_size;
+    if !arena_next > gpa_base + region_len then
+      failwith "vmsh loader: page-table arena exhausted";
+    Hyp_mem.write_phys mem ~gpa:pa (Bytes.make Layout.page_size '\000');
+    pa
+  in
+  (match
+     PT.map_range (Hyp_mem.pt_access mem) ~alloc ~root:regs.X86.Regs.cr3
+       ~virt:va_base ~phys:gpa_base
+       ~len:(page_align layout.Klib_builder.total_len)
+       ~flags:PT.Flags.(present lor writable)
+   with
+  | () -> ()
+  | exception Failure e -> failwith e);
+  (* 6. stash the interrupted context where the trampoline finds it *)
+  let blob_gpa = gpa_base + layout.Klib_builder.blob_off in
+  Hyp_mem.write_phys mem ~gpa:blob_gpa (Kvm.Api.regs_to_bytes regs);
+  Ok
+    {
+      va_base;
+      gpa_base;
+      entry_va;
+      status_gpa = gpa_base + layout.Klib_builder.status_off;
+      blob_va = va_base + layout.Klib_builder.blob_off;
+      saved_regs = regs;
+    }
+
+let redirect ~tracee loaded =
+  let regs = X86.Regs.copy loaded.saved_regs in
+  regs.X86.Regs.rip <- loaded.entry_va;
+  regs.rdi <- loaded.blob_va;
+  match Tracee.set_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) regs with
+  | Ok () -> Ok ()
+  | Error e -> Error ("redirecting vCPU: " ^ e)
+
+let poll_status ~mem loaded = Hyp_mem.read_phys_u64 mem loaded.status_gpa

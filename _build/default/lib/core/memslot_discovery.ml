@@ -1,0 +1,77 @@
+module Host = Hostos.Host
+module Ebpf = Hostos.Ebpf
+
+let program_name = "vmsh_memslot_dump"
+
+let encode_slots slots =
+  let b = Bytes.create (4 + (24 * List.length slots)) in
+  Bytes.set_int32_le b 0 (Int32.of_int (List.length slots));
+  List.iteri
+    (fun i (s : Hyp_mem.slot) ->
+      let base = 4 + (24 * i) in
+      Bytes.set_int64_le b base (Int64.of_int s.Hyp_mem.gpa);
+      Bytes.set_int64_le b (base + 8) (Int64.of_int s.Hyp_mem.size);
+      Bytes.set_int64_le b (base + 16) (Int64.of_int s.Hyp_mem.hva))
+    slots;
+  b
+
+let decode_slots b =
+  if Bytes.length b < 4 then None
+  else
+    let n = Int32.to_int (Bytes.get_int32_le b 0) in
+    if n < 0 || Bytes.length b < 4 + (24 * n) then None
+    else
+      Some
+        (List.init n (fun i ->
+             let base = 4 + (24 * i) in
+             {
+               Hyp_mem.gpa = Int64.to_int (Bytes.get_int64_le b base);
+               size = Int64.to_int (Bytes.get_int64_le b (base + 8));
+               hva = Int64.to_int (Bytes.get_int64_le b (base + 16));
+             }))
+
+(* The "program": reads the memslot table from the kvm_vm_ioctl context
+   and streams it into a perf buffer the attacher polls. [ring] plays
+   the perf ring buffer; its insn_count reflects the small fixed-size
+   loop of the real implementation. *)
+let make_prog ring =
+  {
+    Ebpf.name = program_name;
+    insn_count = 96;
+    run =
+      (fun ctx ->
+        match ctx.Ebpf.kdata with
+        | Kvm.Vm.Kvm_memslots slots ->
+            let converted =
+              List.map
+                (fun (s : Kvm.Vm.memslot) ->
+                  { Hyp_mem.gpa = s.Kvm.Vm.gpa; size = s.size; hva = s.hva })
+                slots
+            in
+            let encoded = encode_slots converted in
+            ctx.Ebpf.output <- Some encoded;
+            ring := Some encoded
+        | _ -> ());
+  }
+
+let discover tracee =
+  let h = Tracee.host tracee in
+  let vmsh = Tracee.vmsh_proc tracee in
+  let ring = ref None in
+  match Host.attach_ebpf h ~caller:vmsh ~hook:"kvm_vm_ioctl" (make_prog ring) with
+  | Error e ->
+      Error
+        ("attaching eBPF program requires CAP_BPF: errno "
+        ^ Hostos.Errno.show e)
+  | Ok () ->
+      (* Trigger: inject a harmless unknown VM ioctl — kvm_vm_ioctl (and
+         so the hook) runs on entry regardless of the ioctl's result. *)
+      ignore (Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee) ~code:0xAE00 ());
+      Host.detach_ebpf h ~hook:"kvm_vm_ioctl" ~name:program_name;
+      (match !ring with
+      | None -> Error "eBPF program produced no memslot dump"
+      | Some b -> (
+          match decode_slots b with
+          | Some slots when slots <> [] -> Ok slots
+          | Some _ -> Error "memslot dump is empty"
+          | None -> Error "malformed memslot dump"))

@@ -1,0 +1,36 @@
+(** The container-based guest overlay (paper §4.4) and the guest
+    userspace program that builds it.
+
+    The program is what the side-loaded library writes to disk and
+    executes inside the guest. It mounts VMSH's file-system image as the
+    root of a fresh mount namespace, moves every original mount under
+    /var/lib/vmsh (so the guest tree stays reachable but cannot be
+    clobbered by accident), applies the credentials/namespace/cgroup
+    context of a target container when attaching to one, and finally
+    runs the interactive shell on VMSH's console. *)
+
+type cfg = {
+  container_pid : int option;
+      (** attach into this guest process's container context *)
+  command : string option;
+      (** run one command and exit instead of the interactive shell *)
+}
+
+val default_cfg : cfg
+
+val program_bytes : cfg -> bytes
+(** The serialized guest program "binary": its content encodes the
+    configuration, so distinct configurations are distinct binaries
+    (and hash to distinct program identities in the guest). *)
+
+val register : cfg -> bytes
+(** Make the program content executable in any guest
+    ({!Linux_guest.Guest.register_global_program}) and return the bytes
+    the side-loaded library must write to disk. *)
+
+val setup_namespace :
+  Linux_guest.Guest.t -> Linux_guest.Gproc.t -> cfg ->
+  image_fs:Blockdev.Simplefs.t -> (unit, string) result
+(** The overlay construction itself (exposed separately for tests):
+    clone namespace, relocate mounts, mount the image as root, apply
+    container context. *)

@@ -1,0 +1,207 @@
+module Layout = X86.Layout
+module PT = X86.Page_table
+module KV = Linux_guest.Kernel_version
+
+type analysis = {
+  kernel_base : int;
+  image_len : int;
+  layout : KV.ksymtab_layout;
+  symbols : (string * int) list;
+  version : KV.t;
+}
+
+let anchor_symbol = "printk"
+let max_image = 4 * 1024 * 1024
+let max_name_len = 64
+
+let ( let* ) = Result.bind
+
+let find_kernel_base mem ~cr3 =
+  let acc = Hyp_mem.pt_access mem in
+  let base = ref max_int in
+  PT.iter_present acc ~root:cr3 ~f:(fun ~virt ~phys:_ ~huge:_ ->
+      if virt >= Layout.kaslr_base && virt < Layout.kaslr_base + Layout.kaslr_size
+      then base := min !base virt);
+  if !base = max_int then
+    Error "no mappings inside the KASLR range: cannot locate the kernel"
+  else begin
+    (* contiguous extent *)
+    let rec extent len =
+      if len >= max_image then len
+      else
+        match PT.translate acc ~root:cr3 (!base + len) with
+        | Some _ -> extent (len + Layout.page_size)
+        | None -> len
+    in
+    Ok (!base, extent 0)
+  end
+
+let printable c =
+  let v = Char.code c in
+  v >= 32 && v <= 126
+
+(* Expand a strings region around [pos]: the maximal span of NUL-
+   separated printable names (each at most [max_name_len] bytes). *)
+let expand_strings_region img pos =
+  let n = Bytes.length img in
+  let ok c = c = '\000' || printable c in
+  (* walk left while structure holds *)
+  let rec left i run =
+    if i < 0 then 0
+    else
+      let c = Bytes.get img i in
+      if not (ok c) then i + 1
+      else if printable c && run >= max_name_len then i + 1
+      else left (i - 1) (if printable c then run + 1 else 0)
+  in
+  let rec right i run =
+    if i >= n then n
+    else
+      let c = Bytes.get img i in
+      if not (ok c) then i
+      else if printable c && run >= max_name_len then i
+      else right (i + 1) (if printable c then run + 1 else 0)
+  in
+  (left pos 0, right pos 0)
+
+let find_strings_region img =
+  (* search for "\000printk\000" (or the anchor at position 0) *)
+  let pat = "\000" ^ anchor_symbol ^ "\000" in
+  let s = Bytes.unsafe_to_string img in
+  let rec find_from i acc =
+    if i >= String.length s then List.rev acc
+    else
+      match String.index_from_opt s i '\000' with
+      | None -> List.rev acc
+      | Some j ->
+          if
+            j + String.length pat <= String.length s
+            && String.sub s j (String.length pat) = pat
+          then find_from (j + 1) ((j + 1) :: acc)
+          else find_from (j + 1) acc
+  in
+  match find_from 0 [] with
+  | [] -> Error (Printf.sprintf "anchor symbol %S not found in kernel image" anchor_symbol)
+  | candidates ->
+      (* keep the largest region among candidates *)
+      let regions = List.map (fun pos -> expand_strings_region img pos) candidates in
+      let best =
+        List.fold_left
+          (fun (blo, bhi) (lo, hi) -> if hi - lo > bhi - blo then (lo, hi) else (blo, bhi))
+          (0, 0) regions
+      in
+      if snd best - fst best < 16 then Error "strings region too small"
+      else Ok best
+
+(* Is [off] the start of a plausible symbol name inside the region? *)
+let string_start img (lo, hi) off =
+  off >= lo && off < hi
+  && (off = lo || Bytes.get img (off - 1) = '\000')
+  && printable (Bytes.get img off)
+
+let read_cstr img off =
+  let n = Bytes.length img in
+  let rec go i = if i >= n || Bytes.get img i = '\000' then i else go (i + 1) in
+  Bytes.sub_string img off (go off - off)
+
+(* Try to parse a ksymtab in the given layout at image offset [off];
+   returns the list of (name, value) entries of the longest valid run. *)
+let entries_at img ~kbase ~region layout off =
+  let n = Bytes.length img in
+  let in_kernel va = va >= kbase && va < kbase + n in
+  let esz = Linux_guest.Ksymtab.entry_size layout in
+  let i64 o = Int64.to_int (Bytes.get_int64_le img o) in
+  let i32 o = Int32.to_int (Bytes.get_int32_le img o) in
+  let rec run o acc =
+    if o + esz > n then List.rev acc
+    else
+      let parsed =
+        match layout with
+        | KV.Absolute_value_first ->
+            let v =
+              try Some (i64 o, i64 (o + 8)) with Invalid_argument _ -> None
+            in
+            Option.map (fun (value, name_va) -> (value, name_va)) v
+        | KV.Absolute_name_first -> (
+            try Some (i64 (o + 8), i64 o) with Invalid_argument _ -> None)
+        | KV.Prel32 ->
+            let value = kbase + o + i32 o in
+            let name_va = kbase + o + 4 + i32 (o + 4) in
+            Some (value, name_va)
+      in
+      match parsed with
+      | None -> List.rev acc
+      | Some (value, name_va) ->
+          let name_off = name_va - kbase in
+          if
+            in_kernel value
+            && string_start img region name_off
+          then run (o + esz) ((read_cstr img name_off, value) :: acc)
+          else List.rev acc
+  in
+  run off []
+
+let find_table img ~kbase ~region layout =
+  let esz = Linux_guest.Ksymtab.entry_size layout in
+  let n = Bytes.length img in
+  let best = ref [] in
+  let o = ref 0 in
+  while !o + esz <= n do
+    let entries = entries_at img ~kbase ~region layout !o in
+    if List.length entries > List.length !best then begin
+      best := entries;
+      (* skip past this run to avoid re-parsing suffixes *)
+      o := !o + (List.length entries * esz)
+    end
+    else o := !o + 8
+  done;
+  !best
+
+let analyze mem ~cr3 =
+  let* kernel_base, image_len = find_kernel_base mem ~cr3 in
+  if image_len = 0 then Error "kernel mapping has zero extent"
+  else
+    match Hyp_mem.read_virt mem ~cr3 ~va:kernel_base ~len:image_len with
+    | None -> Error "kernel image pages vanished during analysis"
+    | Some img ->
+        let* region = find_strings_region img in
+        (* all layout variants in parallel; the consistency checks keep
+           only entries whose name pointers land exactly on string
+           starts, so the wrong layouts produce shorter (usually empty)
+           runs *)
+        let candidates =
+          List.map
+            (fun layout ->
+              (layout, find_table img ~kbase:kernel_base ~region layout))
+            [ KV.Absolute_value_first; KV.Absolute_name_first; KV.Prel32 ]
+        in
+        let layout, entries =
+          List.fold_left
+            (fun (bl, be) (l, e) ->
+              if List.length e > List.length be then (l, e) else (bl, be))
+            (KV.Prel32, []) candidates
+        in
+        if List.length entries < 8 then
+          Error "no consistent ksymtab candidate found in any known layout"
+        else
+          let symbols = entries in
+          let* version =
+            match List.assoc_opt "linux_banner" symbols with
+            | None -> Error "linux_banner not exported; cannot identify version"
+            | Some va -> (
+                match Hyp_mem.read_virt mem ~cr3 ~va ~len:128 with
+                | None -> Error "cannot read linux_banner"
+                | Some b -> (
+                    let s = Bytes.to_string b in
+                    let s =
+                      match String.index_opt s '\000' with
+                      | Some i -> String.sub s 0 i
+                      | None -> s
+                    in
+                    match KV.of_banner s with
+                    | Some v -> Ok v
+                    | None -> Error ("unrecognised banner: " ^ s)))
+          in
+          Ok { kernel_base; image_len; layout; symbols; version }
+
+let resolve a name = List.assoc_opt name a.symbols

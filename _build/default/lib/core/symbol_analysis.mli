@@ -1,0 +1,31 @@
+(** The binary analysis that recovers the guest kernel's layout
+    (paper §4.2).
+
+    Starting from nothing but CR3, the analyzer: walks the guest's page
+    tables to find the lowest mapping inside the fixed KASLR region (the
+    kernel image base); copies the image out through the hypervisor;
+    locates the [.ksymtab_strings] section by scanning for a region of
+    NUL-separated names around a known anchor symbol; then searches for
+    the [.ksymtab] entry table by trying all known layout epochs *in
+    parallel* and keeping the candidate whose entries consistently
+    reference string starts (the paper's consistency check); finally
+    reads [linux_banner] to learn the kernel version. *)
+
+type analysis = {
+  kernel_base : int;  (** virtual base chosen by KASLR *)
+  image_len : int;  (** contiguously mapped bytes copied for analysis *)
+  layout : Linux_guest.Kernel_version.ksymtab_layout;
+  symbols : (string * int) list;  (** exported name -> virtual address *)
+  version : Linux_guest.Kernel_version.t;
+}
+
+val anchor_symbol : string
+(** The symbol name whose presence anchors the strings-section scan. *)
+
+val find_kernel_base : Hyp_mem.t -> cr3:int -> (int * int, string) result
+(** [(base, mapped_len)] of the kernel image within the KASLR range. *)
+
+val analyze : Hyp_mem.t -> cr3:int -> (analysis, string) result
+
+val resolve : analysis -> string -> int option
+(** Look up an exported symbol's address. *)

@@ -1,0 +1,203 @@
+module Host = Hostos.Host
+module Proc = Hostos.Proc
+module Ptrace = Hostos.Ptrace
+module Syscall = Hostos.Syscall
+module Errno = Hostos.Errno
+
+let src = Logs.Src.create "vmsh.tracee" ~doc:"VMSH sideloader tracee handling"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type vcpu_handle = { index : int; fd_num : int; run_hva : int }
+
+type t = {
+  h : Host.t;
+  vmsh : Proc.t;
+  tracee_pid : int;
+  session : Ptrace.session;
+  vm_fd_num : int;
+  vcpu_list : vcpu_handle list;
+  scratch_hva : int;
+  mutable seccomp_heuristic : bool;
+}
+
+let pid t = t.tracee_pid
+let vm_fd t = t.vm_fd_num
+let vcpus t = t.vcpu_list
+let vmsh_proc t = t.vmsh
+let host t = t.h
+let scratch t = t.scratch_hva
+
+let ( let* ) = Result.bind
+
+let errno_str e = "errno " ^ Errno.show e
+
+(* /proc-based discovery of the KVM descriptors (paper §5). *)
+let discover_kvm host ~pid =
+  let fds = Host.proc_fd_listing host ~pid in
+  let vm_fd =
+    List.find_opt (fun (_, label) -> label = "anon_inode:kvm-vm") fds
+  in
+  let vcpu_fds =
+    List.filter_map
+      (fun (num, label) ->
+        match
+          (try Scanf.sscanf label "anon_inode:kvm-vcpu:%d" (fun i -> Some i)
+           with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
+        with
+        | Some index -> Some (index, num)
+        | None -> None)
+      fds
+  in
+  match vm_fd with
+  | None -> Error "no kvm-vm descriptor found in /proc/<pid>/fd"
+  | Some (vm_fd_num, _) ->
+      if vcpu_fds = [] then Error "no kvm-vcpu descriptors found"
+      else begin
+        (* kvm_run pages from /proc/<pid>/maps *)
+        let maps = Host.proc_maps host ~pid in
+        let run_hva_of index =
+          let tag = Printf.sprintf "kvm-vcpu-run:%d" index in
+          List.find_opt (fun (_, _, t) -> t = tag) maps
+          |> Option.map (fun (base, _, _) -> base)
+        in
+        let handles =
+          List.filter_map
+            (fun (index, fd_num) ->
+              match run_hva_of index with
+              | Some run_hva -> Some { index; fd_num; run_hva }
+              | None -> None)
+            (List.sort compare vcpu_fds)
+        in
+        if handles = [] then Error "could not locate mmapped kvm_run pages"
+        else Ok (vm_fd_num, handles)
+      end
+
+let classify ~nr ret =
+  if ret < 0 then
+    Error
+      (Printf.sprintf "injected %s failed: %s" (Syscall.Nr.name nr)
+         (match Errno.of_syscall_ret ret with
+         | Error e -> errno_str e
+         | Ok _ -> assert false))
+  else Ok ret
+
+let inject_session h session ~nr ~args =
+  match Ptrace.inject_syscall h session ~nr ~args () with
+  | Error e -> Error ("injection transport: " ^ errno_str e)
+  | Ok ret -> classify ~nr ret
+
+(* The seccomp heuristic: probe every tracee thread until one's filter
+   lets the syscall through. An organic EPERM from the syscall itself is
+   indistinguishable from a filter kill — the heuristic's documented
+   imprecision — so EPERM from the last thread is reported as such. *)
+let inject_any_thread h session tracee_pid ~nr ~args =
+  let threads =
+    match Host.find_proc h ~pid:tracee_pid with
+    | Some p -> List.map (fun th -> th.Proc.tid) p.Proc.threads
+    | None -> []
+  in
+  let rec try_tids last = function
+    | [] -> last
+    | tid :: rest -> (
+        match Ptrace.inject_syscall h session ~tid ~nr ~args () with
+        | Error e -> Error ("injection transport: " ^ errno_str e)
+        | Ok ret ->
+            if Errno.of_syscall_ret ret = Error Errno.EPERM then
+              try_tids (classify ~nr ret) rest
+            else classify ~nr ret)
+  in
+  try_tids (Error "tracee has no threads") threads
+
+let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
+  let* session =
+    match Ptrace.attach h ~tracer:vmsh ~pid with
+    | Ok s -> Ok s
+    | Error e -> Error ("ptrace attach: " ^ errno_str e)
+  in
+  Ptrace.interrupt h session;
+  let* vm_fd_num, vcpu_list = discover_kvm h ~pid in
+  let* scratch_hva =
+    if seccomp_heuristic then
+      inject_any_thread h session pid ~nr:Syscall.Nr.mmap ~args:[| 0; 8192 |]
+    else inject_session h session ~nr:Syscall.Nr.mmap ~args:[| 0; 8192 |]
+  in
+  Ok
+    {
+      h;
+      vmsh;
+      tracee_pid = pid;
+      session;
+      vm_fd_num;
+      vcpu_list;
+      scratch_hva;
+      seccomp_heuristic;
+    }
+
+let detach t = Ptrace.detach t.h t.session
+let set_seccomp_heuristic t v = t.seccomp_heuristic <- v
+
+let inject t ~nr ~args =
+  if t.seccomp_heuristic then
+    inject_any_thread t.h t.session t.tracee_pid ~nr ~args
+  else inject_session t.h t.session ~nr ~args
+
+let write_scratch t ?(off = 0) b =
+  match
+    Host.process_vm_write t.h ~caller:t.vmsh ~pid:t.tracee_pid
+      ~addr:(t.scratch_hva + off) b
+  with
+  | Ok () -> t.scratch_hva + off
+  | Error e -> failwith ("Tracee.write_scratch: " ^ errno_str e)
+
+let read_scratch t ?(off = 0) len =
+  match
+    Host.process_vm_read t.h ~caller:t.vmsh ~pid:t.tracee_pid
+      ~addr:(t.scratch_hva + off) ~len
+  with
+  | Ok b -> b
+  | Error e -> failwith ("Tracee.read_scratch: " ^ errno_str e)
+
+let inject_ioctl t ~fd ~code ?arg () =
+  let ptr =
+    match arg with Some b -> write_scratch t b | None -> t.scratch_hva
+  in
+  inject t ~nr:Syscall.Nr.ioctl ~args:[| fd; code; ptr |]
+
+let get_vcpu_regs t vcpu =
+  let* _ =
+    inject_ioctl t ~fd:vcpu.fd_num ~code:Kvm.Api.get_regs
+      ~arg:(Bytes.make Kvm.Api.regs_size '\000')
+      ()
+  in
+  Ok (Kvm.Api.regs_of_bytes (read_scratch t Kvm.Api.regs_size))
+
+let set_vcpu_regs t vcpu regs =
+  let* _ =
+    inject_ioctl t ~fd:vcpu.fd_num ~code:Kvm.Api.set_regs
+      ~arg:(Kvm.Api.regs_to_bytes regs) ()
+  in
+  Ok ()
+
+let hook_syscalls t ~on_entry ~on_exit =
+  Ptrace.hook_syscalls t.h t.session ~on_entry ~on_exit
+
+let unhook_syscalls t = Ptrace.unhook_syscalls t.h t.session
+
+let connect_back t ~path =
+  let* sock = inject t ~nr:Syscall.Nr.socket ~args:[| 1; 1; 0 |] in
+  let path_ptr = write_scratch t ~off:2048 (Bytes.of_string path) in
+  let* _ =
+    inject t ~nr:Syscall.Nr.connect
+      ~args:[| sock; path_ptr; String.length path |]
+  in
+  Ok sock
+
+let send_fds_back t ~sock_fd fds =
+  let msg = Syscall.encode_scm_rights fds in
+  let msg_ptr = write_scratch t ~off:2048 msg in
+  let* _ =
+    inject t ~nr:Syscall.Nr.sendmsg
+      ~args:[| sock_fd; msg_ptr; Bytes.length msg |]
+  in
+  Ok ()

@@ -1,0 +1,1 @@
+lib/debloat/analyze.ml: Blockdev Dataset Float Hashtbl Hostos Hypervisor Linux_guest List

@@ -1,0 +1,1 @@
+lib/debloat/analyze.mli: Blockdev Dataset Hostos

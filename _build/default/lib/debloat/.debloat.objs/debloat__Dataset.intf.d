@@ -1,0 +1,1 @@
+lib/debloat/dataset.mli: Blockdev

@@ -1,0 +1,74 @@
+module Sfs = Blockdev.Simplefs
+module Image = Blockdev.Image
+module Guest = Linux_guest.Guest
+module Vmm = Hypervisor.Vmm
+
+type report = {
+  r_name : string;
+  before_bytes : int;
+  after_bytes : int;
+  reduction_pct : float;
+  still_works : bool;
+}
+
+(* Build a bootable disk holding the image's files plus the minimal
+   directories the guest expects. *)
+let disk_of_manifest ?clock manifest =
+  match Image.pack ?clock ~extra_blocks:256 manifest with
+  | Ok (backend, fs) ->
+      ignore (Sfs.mkdir_p fs "/dev");
+      Sfs.sync fs;
+      backend
+  | Error e -> failwith ("debloat: image pack: " ^ Hostos.Errno.show e)
+
+let opens_succeeding vmm guest paths =
+  Vmm.in_guest vmm (fun () ->
+      List.filter
+        (fun path ->
+          match Guest.file_read guest ~ns:(Guest.root_ns guest) path with
+          | Ok _ -> true
+          | Error _ -> false)
+        paths)
+
+let trace_in_vm h image =
+  let disk = disk_of_manifest ~clock:h.Hostos.Host.clock image.Dataset.manifest in
+  let vmm = Vmm.create h ~profile:Hypervisor.Profile.qemu ~disk () in
+  let guest = Vmm.boot vmm ~version:Linux_guest.Kernel_version.V5_10 in
+  opens_succeeding vmm guest image.Dataset.runtime_opens
+
+let strip_image image ~traced =
+  Image.strip image.Dataset.manifest ~keep:(fun path -> List.mem path traced)
+
+let analyze h image =
+  let before_bytes = Dataset.total_bytes image in
+  let traced = trace_in_vm h image in
+  let stripped = strip_image image ~traced in
+  let after_bytes = Image.total_size stripped in
+  (* verify the application still works on the minimal image *)
+  let still_works =
+    let h2 = Hostos.Host.create ~seed:77 () in
+    let disk = disk_of_manifest ~clock:h2.Hostos.Host.clock stripped in
+    let vmm = Vmm.create h2 ~profile:Hypervisor.Profile.qemu ~disk () in
+    let guest = Vmm.boot vmm ~version:Linux_guest.Kernel_version.V5_10 in
+    let ok = opens_succeeding vmm guest image.Dataset.runtime_opens in
+    List.length ok = List.length image.Dataset.runtime_opens
+  in
+  {
+    r_name = image.Dataset.iname;
+    before_bytes;
+    after_bytes;
+    reduction_pct =
+      100.0 *. Float.of_int (before_bytes - after_bytes) /. Float.of_int before_bytes;
+    still_works;
+  }
+
+let analyze_all ?(seed = 4242) () =
+  List.map
+    (fun image ->
+      let h = Hostos.Host.create ~seed:(seed + Hashtbl.hash image.Dataset.iname) () in
+      analyze h image)
+    (Dataset.top40 ())
+
+let average_reduction reports =
+  List.fold_left (fun acc r -> acc +. r.reduction_pct) 0.0 reports
+  /. Float.of_int (max 1 (List.length reports))

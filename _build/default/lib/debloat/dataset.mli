@@ -1,0 +1,25 @@
+(** Synthetic stand-in for the top-40 official Docker Hub images
+    (paper §6.4).
+
+    Each image is a file manifest split into the files the application
+    actually opens at run time (discovered by the tracer) and the rest
+    — package managers, coreutils, shells, docs — that VMSH would let a
+    provider strip and re-attach on demand. File sizes are calibrated
+    per image class so the reduction distribution matches the paper's:
+    50–97% for most images, an average around 60%, and three Go-static
+    images (traefik, consul, registry) under 10%. *)
+
+type image = {
+  iname : string;
+  manifest : Blockdev.Image.manifest;
+  runtime_opens : string list;
+      (** paths the containerised application opens at startup *)
+}
+
+val size_scale : int
+(** Synthetic files are generated at 1/[size_scale] of real size;
+    multiply measured bytes by this for figure-comparable MB. *)
+
+val top40 : unit -> image list
+val find : string -> image option
+val total_bytes : image -> int

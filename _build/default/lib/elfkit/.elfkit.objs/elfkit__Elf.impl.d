@@ -1,0 +1,1 @@
+lib/elfkit/elf.ml: Array Buffer Bytes Fun Int32 Int64 List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/elfkit/elf.mli:

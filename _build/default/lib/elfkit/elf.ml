@@ -1,0 +1,305 @@
+type symbol = { sym_name : string; sym_value : int option }
+type reloc = { rel_offset : int; rel_symbol : string; rel_addend : int }
+
+type t = {
+  text : bytes;
+  symbols : symbol list;
+  relocs : reloc list;
+  entry : int;
+}
+
+(* ELF constants for the subset we emit. *)
+let elf_magic = "\x7fELF"
+let elfclass64 = 2
+let elfdata2lsb = 1
+let ev_current = 1
+let et_dyn = 3
+let em_x86_64 = 0x3e
+let sht_null = 0
+let sht_progbits = 1
+let sht_symtab = 2
+let sht_strtab = 3
+let sht_rela = 4
+let shf_alloc = 0x2
+let shf_execinstr = 0x4
+let stb_global = 1
+let stt_func = 2
+let shn_undef = 0
+let r_x86_64_64 = 1
+let ehsize = 64
+let shentsize = 64
+let symentsize = 24
+let relaentsize = 24
+
+(* Section indices in the fixed layout we emit. *)
+let idx_text = 1
+let idx_symtab = 2
+let idx_strtab = 3
+let idx_shstrtab = 5
+let section_count = 6
+
+module W = struct
+  let u16 buf v = Buffer.add_uint16_le buf v
+  let u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+  let u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+end
+
+let build_strtab names =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '\000';
+  let offsets =
+    List.map
+      (fun n ->
+        let off = Buffer.length buf in
+        Buffer.add_string buf n;
+        Buffer.add_char buf '\000';
+        (n, off))
+      names
+  in
+  (Buffer.to_bytes buf, offsets)
+
+let to_bytes t =
+  let strtab, name_offs = build_strtab (List.map (fun s -> s.sym_name) t.symbols) in
+  let shstr_names = [ ".text"; ".symtab"; ".strtab"; ".rela.text"; ".shstrtab" ] in
+  let shstrtab, shname_offs = build_strtab shstr_names in
+  let sym_index name =
+    let rec go i = function
+      | [] -> invalid_arg ("Elf.to_bytes: reloc against unknown symbol " ^ name)
+      | s :: rest -> if s.sym_name = name then i else go (i + 1) rest
+    in
+    (* symbol 0 is the mandatory null symbol *)
+    1 + go 0 t.symbols
+  in
+  (* Section contents *)
+  let symtab = Buffer.create 128 in
+  (* null symbol *)
+  Buffer.add_bytes symtab (Bytes.make symentsize '\000');
+  List.iter
+    (fun s ->
+      W.u32 symtab (List.assoc s.sym_name name_offs);
+      Buffer.add_uint8 symtab ((stb_global lsl 4) lor stt_func);
+      Buffer.add_uint8 symtab 0;
+      (match s.sym_value with
+      | Some v ->
+          W.u16 symtab idx_text;
+          W.u64 symtab v
+      | None ->
+          W.u16 symtab shn_undef;
+          W.u64 symtab 0);
+      W.u64 symtab 0)
+    t.symbols;
+  let symtab = Buffer.to_bytes symtab in
+  let rela = Buffer.create 128 in
+  List.iter
+    (fun r ->
+      W.u64 rela r.rel_offset;
+      W.u64 rela ((sym_index r.rel_symbol lsl 32) lor r_x86_64_64);
+      W.u64 rela r.rel_addend)
+    t.relocs;
+  let rela = Buffer.to_bytes rela in
+  (* File layout: ehdr | section contents | section header table *)
+  let sections =
+    [
+      (* name_off, type, flags, content, link, info, entsize *)
+      (0, sht_null, 0, Bytes.empty, 0, 0, 0);
+      (List.assoc ".text" shname_offs, sht_progbits, shf_alloc lor shf_execinstr,
+       t.text, 0, 0, 0);
+      (List.assoc ".symtab" shname_offs, sht_symtab, 0, symtab, idx_strtab, 1,
+       symentsize);
+      (List.assoc ".strtab" shname_offs, sht_strtab, 0, strtab, 0, 0, 0);
+      (List.assoc ".rela.text" shname_offs, sht_rela, 0, rela, idx_symtab,
+       idx_text, relaentsize);
+      (List.assoc ".shstrtab" shname_offs, sht_strtab, 0, shstrtab, 0, 0, 0);
+    ]
+  in
+  let body = Buffer.create 1024 in
+  let offsets =
+    List.map
+      (fun (_, _, _, content, _, _, _) ->
+        let off = ehsize + Buffer.length body in
+        Buffer.add_bytes body content;
+        (* keep 8-byte alignment between sections *)
+        while (ehsize + Buffer.length body) land 7 <> 0 do
+          Buffer.add_char body '\000'
+        done;
+        (off, Bytes.length content))
+      sections
+  in
+  let shoff = ehsize + Buffer.length body in
+  let out = Buffer.create 2048 in
+  (* ELF header *)
+  Buffer.add_string out elf_magic;
+  Buffer.add_uint8 out elfclass64;
+  Buffer.add_uint8 out elfdata2lsb;
+  Buffer.add_uint8 out ev_current;
+  Buffer.add_string out (String.make 9 '\000');
+  W.u16 out et_dyn;
+  W.u16 out em_x86_64;
+  W.u32 out ev_current;
+  W.u64 out t.entry;
+  W.u64 out 0;
+  W.u64 out shoff;
+  W.u32 out 0;
+  W.u16 out ehsize;
+  W.u16 out 0;
+  W.u16 out 0;
+  W.u16 out shentsize;
+  W.u16 out section_count;
+  W.u16 out idx_shstrtab;
+  Buffer.add_buffer out body;
+  List.iter2
+    (fun (name_off, typ, flags, _, link, info, entsize) (off, size) ->
+      W.u32 out name_off;
+      W.u32 out typ;
+      W.u64 out flags;
+      W.u64 out 0;
+      W.u64 out off;
+      W.u64 out size;
+      W.u32 out link;
+      W.u32 out info;
+      W.u64 out 8;
+      W.u64 out entsize)
+    sections offsets;
+  Buffer.to_bytes out
+
+(* --- parsing --- *)
+
+let ( let* ) r f = Result.bind r f
+
+let guard cond msg = if cond then Ok () else Error msg
+
+let ru16 b off = Bytes.get_uint16_le b off
+let ru32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+let ru64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let safe_sub b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    Error (Printf.sprintf "section [%d,+%d) out of file bounds" off len)
+  else Ok (Bytes.sub b off len)
+
+let cstr_at b off =
+  if off >= Bytes.length b then Error "string offset out of bounds"
+  else
+    match Bytes.index_from_opt b off '\000' with
+    | None -> Error "unterminated string"
+    | Some e -> Ok (Bytes.sub_string b off (e - off))
+
+let of_bytes b =
+  let* () = guard (Bytes.length b >= ehsize) "file shorter than ELF header" in
+  let* () =
+    guard (Bytes.sub_string b 0 4 = elf_magic) "bad ELF magic"
+  in
+  let* () = guard (Bytes.get_uint8 b 4 = elfclass64) "not ELF64" in
+  let* () = guard (Bytes.get_uint8 b 5 = elfdata2lsb) "not little-endian" in
+  let* () = guard (ru16 b 16 = et_dyn) "not ET_DYN" in
+  let* () = guard (ru16 b 18 = em_x86_64) "not x86-64" in
+  let entry = ru64 b 24 in
+  let shoff = ru64 b 40 in
+  let shnum = ru16 b 60 in
+  let* () =
+    guard
+      (shnum >= section_count && shoff + (shnum * shentsize) <= Bytes.length b)
+      "section header table out of bounds"
+  in
+  let sh i =
+    let base = shoff + (i * shentsize) in
+    (ru32 b (base + 4), ru64 b (base + 24), ru64 b (base + 32))
+    (* type, offset, size *)
+  in
+  let section_of_type typ name =
+    let rec go i =
+      if i >= shnum then Error (Printf.sprintf "no %s section" name)
+      else
+        let t, off, size = sh i in
+        if t = typ then Ok (off, size) else go (i + 1)
+    in
+    go 0
+  in
+  let* text_off, text_size = section_of_type sht_progbits ".text" in
+  let* text = safe_sub b text_off text_size in
+  let* sym_off, sym_size = section_of_type sht_symtab ".symtab" in
+  let* symtab = safe_sub b sym_off sym_size in
+  let* str_off, str_size = section_of_type sht_strtab ".strtab" in
+  let* strtab = safe_sub b str_off str_size in
+  let* rela_off, rela_size = section_of_type sht_rela ".rela.text" in
+  let* rela = safe_sub b rela_off rela_size in
+  let* () = guard (sym_size mod symentsize = 0) "ragged symbol table" in
+  let nsyms = sym_size / symentsize in
+  let* symbols_rev =
+    let rec go i acc =
+      if i >= nsyms then Ok acc
+      else
+        let base = i * symentsize in
+        let* name = cstr_at strtab (ru32 symtab base) in
+        let shndx = ru16 symtab (base + 6) in
+        let value = ru64 symtab (base + 8) in
+        let sym =
+          {
+            sym_name = name;
+            sym_value = (if shndx = shn_undef then None else Some value);
+          }
+        in
+        go (i + 1) (sym :: acc)
+    in
+    go 1 [] (* skip the null symbol *)
+  in
+  let symbols = List.rev symbols_rev in
+  let sym_array = Array.of_list symbols in
+  let* () = guard (rela_size mod relaentsize = 0) "ragged relocation table" in
+  let nrel = rela_size / relaentsize in
+  let* relocs_rev =
+    let rec go i acc =
+      if i >= nrel then Ok acc
+      else
+        let base = i * relaentsize in
+        let info = ru64 rela (base + 8) in
+        let* () = guard (info land 0xffffffff = r_x86_64_64) "unsupported relocation type" in
+        let symi = info lsr 32 in
+        let* () =
+          guard (symi >= 1 && symi <= Array.length sym_array) "relocation symbol index out of range"
+        in
+        let r =
+          {
+            rel_offset = ru64 rela base;
+            rel_symbol = sym_array.(symi - 1).sym_name;
+            rel_addend = ru64 rela (base + 16);
+          }
+        in
+        go (i + 1) (r :: acc)
+    in
+    go 0 []
+  in
+  Ok { text; symbols; relocs = List.rev relocs_rev; entry }
+
+let undefined_symbols t =
+  List.filter_map
+    (fun s -> match s.sym_value with None -> Some s.sym_name | Some _ -> None)
+    t.symbols
+
+let link t ~base ~resolve =
+  let text = Bytes.copy t.text in
+  let defined name =
+    List.find_opt (fun s -> s.sym_name = name) t.symbols
+    |> Fun.flip Option.bind (fun s -> s.sym_value)
+  in
+  let rec apply = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        let value =
+          match defined r.rel_symbol with
+          | Some off -> Some (base + off)
+          | None -> resolve r.rel_symbol
+        in
+        match value with
+        | None -> Error (Printf.sprintf "unresolved symbol %s" r.rel_symbol)
+        | Some v ->
+            if r.rel_offset + 8 > Bytes.length text then
+              Error (Printf.sprintf "relocation at %d outside .text" r.rel_offset)
+            else begin
+              Bytes.set_int64_le text r.rel_offset (Int64.of_int (v + r.rel_addend));
+              apply rest
+            end)
+  in
+  let* () = apply t.relocs in
+  let* () = guard (t.entry < Bytes.length text || Bytes.length text = 0) "entry outside .text" in
+  Ok (text, base + t.entry)

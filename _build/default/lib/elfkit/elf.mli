@@ -1,0 +1,57 @@
+(** Minimal ELF64 shared objects: enough of the real on-disk format for
+    VMSH's side-loaded kernel library.
+
+    The guest kernel library is built as a genuine ET_DYN ELF64 image
+    with [.text], [.symtab]/[.strtab] and [.rela.text] sections. The
+    undefined symbols are the twelve guest-kernel functions the library
+    calls; VMSH's custom loader resolves them against addresses it
+    recovered from the guest's ksymtab and applies the R_X86_64_64
+    relocations before copying the image into guest memory (paper §4.2,
+    §5). Everything here is byte-exact ELF: a reader that understands
+    this subset can be checked against [readelf]'s view of the world. *)
+
+(** {1 Image description} *)
+
+type symbol = {
+  sym_name : string;
+  sym_value : int option;
+      (** [Some off] for symbols defined at an offset inside [.text];
+          [None] for undefined (imported) symbols *)
+}
+
+type reloc = {
+  rel_offset : int;  (** patch location inside [.text] *)
+  rel_symbol : string;  (** name of the symbol whose address is patched in *)
+  rel_addend : int;
+}
+
+type t = {
+  text : bytes;
+  symbols : symbol list;
+  relocs : reloc list;
+  entry : int;  (** entry point, as an offset into [.text] *)
+}
+
+(** {1 Serialization} *)
+
+val to_bytes : t -> bytes
+(** Emit a complete ELF64 ET_DYN file. *)
+
+val of_bytes : bytes -> (t, string) result
+(** Parse a file produced by [to_bytes] (or any ELF64 restricted to the
+    same section inventory). Returns a descriptive error on malformed
+    input — the loader runs against memory images it does not control,
+    so it must never raise. *)
+
+(** {1 Linking} *)
+
+val link :
+  t -> base:int -> resolve:(string -> int option) ->
+  (bytes * int, string) result
+(** [link img ~base ~resolve] produces the relocated text and the
+    absolute entry address for an image loaded at virtual address
+    [base]. Undefined symbols are resolved through [resolve]; an
+    unresolvable symbol is an error naming it. *)
+
+val undefined_symbols : t -> string list
+(** The imports the loader must resolve, in declaration order. *)

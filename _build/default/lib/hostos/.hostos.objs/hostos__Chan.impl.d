@@ -1,0 +1,1 @@
+lib/hostos/chan.pp.ml: Buffer Bytes Errno

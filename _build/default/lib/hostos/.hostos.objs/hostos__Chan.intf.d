@@ -1,0 +1,1 @@
+lib/hostos/chan.pp.mli: Errno

@@ -1,0 +1,1 @@
+lib/hostos/clock.pp.ml: Float Format

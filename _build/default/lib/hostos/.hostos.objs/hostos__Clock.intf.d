@@ -1,0 +1,1 @@
+lib/hostos/clock.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/hostos/ebpf.pp.ml: Errno

@@ -1,0 +1,1 @@
+lib/hostos/errno.pp.ml: List Option Ppx_deriving_runtime Stdlib

@@ -1,0 +1,1 @@
+lib/hostos/errno.pp.mli: Ppx_deriving_runtime Stdlib

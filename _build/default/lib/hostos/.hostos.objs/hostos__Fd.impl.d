@@ -1,0 +1,1 @@
+lib/hostos/fd.pp.ml: Bytes Chan Errno Int64 Queue

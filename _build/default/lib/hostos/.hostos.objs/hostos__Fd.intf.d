@@ -1,0 +1,1 @@
+lib/hostos/fd.pp.mli: Chan Errno Queue

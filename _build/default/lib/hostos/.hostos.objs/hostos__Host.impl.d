@@ -1,0 +1,1 @@
+lib/hostos/host.pp.ml: Bytes Chan Clock Ebpf Errno Fd Hashtbl List Mem Printf Proc Queue Result Rng Scanf

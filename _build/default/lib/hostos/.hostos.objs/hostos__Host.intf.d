@@ -1,0 +1,1 @@
+lib/hostos/host.pp.mli: Clock Ebpf Errno Fd Hashtbl Proc Queue Rng

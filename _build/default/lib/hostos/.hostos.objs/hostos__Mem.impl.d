@@ -1,0 +1,1 @@
+lib/hostos/mem.pp.ml: Bytes Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/hostos/mem.pp.mli:

@@ -1,0 +1,1 @@
+lib/hostos/proc.pp.ml: Errno Fd Hashtbl List Mem Ppx_deriving_runtime X86

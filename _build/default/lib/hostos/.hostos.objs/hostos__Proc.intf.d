@@ -1,0 +1,1 @@
+lib/hostos/proc.pp.mli: Errno Fd Hashtbl Mem Ppx_deriving_runtime X86

@@ -1,0 +1,1 @@
+lib/hostos/ptrace.pp.ml: Clock Errno Host Option Proc Syscall X86

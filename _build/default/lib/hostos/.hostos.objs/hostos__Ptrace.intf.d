@@ -1,0 +1,1 @@
+lib/hostos/ptrace.pp.mli: Errno Host Proc X86

@@ -1,0 +1,1 @@
+lib/hostos/rng.pp.ml: Array Float Int64

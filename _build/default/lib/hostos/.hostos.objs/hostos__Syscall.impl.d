@@ -1,0 +1,1 @@
+lib/hostos/syscall.pp.ml: Array Bytes Clock Errno Fd Hashtbl Host Int32 List Mem Printf Proc Result X86

@@ -1,0 +1,1 @@
+lib/hostos/syscall.pp.mli: Host Proc

@@ -1,0 +1,18 @@
+type kdata = ..
+type kdata += No_data
+
+type ctx = {
+  hook : string;
+  args : int array;
+  kdata : kdata;
+  mutable output : bytes option;
+}
+
+type prog = { name : string; insn_count : int; run : ctx -> unit }
+
+let max_insns = 4096
+
+let verify prog =
+  if prog.insn_count <= 0 || prog.insn_count > max_insns then
+    Error Errno.EINVAL
+  else Ok ()

@@ -1,0 +1,41 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENOSPC
+  | ERANGE
+  | ENOSYS
+  | ENOTEMPTY
+  | EDQUOT
+[@@deriving show, eq]
+
+let table =
+  [
+    (EPERM, 1); (ENOENT, 2); (ESRCH, 3); (EIO, 5); (EBADF, 9); (EAGAIN, 11);
+    (ENOMEM, 12); (EACCES, 13); (EFAULT, 14); (EBUSY, 16); (EEXIST, 17);
+    (ENODEV, 19); (ENOTDIR, 20); (EISDIR, 21); (EINVAL, 22); (ENOSPC, 28);
+    (ERANGE, 34); (ENOTEMPTY, 39); (ENOSYS, 38); (EDQUOT, 122);
+  ]
+
+let to_code e = List.assoc e table
+let of_code c = List.find_opt (fun (_, c') -> c' = c) table |> Option.map fst
+
+type 'a result = ('a, t) Stdlib.result
+
+let to_syscall_ret = function Ok v -> v | Error e -> -to_code e
+
+let of_syscall_ret v =
+  if v >= 0 then Ok v
+  else match of_code (-v) with Some e -> Error e | None -> Error EINVAL

@@ -1,0 +1,37 @@
+(** Unix error codes used across the simulated kernel interfaces. *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EIO
+  | EBADF
+  | EAGAIN
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EEXIST
+  | ENODEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | ENOSPC
+  | ERANGE
+  | ENOSYS
+  | ENOTEMPTY
+  | EDQUOT
+[@@deriving show, eq]
+
+val to_code : t -> int
+(** The (positive) Linux numeric value; syscalls return its negation. *)
+
+val of_code : int -> t option
+
+type 'a result = ('a, t) Stdlib.result
+
+val to_syscall_ret : int result -> int
+(** Encode a result in Linux syscall convention: the value itself on
+    success, [-errno] on failure. *)
+
+val of_syscall_ret : int -> int result

@@ -1,0 +1,68 @@
+type kind = ..
+
+type ops = {
+  read : len:int -> bytes Errno.result;
+  write : bytes -> int Errno.result;
+  pread : off:int -> len:int -> bytes Errno.result;
+  pwrite : off:int -> bytes -> int Errno.result;
+  ioctl : code:int -> arg:int -> int Errno.result;
+  close : unit -> unit;
+}
+
+and t = {
+  num : int;
+  kind : kind;
+  label : string;
+  ops : ops;
+  mutable closed : bool;
+}
+
+type kind +=
+  | Anon
+  | Eventfd of int ref
+  | Pipe_end of Chan.t
+  | Sock of { rx : Chan.t; tx : Chan.t; fdq_in : t Queue.t; fdq_out : t Queue.t }
+
+let default_ops =
+  {
+    read = (fun ~len:_ -> Error Errno.EINVAL);
+    write = (fun _ -> Error Errno.EINVAL);
+    pread = (fun ~off:_ ~len:_ -> Error Errno.EINVAL);
+    pwrite = (fun ~off:_ _ -> Error Errno.EINVAL);
+    ioctl = (fun ~code:_ ~arg:_ -> Error Errno.ENOSYS);
+    close = (fun () -> ());
+  }
+
+let make ~num ?(kind = Anon) ?(ops = default_ops) ~label () =
+  { num; kind; label; ops; closed = false }
+
+let eventfd ~num =
+  let count = ref 0 in
+  let ops =
+    {
+      default_ops with
+      read =
+        (fun ~len:_ ->
+          if !count = 0 then Error Errno.EAGAIN
+          else begin
+            let b = Bytes.create 8 in
+            Bytes.set_int64_le b 0 (Int64.of_int !count);
+            count := 0;
+            Ok b
+          end);
+      write =
+        (fun b ->
+          if Bytes.length b < 8 then Error Errno.EINVAL
+          else begin
+            count := !count + Int64.to_int (Bytes.get_int64_le b 0);
+            Ok 8
+          end);
+    }
+  in
+  { num; kind = Eventfd count; label = "anon_inode:[eventfd]"; ops; closed = false }
+
+let eventfd_count t =
+  match t.kind with Eventfd c -> Some !c | _ -> None
+
+let eventfd_signal t =
+  match t.kind with Eventfd c -> incr c | _ -> ()

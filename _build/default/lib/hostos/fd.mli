@@ -1,0 +1,50 @@
+(** File descriptors of simulated host processes.
+
+    Descriptors carry an extensible [kind] (so the KVM library can add
+    its own without this module knowing about it), a [label] matching
+    what [readlink /proc/<pid>/fd/<n>] would show (the sideloader
+    identifies KVM descriptors exactly this way), and a table of
+    operation closures. *)
+
+type kind = ..
+
+type ops = {
+  read : len:int -> bytes Errno.result;
+  write : bytes -> int Errno.result;
+  pread : off:int -> len:int -> bytes Errno.result;
+  pwrite : off:int -> bytes -> int Errno.result;
+  ioctl : code:int -> arg:int -> int Errno.result;
+  close : unit -> unit;
+}
+
+and t = {
+  num : int;
+  kind : kind;
+  label : string;
+  ops : ops;
+  mutable closed : bool;
+}
+
+type kind +=
+  | Anon  (** anonymous inode with no special behaviour *)
+  | Eventfd of int ref  (** counter semantics of eventfd(2) *)
+  | Pipe_end of Chan.t
+  | Sock of { rx : Chan.t; tx : Chan.t; fdq_in : t Queue.t; fdq_out : t Queue.t }
+      (** connected UNIX socket end; [fdq_in] carries SCM_RIGHTS
+          descriptors in flight towards this end, [fdq_out] towards the
+          peer *)
+
+val default_ops : ops
+(** Every operation fails with a sensible errno. *)
+
+val make : num:int -> ?kind:kind -> ?ops:ops -> label:string -> unit -> t
+
+val eventfd : num:int -> t
+(** An eventfd: writes add to the counter, reads drain and return it. *)
+
+val eventfd_count : t -> int option
+(** Current counter if [t] is an eventfd. *)
+
+val eventfd_signal : t -> unit
+(** Increment the counter directly (kernel-side signalling, e.g. KVM
+    completing an irqfd). No-op on other kinds. *)

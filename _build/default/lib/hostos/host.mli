@@ -1,0 +1,77 @@
+(** The simulated host kernel: process table, /proc, eBPF attach points,
+    UNIX-domain sockets and remote-memory syscalls.
+
+    One [t] is one machine. All state is reachable from it — nothing is
+    global — so tests can run many independent hosts. *)
+
+type t = {
+  clock : Clock.t;
+  rng : Rng.t;
+  mutable procs : Proc.t list;
+  mutable next_pid : int;
+  ebpf_progs : (string, Ebpf.prog list ref) Hashtbl.t;
+  unix_listeners : (string, Fd.t Queue.t) Hashtbl.t;
+      (** bound path -> queue of not-yet-accepted peer socket ends *)
+}
+
+val create : ?seed:int -> ?costs:Clock.costs -> unit -> t
+
+val spawn : t -> name:string -> ?uid:int -> ?caps:Proc.cap list -> unit -> Proc.t
+(** Create a process with a fresh pid and a single main thread. *)
+
+val find_proc : t -> pid:int -> Proc.t option
+val proc_exn : t -> pid:int -> Proc.t
+
+val readlink_fd : t -> pid:int -> fdnum:int -> string Errno.result
+(** What [readlink /proc/<pid>/fd/<n>] would return — the fd's label.
+    This is how the sideloader identifies KVM descriptors (paper §5). *)
+
+val proc_fd_listing : t -> pid:int -> (int * string) list
+(** All of /proc/<pid>/fd at once: (number, label) pairs. *)
+
+val proc_comm : t -> pid:int -> string Errno.result
+(** /proc/<pid>/comm. *)
+
+val pids : t -> int list
+
+val proc_maps : t -> pid:int -> (int * int * string) list
+(** /proc/<pid>/maps: (base, length, tag) of every mapping, ascending.
+    VMSH uses this to locate the mmapped kvm_run pages of vCPU fds. *)
+
+(** {1 eBPF} *)
+
+val attach_ebpf :
+  t -> caller:Proc.t -> hook:string -> Ebpf.prog -> unit Errno.result
+(** Verifies the program and requires CAP_BPF or CAP_SYS_ADMIN. *)
+
+val detach_ebpf : t -> hook:string -> name:string -> unit
+
+val fire_ebpf : t -> hook:string -> args:int array -> Ebpf.kdata -> bytes option
+(** Run every program attached to [hook]; the last program output wins.
+    Called from kernel paths such as kvm_vm_ioctl. *)
+
+(** {1 UNIX-domain sockets with fd passing} *)
+
+val unix_bind : t -> Proc.t -> path:string -> Fd.t Errno.result
+(** Create a listening socket at [path] in the caller's fd table. *)
+
+val unix_connect : t -> Proc.t -> path:string -> Fd.t Errno.result
+(** Connect to a bound path; the peer end is queued for [unix_accept]. *)
+
+val unix_accept : t -> Proc.t -> listener:Fd.t -> Fd.t Errno.result
+
+val send_fd : t -> sock:Fd.t -> Fd.t -> unit Errno.result
+(** SCM_RIGHTS: enqueue a descriptor towards the peer. *)
+
+val recv_fd : t -> Proc.t -> sock:Fd.t -> Fd.t Errno.result
+(** Dequeue a passed descriptor and install it in the receiver's table
+    under a fresh number (sharing the open file description). *)
+
+(** {1 Remote process memory (process_vm_readv / process_vm_writev)} *)
+
+val process_vm_read :
+  t -> caller:Proc.t -> pid:int -> addr:int -> len:int -> bytes Errno.result
+(** Requires same uid or CAP_SYS_PTRACE; charges remote-copy cost. *)
+
+val process_vm_write :
+  t -> caller:Proc.t -> pid:int -> addr:int -> bytes -> unit Errno.result

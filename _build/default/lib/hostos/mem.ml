@@ -1,0 +1,132 @@
+type t = { buf : bytes }
+
+let create len = { buf = Bytes.make len '\000' }
+let of_bytes buf = { buf }
+let length t = Bytes.length t.buf
+let read_u8 t off = Char.code (Bytes.get t.buf off)
+let write_u8 t off v = Bytes.set t.buf off (Char.chr (v land 0xff))
+let read_u16 t off = Bytes.get_uint16_le t.buf off
+let write_u16 t off v = Bytes.set_uint16_le t.buf off (v land 0xffff)
+let read_u32 t off = Int32.to_int (Bytes.get_int32_le t.buf off) land 0xffffffff
+let write_u32 t off v = Bytes.set_int32_le t.buf off (Int32.of_int v)
+
+let read_u64 t off =
+  let v = Bytes.get_int64_le t.buf off in
+  if Int64.shift_right_logical v 62 <> 0L then
+    invalid_arg
+      (Printf.sprintf "Mem.read_u64: value 0x%Lx at offset %d exceeds 62 bits"
+         v off);
+  Int64.to_int v
+
+let write_u64 t off v = Bytes.set_int64_le t.buf off (Int64.of_int v)
+let read_i32 t off = Int32.to_int (Bytes.get_int32_le t.buf off)
+let write_i32 t off v = Bytes.set_int32_le t.buf off (Int32.of_int v)
+let read_bytes t off len = Bytes.sub t.buf off len
+let write_bytes t off b = Bytes.blit b 0 t.buf off (Bytes.length b)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  Bytes.blit src.buf src_off dst.buf dst_off len
+
+let fill t off len c = Bytes.fill t.buf off len c
+
+let read_cstr t off ~max =
+  let limit = min (off + max) (length t) in
+  let rec scan i = if i >= limit then None else
+      if Bytes.get t.buf i = '\000' then Some (Bytes.sub_string t.buf off (i - off))
+      else scan (i + 1)
+  in
+  scan off
+
+let write_cstr t off s =
+  Bytes.blit_string s 0 t.buf off (String.length s);
+  Bytes.set t.buf (off + String.length s) '\000'
+
+module Addr_space = struct
+  type mem = t
+
+  type mapping = {
+    base : int;
+    len : int;
+    backing : mem;
+    backing_off : int;
+    tag : string;
+  }
+
+  type nonrec t = { mutable maps : mapping list }
+
+  let create () = { maps = [] }
+  let mappings t = t.maps
+
+  let overlaps a b =
+    a.base < b.base + b.len && b.base < a.base + a.len
+
+  let map t m =
+    if m.len <= 0 then invalid_arg "Addr_space.map: empty mapping";
+    (match List.find_opt (overlaps m) t.maps with
+    | Some existing ->
+        invalid_arg
+          (Printf.sprintf
+             "Addr_space.map: [0x%x,+0x%x) overlaps %s at [0x%x,+0x%x)" m.base
+             m.len existing.tag existing.base existing.len)
+    | None -> ());
+    t.maps <- List.sort (fun a b -> compare a.base b.base) (m :: t.maps)
+
+  let unmap t ~base = t.maps <- List.filter (fun m -> m.base <> base) t.maps
+
+  let find t va =
+    List.find_opt (fun m -> va >= m.base && va < m.base + m.len) t.maps
+
+  let find_free t ~hint ~len =
+    let rec probe base = function
+      | [] -> base
+      | m :: rest ->
+          if base + len <= m.base then base
+          else probe (max base (m.base + m.len)) rest
+    in
+    probe hint (List.filter (fun m -> m.base + m.len > hint) t.maps)
+
+  let resolve t va =
+    match find t va with
+    | None -> None
+    | Some m -> Some (m.backing, m.backing_off + (va - m.base))
+
+  let rec read t va len =
+    if len = 0 then Bytes.empty
+    else
+      match find t va with
+      | None -> invalid_arg (Printf.sprintf "Addr_space.read: 0x%x unmapped" va)
+      | Some m ->
+          let avail = m.base + m.len - va in
+          let chunk = min avail len in
+          let part = read_bytes m.backing (m.backing_off + (va - m.base)) chunk in
+          if chunk = len then part
+          else Bytes.cat part (read t (va + chunk) (len - chunk))
+
+  let rec write t va b =
+    let len = Bytes.length b in
+    if len > 0 then
+      match find t va with
+      | None -> invalid_arg (Printf.sprintf "Addr_space.write: 0x%x unmapped" va)
+      | Some m ->
+          let avail = m.base + m.len - va in
+          let chunk = min avail len in
+          blit ~src:(of_bytes b) ~src_off:0 ~dst:m.backing
+            ~dst_off:(m.backing_off + (va - m.base)) ~len:chunk;
+          if chunk < len then
+            write t (va + chunk) (Bytes.sub b chunk (len - chunk))
+
+  let read_u64 t va =
+    match resolve t va with
+    | Some (m, off) when off + 8 <= length m -> read_u64 m off
+    | _ -> (
+        let b = read t va 8 in
+        match read_u64 (of_bytes b) 0 with v -> v)
+
+  let write_u64 t va v =
+    match resolve t va with
+    | Some (m, off) when off + 8 <= length m -> write_u64 m off v
+    | _ ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 (Int64.of_int v);
+        write t va b
+end

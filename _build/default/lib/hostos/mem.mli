@@ -1,0 +1,84 @@
+(** Raw byte memory and virtual address spaces.
+
+    A {!t} is a flat byte buffer (e.g. the physical memory of a guest, or
+    an anonymous mmap region in a host process). An {!Addr_space.t} maps
+    virtual address ranges onto offsets inside such buffers, exactly like
+    the page-granular mappings of a host process: guest physical memory
+    appears inside the hypervisor's address space through one of these
+    mappings (paper, Fig. 3). *)
+
+type t
+(** A contiguous byte buffer with little-endian accessors. *)
+
+val create : int -> t
+(** [create len] allocates [len] zeroed bytes. *)
+
+val of_bytes : bytes -> t
+val length : t -> int
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_u64 : t -> int -> int
+(** [read_u64 m off] reads 8 little-endian bytes as a non-negative OCaml
+    int. The simulation restricts all stored values to 62 bits, so this
+    cannot overflow. Raises [Invalid_argument] on a value with the two top
+    bits set. *)
+
+val write_u64 : t -> int -> int -> unit
+val read_i32 : t -> int -> int
+(** Sign-extending 32-bit read (for PREL32 relative references). *)
+
+val write_i32 : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> bytes
+val write_bytes : t -> int -> bytes -> unit
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+val fill : t -> int -> int -> char -> unit
+
+val read_cstr : t -> int -> max:int -> string option
+(** [read_cstr m off ~max] reads a NUL-terminated string of at most [max]
+    bytes; [None] if no terminator is found within [max] bytes. *)
+
+val write_cstr : t -> int -> string -> unit
+
+module Addr_space : sig
+  type mem = t
+
+  (** One virtual mapping: [len] bytes at virtual address [base], backed
+      by [backing] starting at [backing_off]. *)
+  type mapping = {
+    base : int;
+    len : int;
+    backing : mem;
+    backing_off : int;
+    tag : string;  (** human-readable origin, e.g. "guest-ram" or "mmap" *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val mappings : t -> mapping list
+  val map : t -> mapping -> unit
+  (** Raises [Invalid_argument] if the range overlaps an existing one. *)
+
+  val unmap : t -> base:int -> unit
+  val find : t -> int -> mapping option
+  (** Mapping containing the given virtual address, if any. *)
+
+  val find_free : t -> hint:int -> len:int -> int
+  (** A free virtual base of [len] bytes at or above [hint]. *)
+
+  val resolve : t -> int -> (mem * int) option
+  (** [resolve t va] is the backing buffer and offset for [va]. *)
+
+  val read : t -> int -> int -> bytes
+  (** [read t va len] reads across mapping boundaries. Raises
+      [Invalid_argument] on an unmapped address. *)
+
+  val write : t -> int -> bytes -> unit
+  val read_u64 : t -> int -> int
+  val write_u64 : t -> int -> int -> unit
+end

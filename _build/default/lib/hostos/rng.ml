@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let in_range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t x = Float.of_int (next t) /. Float.of_int (1 lsl 62) *. x
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let gaussian t ~mu ~sigma =
+  (* Box-Muller transform; we draw until u1 is nonzero to avoid log 0. *)
+  let rec u1 () =
+    let x = float t 1.0 in
+    if x > 0.0 then x else u1 ()
+  in
+  let u1 = u1 () and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let split t = { state = mix64 (next64 t) }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomness in the simulation flows through an explicit [t] so that
+    every experiment is reproducible from a seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative 62-bit integer
+    and advances the state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** [gaussian t ~mu ~sigma] samples a normal distribution via Box-Muller. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator, advancing [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher-Yates shuffle in place. *)

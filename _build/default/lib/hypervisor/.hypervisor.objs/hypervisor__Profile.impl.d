@@ -1,0 +1,1 @@
+lib/hypervisor/profile.ml: Hostos List

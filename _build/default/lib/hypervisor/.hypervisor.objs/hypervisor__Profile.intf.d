@@ -1,0 +1,1 @@
+lib/hypervisor/profile.mli: Hostos

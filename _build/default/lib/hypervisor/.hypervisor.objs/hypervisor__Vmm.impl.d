@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.ml: Array Blockdev Bytes Hostos Int32 Int64 Kvm Linux_guest List Logs Option Printf Profile Result Virtio X86

@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.mli: Blockdev Hostos Kvm Linux_guest Profile

@@ -1,0 +1,77 @@
+type seccomp_policy = No_seccomp | Per_thread_filters
+
+type t = {
+  prof_name : string;
+  process_name : string;
+  has_ninep : bool;
+  seccomp : seccomp_policy;
+  mmio_transport : bool;
+}
+
+let qemu =
+  {
+    prof_name = "QEMU";
+    process_name = "qemu-system-x86_64";
+    has_ninep = true;
+    seccomp = No_seccomp;
+    mmio_transport = true;
+  }
+
+let kvmtool =
+  {
+    prof_name = "kvmtool";
+    process_name = "lkvm";
+    has_ninep = false;
+    seccomp = No_seccomp;
+    mmio_transport = true;
+  }
+
+let firecracker =
+  {
+    prof_name = "Firecracker";
+    process_name = "firecracker";
+    has_ninep = false;
+    seccomp = Per_thread_filters;
+    mmio_transport = true;
+  }
+
+let crosvm =
+  {
+    prof_name = "crosvm";
+    process_name = "crosvm";
+    has_ninep = false;
+    seccomp = No_seccomp;
+    mmio_transport = true;
+  }
+
+let cloud_hypervisor =
+  {
+    prof_name = "Cloud Hypervisor";
+    process_name = "cloud-hypervisor";
+    has_ninep = false;
+    seccomp = No_seccomp;
+    mmio_transport = false;
+  }
+
+let all = [ qemu; kvmtool; firecracker; crosvm; cloud_hypervisor ]
+
+let seccomp_filter =
+  let open Hostos.Syscall.Nr in
+  let allowed = [ ioctl; read; write; pread64; pwrite64; close ] in
+  {
+    Hostos.Proc.filter_name = "firecracker-vcpu";
+    allows = (fun nr -> List.mem nr allowed);
+  }
+
+let seccomp_api_filter =
+  let open Hostos.Syscall.Nr in
+  let allowed =
+    [
+      ioctl; read; write; pread64; pwrite64; close; mmap; munmap; eventfd2;
+      socket; connect; sendmsg; recvmsg;
+    ]
+  in
+  {
+    Hostos.Proc.filter_name = "firecracker-api";
+    allows = (fun nr -> List.mem nr allowed);
+  }

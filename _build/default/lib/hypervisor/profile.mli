@@ -1,0 +1,32 @@
+(** The five KVM userspace hypervisors of Table 1, reduced to the
+    properties that decide VMSH compatibility. *)
+
+type seccomp_policy =
+  | No_seccomp
+  | Per_thread_filters  (** Firecracker: breaks syscall injection *)
+
+type t = {
+  prof_name : string;
+  process_name : string;  (** host process comm, e.g. "qemu-system-x86" *)
+  has_ninep : bool;  (** QEMU's virtio-9p host sharing *)
+  seccomp : seccomp_policy;
+  mmio_transport : bool;
+      (** false = VirtIO over PCI with MSI-X only (Cloud Hypervisor) *)
+}
+
+val qemu : t
+val kvmtool : t
+val firecracker : t
+val crosvm : t
+val cloud_hypervisor : t
+val all : t list
+
+val seccomp_filter : Hostos.Proc.seccomp
+(** The Firecracker vCPU-thread allowlist (KVM_RUN, disk IO and eventfd
+    traffic only — notably no mmap/socket/sendmsg). *)
+
+val seccomp_api_filter : Hostos.Proc.seccomp
+(** The laxer filter of Firecracker's API/VMM thread: management
+    syscalls (mmap, sockets, eventfds) are allowed there. The
+    per-thread difference is what VMSH's seccomp heuristic exploits
+    (implemented here; listed as future work in the paper, §6.2). *)

@@ -1,0 +1,1 @@
+lib/kvm/api.ml: Array Bytes Hostos Int32 Int64 Printf X86

@@ -1,0 +1,1 @@
+lib/kvm/api.mli: Hostos X86

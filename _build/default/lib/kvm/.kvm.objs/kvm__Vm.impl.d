@@ -1,0 +1,1 @@
+lib/kvm/vm.ml: Api Bytes Effect Hashtbl Hostos Int32 List Logs Printf Queue X86

@@ -1,0 +1,1 @@
+lib/kvm/vm.mli: Api Effect Hostos X86

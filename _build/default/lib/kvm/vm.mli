@@ -1,0 +1,127 @@
+(** The KVM virtual machine object: memslots, vCPUs, interrupts, the
+    guest execution loop, and the /dev/kvm ioctl surface.
+
+    Guest code runs as OCaml closures that perform the {!Mmio} and
+    {!Yield_until} effects; [KVM_RUN] executes them under a handler that
+    turns unclaimed MMIO accesses into genuine exits (continuations are
+    parked in the vCPU and resumed on re-entry, mirroring how hardware
+    suspends the guest at the faulting instruction). *)
+
+type memslot = {
+  slot : int;
+  gpa : int;  (** guest-physical base *)
+  size : int;
+  hva : int;  (** base in the hypervisor's virtual address space *)
+}
+
+(** Effects performed by guest code. *)
+type mmio_request =
+  | Mmio_read of { addr : int; len : int }
+  | Mmio_write of { addr : int; data : bytes }
+
+type _ Effect.t +=
+  | Mmio : mmio_request -> bytes Effect.t
+        (** Access a guest-physical address not backed by RAM. Reads
+            resolve to the returned bytes. *)
+  | Yield_until : (unit -> bool) -> unit Effect.t
+        (** Block the current guest context until the predicate holds
+            (e.g. a virtio completion has been posted). *)
+
+type t
+type vcpu
+
+type Hostos.Ebpf.kdata += Kvm_memslots of memslot list
+      (** Kernel-internal data exposed to eBPF programs attached to the
+          [kvm_vm_ioctl] hook — the memslot table VMSH's discovery
+          program dumps. *)
+
+(** Hooks the guest kernel model installs on the VM. *)
+type runtime = {
+  on_irq : gsi:int -> unit;
+      (** interrupt delivery: called at guest scheduling points for each
+          pending GSI *)
+  resolve_rip : X86.Regs.t -> (unit -> unit) option;
+      (** if the vCPU's instruction pointer was redirected somewhere
+          special (VMSH's side-loaded library), return the guest code to
+          execute there *)
+}
+
+val host : t -> Hostos.Host.t
+val owner : t -> Hostos.Proc.t
+(** The hypervisor process that created the VM. *)
+
+val set_runtime : t -> runtime -> unit
+val runtime_installed : t -> bool
+
+val enqueue_task : t -> name:string -> (unit -> unit) -> unit
+(** Queue runnable guest work (the guest kernel model schedules workload
+    steps through this). *)
+
+val has_work : t -> bool
+(** Runnable tasks or parked contexts remain. *)
+
+val has_runnable : t -> bool
+(** Whether re-entering KVM_RUN can make progress right now: queued
+    tasks, pending direct GSIs, or signalled irqfds. Parked contexts
+    with nothing to wake them do not count — a guest blocked on console
+    input is idle, not stuck. *)
+
+(** {1 Guest physical memory} *)
+
+val memslots : t -> memslot list
+
+val read_phys : t -> int -> int -> bytes
+(** In-guest view of RAM: resolves through the memslots to the
+    hypervisor memory backing them. Raises on unbacked addresses. *)
+
+val write_phys : t -> int -> bytes -> unit
+val read_phys_u64 : t -> int -> int
+val write_phys_u64 : t -> int -> int -> unit
+val is_ram : t -> int -> bool
+
+val pt_access : t -> X86.Page_table.access
+(** Physical accessors for the page-table walker. *)
+
+(** {1 vCPUs} *)
+
+val vcpus : t -> vcpu list
+val vcpu_index : vcpu -> int
+val vcpu_regs : vcpu -> X86.Regs.t
+val vcpu_run_page : vcpu -> Hostos.Mem.t
+val vcpu_run_hva : vcpu -> int
+(** Where the kvm_run page is mapped in the hypervisor address space. *)
+
+(** {1 Interrupt and notification plumbing} *)
+
+val set_gsi_irqfd_support : t -> bool -> unit
+(** Whether KVM_IRQFD with a plain GSI is accepted. Cloud Hypervisor
+    configures its VMs for PCIe MSI-X only, which is what makes it
+    incompatible with VMSH's MMIO transport (paper §6.2). *)
+
+val signal_gsi : t -> gsi:int -> unit
+(** Kernel-side interrupt injection: pend the GSI directly (used by
+    in-process devices that hold no eventfd). *)
+
+val add_eventfd_waiter : t -> fd:Hostos.Fd.t -> (unit -> unit) -> unit
+(** Register a callback invoked when the given ioeventfd is signalled by
+    a guest doorbell (models the VMM iothread wake-up). *)
+
+val add_ioregion_pump : t -> (unit -> unit) -> unit
+(** Register a callback that drains ioregionfd sockets and posts
+    responses (models the VMSH device thread being scheduled). *)
+
+(** {1 Creation and the ioctl surface} *)
+
+val dev_kvm : Hostos.Host.t -> Hostos.Proc.t -> Hostos.Fd.t
+(** Open /dev/kvm in the given process: the returned fd accepts
+    KVM_CREATE_VM and KVM_GET_VCPU_MMAP_SIZE. *)
+
+val vm_of_fd : Hostos.Fd.t -> t option
+(** Recover the VM behind a "anon_inode:kvm-vm" descriptor. *)
+
+val vcpu_of_fd : Hostos.Fd.t -> vcpu option
+
+val run_vcpu : Hostos.Host.t -> Hostos.Proc.t -> Hostos.Proc.thread ->
+  vcpu_fd:Hostos.Fd.t -> Api.exit_info
+(** Convenience for VMM loops: ioctl(KVM_RUN) through the (hookable)
+    syscall path, then decode the exit from the run page. *)

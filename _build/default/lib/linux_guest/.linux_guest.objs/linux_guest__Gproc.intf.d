@@ -1,0 +1,1 @@
+lib/linux_guest/gproc.pp.mli:

@@ -1,0 +1,1 @@
+lib/linux_guest/guest.pp.ml: Array Blockdev Bytes Char Digest Effect Gproc Hashtbl Hostos Int32 Int64 Kernel_version Klib Ksymtab Kvm List Logs Option Page_cache Printf String Vfs Virtio X86

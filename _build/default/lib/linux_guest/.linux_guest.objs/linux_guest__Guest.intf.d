@@ -1,0 +1,1 @@
+lib/linux_guest/guest.pp.mli: Blockdev Gproc Hostos Kernel_version Kvm Page_cache Vfs Virtio

@@ -1,0 +1,1 @@
+lib/linux_guest/kernel_version.pp.ml: Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/linux_guest/klib.pp.ml: Bytes Int64 List Printf

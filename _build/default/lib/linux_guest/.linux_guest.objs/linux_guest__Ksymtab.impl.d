@@ -1,0 +1,1 @@
+lib/linux_guest/ksymtab.pp.ml: Array Buffer Bytes Hashtbl Hostos Int32 Int64 Kernel_version List Printf

@@ -1,0 +1,1 @@
+lib/linux_guest/ksymtab.pp.mli: Hostos Kernel_version

@@ -1,0 +1,1 @@
+lib/linux_guest/page_cache.pp.mli: Blockdev Hostos

@@ -1,0 +1,1 @@
+lib/linux_guest/vfs.pp.ml: Blockdev Bytes Hashtbl Hostos List Printf Result String

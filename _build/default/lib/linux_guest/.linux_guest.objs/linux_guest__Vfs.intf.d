@@ -1,0 +1,1 @@
+lib/linux_guest/vfs.pp.mli: Blockdev Hostos

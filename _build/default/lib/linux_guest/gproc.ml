@@ -1,0 +1,40 @@
+type t = {
+  gpid : int;
+  mutable pname : string;
+  mutable uid : int;
+  mutable gid : int;
+  mutable mnt_ns : int;
+  mutable cgroup : string;
+  mutable caps : string list;
+  mutable apparmor : string option;
+  mutable alive : bool;
+}
+
+let full_caps =
+  [
+    "CAP_CHOWN"; "CAP_DAC_OVERRIDE"; "CAP_FOWNER"; "CAP_KILL"; "CAP_SETGID";
+    "CAP_SETUID"; "CAP_NET_ADMIN"; "CAP_NET_RAW"; "CAP_SYS_CHROOT";
+    "CAP_SYS_ADMIN"; "CAP_SYS_PTRACE"; "CAP_MKNOD"; "CAP_AUDIT_WRITE";
+    "CAP_SETFCAP";
+  ]
+
+let container_caps =
+  [
+    "CAP_CHOWN"; "CAP_DAC_OVERRIDE"; "CAP_FOWNER"; "CAP_KILL"; "CAP_SETGID";
+    "CAP_SETUID"; "CAP_NET_RAW"; "CAP_SYS_CHROOT"; "CAP_MKNOD";
+    "CAP_AUDIT_WRITE"; "CAP_SETFCAP";
+  ]
+
+let make ~gpid ~name ?(uid = 0) ?(gid = 0) ~mnt_ns ?(cgroup = "/") ?caps
+    ?apparmor () =
+  {
+    gpid;
+    pname = name;
+    uid;
+    gid;
+    mnt_ns;
+    cgroup;
+    caps = Option.value caps ~default:full_caps;
+    apparmor;
+    alive = true;
+  }

@@ -1,0 +1,25 @@
+(** Guest userspace processes: the metadata VMSH's container-aware
+    attach inspects and applies (UID/GID, mount namespace, cgroup,
+    capabilities, LSM profile — §4.4). *)
+
+type t = {
+  gpid : int;
+  mutable pname : string;
+  mutable uid : int;
+  mutable gid : int;
+  mutable mnt_ns : int;
+  mutable cgroup : string;
+  mutable caps : string list;
+  mutable apparmor : string option;
+  mutable alive : bool;
+}
+
+val full_caps : string list
+(** The capability set of an uncontained root process. *)
+
+val container_caps : string list
+(** The default restricted set of a containerised process. *)
+
+val make :
+  gpid:int -> name:string -> ?uid:int -> ?gid:int -> mnt_ns:int ->
+  ?cgroup:string -> ?caps:string list -> ?apparmor:string -> unit -> t

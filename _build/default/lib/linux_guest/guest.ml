@@ -1,0 +1,881 @@
+module Mem = Hostos.Mem
+module Clock = Hostos.Clock
+module Rng = Hostos.Rng
+module Errno = Hostos.Errno
+module Layout = X86.Layout
+module PT = X86.Page_table
+module Vm = Kvm.Vm
+module Sfs = Blockdev.Simplefs
+
+let src = Logs.Src.create "guest" ~doc:"synthetic guest kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Fixed physical layout (guest-physical addresses). *)
+let pt_arena_start = 0x10_0000
+let pt_arena_pages = 768
+let kernel_phys = 0x40_0000
+let image_pad = 0x20_0000
+
+(* Fixed offsets inside the kernel image. The analyzer never learns
+   these; it must rediscover the sections by scanning. *)
+let idle_off = 0x800
+let kfun_base_off = 0x1000
+let kfun_stride = 0x40
+let text_size = 0x10_0000
+let banner_off = 0x10_0100
+let strings_off = 0x11_0000
+let table_off = 0x12_0000
+let image_size = 0x14_0000
+
+let o_creat = 0x40
+let o_wronly = 0x1
+
+type kfile = { kpath : string; mutable kpos : int }
+
+type t = {
+  vmh : Vm.t;
+  ver : Kernel_version.t;
+  rng : Rng.t;
+  clock : Clock.t;
+  ram_size : int;
+  pt_root : int;
+  mutable pt_next : int;
+  mutable phys_brk : int;
+  kvirt : int;
+  mutable exports_list : (string * int) list;
+  kfun_tbl : (int, string * (args:int list -> int)) Hashtbl.t;
+  idle : int;
+  vfs_t : Vfs.t;
+  root_ns_id : int;
+  cache : Page_cache.t;
+  mutable proc_list : Gproc.t list;
+  mutable next_gpid : int;
+  mutable dmesg_rev : string list;
+  mutable crash : string option;
+  mutable klib_running : bool;
+  mutable boot_blk_drv : Virtio.Blk.Driver.t option;
+  mutable boot_ninep_drv : Virtio.Ninep.Driver.t option;
+  mutable boot_rootfs : Sfs.t option;
+  mutable vmsh_blk_drv : Virtio.Blk.Driver.t option;
+  mutable vmsh_console_drv : Virtio.Console.Driver.t option;
+  programs : (string, t -> Gproc.t -> unit) Hashtbl.t;
+  kfiles : (int, kfile) Hashtbl.t;
+  mutable next_kfd : int;
+  mutable pending_threads : (int * int * int) list;
+      (** (handle, kind, arg) created but not woken *)
+}
+
+let vm t = t.vmh
+let version t = t.ver
+let kernel_virt t = t.kvirt
+let image_bytes _t = image_size
+let idle_rip t = t.idle
+let page_cache t = t.cache
+let crashed t = t.crash
+let dmesg t = List.rev t.dmesg_rev
+let printk t s = t.dmesg_rev <- s :: t.dmesg_rev
+let vfs t = t.vfs_t
+let root_ns t = t.root_ns_id
+let rootfs t = t.boot_rootfs
+let procs t = t.proc_list
+let find_proc t ~gpid = List.find_opt (fun p -> p.Gproc.gpid = gpid) t.proc_list
+let exports t = t.exports_list
+let boot_blk t = t.boot_blk_drv
+
+let boot_blk_exn t =
+  match t.boot_blk_drv with
+  | Some d -> d
+  | None -> invalid_arg "Guest.boot_blk_exn: no boot block device"
+
+let boot_ninep t = t.boot_ninep_drv
+let vmsh_blk t = t.vmsh_blk_drv
+let vmsh_console t = t.vmsh_console_drv
+
+let init_proc t =
+  match t.proc_list with
+  | p :: _ -> p
+  | [] -> invalid_arg "Guest.init_proc: no processes"
+
+(* --- memory services --- *)
+
+let alloc_pages t ~count =
+  let pa = t.phys_brk in
+  t.phys_brk <- pa + (count * Layout.page_size);
+  if t.phys_brk > t.ram_size then failwith "guest: out of physical memory";
+  pa
+
+let pt_alloc t () =
+  let pa = t.pt_next in
+  t.pt_next <- pa + Layout.page_size;
+  if t.pt_next > pt_arena_start + (pt_arena_pages * Layout.page_size) then
+    failwith "guest: page-table arena exhausted";
+  pa
+
+let cr3 t =
+  match Vm.vcpus t.vmh with
+  | v :: _ -> (Vm.vcpu_regs v).X86.Regs.cr3
+  | [] -> t.pt_root
+
+let translate t va = PT.translate (Vm.pt_access t.vmh) ~root:(cr3 t) va
+
+let vread t ~va ~len =
+  let out = Bytes.create len in
+  let rec go va dst remaining =
+    if remaining > 0 then begin
+      let page_rem = Layout.page_size - (va land (Layout.page_size - 1)) in
+      let chunk = min remaining page_rem in
+      match translate t va with
+      | None -> failwith (Printf.sprintf "guest vread: 0x%x unmapped" va)
+      | Some pa ->
+          Bytes.blit (Vm.read_phys t.vmh pa chunk) 0 out dst chunk;
+          go (va + chunk) (dst + chunk) (remaining - chunk)
+    end
+  in
+  go va 0 len;
+  out
+
+let vwrite t ~va b =
+  let rec go va src remaining =
+    if remaining > 0 then begin
+      let page_rem = Layout.page_size - (va land (Layout.page_size - 1)) in
+      let chunk = min remaining page_rem in
+      match translate t va with
+      | None -> failwith (Printf.sprintf "guest vwrite: 0x%x unmapped" va)
+      | Some pa ->
+          Vm.write_phys t.vmh pa (Bytes.sub b src chunk);
+          go (va + chunk) (src + chunk) (remaining - chunk)
+    end
+  in
+  go va 0 (Bytes.length b)
+
+let vread_cstr t ~va ~max =
+  let rec scan acc va remaining =
+    if remaining = 0 then String.concat "" (List.rev acc)
+    else
+      let b = vread t ~va ~len:1 in
+      if Bytes.get b 0 = '\000' then String.concat "" (List.rev acc)
+      else scan (Bytes.to_string b :: acc) (va + 1) (remaining - 1)
+  in
+  scan [] va max
+
+(* --- processes --- *)
+
+let spawn_proc t ~name ?(uid = 0) ?mnt_ns ?(cgroup = "/") ?caps ?apparmor () =
+  let gpid = t.next_gpid in
+  t.next_gpid <- gpid + 1;
+  let p =
+    Gproc.make ~gpid ~name ~uid
+      ~mnt_ns:(Option.value mnt_ns ~default:t.root_ns_id)
+      ~cgroup ?caps ?apparmor ()
+  in
+  t.proc_list <- t.proc_list @ [ p ];
+  p
+
+let file_read t ~ns path = Vfs.read_file t.vfs_t ~ns path
+let file_write t ~ns path data = Vfs.write_file t.vfs_t ~ns path data
+
+let run_as t ~proc ~name thunk =
+  Vm.enqueue_task t.vmh ~name:(Printf.sprintf "%s(pid %d)" name proc.Gproc.gpid)
+    thunk
+
+let spawn_container t ~name ~image =
+  let ns = Vfs.new_namespace t.vfs_t ~from:t.root_ns_id in
+  (* the container sees its image files through an overlay dir in its
+     own namespace; we approximate by writing them into the root fs
+     under a container-private prefix and binding that as the ns root *)
+  (match t.boot_rootfs with
+  | Some fs ->
+      List.iter
+        (fun (path, content) ->
+          let cpath = "/containers/" ^ name ^ path in
+          let rec ensure prefix = function
+            | [] | [ _ ] -> ()
+            | d :: rest ->
+                let dir = prefix ^ "/" ^ d in
+                (match Sfs.mkdir fs dir with Ok _ | Error _ -> ());
+                ensure dir rest
+          in
+          ensure "" (String.split_on_char '/' cpath |> List.filter (( <> ) ""));
+          ignore (Sfs.write_file fs cpath (Bytes.of_string content)))
+        image
+  | None -> ());
+  spawn_proc t ~name ~uid:0 ~mnt_ns:ns
+    ~cgroup:(Printf.sprintf "/sys/fs/cgroup/system.slice/docker-%s.scope" name)
+    ~caps:Gproc.container_caps
+    ~apparmor:("docker-default-" ^ name) ()
+
+let global_programs : (string, t -> Gproc.t -> unit) Hashtbl.t =
+  Hashtbl.create 8
+
+let register_global_program ~content closure =
+  Hashtbl.replace global_programs (Digest.bytes content |> Digest.to_hex) closure
+
+let register_program t ~content closure =
+  Hashtbl.replace t.programs (Digest.bytes content |> Digest.to_hex) closure
+
+(* --- struct codecs (shared with the library builder) --- *)
+
+let encode_virtio_desc ~version_tag ~device_type ~mmio_base ~gsi =
+  let len = if version_tag >= 2 then 24 else 16 in
+  let b = Bytes.make len '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int version_tag);
+  Bytes.set_int32_le b 4 (Int32.of_int device_type);
+  Bytes.set_int64_le b 8 (Int64.of_int mmio_base);
+  if version_tag >= 2 then begin
+    Bytes.set_int32_le b 16 (Int32.of_int gsi);
+    Bytes.set_int32_le b 20 0l
+  end;
+  b
+
+let encode_thread_struct ~version_tag ~kind ~arg =
+  let len = if version_tag >= 2 then 24 else 16 in
+  let b = Bytes.make len '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int version_tag);
+  Bytes.set_int32_le b 4 (Int32.of_int kind);
+  Bytes.set_int64_le b 8 (Int64.of_int arg);
+  b
+
+(* --- virtio driver probing (guest code; performs effects) --- *)
+
+let mmio_access base =
+  {
+    Virtio.Mmio.mread =
+      (fun ~off ~len ->
+        Effect.perform (Vm.Mmio (Vm.Mmio_read { addr = base + off; len })));
+    mwrite =
+      (fun ~off b ->
+        ignore
+          (Effect.perform (Vm.Mmio (Vm.Mmio_write { addr = base + off; data = b }))));
+  }
+
+let probe_device t ~base ~expect ~init =
+  let access = mmio_access base in
+  let magic =
+    let b = access.Virtio.Mmio.mread ~off:Virtio.Mmio.reg_magic ~len:4 in
+    Int32.to_int (Bytes.get_int32_le b 0) land 0xffffffff
+  in
+  if magic <> Virtio.Mmio.magic_value then Error "no device"
+  else
+    init ~gmem:(Virtio.Gmem.of_vm t.vmh) ~access
+      ~alloc:(fun ~size ->
+        alloc_pages t ~count:((size + Layout.page_size - 1) / Layout.page_size))
+  |> fun r ->
+  ignore expect;
+  r
+
+(* --- kernel function implementations --- *)
+
+let neg_errno e = -Errno.to_code e
+
+let install_kfuns t =
+  let reg name impl va = Hashtbl.replace t.kfun_tbl va (name, impl) in
+  let badv = ref 0 in
+  ignore badv;
+  let funs : (string * (args:int list -> int)) list =
+    [
+      ( "printk",
+        fun ~args ->
+          match args with
+          | [ str_va ] ->
+              (try printk t (vread_cstr t ~va:str_va ~max:256) with _ -> ());
+              0
+          | _ -> neg_errno Errno.EINVAL );
+      ( "register_virtio_mmio_dev",
+        fun ~args ->
+          match args with
+          | [ desc_va ] -> (
+              try
+                let tag =
+                  Int32.to_int (Bytes.get_int32_le (vread t ~va:desc_va ~len:4) 0)
+                in
+                let expected = Kernel_version.virtio_desc_version t.ver in
+                if tag <> expected then begin
+                  printk t
+                    (Printf.sprintf
+                       "virtio_mmio: bad device descriptor version %d (kernel \
+                        expects %d)"
+                       tag expected);
+                  neg_errno Errno.EINVAL
+                end
+                else begin
+                  let hdr = vread t ~va:desc_va ~len:16 in
+                  let device_type =
+                    Int32.to_int (Bytes.get_int32_le hdr 4) land 0xffffffff
+                  in
+                  let mmio_base = Int64.to_int (Bytes.get_int64_le hdr 8) in
+                  if device_type = Virtio.Blk.device_id then begin
+                    match
+                      probe_device t ~base:mmio_base ~expect:device_type
+                        ~init:Virtio.Blk.Driver.init
+                    with
+                    | Ok drv ->
+                        t.vmsh_blk_drv <- Some drv;
+                        printk t "vmsh-blk: virtio block device registered";
+                        0
+                    | Error e ->
+                        printk t ("vmsh-blk: probe failed: " ^ e);
+                        neg_errno Errno.ENODEV
+                  end
+                  else if device_type = Virtio.Console.device_id then begin
+                    match
+                      probe_device t ~base:mmio_base ~expect:device_type
+                        ~init:Virtio.Console.Driver.init
+                    with
+                    | Ok drv ->
+                        t.vmsh_console_drv <- Some drv;
+                        printk t "vmsh-console: virtio console registered";
+                        0
+                    | Error e ->
+                        printk t ("vmsh-console: probe failed: " ^ e);
+                        neg_errno Errno.ENODEV
+                  end
+                  else neg_errno Errno.ENODEV
+                end
+              with Failure msg ->
+                printk t ("virtio_mmio: fault reading descriptor: " ^ msg);
+                neg_errno Errno.EFAULT)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "register_virtio_pci_dev",
+        fun ~args ->
+          match args with
+          | [ desc_va ] -> (
+              try
+                let tag =
+                  Int32.to_int (Bytes.get_int32_le (vread t ~va:desc_va ~len:4) 0)
+                in
+                let expected = Kernel_version.virtio_desc_version t.ver in
+                if tag <> expected then begin
+                  printk t
+                    (Printf.sprintf
+                       "virtio_pci: bad device descriptor version %d (kernel \
+                        expects %d)"
+                       tag expected);
+                  neg_errno Errno.EINVAL
+                end
+                else begin
+                  let hdr = vread t ~va:desc_va ~len:16 in
+                  let cfg_base = Int64.to_int (Bytes.get_int64_le hdr 8) in
+                  (* walk the PCI config space of the device *)
+                  let cfg_read ~off ~len =
+                    Effect.perform
+                      (Vm.Mmio (Vm.Mmio_read { addr = cfg_base + off; len }))
+                  in
+                  match Virtio.Pci.Config.probe ~read:cfg_read with
+                  | None ->
+                      printk t "virtio_pci: no virtio device in config space";
+                      neg_errno Errno.ENODEV
+                  | Some cfg ->
+                      let bar0 = cfg.Virtio.Pci.Config.bar0 in
+                      if cfg.Virtio.Pci.Config.device_type = Virtio.Blk.device_id
+                      then begin
+                        match
+                          probe_device t ~base:bar0 ~expect:Virtio.Blk.device_id
+                            ~init:Virtio.Blk.Driver.init
+                        with
+                        | Ok drv ->
+                            t.vmsh_blk_drv <- Some drv;
+                            printk t
+                              "vmsh-blk: virtio-pci block device registered \
+                               (MSI-X)";
+                            0
+                        | Error e ->
+                            printk t ("vmsh-blk: pci probe failed: " ^ e);
+                            neg_errno Errno.ENODEV
+                      end
+                      else if
+                        cfg.Virtio.Pci.Config.device_type
+                        = Virtio.Console.device_id
+                      then begin
+                        match
+                          probe_device t ~base:bar0
+                            ~expect:Virtio.Console.device_id
+                            ~init:Virtio.Console.Driver.init
+                        with
+                        | Ok drv ->
+                            t.vmsh_console_drv <- Some drv;
+                            printk t
+                              "vmsh-console: virtio-pci console registered \
+                               (MSI-X)";
+                            0
+                        | Error e ->
+                            printk t ("vmsh-console: pci probe failed: " ^ e);
+                            neg_errno Errno.ENODEV
+                      end
+                      else neg_errno Errno.ENODEV
+                end
+              with Failure msg ->
+                printk t ("virtio_pci: fault reading descriptor: " ^ msg);
+                neg_errno Errno.EFAULT)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "unregister_virtio_mmio_dev",
+        fun ~args ->
+          match args with
+          | [ device_type ] ->
+              if device_type = Virtio.Blk.device_id then t.vmsh_blk_drv <- None
+              else if device_type = Virtio.Console.device_id then
+                t.vmsh_console_drv <- None;
+              0
+          | _ -> neg_errno Errno.EINVAL );
+      ( "filp_open",
+        fun ~args ->
+          match args with
+          | [ path_va; flags; _mode ] -> (
+              match
+                (try Some (vread_cstr t ~va:path_va ~max:256) with _ -> None)
+              with
+              | None -> neg_errno Errno.EFAULT
+              | Some path ->
+                  let exists = Vfs.exists t.vfs_t ~ns:t.root_ns_id path in
+                  if (not exists) && flags land o_creat = 0 then
+                    neg_errno Errno.ENOENT
+                  else begin
+                    (if not exists then
+                       match Vfs.write_file t.vfs_t ~ns:t.root_ns_id path Bytes.empty with
+                       | Ok () -> ()
+                       | Error _ -> ());
+                    let fd = t.next_kfd in
+                    t.next_kfd <- fd + 1;
+                    Hashtbl.replace t.kfiles fd { kpath = path; kpos = 0 };
+                    fd
+                  end)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "filp_close",
+        fun ~args ->
+          match args with
+          | [ fd ] ->
+              if Hashtbl.mem t.kfiles fd then begin
+                Hashtbl.remove t.kfiles fd;
+                0
+              end
+              else neg_errno Errno.EBADF
+          | _ -> neg_errno Errno.EINVAL );
+      ( "kernel_read",
+        fun ~args ->
+          let do_read ~fd ~buf_va ~count ~pos =
+            match Hashtbl.find_opt t.kfiles fd with
+            | None -> neg_errno Errno.EBADF
+            | Some f -> (
+                match
+                  Vfs.read_at t.vfs_t ~ns:t.root_ns_id f.kpath ~off:pos ~len:count
+                with
+                | Error e -> neg_errno e
+                | Ok data -> (
+                    try
+                      vwrite t ~va:buf_va data;
+                      f.kpos <- pos + Bytes.length data;
+                      Bytes.length data
+                    with Failure _ -> neg_errno Errno.EFAULT))
+          in
+          match (Kernel_version.rw_abi t.ver, args) with
+          | Kernel_version.Rw_old, [ fd; pos; buf_va; count ] ->
+              if count < 0 || count > 0x100_0000 then neg_errno Errno.EINVAL
+              else do_read ~fd ~buf_va ~count ~pos
+          | Kernel_version.Rw_new, [ fd; buf_va; count; pos_va ] -> (
+              if count < 0 || count > 0x100_0000 then neg_errno Errno.EINVAL
+              else
+                try
+                  let pos =
+                    Int64.to_int (Bytes.get_int64_le (vread t ~va:pos_va ~len:8) 0)
+                  in
+                  let n = do_read ~fd ~buf_va ~count ~pos in
+                  if n >= 0 then begin
+                    let b = Bytes.create 8 in
+                    Bytes.set_int64_le b 0 (Int64.of_int (pos + n));
+                    vwrite t ~va:pos_va b
+                  end;
+                  n
+                with Failure _ -> neg_errno Errno.EFAULT)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "kernel_write",
+        fun ~args ->
+          let do_write ~fd ~buf_va ~count ~pos =
+            match Hashtbl.find_opt t.kfiles fd with
+            | None -> neg_errno Errno.EBADF
+            | Some f -> (
+                match (try Some (vread t ~va:buf_va ~len:count) with _ -> None) with
+                | None -> neg_errno Errno.EFAULT
+                | Some data -> (
+                    match
+                      Vfs.write_at t.vfs_t ~ns:t.root_ns_id f.kpath ~off:pos data
+                    with
+                    | Error e -> neg_errno e
+                    | Ok n ->
+                        f.kpos <- pos + n;
+                        n))
+          in
+          match (Kernel_version.rw_abi t.ver, args) with
+          | Kernel_version.Rw_old, [ fd; pos; buf_va; count ] ->
+              if count < 0 || count > 0x100_0000 then neg_errno Errno.EINVAL
+              else do_write ~fd ~buf_va ~count ~pos
+          | Kernel_version.Rw_new, [ fd; buf_va; count; pos_va ] -> (
+              if count < 0 || count > 0x100_0000 then neg_errno Errno.EINVAL
+              else
+                try
+                  let pos =
+                    Int64.to_int (Bytes.get_int64_le (vread t ~va:pos_va ~len:8) 0)
+                  in
+                  let n = do_write ~fd ~buf_va ~count ~pos in
+                  if n >= 0 then begin
+                    let b = Bytes.create 8 in
+                    Bytes.set_int64_le b 0 (Int64.of_int (pos + n));
+                    vwrite t ~va:pos_va b
+                  end;
+                  n
+                with Failure _ -> neg_errno Errno.EFAULT)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "kthread_create_on_node",
+        fun ~args ->
+          match args with
+          | [ struct_va ] -> (
+              try
+                let b = vread t ~va:struct_va ~len:16 in
+                let tag = Int32.to_int (Bytes.get_int32_le b 0) in
+                let expected = Kernel_version.thread_struct_version t.ver in
+                if tag <> expected then begin
+                  printk t
+                    (Printf.sprintf
+                       "kthread: bad create-struct version %d (kernel expects %d)"
+                       tag expected);
+                  neg_errno Errno.EINVAL
+                end
+                else begin
+                  let kind = Int32.to_int (Bytes.get_int32_le b 4) in
+                  let arg = Int64.to_int (Bytes.get_int64_le b 8) in
+                  let handle = 0x1000 + List.length t.pending_threads in
+                  t.pending_threads <- (handle, kind, arg) :: t.pending_threads;
+                  handle
+                end
+              with Failure _ -> neg_errno Errno.EFAULT)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "wake_up_process",
+        fun ~args ->
+          match args with
+          | [ handle ] -> (
+              match List.assoc_opt handle (List.map (fun (h, k, a) -> (h, (k, a))) t.pending_threads) with
+              | None -> neg_errno Errno.ESRCH
+              | Some (kind, arg) ->
+                  t.pending_threads <-
+                    List.filter (fun (h, _, _) -> h <> handle) t.pending_threads;
+                  if kind = 1 then begin
+                    (* exec the file at the path string [arg] points to *)
+                    match
+                      (try Some (vread_cstr t ~va:arg ~max:256) with _ -> None)
+                    with
+                    | None -> neg_errno Errno.EFAULT
+                    | Some path -> (
+                        match Vfs.read_file t.vfs_t ~ns:t.root_ns_id path with
+                        | Error e ->
+                            printk t ("exec: cannot read " ^ path);
+                            neg_errno e
+                        | Ok content -> (
+                            let h = Digest.bytes content |> Digest.to_hex in
+                            let prog =
+                              match Hashtbl.find_opt t.programs h with
+                              | Some p -> Some p
+                              | None -> Hashtbl.find_opt global_programs h
+                            in
+                            match prog with
+                            | None ->
+                                printk t ("exec: unknown binary " ^ path);
+                                neg_errno Errno.ENOENT
+                            | Some closure ->
+                                let p = spawn_proc t ~name:path () in
+                                run_as t ~proc:p ~name:"exec" (fun () ->
+                                    closure t p);
+                                p.Gproc.gpid))
+                  end
+                  else 0)
+          | _ -> neg_errno Errno.EINVAL );
+      ( "kernel_clone",
+        fun ~args ->
+          match args with
+          | [ _flags ] ->
+              let p = spawn_proc t ~name:"kthread" () in
+              p.Gproc.gpid
+          | _ -> neg_errno Errno.EINVAL );
+      ( "do_exit",
+        fun ~args ->
+          match args with
+          | [ gpid ] ->
+              (match find_proc t ~gpid with
+              | Some p -> p.Gproc.alive <- false
+              | None -> ());
+              0
+          | _ -> 0 );
+      ("schedule", fun ~args:_ -> 0);
+    ]
+  in
+  List.mapi
+    (fun i (name, impl) ->
+      let va = t.kvirt + kfun_base_off + (i * kfun_stride) in
+      reg name impl va;
+      { Ksymtab.name; va })
+    funs
+
+(* --- boot --- *)
+
+let build_image t ~syms =
+  let img = Bytes.create image_size in
+  (* deterministic noise text *)
+  let r = Rng.split t.rng in
+  for i = 0 to image_size - 1 do
+    Bytes.set img i (Char.chr (Rng.int r 256))
+  done;
+  (* idle loop marker *)
+  Bytes.blit_string "\xf4\xeb\xfd" 0 img idle_off 3;
+  (* hlt; jmp *)
+  (* banner *)
+  let banner = Kernel_version.banner t.ver in
+  Bytes.blit_string banner 0 img banner_off (String.length banner);
+  Bytes.set img (banner_off + String.length banner) '\000';
+  (* symbol sections *)
+  let strings, name_offsets = Ksymtab.build_strings syms in
+  if Bytes.length strings > table_off - strings_off then
+    failwith "guest image: strings section overflow";
+  (* clear a window around the strings so the scanner sees clean
+     boundaries (real sections are padded with zeros too) *)
+  Bytes.fill img (strings_off - 64) (Bytes.length strings + 128) '\000';
+  Bytes.blit strings 0 img strings_off (Bytes.length strings);
+  let table =
+    Ksymtab.build_table
+      (Kernel_version.ksymtab_layout t.ver)
+      ~syms
+      ~strings_va:(t.kvirt + strings_off)
+      ~table_va:(t.kvirt + table_off)
+      ~name_offsets
+  in
+  if table_off + Bytes.length table > image_size then
+    failwith "guest image: table section overflow";
+  Bytes.fill img (table_off - 64) (Bytes.length table + 128) '\000';
+  Bytes.blit table 0 img table_off (Bytes.length table);
+  img
+
+let decode_regs_blob b (regs : X86.Regs.t) =
+  let f i = Int64.to_int (Bytes.get_int64_le b (8 * i)) in
+  regs.rax <- f 0;
+  regs.rbx <- f 1;
+  regs.rcx <- f 2;
+  regs.rdx <- f 3;
+  regs.rsi <- f 4;
+  regs.rdi <- f 5;
+  regs.rbp <- f 6;
+  regs.rsp <- f 7;
+  regs.r8 <- f 8;
+  regs.r9 <- f 9;
+  regs.r10 <- f 10;
+  regs.r11 <- f 11;
+  regs.r12 <- f 12;
+  regs.r13 <- f 13;
+  regs.r14 <- f 14;
+  regs.r15 <- f 15;
+  regs.rip <- f 16;
+  regs.rflags <- f 17;
+  regs.cr3 <- f 18
+
+let run_klib t (regs : X86.Regs.t) () =
+  t.klib_running <- true;
+  let entry = regs.X86.Regs.rip in
+  let saved_blob_va = regs.rdi in
+  let env =
+    {
+      Klib.read = (fun ~va ~len -> vread t ~va ~len);
+      write = (fun ~va b -> vwrite t ~va b);
+      call =
+        (fun ~addr ~args ->
+          match Hashtbl.find_opt t.kfun_tbl addr with
+          | Some (_, impl) -> impl ~args
+          | None ->
+              raise
+                (Klib.Fault
+                   (Printf.sprintf
+                      "call to 0x%x: not a kernel function (bad relocation?)"
+                      addr)));
+      restore_regs =
+        (fun () ->
+          let b = vread t ~va:saved_blob_va ~len:(19 * 8) in
+          decode_regs_blob b regs;
+          t.klib_running <- false);
+    }
+  in
+  try Klib.execute env ~entry
+  with Klib.Fault msg | Failure msg ->
+    t.crash <- Some msg;
+    printk t ("BUG: unable to handle side-loaded code: " ^ msg);
+    regs.rip <- t.idle;
+    t.klib_running <- false
+
+let in_kernel t rip = rip >= t.kvirt && rip < t.kvirt + image_pad
+
+let install_runtime t =
+  Vm.set_runtime t.vmh
+    {
+      Vm.on_irq = (fun ~gsi:_ -> () (* parked predicates re-poll used rings *));
+      resolve_rip =
+        (fun regs ->
+          let rip = regs.X86.Regs.rip in
+          if t.klib_running || rip = 0 || in_kernel t rip then None
+          else if t.crash <> None then None
+          else Some (run_klib t regs));
+    }
+
+let mount_root_from t drv =
+  let raw = Virtio.Blk.Driver.to_blockdev drv in
+  let bulk ~first ~count =
+    Virtio.Blk.Driver.read drv
+      ~sector:(first * Virtio.Blk.sectors_per_block)
+      ~len:(count * Layout.page_size)
+  in
+  let cached = Page_cache.wrap ~bulk_read:bulk t.cache ~dev_id:0 raw in
+  match Sfs.mount cached with
+  | Ok fs ->
+      t.boot_rootfs <- Some fs;
+      Vfs.mount t.vfs_t ~ns:t.root_ns_id ~at:"/" ~source:"/dev/vda"
+        (Vfs.Simple fs);
+      printk t "VFS: mounted root (simplefs) readwrite on /dev/vda"
+  | Error _ -> printk t "VFS: no valid root file system on /dev/vda"
+
+(* Cloud-Hypervisor-style guests find their disk behind a PCI config
+   space rather than an MMIO window. *)
+let probe_pci_boot_blk t =
+  let cfg_base = Layout.hyp_pci_base in
+  let cfg_read ~off ~len =
+    Effect.perform (Vm.Mmio (Vm.Mmio_read { addr = cfg_base + off; len }))
+  in
+  match Virtio.Pci.Config.probe ~read:cfg_read with
+  | Some cfg when cfg.Virtio.Pci.Config.device_type = Virtio.Blk.device_id -> (
+      match
+        probe_device t ~base:cfg.Virtio.Pci.Config.bar0
+          ~expect:Virtio.Blk.device_id ~init:Virtio.Blk.Driver.init
+      with
+      | Ok drv ->
+          t.boot_blk_drv <- Some drv;
+          printk t "virtio-pci: block device at 0000:00:00.0";
+          mount_root_from t drv
+      | Error e -> printk t ("virtio-pci: probe failed: " ^ e))
+  | Some _ | None -> printk t "virtio_mmio: no block device at slot 0"
+
+let mount_boot_devices t =
+  (* Probe the hypervisor-emulated devices at the standard window. *)
+  (match
+     probe_device t ~base:Layout.virtio_mmio_base ~expect:Virtio.Blk.device_id
+       ~init:Virtio.Blk.Driver.init
+   with
+  | Ok drv ->
+      t.boot_blk_drv <- Some drv;
+      mount_root_from t drv
+  | Error _ -> probe_pci_boot_blk t);
+  (match
+     probe_device t
+       ~base:(Layout.virtio_mmio_base + (2 * Layout.virtio_mmio_stride))
+       ~expect:Virtio.Ninep.device_id ~init:Virtio.Ninep.Driver.init
+   with
+  | Ok drv ->
+      t.boot_ninep_drv <- Some drv;
+      printk t "9p: host file sharing mounted on /host"
+  | Error _ -> ());
+  (* /proc view *)
+  Vfs.mount t.vfs_t ~ns:t.root_ns_id ~at:"/proc" ~source:"proc"
+    (Vfs.Pseudo
+       (fun () ->
+         List.concat_map
+           (fun p ->
+             if p.Gproc.alive then
+               [
+                 ( string_of_int p.Gproc.gpid ^ "/comm", p.Gproc.pname );
+                 ( string_of_int p.Gproc.gpid ^ "/cgroup", p.Gproc.cgroup );
+               ]
+             else [])
+           t.proc_list))
+
+let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) () =
+  let host = Vm.host vmh in
+  let clock = host.Hostos.Host.clock in
+  let ram_size =
+    match Vm.memslots vmh with
+    | [] -> invalid_arg "Guest.boot: VM has no memory slots"
+    | slots -> (
+        match List.find_opt (fun s -> s.Vm.gpa = 0) slots with
+        | Some s -> s.Vm.size
+        | None -> invalid_arg "Guest.boot: no RAM at guest-physical 0")
+  in
+  let slot = Rng.int rng Layout.kaslr_slots in
+  let kvirt = Layout.kaslr_base + (slot * Layout.kaslr_align) in
+  let vfs_t, root_ns_id = Vfs.create () in
+  let t =
+    {
+      vmh;
+      ver;
+      rng = Rng.split rng;
+      clock;
+      ram_size;
+      pt_root = pt_arena_start;
+      pt_next = pt_arena_start + Layout.page_size;
+      phys_brk = kernel_phys + image_pad;
+      kvirt;
+      exports_list = [];
+      kfun_tbl = Hashtbl.create 64;
+      idle = kvirt + idle_off;
+      vfs_t;
+      root_ns_id;
+      cache = Page_cache.create ~clock ~capacity_blocks:cache_blocks;
+      proc_list = [];
+      next_gpid = 1;
+      dmesg_rev = [];
+      crash = None;
+      klib_running = false;
+      boot_blk_drv = None;
+      boot_ninep_drv = None;
+      boot_rootfs = None;
+      vmsh_blk_drv = None;
+      vmsh_console_drv = None;
+      programs = Hashtbl.create 8;
+      kfiles = Hashtbl.create 16;
+      next_kfd = 3;
+      pending_threads = [];
+    }
+  in
+  (* kernel functions + exported symbols *)
+  let kfun_syms = install_kfuns t in
+  let banner_sym =
+    { Ksymtab.name = "linux_banner"; va = kvirt + banner_off }
+  in
+  let noise =
+    Ksymtab.noise_symbols t.rng ~version:ver ~count:180 ~text_va:kvirt
+      ~text_size
+  in
+  let all_syms =
+    let arr = Array.of_list (kfun_syms @ [ banner_sym ] @ noise) in
+    Rng.shuffle t.rng arr;
+    Array.to_list arr
+  in
+  t.exports_list <- List.map (fun s -> (s.Ksymtab.name, s.Ksymtab.va)) all_syms;
+  (* encode the image into guest physical memory *)
+  let img = build_image t ~syms:all_syms in
+  Vm.write_phys vmh kernel_phys img;
+  (* page tables: zero root, direct map, kernel mapping *)
+  Vm.write_phys vmh t.pt_root (Bytes.make Layout.page_size '\000');
+  let acc = Vm.pt_access vmh in
+  let alloc = pt_alloc t in
+  let flags = PT.Flags.(present lor writable) in
+  PT.map_range acc ~alloc ~root:t.pt_root ~virt:Layout.direct_map_base ~phys:0
+    ~len:ram_size ~flags;
+  PT.map_range acc ~alloc ~root:t.pt_root ~virt:kvirt ~phys:kernel_phys
+    ~len:image_pad ~flags;
+  (* vCPU 0 state *)
+  (match Vm.vcpus vmh with
+  | v :: _ ->
+      let regs = Vm.vcpu_regs v in
+      regs.X86.Regs.cr3 <- t.pt_root;
+      regs.rip <- t.idle;
+      regs.rsp <- Layout.phys_to_direct (alloc_pages t ~count:4) + (4 * 4096)
+  | [] -> invalid_arg "Guest.boot: VM has no vCPUs");
+  install_runtime t;
+  (* pid 1 *)
+  ignore (spawn_proc t ~name:"init" ());
+  printk t (Kernel_version.banner ver);
+  printk t
+    (Printf.sprintf "KASLR: kernel image at slot %d (v%s)" slot
+       (Kernel_version.to_string ver));
+  Vm.enqueue_task vmh ~name:"guest-init" (fun () -> mount_boot_devices t);
+  t

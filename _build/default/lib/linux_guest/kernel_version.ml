@@ -1,0 +1,58 @@
+type t = V4_4 | V4_9 | V4_14 | V4_19 | V5_4 | V5_10 | V5_12
+[@@deriving show, eq, ord]
+
+let all_lts = [ V5_10; V5_4; V4_19; V4_14; V4_9; V4_4 ]
+
+let to_string = function
+  | V4_4 -> "4.4"
+  | V4_9 -> "4.9"
+  | V4_14 -> "4.14"
+  | V4_19 -> "4.19"
+  | V5_4 -> "5.4"
+  | V5_10 -> "5.10"
+  | V5_12 -> "5.12"
+
+let of_string = function
+  | "4.4" -> Some V4_4
+  | "4.9" -> Some V4_9
+  | "4.14" -> Some V4_14
+  | "4.19" -> Some V4_19
+  | "5.4" -> Some V5_4
+  | "5.10" -> Some V5_10
+  | "5.12" -> Some V5_12
+  | _ -> None
+
+let banner v =
+  Printf.sprintf
+    "Linux version %s.0 (builder@vmsh-repro) (gcc (GCC) 10.2.1) #1 SMP"
+    (to_string v)
+
+let of_banner s =
+  (* "Linux version X.Y.Z ..." *)
+  match String.split_on_char ' ' s with
+  | "Linux" :: "version" :: ver :: _ -> (
+      match String.split_on_char '.' ver with
+      | major :: minor :: _ -> of_string (major ^ "." ^ minor)
+      | _ -> None)
+  | _ -> None
+
+type ksymtab_layout = Absolute_value_first | Absolute_name_first | Prel32
+
+let ksymtab_layout = function
+  | V4_4 | V4_9 -> Absolute_value_first
+  | V4_14 -> Absolute_name_first
+  | V4_19 | V5_4 | V5_10 | V5_12 -> Prel32
+
+type rw_abi = Rw_old | Rw_new
+
+let rw_abi = function
+  | V4_4 | V4_9 -> Rw_old
+  | V4_14 | V4_19 | V5_4 | V5_10 | V5_12 -> Rw_new
+
+let virtio_desc_version = function
+  | V4_4 | V4_9 | V4_14 | V4_19 -> 1
+  | V5_4 | V5_10 | V5_12 -> 2
+
+let thread_struct_version = function
+  | V4_4 | V4_9 | V4_14 -> 1
+  | V4_19 | V5_4 | V5_10 | V5_12 -> 2

@@ -1,0 +1,55 @@
+(** Guest kernel versions and the binary-layout properties that vary
+    across them.
+
+    The paper's generality claim (§6.2, Table 1) rests on handling the
+    differences between LTS kernels: the ksymtab layout "changed twice",
+    2 of 10 required functions need ABI variants, and 2 of 4 structures
+    passed to kernel functions must be conditioned on the version. Each
+    of those differences is reified here so that VMSH's analysis and
+    library builder must genuinely disambiguate them. *)
+
+type t = V4_4 | V4_9 | V4_14 | V4_19 | V5_4 | V5_10 | V5_12
+[@@deriving show, eq, ord]
+
+val all_lts : t list
+(** The LTS versions of Table 1 (v5.10, v5.4, v4.19, v4.14, v4.9, v4.4). *)
+
+val to_string : t -> string
+(** e.g. "5.10". *)
+
+val of_string : string -> t option
+
+val banner : t -> string
+(** The linux_banner string embedded in the kernel image, e.g.
+    "Linux version 5.10.0 (buildd@host) (gcc ...) #1 SMP". *)
+
+val of_banner : string -> t option
+(** Parse a version back out of a banner (what VMSH does after resolving
+    the [linux_banner] symbol). *)
+
+(** The three ksymtab layout epochs ("changed twice"). *)
+type ksymtab_layout =
+  | Absolute_value_first
+      (** entry = \{value: u64; name_ptr: u64\} — oldest kernels *)
+  | Absolute_name_first
+      (** entry = \{name_ptr: u64; value: u64\} — middle epoch *)
+  | Prel32
+      (** entry = \{value_off: i32; name_off: i32\}, each relative to its
+          own field address — modern kernels *)
+
+val ksymtab_layout : t -> ksymtab_layout
+
+(** ABI generations for the two functions that changed ([kernel_read] /
+    [kernel_write]): the old ABI takes (file, offset, buf, count) with
+    the offset by value; the new one takes (file, buf, count, pos_ptr). *)
+type rw_abi = Rw_old | Rw_new
+
+val rw_abi : t -> rw_abi
+
+val virtio_desc_version : t -> int
+(** Expected layout tag of the device-description structure passed to
+    the driver-registration function (1 or 2) — one of the "2 out of 4
+    kernel structures" that must be conditioned per version. *)
+
+val thread_struct_version : t -> int
+(** Same for the kthread-creation argument structure. *)

@@ -1,0 +1,149 @@
+type op =
+  | Tramp
+  | Push of int
+  | Call of int
+  | Write64
+  | Read64
+  | Jz of int
+  | Jneg of int
+  | Jmp of int
+  | Dup
+  | Swap
+  | Drop
+  | Trap of int
+  | Ret
+
+let magic = 0x564d5348 (* "VMSH" *)
+let op_size = 9
+
+let opcode = function
+  | Tramp -> 0x10
+  | Push _ -> 0x11
+  | Call _ -> 0x12
+  | Write64 -> 0x13
+  | Read64 -> 0x14
+  | Jz _ -> 0x15
+  | Jmp _ -> 0x16
+  | Trap _ -> 0x17
+  | Ret -> 0x18
+  | Jneg _ -> 0x19
+  | Dup -> 0x1a
+  | Swap -> 0x1b
+  | Drop -> 0x1c
+
+let operand = function
+  | Tramp -> magic
+  | Push v -> v
+  | Call n -> n
+  | Write64 | Read64 | Ret | Dup | Swap | Drop -> 0
+  | Jz i -> i
+  | Jneg i -> i
+  | Jmp i -> i
+  | Trap c -> c
+
+let encode ops =
+  let b = Bytes.make (op_size * List.length ops) '\000' in
+  List.iteri
+    (fun i op ->
+      Bytes.set_uint8 b (i * op_size) (opcode op);
+      Bytes.set_int64_le b ((i * op_size) + 1) (Int64.of_int (operand op)))
+    ops;
+  b
+
+let operand_offset i = (i * op_size) + 1
+
+exception Fault of string
+
+type env = {
+  read : va:int -> len:int -> bytes;
+  write : va:int -> bytes -> unit;
+  call : addr:int -> args:int list -> int;
+  restore_regs : unit -> unit;
+}
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let decode_at env va =
+  let b = try env.read ~va ~len:op_size with _ -> fault "unreadable code at 0x%x" va in
+  let arg = Int64.to_int (Bytes.get_int64_le b 1) in
+  match Bytes.get_uint8 b 0 with
+  | 0x10 -> Tramp
+  | 0x11 -> Push arg
+  | 0x12 -> Call arg
+  | 0x13 -> Write64
+  | 0x14 -> Read64
+  | 0x15 -> Jz arg
+  | 0x16 -> Jmp arg
+  | 0x17 -> Trap arg
+  | 0x18 -> Ret
+  | 0x19 -> Jneg arg
+  | 0x1a -> Dup
+  | 0x1b -> Swap
+  | 0x1c -> Drop
+  | c -> fault "bad opcode 0x%x at 0x%x (library mapped incorrectly?)" c va
+
+let execute env ~entry =
+  (match decode_at env entry with
+  | Tramp ->
+      let b = env.read ~va:entry ~len:op_size in
+      if Int64.to_int (Bytes.get_int64_le b 1) <> magic then
+        fault "trampoline magic mismatch at entry 0x%x" entry
+  | _ -> fault "entry 0x%x is not a trampoline" entry);
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> fault "stack underflow"
+  in
+  let rec step pc budget =
+    if budget = 0 then fault "step budget exhausted (library loop?)";
+    let va = entry + (pc * op_size) in
+    match decode_at env va with
+    | Tramp -> step (pc + 1) (budget - 1)
+    | Push v ->
+        push v;
+        step (pc + 1) (budget - 1)
+    | Call n ->
+        let addr = pop () in
+        let rec take k acc = if k = 0 then acc else take (k - 1) (pop () :: acc) in
+        let args = take n [] in
+        push (env.call ~addr ~args);
+        step (pc + 1) (budget - 1)
+    | Write64 ->
+        let v = pop () in
+        let addr = pop () in
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 (Int64.of_int v);
+        env.write ~va:addr b;
+        step (pc + 1) (budget - 1)
+    | Read64 ->
+        let addr = pop () in
+        let b = env.read ~va:addr ~len:8 in
+        push (Int64.to_int (Bytes.get_int64_le b 0));
+        step (pc + 1) (budget - 1)
+    | Jz target ->
+        if pop () = 0 then step target (budget - 1) else step (pc + 1) (budget - 1)
+    | Jneg target ->
+        if pop () < 0 then step target (budget - 1) else step (pc + 1) (budget - 1)
+    | Jmp target -> step target (budget - 1)
+    | Dup ->
+        let v = pop () in
+        push v;
+        push v;
+        step (pc + 1) (budget - 1)
+    | Swap ->
+        let a = pop () in
+        let b = pop () in
+        push a;
+        push b;
+        step (pc + 1) (budget - 1)
+    | Drop ->
+        ignore (pop ());
+        step (pc + 1) (budget - 1)
+    | Trap code -> fault "klib trap %d" code
+    | Ret -> env.restore_regs ()
+  in
+  step 1 100_000

@@ -1,0 +1,54 @@
+(** The side-loaded kernel library's executable format: a tiny
+    deterministic bytecode standing in for native x86 code.
+
+    We cannot execute machine code in this simulation, so the ELF
+    [.text] of VMSH's guest library carries "klib ops" instead — a
+    stack machine whose CALL dispatches on *absolute kernel-function
+    addresses*. The semantics this preserves from the paper: the library
+    only runs correctly if VMSH's relocation (against addresses
+    recovered from the ksymtab), its placement in guest virtual memory,
+    and its page-table edits were all correct, because the interpreter
+    fetches every instruction through the guest's page tables and every
+    CALL faults unless the address matches an exported function. *)
+
+type op =
+  | Tramp  (** entry marker; operand must be {!magic} *)
+  | Push of int  (** operand possibly patched by a relocation *)
+  | Call of int  (** pop function address, then [n] args; push result *)
+  | Write64  (** pop value, then address; store in guest memory *)
+  | Read64  (** pop address; push the 64-bit value there *)
+  | Jz of int  (** pop condition; branch to op index when zero *)
+  | Jneg of int  (** pop value; branch when negative (errno returns) *)
+  | Jmp of int
+  | Dup  (** duplicate the top of stack *)
+  | Swap  (** exchange the two top elements *)
+  | Drop  (** discard the top of stack *)
+  | Trap of int  (** abort execution with an error code *)
+  | Ret  (** restore the interrupted context and stop *)
+
+val magic : int
+val op_size : int
+(** Fixed encoding: 1 opcode byte + 8 operand bytes. *)
+
+val encode : op list -> bytes
+
+val operand_offset : int -> int
+(** Byte offset of the operand of the [i]-th op — where a relocation
+    for a [Push] lands. *)
+
+exception Fault of string
+(** Raised when execution goes wrong: bad opcode fetched (e.g. the
+    library was mapped at the wrong address), CALL to a non-function
+    address, stack underflow, or an explicit [Trap]. *)
+
+(** Execution environment supplied by the guest kernel. *)
+type env = {
+  read : va:int -> len:int -> bytes;  (** virtual-address read *)
+  write : va:int -> bytes -> unit;
+  call : addr:int -> args:int list -> int;  (** kernel-function dispatch *)
+  restore_regs : unit -> unit;  (** trampoline: return to interrupted code *)
+}
+
+val execute : env -> entry:int -> unit
+(** Run from [entry] until [Ret] (or [Fault]). Bounded at 100k steps to
+    turn infinite loops into faults. *)

@@ -1,0 +1,28 @@
+(** Builder for the guest kernel's exported-symbol sections.
+
+    Produces byte-exact [.ksymtab_strings] and [.ksymtab] section
+    contents in the given layout epoch. VMSH's binary analysis (in the
+    core library) has to parse these back out of guest memory without
+    being told the layout — the encoder and the analyzer are kept in
+    separate libraries on purpose. *)
+
+type sym = { name : string; va : int }
+
+val build_strings : sym list -> bytes * (string * int) list
+(** The concatenated NUL-terminated names, and each name's offset. *)
+
+val build_table :
+  Kernel_version.ksymtab_layout -> syms:sym list ->
+  strings_va:int -> table_va:int -> name_offsets:(string * int) list -> bytes
+(** Encode the entry table for symbols placed at [table_va], with the
+    strings blob living at [strings_va]. For the PREL32 layout, offsets
+    are relative to each entry field's own address, as in real
+    kernels. *)
+
+val entry_size : Kernel_version.ksymtab_layout -> int
+
+val noise_symbols : Hostos.Rng.t -> version:Kernel_version.t -> count:int ->
+  text_va:int -> text_size:int -> sym list
+(** Realistic filler exports (version-dependent set) pointing into the
+    kernel text range, so the analyzer works against a symbol table of
+    plausible size and content. *)

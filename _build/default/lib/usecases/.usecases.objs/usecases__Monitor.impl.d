@@ -1,0 +1,1 @@
+lib/usecases/monitor.ml: Blockdev Format Hostos Hypervisor List String Vmsh

@@ -1,0 +1,1 @@
+lib/usecases/monitor.mli: Format Hostos Hypervisor

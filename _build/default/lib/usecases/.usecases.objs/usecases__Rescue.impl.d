@@ -1,0 +1,1 @@
+lib/usecases/rescue.ml: Blockdev Bytes Hostos Hypervisor Linux_guest List Printf String Vmsh

@@ -1,0 +1,1 @@
+lib/usecases/rescue.mli: Blockdev Hostos Hypervisor Linux_guest

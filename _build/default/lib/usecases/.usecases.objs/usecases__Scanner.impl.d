@@ -1,0 +1,1 @@
+lib/usecases/scanner.ml: Blockdev Hostos Hypervisor List Printf String Vmsh

@@ -1,0 +1,1 @@
+lib/usecases/scanner.mli: Blockdev Hostos Hypervisor

@@ -1,0 +1,1 @@
+lib/usecases/serverless.ml: Blockdev Bytes Hostos Hypervisor Linux_guest List Printf String Vmsh

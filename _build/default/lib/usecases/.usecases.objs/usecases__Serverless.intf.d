@@ -1,0 +1,1 @@
+lib/usecases/serverless.mli: Hostos Hypervisor Linux_guest Vmsh

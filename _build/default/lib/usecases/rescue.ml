@@ -1,0 +1,45 @@
+module Image = Blockdev.Image
+module Guest = Linux_guest.Guest
+module Vmm = Hypervisor.Vmm
+
+let rescue_image () =
+  let manifest =
+    [
+      Image.file ~content:"#!chpasswd-from-shadow-utils\n" "/sbin/chpasswd" 29;
+      Image.file "/bin/busybox" (600 * 1024);
+      Image.file ~content:"vmsh rescue image v1\n" "/etc/vmsh-release" 21;
+    ]
+  in
+  match Image.pack manifest with
+  | Ok (backend, _) -> backend
+  | Error e -> failwith ("rescue image: " ^ Hostos.Errno.show e)
+
+let reset_password h ~vmm ~user ~password =
+  let config =
+    {
+      Vmsh.Attach.default_config with
+      command = Some (Printf.sprintf "chpasswd %s %s" user password);
+    }
+  in
+  match
+    Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+      ~fs_image:(rescue_image ()) ~config
+      ~pump:(fun () -> Vmm.run_until_idle vmm)
+      ()
+  with
+  | Error e -> Error e
+  | Ok session ->
+      let out = Vmsh.Attach.console_recv session in
+      Vmsh.Attach.detach session;
+      Ok out
+
+let verify_password_set vmm guest ~user ~password =
+  let expected = Vmsh.Shell.mkpasswd ~user ~password in
+  match
+    Vmm.in_guest vmm (fun () ->
+        Guest.file_read guest ~ns:(Guest.root_ns guest) "/etc/shadow")
+  with
+  | Error _ -> false
+  | Ok content ->
+      List.mem expected
+        (String.split_on_char '\n' (Bytes.to_string content))

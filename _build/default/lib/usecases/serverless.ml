@@ -1,0 +1,137 @@
+module Sfs = Blockdev.Simplefs
+module Image = Blockdev.Image
+module Guest = Linux_guest.Guest
+module Vmm = Hypervisor.Vmm
+
+type lambda = {
+  fn_name : string;
+  vmm : Vmm.t;
+  guest : Guest.t;
+  mutable invocations : int;
+  mutable logs : string list;
+  mutable pinned : bool;
+  mutable reclaimed : bool;
+}
+
+type stack = {
+  h : Hostos.Host.t;
+  mutable pool : lambda list;
+  handlers : (string * (string -> (string, string) result)) list;
+}
+
+let lambda_disk h fn =
+  let manifest =
+    [
+      Image.file ~content:"#!lambda-runtime v1\n" "/usr/bin/lambda-runtime" 20;
+      Image.file ~content:(fn ^ "\n") "/etc/lambda/function" (String.length fn + 1);
+      Image.file ~content:(fn ^ "-host\n") "/etc/hostname" (String.length fn + 6);
+    ]
+  in
+  match Image.pack ~clock:h.Hostos.Host.clock ~extra_blocks:256 manifest with
+  | Ok (_backend, fs) ->
+      ignore (Sfs.mkdir_p fs "/dev");
+      ignore (Sfs.mkdir_p fs "/var/log");
+      Sfs.sync fs;
+      _backend
+  | Error e -> failwith ("lambda disk: " ^ Hostos.Errno.show e)
+
+let create_stack h ~functions =
+  let pool =
+    List.map
+      (fun (fn_name, _) ->
+        (* vHive runs lambdas in slim Firecracker microVMs; seccomp is
+           relaxed so VMSH can attach (paper §6.2/§6.5) *)
+        let vmm =
+          Vmm.create h ~profile:Hypervisor.Profile.firecracker
+            ~disk:(lambda_disk h fn_name) ~disable_seccomp:true ()
+        in
+        let guest = Vmm.boot vmm ~version:Linux_guest.Kernel_version.V5_10 in
+        {
+          fn_name;
+          vmm;
+          guest;
+          invocations = 0;
+          logs = [];
+          pinned = false;
+          reclaimed = false;
+        })
+      functions
+  in
+  { h; pool; handlers = functions }
+
+let lambdas t = t.pool
+
+let log_line lam line =
+  lam.logs <- lam.logs @ [ line ];
+  (* logs are also written inside the guest (what the operator greps) *)
+  Vmm.run_task lam.vmm ~name:"log-append" (fun () ->
+      let ns = Guest.root_ns lam.guest in
+      let existing =
+        match Guest.file_read lam.guest ~ns "/var/log/lambda.log" with
+        | Ok b -> Bytes.to_string b
+        | Error _ -> ""
+      in
+      ignore
+        (Guest.file_write lam.guest ~ns "/var/log/lambda.log"
+           (Bytes.of_string (existing ^ line ^ "\n"))))
+
+let invoke t ~fn ~payload =
+  match List.find_opt (fun l -> l.fn_name = fn && not l.reclaimed) t.pool with
+  | None -> Error ("no instance for function " ^ fn)
+  | Some lam -> (
+      lam.invocations <- lam.invocations + 1;
+      match List.assoc_opt fn t.handlers with
+      | None -> Error "no handler"
+      | Some handler -> (
+          match handler payload with
+          | Ok result ->
+              log_line lam (Printf.sprintf "INFO invocation ok: %s" result);
+              Ok result
+          | Error msg ->
+              log_line lam (Printf.sprintf "ERROR invocation failed: %s" msg);
+              Error msg))
+
+let find_faulty t =
+  let has_error lam =
+    List.exists
+      (fun line -> String.length line >= 5 && String.sub line 0 5 = "ERROR")
+      lam.logs
+  in
+  List.find_opt (fun l -> has_error l && not l.reclaimed) t.pool
+
+let debug_image () =
+  let manifest =
+    [
+      Image.file "/bin/busybox" (600 * 1024);
+      Image.file ~content:"#!strace\n" "/usr/bin/strace" 9;
+      Image.file ~content:"#!gdb\n" "/usr/bin/gdb" 6;
+    ]
+  in
+  match Image.pack manifest with
+  | Ok (backend, _) -> backend
+  | Error e -> failwith ("debug image: " ^ Hostos.Errno.show e)
+
+let debug_shell h t lam =
+  match
+    Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid lam.vmm)
+      ~fs_image:(debug_image ())
+      ~pump:(fun () -> Vmm.run_until_idle lam.vmm)
+      ()
+  with
+  | Error e -> Error e
+  | Ok session ->
+      (* the integration prevents scale-down while the user debugs *)
+      lam.pinned <- true;
+      ignore t;
+      Ok session
+
+let end_debug _t lam session =
+  Vmsh.Attach.detach session;
+  lam.pinned <- false
+
+let scale_down t =
+  let victims =
+    List.filter (fun l -> (not l.pinned) && not l.reclaimed) t.pool
+  in
+  List.iter (fun l -> l.reclaimed <- true) victims;
+  List.length victims

@@ -1,0 +1,45 @@
+(** Use case #1 (paper §6.5): the serverless debug shell.
+
+    A vHive-style Function-as-a-Service stack running lambda instances
+    in slim Firecracker VMs. When an invocation logs an error, the
+    operator locates the Firecracker process hosting the faulty lambda,
+    attaches VMSH to it (the stack runs its Firecrackers with seccomp
+    relaxed for debuggability, as the paper does) and opens an
+    interactive shell — while a pin prevents the autoscaler from
+    reclaiming the instance mid-session. *)
+
+type lambda = {
+  fn_name : string;
+  vmm : Hypervisor.Vmm.t;
+  guest : Linux_guest.Guest.t;
+  mutable invocations : int;
+  mutable logs : string list;  (** most recent last *)
+  mutable pinned : bool;  (** debug session active: exempt from scale-down *)
+  mutable reclaimed : bool;
+}
+
+type stack
+
+val create_stack :
+  Hostos.Host.t -> functions:(string * (string -> (string, string) result)) list ->
+  stack
+(** One Firecracker microVM per function; the handler maps a payload to
+    a result or an error message. *)
+
+val lambdas : stack -> lambda list
+
+val invoke : stack -> fn:string -> payload:string -> (string, string) result
+(** Run an invocation; errors are recorded in the instance's log. *)
+
+val find_faulty : stack -> lambda option
+(** The first instance whose log contains an ERROR line. *)
+
+val debug_shell :
+  Hostos.Host.t -> stack -> lambda -> (Vmsh.Attach.session, string) result
+(** Attach an interactive shell to the lambda's VM and pin it. *)
+
+val end_debug : stack -> lambda -> Vmsh.Attach.session -> unit
+
+val scale_down : stack -> int
+(** Reclaim idle unpinned instances; returns how many were reclaimed.
+    Pinned instances survive. *)

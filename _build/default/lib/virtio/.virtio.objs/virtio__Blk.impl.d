@@ -1,0 +1,1 @@
+lib/virtio/blk.ml: Array Blockdev Bytes Char Dev Effect Gmem Int32 Int64 Kvm List Mmio Printf Queue

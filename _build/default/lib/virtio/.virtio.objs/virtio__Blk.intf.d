@@ -1,0 +1,1 @@
+lib/virtio/blk.mli: Blockdev Gmem Mmio Queue

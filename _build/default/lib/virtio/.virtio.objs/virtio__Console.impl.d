@@ -1,0 +1,1 @@
+lib/virtio/console.ml: Array Buffer Bytes Effect Gmem Hashtbl Int32 Kvm List Mmio Queue String

@@ -1,0 +1,1 @@
+lib/virtio/console.mli: Gmem Mmio Queue

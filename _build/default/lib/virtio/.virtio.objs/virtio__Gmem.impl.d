@@ -1,0 +1,1 @@
+lib/virtio/gmem.ml: Bytes Int32 Int64 Kvm

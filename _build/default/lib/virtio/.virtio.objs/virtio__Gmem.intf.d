@@ -1,0 +1,1 @@
+lib/virtio/gmem.mli: Kvm

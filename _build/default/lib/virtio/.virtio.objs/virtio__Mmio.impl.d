@@ -1,0 +1,1 @@
+lib/virtio/mmio.ml: Array Bytes Int32 Printf Queue

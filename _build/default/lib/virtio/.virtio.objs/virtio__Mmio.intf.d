@@ -1,0 +1,1 @@
+lib/virtio/mmio.mli: Gmem Queue

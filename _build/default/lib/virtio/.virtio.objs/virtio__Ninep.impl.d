@@ -1,0 +1,1 @@
+lib/virtio/ninep.ml: Array Buffer Bytes Effect Gmem Hostos Int32 Int64 Kvm List Mmio Option Queue Result String

@@ -1,0 +1,1 @@
+lib/virtio/ninep.mli: Gmem Hostos Mmio Queue

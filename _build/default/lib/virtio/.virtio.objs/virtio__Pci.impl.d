@@ -1,0 +1,1 @@
+lib/virtio/pci.ml: Bytes Int32 List

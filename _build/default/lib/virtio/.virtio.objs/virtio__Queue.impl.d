@@ -1,0 +1,1 @@
+lib/virtio/queue.ml: Fun Gmem Hashtbl List

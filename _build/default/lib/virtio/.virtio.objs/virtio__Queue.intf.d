@@ -1,0 +1,1 @@
+lib/virtio/queue.mli: Gmem

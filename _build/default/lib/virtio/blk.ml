@@ -1,0 +1,298 @@
+let device_id = 2
+let sector_size = 512
+let sectors_per_block = Blockdev.Dev.block_size / sector_size
+let t_in = 0
+let t_out = 1
+let t_flush = 4
+let t_discard = 11
+let status_ok = 0
+let status_ioerr = 1
+let status_unsupp = 2
+let header_size = 16
+let max_data = 256 * 1024
+
+module Device = struct
+  type backend = {
+    capacity_sectors : int;
+    read : sector:int -> len:int -> bytes;
+    write : sector:int -> bytes -> unit;
+    flush : unit -> unit;
+    discard : sector:int -> len:int -> unit;
+  }
+
+  let backend_of_blockdev dev =
+    let open Blockdev in
+    {
+      capacity_sectors = Dev.size_bytes dev / sector_size;
+      read =
+        (fun ~sector ~len -> Dev.read_range dev ~off:(sector * sector_size) ~len);
+      write =
+        (fun ~sector data -> Dev.write_range dev ~off:(sector * sector_size) data);
+      flush = (fun () -> dev.Dev.flush ());
+      discard =
+        (fun ~sector ~len ->
+          let first = sector * sector_size / Dev.block_size in
+          let count = len / Dev.block_size in
+          dev.Dev.trim first count);
+    }
+
+  let config ~capacity_sectors =
+    let b = Bytes.make 8 '\000' in
+    Bytes.set_int64_le b 0 (Int64.of_int capacity_sectors);
+    b
+
+  let parse_header g (buf : Queue.Device.buffer) =
+    let hdr = g.Gmem.read ~addr:buf.Queue.Device.addr ~len:header_size in
+    let typ = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xffffffff in
+    let sector = Int64.to_int (Bytes.get_int64_le hdr 8) in
+    (typ, sector)
+
+  let process q g backend =
+    let completed = ref 0 in
+    let rec loop () =
+      match Queue.Device.pop q with
+      | None -> ()
+      | Some (head, buffers) ->
+          (match buffers with
+          | hdr_buf :: rest when not hdr_buf.Queue.Device.writable -> (
+              let typ, sector = parse_header g hdr_buf in
+              (* last writable buffer is the status byte *)
+              let rec split_status acc = function
+                | [] -> (List.rev acc, None)
+                | [ last ] when last.Queue.Device.writable -> (List.rev acc, Some last)
+                | b :: more -> split_status (b :: acc) more
+              in
+              let data_bufs, status_buf = split_status [] rest in
+              let put_status code =
+                match status_buf with
+                | Some sb ->
+                    g.Gmem.write ~addr:sb.Queue.Device.addr
+                      (Bytes.make 1 (Char.chr code))
+                | None -> ()
+              in
+              if typ = t_in then begin
+                let data_len =
+                  List.fold_left (fun a b -> a + b.Queue.Device.len) 0 data_bufs
+                in
+                let valid =
+                  sector >= 0
+                  && sector + ((data_len + sector_size - 1) / sector_size)
+                     <= backend.capacity_sectors
+                in
+                if not valid then put_status status_ioerr
+                else begin
+                  let data = backend.read ~sector ~len:data_len in
+                  let rec scatter off = function
+                    | [] -> ()
+                    | b :: more ->
+                        g.Gmem.write ~addr:b.Queue.Device.addr
+                          (Bytes.sub data off b.Queue.Device.len);
+                        scatter (off + b.Queue.Device.len) more
+                  in
+                  scatter 0 data_bufs;
+                  put_status status_ok;
+                  Queue.Device.push_used q ~head ~written:(data_len + 1)
+                end;
+                if not valid then Queue.Device.push_used q ~head ~written:1
+              end
+              else if typ = t_out then begin
+                let data =
+                  List.map
+                    (fun b ->
+                      g.Gmem.read ~addr:b.Queue.Device.addr ~len:b.Queue.Device.len)
+                    data_bufs
+                  |> Bytes.concat Bytes.empty
+                in
+                let valid =
+                  sector >= 0
+                  && sector
+                     + ((Bytes.length data + sector_size - 1) / sector_size)
+                     <= backend.capacity_sectors
+                in
+                if valid then begin
+                  backend.write ~sector data;
+                  put_status status_ok
+                end
+                else put_status status_ioerr;
+                Queue.Device.push_used q ~head ~written:1
+              end
+              else if typ = t_flush then begin
+                backend.flush ();
+                put_status status_ok;
+                Queue.Device.push_used q ~head ~written:1
+              end
+              else if typ = t_discard then begin
+                (match data_bufs with
+                | seg :: _ ->
+                    let sb = g.Gmem.read ~addr:seg.Queue.Device.addr ~len:16 in
+                    let dsec = Int64.to_int (Bytes.get_int64_le sb 0) in
+                    let dcount =
+                      Int32.to_int (Bytes.get_int32_le sb 8) land 0xffffffff
+                    in
+                    backend.discard ~sector:dsec ~len:(dcount * sector_size)
+                | [] -> ());
+                put_status status_ok;
+                Queue.Device.push_used q ~head ~written:1
+              end
+              else begin
+                put_status status_unsupp;
+                Queue.Device.push_used q ~head ~written:1
+              end)
+          | _ ->
+              (* malformed request: complete it with no status *)
+              Queue.Device.push_used q ~head ~written:0);
+          incr completed;
+          loop ()
+    in
+    loop ();
+    !completed
+end
+
+module Driver = struct
+  type slot = {
+    hdr_addr : int;
+    data_addr : int;
+    status_addr : int;
+    mutable busy : bool;
+  }
+
+  type t = {
+    g : Gmem.t;
+    access : Mmio.access;
+    queue : Queue.Driver.t;
+    slots : slot array;
+    capacity : int;
+  }
+
+  let num_slots = 8
+
+  let init ~gmem ~access ~alloc =
+    match Mmio.probe access ~gmem ~expect_device:device_id ~alloc ~queues:1 with
+    | Error e -> Error e
+    | Ok queues ->
+        let slot_bytes = header_size + max_data + 16 in
+        let region = alloc ~size:(num_slots * slot_bytes) in
+        let slots =
+          Array.init num_slots (fun i ->
+              let base = region + (i * slot_bytes) in
+              {
+                hdr_addr = base;
+                data_addr = base + header_size;
+                status_addr = base + header_size + max_data;
+                busy = false;
+              })
+        in
+        Ok
+          {
+            g = gmem;
+            access;
+            queue = queues.(0);
+            slots;
+            capacity = Mmio.read_config_u64 access 0;
+          }
+
+  let capacity_sectors t = t.capacity
+
+  let take_slot t =
+    let find () = Array.find_opt (fun s -> not s.busy) t.slots in
+    (match find () with
+    | Some _ -> ()
+    | None -> Effect.perform (Kvm.Vm.Yield_until (fun () -> find () <> None)));
+    match find () with
+    | Some s ->
+        s.busy <- true;
+        s
+    | None -> failwith "virtio-blk driver: no free slot after wakeup"
+
+  let write_header t slot ~typ ~sector =
+    let hdr = Bytes.make header_size '\000' in
+    Bytes.set_int32_le hdr 0 (Int32.of_int typ);
+    Bytes.set_int64_le hdr 8 (Int64.of_int sector);
+    t.g.Gmem.write ~addr:slot.hdr_addr hdr
+
+  let kick t =
+    t.access.Mmio.mwrite ~off:Mmio.reg_queue_notify
+      (let b = Bytes.create 4 in
+       Bytes.set_int32_le b 0 0l;
+       b)
+
+  let submit_and_wait t ~out ~in_ =
+    let head =
+      match Queue.Driver.add t.queue ~out ~in_ with
+      | Some h -> h
+      | None ->
+          Effect.perform
+            (Kvm.Vm.Yield_until (fun () -> Queue.Driver.in_flight t.queue < Queue.Driver.qsz t.queue));
+          (match Queue.Driver.add t.queue ~out ~in_ with
+          | Some h -> h
+          | None -> failwith "virtio-blk driver: ring full after wakeup")
+    in
+    kick t;
+    Effect.perform
+      (Kvm.Vm.Yield_until (fun () -> Queue.Driver.completed t.queue ~head))
+
+  let status_of t slot =
+    Char.code (Bytes.get (t.g.Gmem.read ~addr:slot.status_addr ~len:1) 0)
+
+  let check t slot op =
+    let st = status_of t slot in
+    slot.busy <- false;
+    if st <> status_ok then
+      failwith (Printf.sprintf "virtio-blk %s failed with status %d" op st)
+
+  let read t ~sector ~len =
+    if len > max_data then invalid_arg "virtio-blk read: request too large";
+    let slot = take_slot t in
+    write_header t slot ~typ:t_in ~sector;
+    submit_and_wait t
+      ~out:[ (slot.hdr_addr, header_size) ]
+      ~in_:[ (slot.data_addr, len); (slot.status_addr, 1) ];
+    let data = t.g.Gmem.read ~addr:slot.data_addr ~len in
+    check t slot "read";
+    data
+
+  let write t ~sector data =
+    let len = Bytes.length data in
+    if len > max_data then invalid_arg "virtio-blk write: request too large";
+    let slot = take_slot t in
+    write_header t slot ~typ:t_out ~sector;
+    t.g.Gmem.write ~addr:slot.data_addr data;
+    submit_and_wait t
+      ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, len) ]
+      ~in_:[ (slot.status_addr, 1) ];
+    check t slot "write"
+
+  let flush t =
+    let slot = take_slot t in
+    write_header t slot ~typ:t_flush ~sector:0;
+    submit_and_wait t
+      ~out:[ (slot.hdr_addr, header_size) ]
+      ~in_:[ (slot.status_addr, 1) ];
+    check t slot "flush"
+
+  let discard t ~sector ~count =
+    let slot = take_slot t in
+    write_header t slot ~typ:t_discard ~sector:0;
+    let seg = Bytes.make 16 '\000' in
+    Bytes.set_int64_le seg 0 (Int64.of_int sector);
+    Bytes.set_int32_le seg 8 (Int32.of_int count);
+    t.g.Gmem.write ~addr:slot.data_addr seg;
+    submit_and_wait t
+      ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, 16) ]
+      ~in_:[ (slot.status_addr, 1) ];
+    check t slot "discard"
+
+  let to_blockdev t =
+    let bs = Blockdev.Dev.block_size in
+    {
+      Blockdev.Dev.block_size = bs;
+      blocks = t.capacity / sectors_per_block;
+      read_block = (fun i -> read t ~sector:(i * sectors_per_block) ~len:bs);
+      write_block = (fun i b -> write t ~sector:(i * sectors_per_block) b);
+      flush = (fun () -> flush t);
+      trim =
+        (fun first count ->
+          discard t ~sector:(first * sectors_per_block)
+            ~count:(count * sectors_per_block * sector_size / sector_size));
+    }
+end

@@ -1,0 +1,65 @@
+(** VirtIO block device (device id 2): request codec, device-side
+    processing, and the guest driver.
+
+    Request layout per the spec: a 16-byte read-only header {type: u32,
+    reserved: u32, sector: u64}, data buffers, and a trailing 1-byte
+    device-writable status. Sectors are 512 bytes. *)
+
+val device_id : int
+val sector_size : int
+val sectors_per_block : int
+
+val t_in : int  (** read from device *)
+
+val t_out : int  (** write to device *)
+
+val t_flush : int
+val t_discard : int
+val status_ok : int
+val status_ioerr : int
+val status_unsupp : int
+
+module Device : sig
+  (** What the device does with sectors — the storage behind it. *)
+  type backend = {
+    capacity_sectors : int;
+    read : sector:int -> len:int -> bytes;
+    write : sector:int -> bytes -> unit;
+    flush : unit -> unit;
+    discard : sector:int -> len:int -> unit;
+  }
+
+  val backend_of_blockdev : Blockdev.Dev.t -> backend
+  (** Serve a host block device (or packed image). *)
+
+  val config : capacity_sectors:int -> bytes
+  (** Device config space (capacity at offset 0). *)
+
+  val process : Queue.Device.t -> Gmem.t -> backend -> int
+  (** Drain the available ring: execute every pending request, post used
+      entries. Returns the number of requests completed (caller raises
+      the interrupt if positive). *)
+end
+
+module Driver : sig
+  type t
+
+  val init :
+    gmem:Gmem.t -> access:Mmio.access -> alloc:(size:int -> int) ->
+    (t, string) result
+  (** Probe the transport, set up queue 0 and the DMA slot pool, read
+      the capacity from config space. Runs as guest code. *)
+
+  val capacity_sectors : t -> int
+
+  val read : t -> sector:int -> len:int -> bytes
+  (** Issue one request (up to 256 KiB); blocks the calling guest
+      context via [Yield_until] until completion. *)
+
+  val write : t -> sector:int -> bytes -> unit
+  val flush : t -> unit
+  val discard : t -> sector:int -> count:int -> unit
+
+  val to_blockdev : t -> Blockdev.Dev.t
+  (** 4 KiB block-device view for mounting a file system on top. *)
+end

@@ -1,0 +1,37 @@
+type t = {
+  read : addr:int -> len:int -> bytes;
+  write : addr:int -> bytes -> unit;
+}
+
+let read_u16 t addr =
+  let b = t.read ~addr ~len:2 in
+  Bytes.get_uint16_le b 0
+
+let write_u16 t addr v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 v;
+  t.write ~addr b
+
+let read_u32 t addr =
+  let b = t.read ~addr ~len:4 in
+  Int32.to_int (Bytes.get_int32_le b 0) land 0xffffffff
+
+let write_u32 t addr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  t.write ~addr b
+
+let read_u64 t addr =
+  let b = t.read ~addr ~len:8 in
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_u64 t addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  t.write ~addr b
+
+let of_vm vm =
+  {
+    read = (fun ~addr ~len -> Kvm.Vm.read_phys vm addr len);
+    write = (fun ~addr b -> Kvm.Vm.write_phys vm addr b);
+  }

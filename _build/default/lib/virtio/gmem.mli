@@ -1,0 +1,24 @@
+(** Guest-physical memory accessors.
+
+    Virtqueue code on both sides of the device boundary manipulates the
+    same bytes in guest memory, but *how* those bytes are reached
+    differs: the guest driver reads its own RAM, the hypervisor reads
+    the RAM it mapped, and VMSH reads another process's memory via
+    process_vm_readv. A [t] abstracts exactly that access path (and its
+    cost). *)
+
+type t = {
+  read : addr:int -> len:int -> bytes;
+  write : addr:int -> bytes -> unit;
+}
+
+val read_u16 : t -> int -> int
+val write_u16 : t -> int -> int -> unit
+val read_u32 : t -> int -> int
+val write_u32 : t -> int -> int -> unit
+val read_u64 : t -> int -> int
+val write_u64 : t -> int -> int -> unit
+
+val of_vm : Kvm.Vm.t -> t
+(** In-guest view: direct physical access, no charge (the guest touching
+    its own RAM is already priced into the workload model). *)

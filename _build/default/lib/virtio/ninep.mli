@@ -1,0 +1,45 @@
+(** A virtio-9p-style host file-sharing device (device id 9).
+
+    Stands in for QEMU's virtio-9p in the Fig. 6 file-IO comparison:
+    instead of a block device, every file operation travels as a message
+    through one virtqueue and is served against a *host-side* file
+    system (with the host's own page cache in the path — the double
+    caching that cripples qemu-9p's IOPS in the paper).
+
+    The wire format is a simplified 9P: one request/response exchange
+    per operation, path-addressed. *)
+
+val device_id : int
+
+type request =
+  | Read of { path : string; off : int; len : int }
+  | Write of { path : string; off : int; data : bytes }
+  | Create of string
+  | Stat of string
+
+type response = { status : int; payload : bytes }
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request option
+val encode_response : response -> bytes
+val decode_response : bytes -> response option
+
+module Device : sig
+  (** Host-side handler executing operations (over the host FS). *)
+  type backend = { handle : request -> response }
+
+  val process : Queue.Device.t -> Gmem.t -> backend -> int
+end
+
+module Driver : sig
+  type t
+
+  val init :
+    gmem:Gmem.t -> access:Mmio.access -> alloc:(size:int -> int) ->
+    (t, string) result
+
+  val read : t -> path:string -> off:int -> len:int -> bytes Hostos.Errno.result
+  val write : t -> path:string -> off:int -> bytes -> int Hostos.Errno.result
+  val create : t -> path:string -> unit Hostos.Errno.result
+  val stat_size : t -> path:string -> int Hostos.Errno.result
+end

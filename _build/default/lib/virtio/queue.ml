@@ -1,0 +1,196 @@
+let desc_f_next = 0x1
+let desc_f_write = 0x2
+
+let desc_entry = 16
+let used_entry = 8
+
+let bytes_needed ~qsz =
+  let desc_off = 0 in
+  let avail_off = qsz * desc_entry in
+  let used_off = avail_off + 4 + (2 * qsz) in
+  (* align used ring to 4 *)
+  let used_off = (used_off + 3) land lnot 3 in
+  let total = used_off + 4 + (used_entry * qsz) in
+  (desc_off, avail_off, used_off, total)
+
+(* Field accessors shared by both halves. *)
+
+let desc_addr g ~desc i = Gmem.read_u64 g (desc + (i * desc_entry))
+let desc_len g ~desc i = Gmem.read_u32 g (desc + (i * desc_entry) + 8)
+let desc_flags g ~desc i = Gmem.read_u16 g (desc + (i * desc_entry) + 12)
+let desc_next g ~desc i = Gmem.read_u16 g (desc + (i * desc_entry) + 14)
+
+let write_desc g ~desc i ~addr ~len ~flags ~next =
+  Gmem.write_u64 g (desc + (i * desc_entry)) addr;
+  Gmem.write_u32 g (desc + (i * desc_entry) + 8) len;
+  Gmem.write_u16 g (desc + (i * desc_entry) + 12) flags;
+  Gmem.write_u16 g (desc + (i * desc_entry) + 14) next
+
+let avail_idx g ~avail = Gmem.read_u16 g (avail + 2)
+let set_avail_idx g ~avail v = Gmem.write_u16 g (avail + 2) (v land 0xffff)
+let avail_ring g ~avail ~qsz slot = Gmem.read_u16 g (avail + 4 + (2 * (slot mod qsz)))
+let set_avail_ring g ~avail ~qsz slot v =
+  Gmem.write_u16 g (avail + 4 + (2 * (slot mod qsz))) v
+
+let used_idx g ~used = Gmem.read_u16 g (used + 2)
+let set_used_idx g ~used v = Gmem.write_u16 g (used + 2) (v land 0xffff)
+
+let used_elem g ~used ~qsz slot =
+  let base = used + 4 + (used_entry * (slot mod qsz)) in
+  (Gmem.read_u32 g base, Gmem.read_u32 g (base + 4))
+
+let set_used_elem g ~used ~qsz slot ~id ~len =
+  let base = used + 4 + (used_entry * (slot mod qsz)) in
+  Gmem.write_u32 g base id;
+  Gmem.write_u32 g (base + 4) len
+
+module Driver = struct
+  type t = {
+    g : Gmem.t;
+    qsz : int;
+    desc : int;
+    avail : int;
+    used : int;
+    mutable free : int list;  (** free descriptor indices *)
+    mutable next_avail : int;  (** shadow of avail idx *)
+    mutable last_used : int;  (** last seen used idx *)
+    mutable live : int;
+    completed_heads : (int, unit) Hashtbl.t;
+  }
+
+  let create g ~qsz ~desc ~avail ~used =
+    set_avail_idx g ~avail 0;
+    set_used_idx g ~used 0;
+    {
+      g;
+      qsz;
+      desc;
+      avail;
+      used;
+      free = List.init qsz Fun.id;
+      next_avail = 0;
+      last_used = 0;
+      live = 0;
+      completed_heads = Hashtbl.create 16;
+    }
+
+  let qsz t = t.qsz
+
+  let add t ~out ~in_ =
+    let bufs =
+      List.map (fun (a, l) -> (a, l, 0)) out
+      @ List.map (fun (a, l) -> (a, l, desc_f_write)) in_
+    in
+    let n = List.length bufs in
+    if n = 0 || List.length t.free < n then None
+    else begin
+      let rec take k acc free =
+        if k = 0 then (List.rev acc, free)
+        else
+          match free with
+          | [] -> assert false
+          | d :: rest -> take (k - 1) (d :: acc) rest
+      in
+      let descs, free = take n [] t.free in
+      t.free <- free;
+      let rec link = function
+        | [] -> ()
+        | [ (d, (addr, len, wflags)) ] ->
+            write_desc t.g ~desc:t.desc d ~addr ~len ~flags:wflags ~next:0
+        | (d, (addr, len, wflags)) :: ((d', _) :: _ as rest) ->
+            write_desc t.g ~desc:t.desc d ~addr ~len
+              ~flags:(wflags lor desc_f_next) ~next:d';
+            link rest
+      in
+      link (List.combine descs bufs);
+      let head = List.hd descs in
+      set_avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.next_avail head;
+      t.next_avail <- t.next_avail + 1;
+      set_avail_idx t.g ~avail:t.avail t.next_avail;
+      t.live <- t.live + 1;
+      Some head
+    end
+
+  let free_chain t head =
+    let rec go d acc =
+      let flags = desc_flags t.g ~desc:t.desc d in
+      let acc = d :: acc in
+      if flags land desc_f_next <> 0 then go (desc_next t.g ~desc:t.desc d) acc
+      else acc
+    in
+    t.free <- go head [] @ t.free
+
+  let used_pending t = used_idx t.g ~used:t.used <> t.last_used land 0xffff
+
+  let poll_used t =
+    let cur = used_idx t.g ~used:t.used in
+    if t.last_used land 0xffff = cur then None
+    else begin
+      let id, len = used_elem t.g ~used:t.used ~qsz:t.qsz t.last_used in
+      t.last_used <- (t.last_used + 1) land 0xffff;
+      free_chain t id;
+      t.live <- t.live - 1;
+      Hashtbl.replace t.completed_heads id ();
+      Some (id, len)
+    end
+
+  let completed t ~head =
+    let rec drain () = match poll_used t with Some _ -> drain () | None -> () in
+    drain ();
+    if Hashtbl.mem t.completed_heads head then begin
+      Hashtbl.remove t.completed_heads head;
+      true
+    end
+    else false
+
+  let in_flight t = t.live
+end
+
+module Device = struct
+  type t = {
+    g : Gmem.t;
+    qsz : int;
+    desc : int;
+    avail : int;
+    used : int;
+    mutable last_avail : int;
+    mutable used_count : int;
+  }
+
+  type buffer = { addr : int; len : int; writable : bool }
+
+  let create g ~qsz ~desc ~avail ~used =
+    { g; qsz; desc; avail; used; last_avail = 0; used_count = 0 }
+
+  let read_chain t head =
+    let rec go d acc guard =
+      if guard > t.qsz then List.rev acc (* malformed chain: stop *)
+      else
+        let flags = desc_flags t.g ~desc:t.desc d in
+        let buf =
+          {
+            addr = desc_addr t.g ~desc:t.desc d;
+            len = desc_len t.g ~desc:t.desc d;
+            writable = flags land desc_f_write <> 0;
+          }
+        in
+        if flags land desc_f_next <> 0 then
+          go (desc_next t.g ~desc:t.desc d) (buf :: acc) (guard + 1)
+        else List.rev (buf :: acc)
+    in
+    go head [] 0
+
+  let pop t =
+    let cur = avail_idx t.g ~avail:t.avail in
+    if t.last_avail land 0xffff = cur then None
+    else begin
+      let head = avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.last_avail in
+      t.last_avail <- (t.last_avail + 1) land 0xffff;
+      Some (head, read_chain t head)
+    end
+
+  let push_used t ~head ~written =
+    set_used_elem t.g ~used:t.used ~qsz:t.qsz t.used_count ~id:head ~len:written;
+    t.used_count <- (t.used_count + 1) land 0xffff;
+    set_used_idx t.g ~used:t.used t.used_count
+end

@@ -1,0 +1,69 @@
+(** Split virtqueues (VirtIO 1.1 §2.6) serialized in guest memory.
+
+    Layout per queue of size [qsz]:
+    - descriptor table: [qsz] × 16 bytes — {addr: u64, len: u32,
+      flags: u16, next: u16}
+    - available ring: u16 flags, u16 idx, [qsz] × u16 ring
+    - used ring: u16 flags, u16 idx, [qsz] × {u32 id, u32 len}
+
+    Both halves operate on the same guest bytes through a {!Gmem.t}; the
+    driver half additionally owns the free-descriptor list (driver-local
+    state that never lives in shared memory, as in a real driver). *)
+
+val desc_f_next : int
+val desc_f_write : int
+
+val bytes_needed : qsz:int -> int * int * int * int
+(** [(desc_off, avail_off, used_off, total)] relative offsets for
+    carving one queue's rings out of a contiguous allocation. *)
+
+(** {1 Driver (guest) half} *)
+
+module Driver : sig
+  type t
+
+  val create : Gmem.t -> qsz:int -> desc:int -> avail:int -> used:int -> t
+  (** Attach to rings at the given guest-physical addresses and
+      initialise indices to zero. *)
+
+  val qsz : t -> int
+
+  val add :
+    t -> out:(int * int) list -> in_:(int * int) list -> int option
+  (** [add q ~out ~in_] links the device-readable [(addr, len)] buffers
+      and device-writable ones into a descriptor chain, publishes it in
+      the available ring and returns the chain head, or [None] when out
+      of descriptors. *)
+
+  val used_pending : t -> bool
+  (** Whether the device published used elements we have not consumed.
+      Pure read — safe inside parked-context predicates, where MMIO
+      effects must not be performed. *)
+
+  val poll_used : t -> (int * int) option
+  (** Next unseen used element as [(head, written)]; frees the chain's
+      descriptors. *)
+
+  val completed : t -> head:int -> bool
+  (** Whether a given chain head has been returned by the device
+      (drains [poll_used] internally). *)
+
+  val in_flight : t -> int
+end
+
+(** {1 Device (host) half} *)
+
+module Device : sig
+  type t
+
+  val create : Gmem.t -> qsz:int -> desc:int -> avail:int -> used:int -> t
+
+  (** One buffer of a request chain as the device sees it. *)
+  type buffer = { addr : int; len : int; writable : bool }
+
+  val pop : t -> (int * buffer list) option
+  (** Next available chain as [(head, buffers)], or [None] if the ring
+      is empty. *)
+
+  val push_used : t -> head:int -> written:int -> unit
+end

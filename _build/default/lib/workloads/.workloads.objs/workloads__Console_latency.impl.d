@@ -1,0 +1,1 @@
+lib/workloads/console_latency.ml: Hostos String Vmsh

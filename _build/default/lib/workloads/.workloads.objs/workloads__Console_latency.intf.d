@@ -1,0 +1,1 @@
+lib/workloads/console_latency.mli: Hostos Vmsh

@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Blockdev Bytes Filename Float Hostos Hypervisor Linux_guest List Option Virtio

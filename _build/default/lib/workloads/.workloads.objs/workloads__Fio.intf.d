@@ -1,0 +1,1 @@
+lib/workloads/fio.mli: Blockdev Hostos Hypervisor Linux_guest Virtio

@@ -1,0 +1,1 @@
+lib/workloads/phoronix.ml: Blockdev Bytes Char Hashtbl Hostos Hypervisor Linux_guest Printf

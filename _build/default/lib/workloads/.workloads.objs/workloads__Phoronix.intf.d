@@ -1,0 +1,1 @@
+lib/workloads/phoronix.mli: Blockdev Hostos Hypervisor Linux_guest

@@ -1,0 +1,1 @@
+lib/workloads/xfstests.ml: Array Blockdev Buffer Bytes Char Digest Format Hashtbl Hostos List Printexc Printf String

@@ -1,0 +1,1 @@
+lib/workloads/xfstests.mli: Blockdev Format

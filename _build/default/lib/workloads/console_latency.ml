@@ -1,0 +1,50 @@
+module Clock = Hostos.Clock
+
+let pty_wakeup_ns = 200_000.0
+let ssh_stack_ns = 230_000.0
+
+type measurement = { m_name : string; latency_ms : float }
+
+let ms ns = ns /. 1e6
+
+let native clock =
+  let start = Clock.now_ns clock in
+  (* one pty traversal each way between the terminal and the shell *)
+  Clock.advance clock (pty_wakeup_ns /. 2.0);
+  Clock.copy_bytes clock 16;
+  Clock.syscall clock;
+  (* the shell runs echo *)
+  Clock.syscall clock;
+  Clock.copy_bytes clock 16;
+  Clock.advance clock (pty_wakeup_ns /. 2.0);
+  { m_name = "native"; latency_ms = ms (Clock.now_ns clock -. start) }
+
+let ssh clock =
+  let start = Clock.now_ns clock in
+  (* client -> tcp -> sshd -> pty -> shell and all the way back *)
+  Clock.advance clock ssh_stack_ns;
+  Clock.advance clock pty_wakeup_ns;
+  Clock.syscall clock;
+  Clock.syscall clock;
+  Clock.advance clock pty_wakeup_ns;
+  Clock.advance clock ssh_stack_ns;
+  { m_name = "ssh"; latency_ms = ms (Clock.now_ns clock -. start) }
+
+let vmsh session clock =
+  (* drain pending output first so we time just the round trip *)
+  ignore (Vmsh.Attach.console_recv session);
+  let start = Clock.now_ns clock in
+  (* two pty traversals inbound: user's terminal -> the VMSH console
+     client, and the client's pts seat -> the device thread *)
+  Clock.advance clock (2.0 *. pty_wakeup_ns);
+  Vmsh.Attach.console_send session "hostname";
+  let rec wait tries =
+    let out = Vmsh.Attach.console_recv session in
+    if String.length out > 0 then ()
+    else if tries = 0 then failwith "console latency: no response"
+    else wait (tries - 1)
+  in
+  wait 16;
+  (* and two traversals outbound *)
+  Clock.advance clock (2.0 *. pty_wakeup_ns);
+  { m_name = "vmsh-console"; latency_ms = ms (Clock.now_ns clock -. start) }

@@ -1,0 +1,263 @@
+module Sfs = Blockdev.Simplefs
+module Page_cache = Linux_guest.Page_cache
+module Clock = Hostos.Clock
+module Rng = Hostos.Rng
+
+type env = {
+  vmm : Hypervisor.Vmm.t;
+  fs : Sfs.t;
+  cache : Page_cache.t;
+  clock : Clock.t;
+  rng : Hostos.Rng.t;
+}
+
+type test = { tname : string; run : env -> unit }
+
+let bs = Blockdev.Dev.block_size
+
+let fail_errno what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "phoronix %s: %s" what (Hostos.Errno.show e))
+
+let wfile env path data = fail_errno "write" (Sfs.write_file env.fs path data)
+let rfile env path = fail_errno "read" (Sfs.read_file env.fs path)
+let mkdirp env d = fail_errno "mkdir" (Sfs.mkdir_p env.fs d)
+
+let content tag size = Bytes.init size (fun i -> Char.chr ((Hashtbl.hash tag + i) land 0xff))
+
+(* --- Compile Bench: the IO profile of a kernel build --- *)
+
+(* sources are read (mostly warm in cache), small objects written *)
+let compilebench_compile env =
+  mkdirp env "/cb/src";
+  mkdirp env "/cb/obj";
+  for i = 0 to 39 do
+    wfile env (Printf.sprintf "/cb/src/file%d.c" i) (content ("src" ^ string_of_int i) (6 * 1024))
+  done;
+  (* compile: each source read twice (preprocess + compile), object written *)
+  for _pass = 1 to 2 do
+    for i = 0 to 39 do
+      ignore (rfile env (Printf.sprintf "/cb/src/file%d.c" i))
+    done
+  done;
+  for i = 0 to 39 do
+    wfile env (Printf.sprintf "/cb/obj/file%d.o" i) (content ("obj" ^ string_of_int i) (9 * 1024))
+  done
+
+let compilebench_create env =
+  mkdirp env "/cb/tree";
+  for d = 0 to 7 do
+    mkdirp env (Printf.sprintf "/cb/tree/dir%d" d);
+    for i = 0 to 11 do
+      wfile env
+        (Printf.sprintf "/cb/tree/dir%d/f%d" d i)
+        (content (Printf.sprintf "t%d-%d" d i) (4 * 1024))
+    done
+  done
+
+let compilebench_read_tree env =
+  compilebench_create env;
+  (* read the whole tree twice: second pass is pure page cache *)
+  for _pass = 1 to 2 do
+    for d = 0 to 7 do
+      for i = 0 to 11 do
+        ignore (rfile env (Printf.sprintf "/cb/tree/dir%d/f%d" d i))
+      done
+    done
+  done
+
+(* --- DBENCH: file-server operation mix --- *)
+
+let dbench ~clients env =
+  mkdirp env "/db";
+  for c = 0 to clients - 1 do
+    mkdirp env (Printf.sprintf "/db/client%d" c)
+  done;
+  (* each client: create, write, read back, append, delete *)
+  for round = 0 to 5 do
+    for c = 0 to clients - 1 do
+      let f = Printf.sprintf "/db/client%d/r%d" c round in
+      wfile env f (content f (8 * 1024));
+      ignore (rfile env f);
+      let ino = fail_errno "lookup" (Sfs.lookup env.fs f) in
+      ignore (fail_errno "append" (Sfs.write env.fs ino ~off:(8 * 1024) (content (f ^ "x") 2048)));
+      ignore (rfile env f);
+      if round mod 2 = 1 then ignore (fail_errno "unlink" (Sfs.unlink env.fs f))
+    done
+  done
+
+(* --- FS-Mark: file creation rates --- *)
+
+let fsmark ~files ~size ~dirs ~sync env =
+  mkdirp env "/fsm";
+  for d = 0 to dirs - 1 do
+    mkdirp env (Printf.sprintf "/fsm/d%d" d)
+  done;
+  for i = 0 to files - 1 do
+    let path = Printf.sprintf "/fsm/d%d/f%d" (i mod dirs) i in
+    wfile env path (content path size);
+    if sync then begin
+      let ino = fail_errno "lookup" (Sfs.lookup env.fs path) in
+      Page_cache.flush env.cache;
+      Sfs.fsync env.fs ino
+    end
+  done
+
+(* --- fio inside Phoronix: direct IO --- *)
+
+let create_or_lookup env path =
+  match Sfs.lookup env.fs path with
+  | Ok ino -> ino
+  | Error _ -> fail_errno "create" (Sfs.create env.fs path)
+
+let fio_direct ~rand ~read ~block_size ~total env =
+  let path = "/fio.dat" in
+  let span = max total (2 * 1024 * 1024) in
+  (* preallocate *)
+  let ino = create_or_lookup env path in
+  let chunk = Bytes.make bs 'p' in
+  let rec fill off =
+    if off < span then begin
+      ignore (fail_errno "prep" (Sfs.write env.fs ino ~off chunk));
+      fill (off + bs)
+    end
+  in
+  fill 0;
+  Page_cache.drop env.cache;
+  let nops = max 1 (total / block_size) in
+  Page_cache.bypass env.cache (fun () ->
+      let payload = Bytes.make (min block_size (4 * 1024 * 1024)) 'q' in
+      for i = 0 to nops - 1 do
+        let off =
+          if rand then Rng.int env.rng (span / block_size) * block_size
+          else i * block_size mod span
+        in
+        Clock.syscall env.clock;
+        if read then ignore (fail_errno "read" (Sfs.read env.fs ino ~off ~len:block_size))
+        else ignore (fail_errno "write" (Sfs.write env.fs ino ~off payload))
+      done)
+
+(* --- IOR: sequential writes with growing transfer sizes --- *)
+
+let ior ~mb env =
+  (* scaled 1:32 from the figure's sizes; partially cache-resident, so
+     roughly 20% of accesses hit the page cache as in the paper *)
+  let total = mb * 1024 * 1024 / 32 in
+  let path = "/ior.dat" in
+  let ino = create_or_lookup env path in
+  let chunk = Bytes.make bs 'i' in
+  let rec write off =
+    if off < total then begin
+      ignore (fail_errno "write" (Sfs.write env.fs ino ~off chunk));
+      (* re-read a stripe of recently written data (the cache-hit share) *)
+      if off mod (5 * bs) = 0 then
+        ignore (fail_errno "reread" (Sfs.read env.fs ino ~off ~len:bs));
+      write (off + bs)
+    end
+  in
+  write 0;
+  Page_cache.flush env.cache
+
+(* --- PostMark: small-file mail-server transactions --- *)
+
+let postmark env =
+  mkdirp env "/mail";
+  let pool = 60 in
+  for i = 0 to pool - 1 do
+    wfile env (Printf.sprintf "/mail/m%d" i) (content ("mail" ^ string_of_int i) 1500)
+  done;
+  for txn = 0 to 199 do
+    let i = Rng.int env.rng pool in
+    let path = Printf.sprintf "/mail/m%d" i in
+    match txn mod 4 with
+    | 0 -> ignore (rfile env path)
+    | 1 ->
+        let ino = fail_errno "lookup" (Sfs.lookup env.fs path) in
+        let st = fail_errno "stat" (Sfs.stat env.fs path) in
+        ignore
+          (fail_errno "append"
+             (Sfs.write env.fs ino ~off:st.Sfs.st_size (content "app" 700)))
+    | 2 ->
+        ignore (fail_errno "unlink" (Sfs.unlink env.fs path));
+        wfile env path (content (path ^ "new") 1500)
+    | _ -> ignore (rfile env path)
+  done
+
+(* --- SQLite: insertions dominated by journal create/unlink --- *)
+
+let sqlite ~threads env =
+  let path = "/sqlite.db" in
+  wfile env path (content "db" (16 * 1024));
+  let txns = 48 in
+  for t = 0 to txns - 1 do
+    let journal = Printf.sprintf "/sqlite.db-journal%d" (t mod threads) in
+    (* begin: create the rollback journal (inode-heavy) *)
+    wfile env journal (content "jrn" 2048);
+    (* insert: append a page to the database *)
+    let ino = fail_errno "lookup" (Sfs.lookup env.fs path) in
+    let st = fail_errno "stat" (Sfs.stat env.fs path) in
+    ignore
+      (fail_errno "insert" (Sfs.write env.fs ino ~off:st.Sfs.st_size (content "row" 1024)));
+    (* commit: fsync + unlink the journal *)
+    Page_cache.flush env.cache;
+    Sfs.fsync env.fs ino;
+    ignore (fail_errno "unlink" (Sfs.unlink env.fs journal))
+  done
+
+let kib = 1024
+let mib = 1024 * 1024
+
+let tests =
+  [
+    { tname = "Compile Bench: Compile"; run = compilebench_compile };
+    { tname = "Compile Bench: Create"; run = compilebench_create };
+    { tname = "Compile Bench: Read tree"; run = compilebench_read_tree };
+    { tname = "Dbench: 1 Client"; run = dbench ~clients:1 };
+    { tname = "Dbench: 12 Clients"; run = dbench ~clients:12 };
+    { tname = "FS-Mark: 1000 Files, 1MB";
+      run = fsmark ~files:32 ~size:(32 * kib) ~dirs:1 ~sync:true };
+    { tname = "FS-Mark: 1k Files, No Sync";
+      run = fsmark ~files:32 ~size:(32 * kib) ~dirs:1 ~sync:false };
+    { tname = "FS-Mark: 4k Files, 32 Dirs";
+      run = fsmark ~files:128 ~size:(2 * kib) ~dirs:32 ~sync:false };
+    { tname = "FS-Mark: 5k Files, 1MB, 4 Threads";
+      run = fsmark ~files:48 ~size:(32 * kib) ~dirs:4 ~sync:true };
+    { tname = "Fio: Rand read, 4KB";
+      run = fio_direct ~rand:true ~read:true ~block_size:(4 * kib) ~total:mib };
+    { tname = "Fio: Rand read, 2MB";
+      run = fio_direct ~rand:true ~read:true ~block_size:(2 * mib) ~total:(8 * mib) };
+    { tname = "Fio: Rand write, 4KB";
+      run = fio_direct ~rand:true ~read:false ~block_size:(4 * kib) ~total:mib };
+    { tname = "Fio: Rand write, 2MB";
+      run = fio_direct ~rand:true ~read:false ~block_size:(2 * mib) ~total:(8 * mib) };
+    { tname = "Fio: Sequential read, 4KB";
+      run = fio_direct ~rand:false ~read:true ~block_size:(4 * kib) ~total:mib };
+    { tname = "Fio: Sequential read, 2MB";
+      run = fio_direct ~rand:false ~read:true ~block_size:(2 * mib) ~total:(8 * mib) };
+    { tname = "Fio: Sequential write, 2KB";
+      run = fio_direct ~rand:false ~read:false ~block_size:(2 * kib) ~total:(mib / 2) };
+    { tname = "Fio: Sequential write, 2MB";
+      run = fio_direct ~rand:false ~read:false ~block_size:(2 * mib) ~total:(8 * mib) };
+    { tname = "IOR: 2MB"; run = ior ~mb:2 };
+    { tname = "IOR: 4MB"; run = ior ~mb:4 };
+    { tname = "IOR: 8MB"; run = ior ~mb:8 };
+    { tname = "IOR: 16MB"; run = ior ~mb:16 };
+    { tname = "IOR: 32MB"; run = ior ~mb:32 };
+    { tname = "IOR: 64MB"; run = ior ~mb:64 };
+    { tname = "IOR: 256MB"; run = ior ~mb:256 };
+    { tname = "IOR: 512MB"; run = ior ~mb:512 };
+    { tname = "IOR: 1025MB"; run = ior ~mb:1025 };
+    { tname = "PostMark: Disk transactions"; run = postmark };
+    { tname = "Sqlite: 1 Threads"; run = sqlite ~threads:1 };
+    { tname = "Sqlite: 8 Threads"; run = sqlite ~threads:8 };
+    { tname = "Sqlite: 32 Threads"; run = sqlite ~threads:32 };
+    { tname = "Sqlite: 64 Threads"; run = sqlite ~threads:64 };
+    { tname = "Sqlite: 128 Threads"; run = sqlite ~threads:128 };
+  ]
+
+let run_one env t =
+  (* cache writeback reaches the device, so it must run as guest code *)
+  Hypervisor.Vmm.in_guest env.vmm (fun () -> Page_cache.drop env.cache);
+  let start = Clock.now_ns env.clock in
+  Hypervisor.Vmm.in_guest env.vmm (fun () -> t.run env);
+  Clock.now_ns env.clock -. start

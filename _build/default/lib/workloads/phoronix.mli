@@ -1,0 +1,28 @@
+(** Workload models for the Phoronix disk suite (Fig. 5): the 32 test
+    configurations, each reproducing its real counterpart's IO
+    *character* (metadata-heavy, page-cache-friendly, direct-IO bound,
+    journal-churning, ...) at simulation scale.
+
+    Each test runs against a file system mounted on the device under
+    test — qemu-blk or vmsh-blk — so the relative slowdowns of Fig. 5
+    fall out of how much of each workload actually reaches the device. *)
+
+type env = {
+  vmm : Hypervisor.Vmm.t;
+  fs : Blockdev.Simplefs.t;  (** on the device under test *)
+  cache : Linux_guest.Page_cache.t;
+  clock : Hostos.Clock.t;
+  rng : Hostos.Rng.t;
+}
+
+type test = {
+  tname : string;  (** as labelled in Fig. 5 *)
+  run : env -> unit;
+}
+
+val tests : test list
+(** All 32 configurations, in figure order. *)
+
+val run_one : env -> test -> float
+(** Elapsed virtual nanoseconds for one test (page cache dropped
+    beforehand so runs are independent). *)

@@ -1,0 +1,1 @@
+lib/x86/page_table.pp.ml: Layout

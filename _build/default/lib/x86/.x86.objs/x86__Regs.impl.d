@@ -1,0 +1,1 @@
+lib/x86/regs.pp.ml: Ppx_deriving_runtime

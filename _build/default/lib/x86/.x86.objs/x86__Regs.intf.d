@@ -1,0 +1,1 @@
+lib/x86/regs.pp.mli: Ppx_deriving_runtime

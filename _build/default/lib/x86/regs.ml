@@ -1,0 +1,52 @@
+type t = {
+  mutable rax : int;
+  mutable rbx : int;
+  mutable rcx : int;
+  mutable rdx : int;
+  mutable rsi : int;
+  mutable rdi : int;
+  mutable rbp : int;
+  mutable rsp : int;
+  mutable r8 : int;
+  mutable r9 : int;
+  mutable r10 : int;
+  mutable r11 : int;
+  mutable r12 : int;
+  mutable r13 : int;
+  mutable r14 : int;
+  mutable r15 : int;
+  mutable rip : int;
+  mutable rflags : int;
+  mutable cr3 : int;
+}
+[@@deriving show, eq]
+
+let zero () =
+  {
+    rax = 0; rbx = 0; rcx = 0; rdx = 0; rsi = 0; rdi = 0; rbp = 0; rsp = 0;
+    r8 = 0; r9 = 0; r10 = 0; r11 = 0; r12 = 0; r13 = 0; r14 = 0; r15 = 0;
+    rip = 0; rflags = 0x202; cr3 = 0;
+  }
+
+let copy t = { t with rax = t.rax }
+
+let restore regs ~from =
+  regs.rax <- from.rax;
+  regs.rbx <- from.rbx;
+  regs.rcx <- from.rcx;
+  regs.rdx <- from.rdx;
+  regs.rsi <- from.rsi;
+  regs.rdi <- from.rdi;
+  regs.rbp <- from.rbp;
+  regs.rsp <- from.rsp;
+  regs.r8 <- from.r8;
+  regs.r9 <- from.r9;
+  regs.r10 <- from.r10;
+  regs.r11 <- from.r11;
+  regs.r12 <- from.r12;
+  regs.r13 <- from.r13;
+  regs.r14 <- from.r14;
+  regs.r15 <- from.r15;
+  regs.rip <- from.rip;
+  regs.rflags <- from.rflags;
+  regs.cr3 <- from.cr3

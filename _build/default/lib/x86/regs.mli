@@ -1,0 +1,39 @@
+(** x86-64 register file as exposed by KVM_GET_REGS / ptrace GETREGS.
+
+    Only the registers the VMSH control flow actually touches are
+    modelled: the syscall-ABI general-purpose registers, instruction and
+    stack pointer, and CR3 (the page-table root, which the sideloader
+    reads to discover the guest's virtual memory layout). *)
+
+type t = {
+  mutable rax : int;
+  mutable rbx : int;
+  mutable rcx : int;
+  mutable rdx : int;
+  mutable rsi : int;
+  mutable rdi : int;
+  mutable rbp : int;
+  mutable rsp : int;
+  mutable r8 : int;
+  mutable r9 : int;
+  mutable r10 : int;
+  mutable r11 : int;
+  mutable r12 : int;
+  mutable r13 : int;
+  mutable r14 : int;
+  mutable r15 : int;
+  mutable rip : int;
+  mutable rflags : int;
+  mutable cr3 : int;
+}
+[@@deriving show, eq]
+
+val zero : unit -> t
+(** A fresh register file with every register cleared. *)
+
+val copy : t -> t
+(** A deep copy (register files are mutable). *)
+
+val restore : t -> from:t -> unit
+(** [restore regs ~from] copies every field of [from] into [regs],
+    e.g. after a ptrace syscall injection restores the saved state. *)

@@ -1,0 +1,1 @@
+test/test_attach.ml: Alcotest Blockdev Bytes Filename Hashtbl Hostos Hypervisor Kvm Linux_guest List QCheck QCheck_alcotest Result Str String Virtio Vmsh X86

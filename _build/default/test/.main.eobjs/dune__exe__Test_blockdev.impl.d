@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Blockdev Bytes Char Gen Hashtbl Hostos List Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_boot.ml: Alcotest Blockdev Bytes Filename Hostos Hypervisor Linux_guest List Option String Virtio X86

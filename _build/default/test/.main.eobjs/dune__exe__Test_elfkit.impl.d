@@ -1,0 +1,1 @@
+test/test_elfkit.ml: Alcotest Bytes Char Elfkit Gen Int64 List QCheck QCheck_alcotest String

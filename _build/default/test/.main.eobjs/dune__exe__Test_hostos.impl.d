@@ -1,0 +1,1 @@
+test/test_hostos.ml: Alcotest Buffer Bytes Chan Char Clock Ebpf Errno Fd Gen Host Hostos Int64 List Mem Proc Ptrace QCheck QCheck_alcotest Rng String Syscall X86

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Blockdev Bytes Effect Float Gen Hostos Hypervisor Kvm Linux_guest List Option Printf QCheck QCheck_alcotest Result Str Virtio Vmsh

@@ -1,0 +1,1 @@
+test/test_kvm.ml: Alcotest Bytes Effect Hostos Int32 Kvm List Option Result X86

@@ -1,0 +1,1 @@
+test/test_linux_guest.ml: Alcotest Blockdev Bytes Char Hostos Int32 Int64 Linux_guest List Printf Result String

@@ -1,0 +1,1 @@
+test/test_usecases.ml: Alcotest Blockdev Bytes Debloat Filename Hostos Hypervisor Linux_guest List Option Result Str String Usecases Vmsh

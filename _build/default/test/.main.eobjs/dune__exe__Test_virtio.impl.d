@@ -1,0 +1,1 @@
+test/test_virtio.ml: Alcotest Blockdev Bytes Gen Hostos Int32 List Option QCheck QCheck_alcotest Virtio

@@ -1,0 +1,1 @@
+test/test_vmsh_units.ml: Alcotest Blockdev Bytes Char Elfkit Hashtbl Hostos Hypervisor Kvm Linux_guest List Result Str String Vmsh X86

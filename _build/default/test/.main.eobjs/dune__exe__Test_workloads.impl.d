@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Blockdev Hostos Hypervisor Linux_guest List Result String Virtio Workloads

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Gen Hashtbl Hostos List QCheck QCheck_alcotest X86

@@ -1,0 +1,271 @@
+(* Unit and property tests for the block layer and SimpleFS. *)
+
+module H = Hostos
+module Dev = Blockdev.Dev
+module Backend = Blockdev.Backend
+module Sfs = Blockdev.Simplefs
+module Image = Blockdev.Image
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+let fresh_fs ?(blocks = 1024) () =
+  let b = Backend.create ~blocks () in
+  match Sfs.mkfs (Backend.dev b) () with
+  | Ok fs -> (b, fs)
+  | Error _ -> Alcotest.fail "mkfs"
+
+(* --- Dev --- *)
+
+let test_dev_ranges () =
+  let b = Backend.create ~blocks:8 () in
+  let d = Backend.dev b in
+  Dev.write_range d ~off:1000 (Bytes.of_string "cross-block-data");
+  check cstr "range roundtrip" "cross-block-data"
+    (Bytes.to_string (Dev.read_range d ~off:1000 ~len:16));
+  (* unaligned write crossing a block boundary *)
+  Dev.write_range d ~off:4090 (Bytes.of_string "0123456789AB");
+  check cstr "boundary crossing" "0123456789AB"
+    (Bytes.to_string (Dev.read_range d ~off:4090 ~len:12))
+
+let test_dev_sub_window () =
+  let b = Backend.create ~blocks:16 () in
+  let d = Backend.dev b in
+  let sub = Dev.sub d ~first_block:4 ~blocks:4 in
+  sub.Dev.write_block 0 (Bytes.make 4096 'S');
+  check cint "sub maps to parent block 4" (Char.code 'S')
+    (Char.code (Bytes.get (d.Dev.read_block 4) 0));
+  Alcotest.check_raises "oversized sub" (Invalid_argument "Dev.sub: out of range")
+    (fun () -> ignore (Dev.sub d ~first_block:14 ~blocks:4))
+
+let test_backend_stats_and_trim () =
+  let b = Backend.create ~blocks:8 () in
+  let d = Backend.dev b in
+  d.Dev.write_block 2 (Bytes.make 4096 'x');
+  ignore (d.Dev.read_block 2);
+  d.Dev.trim 2 1;
+  let s = Backend.stats b in
+  check cint "writes" 1 s.Backend.writes;
+  check cint "reads" 1 s.Backend.reads;
+  check cint "trims" 1 s.Backend.trims;
+  check cint "trimmed reads zero" 0 (Char.code (Bytes.get (d.Dev.read_block 2) 0))
+
+let test_backend_charges_clock () =
+  let clock = H.Clock.create () in
+  let b = Backend.create ~clock ~blocks:8 () in
+  let d = Backend.dev b in
+  ignore (d.Dev.read_block 0);
+  check cbool "device op charged" true ((H.Clock.counters clock).H.Clock.device_ops = 1)
+
+(* --- Simplefs --- *)
+
+let test_fs_persistence_across_mount () =
+  let b, fs = fresh_fs () in
+  ignore (Sfs.mkdir_p fs "/a/b/c");
+  (match Sfs.write_file fs "/a/b/c/file" (Bytes.of_string "deep") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write: %a" H.Errno.pp e);
+  Sfs.sync fs;
+  match Sfs.mount (Backend.dev b) with
+  | Error _ -> Alcotest.fail "remount"
+  | Ok fs2 -> (
+      match Sfs.read_file fs2 "/a/b/c/file" with
+      | Ok bts -> check cstr "deep file" "deep" (Bytes.to_string bts)
+      | Error e -> Alcotest.failf "read: %a" H.Errno.pp e)
+
+let test_fs_mount_rejects_unformatted () =
+  let b = Backend.create ~blocks:64 () in
+  match Sfs.mount (Backend.dev b) with
+  | Ok _ -> Alcotest.fail "mounted garbage"
+  | Error H.Errno.EINVAL -> ()
+  | Error e -> Alcotest.failf "wrong errno: %a" H.Errno.pp e
+
+let test_fs_indirect_boundaries () =
+  let _, fs = fresh_fs ~blocks:4096 () in
+  let ino =
+    match Sfs.create fs "/big" with Ok i -> i | Error _ -> Alcotest.fail "create"
+  in
+  (* write one byte exactly at the direct->indirect boundary and at the
+     indirect->double-indirect boundary *)
+  let direct_limit = 12 * 4096 in
+  let indirect_limit = (12 + 512) * 4096 in
+  List.iter
+    (fun off ->
+      match Sfs.write fs ino ~off (Bytes.of_string "B") with
+      | Ok 1 -> ()
+      | Ok _ | Error _ -> Alcotest.failf "write at %d failed" off)
+    [ direct_limit - 1; direct_limit; indirect_limit - 1; indirect_limit ];
+  List.iter
+    (fun off ->
+      match Sfs.read fs ino ~off ~len:1 with
+      | Ok b when Bytes.to_string b = "B" -> ()
+      | _ -> Alcotest.failf "read at %d failed" off)
+    [ direct_limit - 1; direct_limit; indirect_limit - 1; indirect_limit ]
+
+let test_fs_truncate_zeroes_partial_tail () =
+  let _, fs = fresh_fs () in
+  let ino =
+    match Sfs.create fs "/t" with Ok i -> i | Error _ -> Alcotest.fail "create"
+  in
+  ignore (Sfs.write fs ino ~off:0 (Bytes.make 8192 'D'));
+  ignore (Sfs.truncate fs "/t" 100);
+  ignore (Sfs.truncate fs "/t" 8192);
+  match Sfs.read fs ino ~off:100 ~len:100 with
+  | Ok b ->
+      check cbool "tail zeroed" true (Bytes.for_all (fun c -> c = '\000') b)
+  | Error e -> Alcotest.failf "read: %a" H.Errno.pp e
+
+let test_fs_statfs_accounting () =
+  let _, fs = fresh_fs () in
+  let before = (Sfs.statfs fs).Sfs.f_bfree in
+  let ino =
+    match Sfs.create fs "/x" with Ok i -> i | Error _ -> Alcotest.fail "create"
+  in
+  ignore (Sfs.write fs ino ~off:0 (Bytes.make (10 * 4096) 'x'));
+  let after = (Sfs.statfs fs).Sfs.f_bfree in
+  check cbool "at least 10 blocks consumed" true (before - after >= 10)
+
+let test_fs_quota_unsupported () =
+  let _, fs = fresh_fs () in
+  match Sfs.quota_report fs with
+  | Error H.Errno.ENOSYS -> ()
+  | _ -> Alcotest.fail "quota must be ENOSYS"
+
+let test_fs_chmod_chown_mtime () =
+  let _, fs = fresh_fs () in
+  ignore (Sfs.create fs "/f");
+  ignore (Sfs.chmod fs "/f" 0o600);
+  ignore (Sfs.chown fs "/f" ~uid:42 ~gid:43);
+  ignore (Sfs.set_mtime fs "/f" 123456);
+  match Sfs.stat fs "/f" with
+  | Ok st ->
+      check cint "mode" 0o600 st.Sfs.st_mode;
+      check cint "uid" 42 st.Sfs.st_uid;
+      check cint "gid" 43 st.Sfs.st_gid;
+      check cint "mtime" 123456 st.Sfs.st_mtime
+  | Error e -> Alcotest.failf "stat: %a" H.Errno.pp e
+
+(* property: random op sequences against a model (assoc list of path ->
+   content) stay consistent *)
+let prop_fs_model =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      let name = map (Printf.sprintf "/f%d") (int_range 0 5) in
+      frequency
+        [
+          (4, map2 (fun p c -> `Write (p, c)) name (string_size (int_range 0 2000)));
+          (2, map (fun p -> `Read p) name);
+          (2, map (fun p -> `Delete p) name);
+          (1, map2 (fun a b -> `Rename (a, b)) name name);
+        ])
+  in
+  Test.make ~name:"simplefs matches a model under random ops" ~count:60
+    (make Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let _, fs = fresh_fs () in
+      let model = Hashtbl.create 8 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Write (p, c) -> (
+              match Sfs.write_file fs p (Bytes.of_string c) with
+              | Ok () ->
+                  Hashtbl.replace model p c;
+                  true
+              | Error _ -> false)
+          | `Read p -> (
+              let expected = Hashtbl.find_opt model p in
+              match (Sfs.read_file fs p, expected) with
+              | Ok b, Some c -> Bytes.to_string b = c
+              | Error H.Errno.ENOENT, None -> true
+              | _ -> false)
+          | `Delete p -> (
+              let existed = Hashtbl.mem model p in
+              match (Sfs.unlink fs p, existed) with
+              | Ok (), true ->
+                  Hashtbl.remove model p;
+                  true
+              | Error H.Errno.ENOENT, false -> true
+              | _ -> false)
+          | `Rename (a, b) -> (
+              match Hashtbl.find_opt model a with
+              | None -> (
+                  match Sfs.rename fs ~src:a ~dst:b with
+                  | Error H.Errno.ENOENT -> true
+                  | _ -> false)
+              | Some content -> (
+                  match Sfs.rename fs ~src:a ~dst:b with
+                  | Ok () ->
+                      Hashtbl.remove model a;
+                      Hashtbl.replace model b content;
+                      true
+                  | Error _ -> a = b)))
+        ops)
+
+(* --- Image --- *)
+
+let test_image_pack_contents () =
+  let manifest =
+    [
+      Image.file ~content:"hello tools" "/bin/tool" 11;
+      Image.file "/usr/lib/big.so" 20000;
+    ]
+  in
+  match Image.pack manifest with
+  | Error e -> Alcotest.failf "pack: %a" H.Errno.pp e
+  | Ok (_, fs) -> (
+      (match Sfs.read_file fs "/bin/tool" with
+      | Ok b -> check cstr "explicit content" "hello tools" (Bytes.to_string b)
+      | Error _ -> Alcotest.fail "read tool");
+      match Sfs.stat fs "/usr/lib/big.so" with
+      | Ok st -> check cint "synthetic size" 20000 st.Sfs.st_size
+      | Error _ -> Alcotest.fail "stat big.so")
+
+let test_image_strip () =
+  let manifest =
+    [ Image.file "/keep/me" 100; Image.file "/drop/me" 100; Image.file "/keep/too" 50 ]
+  in
+  let stripped =
+    Image.strip manifest ~keep:(fun p -> String.length p >= 5 && String.sub p 0 5 = "/keep")
+  in
+  check cint "kept entries" 2 (List.length stripped);
+  check cint "kept bytes" 150 (Image.total_size stripped)
+
+let test_image_synthetic_deterministic () =
+  check cstr "same path same bytes"
+    (Image.synthetic_content ~path:"/a" 64)
+    (Image.synthetic_content ~path:"/a" 64);
+  check cbool "different paths differ" true
+    (Image.synthetic_content ~path:"/a" 64 <> Image.synthetic_content ~path:"/b" 64)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "blockdev.dev",
+      [
+        t "byte ranges" test_dev_ranges;
+        t "sub windows" test_dev_sub_window;
+        t "stats + trim" test_backend_stats_and_trim;
+        t "clock charges" test_backend_charges_clock;
+      ] );
+    ( "blockdev.simplefs",
+      [
+        t "persistence across mount" test_fs_persistence_across_mount;
+        t "rejects unformatted" test_fs_mount_rejects_unformatted;
+        t "indirect boundaries" test_fs_indirect_boundaries;
+        t "truncate zeroes tail" test_fs_truncate_zeroes_partial_tail;
+        t "statfs accounting" test_fs_statfs_accounting;
+        t "quota ENOSYS" test_fs_quota_unsupported;
+        t "chmod/chown/mtime" test_fs_chmod_chown_mtime;
+        QCheck_alcotest.to_alcotest prop_fs_model;
+      ] );
+    ( "blockdev.image",
+      [
+        t "pack contents" test_image_pack_contents;
+        t "strip" test_image_strip;
+        t "synthetic deterministic" test_image_synthetic_deterministic;
+      ] );
+  ]

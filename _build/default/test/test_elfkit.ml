@@ -1,0 +1,135 @@
+(* Unit and property tests for the ELF64 writer/parser/linker. *)
+
+module Elf = Elfkit.Elf
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+let sample_image () =
+  {
+    Elf.text = Bytes.of_string (String.init 64 (fun i -> Char.chr (i land 0xff)));
+    symbols =
+      [
+        { Elf.sym_name = "local_base"; sym_value = Some 0 };
+        { sym_name = "entry_point"; sym_value = Some 16 };
+        { sym_name = "printk"; sym_value = None };
+        { sym_name = "kernel_write"; sym_value = None };
+      ];
+    relocs =
+      [
+        { Elf.rel_offset = 8; rel_symbol = "printk"; rel_addend = 0 };
+        { rel_offset = 24; rel_symbol = "local_base"; rel_addend = 40 };
+        { rel_offset = 32; rel_symbol = "kernel_write"; rel_addend = 8 };
+      ];
+    entry = 16;
+  }
+
+let test_header_bytes () =
+  let b = Elf.to_bytes (sample_image ()) in
+  check cstr "magic" "\x7fELF" (Bytes.sub_string b 0 4);
+  check cint "class 64" 2 (Bytes.get_uint8 b 4);
+  check cint "little endian" 1 (Bytes.get_uint8 b 5);
+  check cint "ET_DYN" 3 (Bytes.get_uint16_le b 16);
+  check cint "EM_X86_64" 0x3e (Bytes.get_uint16_le b 18)
+
+let test_roundtrip () =
+  let img = sample_image () in
+  match Elf.of_bytes (Elf.to_bytes img) with
+  | Error e -> Alcotest.fail e
+  | Ok img' ->
+      check cbool "text preserved" true (Bytes.equal img.Elf.text img'.Elf.text);
+      check cint "entry" img.Elf.entry img'.Elf.entry;
+      check cint "symbol count" (List.length img.Elf.symbols)
+        (List.length img'.Elf.symbols);
+      check cint "reloc count" (List.length img.Elf.relocs)
+        (List.length img'.Elf.relocs);
+      check
+        (Alcotest.list cstr)
+        "undefined symbols" [ "printk"; "kernel_write" ]
+        (Elf.undefined_symbols img')
+
+let test_link_resolves () =
+  let img = sample_image () in
+  let resolve = function
+    | "printk" -> Some 0xAAAA000
+    | "kernel_write" -> Some 0xBBBB000
+    | _ -> None
+  in
+  match Elf.link img ~base:0x1000 ~resolve with
+  | Error e -> Alcotest.fail e
+  | Ok (text, entry) ->
+      check cint "entry is base + offset" (0x1000 + 16) entry;
+      let u64 off = Int64.to_int (Bytes.get_int64_le text off) in
+      check cint "import patched" 0xAAAA000 (u64 8);
+      check cint "local symbol patched with addend" (0x1000 + 0 + 40) (u64 24);
+      check cint "second import with addend" (0xBBBB000 + 8) (u64 32)
+
+let test_link_unresolved_symbol () =
+  let img = sample_image () in
+  match Elf.link img ~base:0 ~resolve:(fun _ -> None) with
+  | Ok _ -> Alcotest.fail "link should fail"
+  | Error e -> check cbool "names the symbol" true (String.length e > 0)
+
+let test_parse_rejects_garbage () =
+  (match Elf.of_bytes (Bytes.of_string "not an elf at all") with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  (* truncated real file *)
+  let b = Elf.to_bytes (sample_image ()) in
+  match Elf.of_bytes (Bytes.sub b 0 80) with
+  | Ok _ -> Alcotest.fail "accepted truncated file"
+  | Error _ -> ()
+
+let test_parse_rejects_flipped_magic () =
+  let b = Elf.to_bytes (sample_image ()) in
+  Bytes.set b 1 'X';
+  match Elf.of_bytes b with
+  | Ok _ -> Alcotest.fail "accepted bad magic"
+  | Error e -> check cbool "mentions magic" true (String.length e > 0)
+
+let gen_symname =
+  QCheck.Gen.(map (fun s -> "sym_" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 12)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"elf to_bytes/of_bytes roundtrip" ~count:60
+    QCheck.(
+      make
+        Gen.(
+          let* nsyms = int_range 1 8 in
+          let* names = flatten_l (List.init nsyms (fun _ -> gen_symname)) in
+          let names = List.sort_uniq compare names in
+          let* textlen = int_range 16 256 in
+          let* defined = flatten_l (List.map (fun _ -> bool) names) in
+          return (names, defined, textlen)))
+    (fun (names, defined, textlen) ->
+      let symbols =
+        List.map2
+          (fun name d ->
+            { Elf.sym_name = name; sym_value = (if d then Some 0 else None) })
+          names defined
+      in
+      let img =
+        { Elf.text = Bytes.make textlen 'T'; symbols; relocs = []; entry = 0 }
+      in
+      match Elf.of_bytes (Elf.to_bytes img) with
+      | Error _ -> false
+      | Ok img' ->
+          List.map (fun s -> s.Elf.sym_name) img'.Elf.symbols = names
+          && Bytes.equal img'.Elf.text img.Elf.text)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "elfkit",
+      [
+        t "header bytes" test_header_bytes;
+        t "roundtrip" test_roundtrip;
+        t "link resolves" test_link_resolves;
+        t "link unresolved" test_link_unresolved_symbol;
+        t "rejects garbage" test_parse_rejects_garbage;
+        t "rejects bad magic" test_parse_rejects_flipped_magic;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,219 @@
+(* Tests for the VMM layer itself: device plumbing, the iothread's
+   syscall data path, per-profile differences, and PCI codecs. *)
+
+module H = Hostos
+module Sfs = Blockdev.Simplefs
+module Vmm = Hypervisor.Vmm
+module Profile = Hypervisor.Profile
+module Guest = Linux_guest.Guest
+module KV = Linux_guest.Kernel_version
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let make_disk h =
+  let backend = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:2048 () in
+  let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev backend) ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  ignore (Sfs.write_file fs "/marker" (Bytes.of_string "present"));
+  Sfs.sync fs;
+  backend
+
+let test_iothread_uses_syscalls () =
+  (* the qemu-blk data path must go through the syscall layer (that is
+     what wrap_syscall taxes): count syscalls across a guest read *)
+  let h = H.Host.create ~seed:201 () in
+  let disk = make_disk h in
+  let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+  let g = Vmm.boot vmm ~version:KV.V5_10 in
+  let before = (H.Clock.counters h.H.Host.clock).H.Clock.syscalls in
+  Vmm.in_guest vmm (fun () ->
+      let drv = Guest.boot_blk_exn g in
+      ignore (Virtio.Blk.Driver.read drv ~sector:0 ~len:4096));
+  let after = (H.Clock.counters h.H.Host.clock).H.Clock.syscalls in
+  (* at least eventfd-read + pread + irqfd-write *)
+  check cbool "iothread performed syscalls" true (after - before >= 3)
+
+let test_vmsh_blk_more_context_switches () =
+  (* the paper's §6.3C mechanism: vmsh-blk performs about twice the
+     context switches of qemu-blk over the same request count *)
+  let run_attached () =
+    let h = H.Host.create ~seed:202 () in
+    let disk = make_disk h in
+    let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+    let g = Vmm.boot vmm ~version:KV.V5_10 in
+    let image =
+      match
+        Blockdev.Image.pack ~clock:h.H.Host.clock ~extra_blocks:512
+          [ Blockdev.Image.file "/t" 4096 ]
+      with
+      | Ok (b, _) -> b
+      | Error _ -> Alcotest.fail "image"
+    in
+    match
+      Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm) ~fs_image:image
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok _ -> (h, vmm, g)
+  in
+  let h, vmm, g = run_attached () in
+  let counters = H.Clock.counters h.H.Host.clock in
+  let measure drv =
+    let before = counters.H.Clock.context_switches in
+    Vmm.in_guest vmm (fun () ->
+        for i = 0 to 31 do
+          ignore (Virtio.Blk.Driver.read drv ~sector:(i * 8) ~len:4096)
+        done);
+    counters.H.Clock.context_switches - before
+  in
+  let qemu = measure (Guest.boot_blk_exn g) in
+  let vmsh = measure (Option.get (Guest.vmsh_blk g)) in
+  check cbool
+    (Printf.sprintf "vmsh-blk switches (%d) > 1.5x qemu-blk (%d)" vmsh qemu)
+    true
+    (Float.of_int vmsh > 1.5 *. Float.of_int qemu)
+
+let test_profiles_differ_as_specified () =
+  check cbool "qemu has 9p" true Profile.qemu.Profile.has_ninep;
+  check cbool "firecracker no 9p" false Profile.firecracker.Profile.has_ninep;
+  check cbool "only firecracker filters" true
+    (List.for_all
+       (fun p ->
+         (p.Profile.seccomp = Profile.Per_thread_filters)
+         = (p.Profile.prof_name = "Firecracker"))
+       Profile.all);
+  check cbool "only cloud hypervisor lacks mmio" true
+    (List.for_all
+       (fun p ->
+         (not p.Profile.mmio_transport) = (p.Profile.prof_name = "Cloud Hypervisor"))
+       Profile.all);
+  (* the api filter is strictly laxer than the vcpu filter *)
+  let open H.Syscall.Nr in
+  check cbool "vcpu filter blocks mmap" false (Profile.seccomp_filter.H.Proc.allows mmap);
+  check cbool "api filter allows mmap" true (Profile.seccomp_api_filter.H.Proc.allows mmap);
+  check cbool "api superset of vcpu" true
+    (List.for_all
+       (fun nr ->
+         (not (Profile.seccomp_filter.H.Proc.allows nr))
+         || Profile.seccomp_api_filter.H.Proc.allows nr)
+       [ read; write; ioctl; pread64; pwrite64; close; mmap; socket ])
+
+let test_cloud_hypervisor_boots_from_pci () =
+  let h = H.Host.create ~seed:203 () in
+  let disk = make_disk h in
+  let vmm = Vmm.create h ~profile:Profile.cloud_hypervisor ~disk () in
+  let g = Vmm.boot vmm ~version:KV.V5_10 in
+  check cbool "rootfs mounted via virtio-pci" true (Guest.rootfs g <> None);
+  check cbool "dmesg mentions virtio-pci" true
+    (List.exists
+       (fun l ->
+         try
+           ignore (Str.search_forward (Str.regexp_string "virtio-pci") l 0);
+           true
+         with Not_found -> false)
+       (Guest.dmesg g));
+  (* data still flows *)
+  let content =
+    Vmm.in_guest vmm (fun () ->
+        Guest.file_read g ~ns:(Guest.root_ns g) "/marker")
+  in
+  check cbool "file readable over pci disk" true
+    (match content with Ok b -> Bytes.to_string b = "present" | Error _ -> false)
+
+let test_run_until_idle_terminates_on_parked () =
+  (* a guest context parked on a condition with no interrupt source must
+     leave the VM idle, not spin the exit loop *)
+  let h = H.Host.create ~seed:204 () in
+  let disk = make_disk h in
+  let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+  let g = Vmm.boot vmm ~version:KV.V5_10 in
+  ignore g;
+  let flag = ref false in
+  Kvm.Vm.enqueue_task (Vmm.kvm_vm vmm) ~name:"eternal" (fun () ->
+      Effect.perform (Kvm.Vm.Yield_until (fun () -> !flag)));
+  Vmm.run_until_idle vmm;
+  check cbool "returned with parked context" true
+    (Kvm.Vm.has_work (Vmm.kvm_vm vmm));
+  (* and the context resumes when the condition flips *)
+  flag := true;
+  Vmm.run_until_idle vmm;
+  check cbool "drained after wakeup" false (Kvm.Vm.has_work (Vmm.kvm_vm vmm))
+
+(* --- PCI codec --- *)
+
+let test_pci_config_codec () =
+  let b =
+    Virtio.Pci.Config.encode ~device_type:Virtio.Blk.device_id
+      ~bar0:0xe802_0000 ~msix_gsi:25
+  in
+  match Virtio.Pci.Config.decode b with
+  | None -> Alcotest.fail "decode"
+  | Some cfg ->
+      check cint "vendor" Virtio.Pci.vendor_virtio cfg.Virtio.Pci.Config.vendor;
+      check cint "type" Virtio.Blk.device_id cfg.Virtio.Pci.Config.device_type;
+      check cint "bar0" 0xe802_0000 cfg.Virtio.Pci.Config.bar0;
+      check cint "gsi" 25 cfg.Virtio.Pci.Config.msix_gsi
+
+let test_pci_config_rejects_non_virtio () =
+  let b = Bytes.make Virtio.Pci.header_size '\xff' in
+  check cbool "all-ones (no device) rejected" true
+    (Virtio.Pci.Config.decode b = None)
+
+let prop_pci_codec_roundtrip =
+  QCheck.Test.make ~name:"pci config encode/decode roundtrip" ~count:100
+    QCheck.(triple (int_bound 30) (QCheck.make (Gen.int_range 0 0xfffff000)) (int_bound 255))
+    (fun (dtype, bar_page, gsi) ->
+      let bar0 = bar_page land lnot 0xfff in
+      match
+        Virtio.Pci.Config.decode
+          (Virtio.Pci.Config.encode ~device_type:dtype ~bar0 ~msix_gsi:gsi)
+      with
+      | Some cfg ->
+          cfg.Virtio.Pci.Config.device_type = dtype
+          && cfg.Virtio.Pci.Config.bar0 = bar0
+          && cfg.Virtio.Pci.Config.msix_gsi = gsi
+      | None -> false)
+
+(* --- klib codec property --- *)
+
+let prop_klib_roundtrip =
+  let open Linux_guest.Klib in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Tramp; map (fun v -> Push v) (int_range 0 0x3fffffff);
+          map (fun n -> Call n) (int_range 0 6); return Write64; return Read64;
+          map (fun i -> Jz i) (int_range 0 100);
+          map (fun i -> Jneg i) (int_range 0 100);
+          map (fun i -> Jmp i) (int_range 0 100); return Dup; return Swap;
+          return Drop; map (fun c -> Trap c) (int_range 0 255); return Ret;
+        ])
+  in
+  QCheck.Test.make ~name:"klib ops encode to fixed-size cells" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      Bytes.length (encode ops) = List.length ops * op_size)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "hypervisor.vmm",
+      [
+        t "iothread syscalls" test_iothread_uses_syscalls;
+        t "vmsh-blk context switches" test_vmsh_blk_more_context_switches;
+        t "profile traits" test_profiles_differ_as_specified;
+        t "cloud hv boots from pci" test_cloud_hypervisor_boots_from_pci;
+        t "idle with parked contexts" test_run_until_idle_terminates_on_parked;
+      ] );
+    ( "hypervisor.pci",
+      [
+        t "config codec" test_pci_config_codec;
+        t "rejects non-virtio" test_pci_config_rejects_non_virtio;
+        QCheck_alcotest.to_alcotest prop_pci_codec_roundtrip;
+        QCheck_alcotest.to_alcotest prop_klib_roundtrip;
+      ] );
+  ]

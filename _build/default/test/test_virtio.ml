@@ -1,0 +1,286 @@
+(* Unit tests for the VirtIO layer: virtqueues over raw memory, the MMIO
+   register machine, and the blk request codec — all without a VM (the
+   gmem accessors go straight to a byte buffer). *)
+
+module Mem = Hostos.Mem
+module Q = Virtio.Queue
+module Gmem = Virtio.Gmem
+module Mmio = Virtio.Mmio
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let raw_gmem size =
+  let m = Mem.create size in
+  ( m,
+    {
+      Gmem.read = (fun ~addr ~len -> Mem.read_bytes m addr len);
+      write = (fun ~addr b -> Mem.write_bytes m addr b);
+    } )
+
+let make_queue ?(qsz = 8) () =
+  let _, g = raw_gmem 65536 in
+  let desc, avail, used, _total = Q.bytes_needed ~qsz in
+  let driver = Q.Driver.create g ~qsz ~desc:(0x100 + desc) ~avail:(0x100 + avail) ~used:(0x100 + used) in
+  let device = Q.Device.create g ~qsz ~desc:(0x100 + desc) ~avail:(0x100 + avail) ~used:(0x100 + used) in
+  (g, driver, device)
+
+let test_queue_add_pop () =
+  let _, driver, device = make_queue () in
+  let head =
+    match Q.Driver.add driver ~out:[ (0x1000, 16) ] ~in_:[ (0x2000, 64) ] with
+    | Some h -> h
+    | None -> Alcotest.fail "add"
+  in
+  match Q.Device.pop device with
+  | None -> Alcotest.fail "pop"
+  | Some (h, bufs) ->
+      check cint "same head" head h;
+      check cint "chain length" 2 (List.length bufs);
+      let b1 = List.nth bufs 0 and b2 = List.nth bufs 1 in
+      check cint "out addr" 0x1000 b1.Q.Device.addr;
+      check cbool "out readable" false b1.Q.Device.writable;
+      check cint "in len" 64 b2.Q.Device.len;
+      check cbool "in writable" true b2.Q.Device.writable
+
+let test_queue_used_flow () =
+  let _, driver, device = make_queue () in
+  let head = Option.get (Q.Driver.add driver ~out:[ (0x1000, 8) ] ~in_:[]) in
+  check cbool "nothing used yet" false (Q.Driver.used_pending driver);
+  (match Q.Device.pop device with
+  | Some (h, _) -> Q.Device.push_used device ~head:h ~written:5
+  | None -> Alcotest.fail "pop");
+  check cbool "used pending" true (Q.Driver.used_pending driver);
+  (match Q.Driver.poll_used driver with
+  | Some (h, written) ->
+      check cint "head" head h;
+      check cint "written" 5 written
+  | None -> Alcotest.fail "poll_used");
+  check cbool "drained" false (Q.Driver.used_pending driver)
+
+let test_queue_exhaustion_and_reuse () =
+  let _, driver, device = make_queue ~qsz:4 () in
+  (* 2 descriptors per chain: the 4-entry table fits 2 chains *)
+  let h1 = Q.Driver.add driver ~out:[ (0, 8) ] ~in_:[ (8, 8) ] in
+  let h2 = Q.Driver.add driver ~out:[ (16, 8) ] ~in_:[ (24, 8) ] in
+  let h3 = Q.Driver.add driver ~out:[ (32, 8) ] ~in_:[ (40, 8) ] in
+  check cbool "first two fit" true (h1 <> None && h2 <> None);
+  check cbool "third rejected" true (h3 = None);
+  (* complete one chain; descriptors become reusable *)
+  (match Q.Device.pop device with
+  | Some (h, _) -> Q.Device.push_used device ~head:h ~written:0
+  | None -> Alcotest.fail "pop");
+  ignore (Q.Driver.poll_used driver);
+  check cbool "space again" true
+    (Q.Driver.add driver ~out:[ (48, 8) ] ~in_:[ (56, 8) ] <> None)
+
+let test_queue_fifo_order () =
+  let _, driver, device = make_queue ~qsz:16 () in
+  let heads =
+    List.init 5 (fun i -> Option.get (Q.Driver.add driver ~out:[ (i * 64, 8) ] ~in_:[]))
+  in
+  let popped =
+    List.init 5 (fun _ ->
+        match Q.Device.pop device with
+        | Some (h, bufs) -> (h, (List.hd bufs).Q.Device.addr)
+        | None -> Alcotest.fail "pop")
+  in
+  List.iteri
+    (fun i (h, addr) ->
+      check cint "head order" (List.nth heads i) h;
+      check cint "addr order" (i * 64) addr)
+    popped
+
+(* --- MMIO register machine --- *)
+
+let dev_read32 regs off =
+  let b = Mmio.Device.read regs ~off ~len:4 in
+  Int32.to_int (Bytes.get_int32_le b 0) land 0xffffffff
+
+let dev_write32 regs off v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Mmio.Device.write regs ~off b
+
+let test_mmio_identity_regs () =
+  let regs =
+    Mmio.Device.create ~device_id:2 ~num_queues:1 ~config:(Bytes.make 8 '\x07') ()
+  in
+  check cint "magic" Mmio.magic_value (dev_read32 regs Mmio.reg_magic);
+  check cint "version" 2 (dev_read32 regs Mmio.reg_version);
+  check cint "device id" 2 (dev_read32 regs Mmio.reg_device_id);
+  check cint "config byte" 0x07070707 (dev_read32 regs Mmio.reg_config)
+
+let test_mmio_queue_setup_and_notify () =
+  let regs =
+    Mmio.Device.create ~device_id:2 ~num_queues:2 ~config:Bytes.empty ()
+  in
+  let notified = ref (-1) in
+  Mmio.Device.set_notify regs (fun ~queue -> notified := queue);
+  dev_write32 regs Mmio.reg_queue_sel 1;
+  dev_write32 regs Mmio.reg_queue_num 64;
+  dev_write32 regs Mmio.reg_queue_desc_lo 0x3000;
+  dev_write32 regs Mmio.reg_queue_avail_lo 0x4000;
+  dev_write32 regs Mmio.reg_queue_used_lo 0x5000;
+  dev_write32 regs Mmio.reg_queue_ready 1;
+  let q = Mmio.Device.queue regs 1 in
+  check cint "num" 64 q.Mmio.Device.num;
+  check cint "desc" 0x3000 q.Mmio.Device.desc;
+  check cbool "ready" true q.Mmio.Device.ready;
+  dev_write32 regs Mmio.reg_queue_notify 1;
+  check cint "notify fired with queue" 1 !notified
+
+let test_mmio_interrupt_latch () =
+  let regs = Mmio.Device.create ~device_id:3 ~num_queues:1 ~config:Bytes.empty () in
+  check cbool "no irq initially" false (Mmio.Device.irq_pending regs);
+  Mmio.Device.assert_irq regs;
+  check cbool "latched" true (Mmio.Device.irq_pending regs);
+  check cint "guest reads status" 1 (dev_read32 regs Mmio.reg_int_status);
+  dev_write32 regs Mmio.reg_int_ack 1;
+  check cbool "acked" false (Mmio.Device.irq_pending regs)
+
+(* --- blk device processing over raw memory --- *)
+
+let test_blk_device_serves_requests () =
+  let m, g = raw_gmem 262144 in
+  let qsz = 8 in
+  let desc, avail, used, _ = Q.bytes_needed ~qsz in
+  let base = 0x8000 in
+  let driver = Q.Driver.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let device = Q.Device.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let backend_store = Blockdev.Backend.create ~blocks:16 () in
+  let backend = Virtio.Blk.Device.backend_of_blockdev (Blockdev.Backend.dev backend_store) in
+  (* put recognisable data on the disk *)
+  (Blockdev.Backend.dev backend_store).Blockdev.Dev.write_block 1
+    (Bytes.make 4096 'Z');
+  (* build a read request for sector 8 (block 1): header @0x100,
+     data @0x1000, status @0x2000 *)
+  let hdr = Bytes.make 16 '\000' in
+  Bytes.set_int32_le hdr 0 (Int32.of_int Virtio.Blk.t_in);
+  Bytes.set_int64_le hdr 8 8L;
+  Mem.write_bytes m 0x100 hdr;
+  ignore
+    (Q.Driver.add driver
+       ~out:[ (0x100, 16) ]
+       ~in_:[ (0x1000, 4096); (0x2000, 1) ]);
+  let n = Virtio.Blk.Device.process device g backend in
+  check cint "one request served" 1 n;
+  check cint "status ok" Virtio.Blk.status_ok (Mem.read_u8 m 0x2000);
+  check cbool "data landed" true
+    (Bytes.for_all (fun c -> c = 'Z') (Mem.read_bytes m 0x1000 4096));
+  match Q.Driver.poll_used driver with
+  | Some (_, written) -> check cint "written len" 4097 written
+  | None -> Alcotest.fail "no used entry"
+
+let test_blk_device_rejects_out_of_range () =
+  let m, g = raw_gmem 65536 in
+  let qsz = 4 in
+  let desc, avail, used, _ = Q.bytes_needed ~qsz in
+  let base = 0x8000 in
+  let driver = Q.Driver.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let device = Q.Device.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let store = Blockdev.Backend.create ~blocks:2 () in
+  let backend = Virtio.Blk.Device.backend_of_blockdev (Blockdev.Backend.dev store) in
+  let hdr = Bytes.make 16 '\000' in
+  Bytes.set_int32_le hdr 0 (Int32.of_int Virtio.Blk.t_out);
+  Bytes.set_int64_le hdr 8 4096L (* far beyond a 2-block device *);
+  Mem.write_bytes m 0x100 hdr;
+  Mem.write_bytes m 0x1000 (Bytes.make 512 'w');
+  ignore (Q.Driver.add driver ~out:[ (0x100, 16); (0x1000, 512) ] ~in_:[ (0x2000, 1) ]);
+  ignore (Virtio.Blk.Device.process device g backend);
+  check cint "status ioerr" Virtio.Blk.status_ioerr (Mem.read_u8 m 0x2000)
+
+let test_blk_device_unknown_type () =
+  let m, g = raw_gmem 65536 in
+  let qsz = 4 in
+  let desc, avail, used, _ = Q.bytes_needed ~qsz in
+  let base = 0x8000 in
+  let driver = Q.Driver.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let device = Q.Device.create g ~qsz ~desc:(base + desc) ~avail:(base + avail) ~used:(base + used) in
+  let store = Blockdev.Backend.create ~blocks:2 () in
+  let backend = Virtio.Blk.Device.backend_of_blockdev (Blockdev.Backend.dev store) in
+  let hdr = Bytes.make 16 '\000' in
+  Bytes.set_int32_le hdr 0 99l;
+  Mem.write_bytes m 0x100 hdr;
+  ignore (Q.Driver.add driver ~out:[ (0x100, 16) ] ~in_:[ (0x2000, 1) ]);
+  ignore (Virtio.Blk.Device.process device g backend);
+  check cint "status unsupported" Virtio.Blk.status_unsupp (Mem.read_u8 m 0x2000)
+
+(* --- 9p codec --- *)
+
+let test_ninep_codec () =
+  let reqs =
+    [
+      Virtio.Ninep.Read { path = "/x"; off = 123; len = 456 };
+      Virtio.Ninep.Write { path = "/long/path/name"; off = 0; data = Bytes.of_string "payload" };
+      Virtio.Ninep.Create "/new";
+      Virtio.Ninep.Stat "/s";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Virtio.Ninep.decode_request (Virtio.Ninep.encode_request r) with
+      | Some r' -> check cbool "roundtrip" true (r = r')
+      | None -> Alcotest.fail "decode failed")
+    reqs;
+  let resp = { Virtio.Ninep.status = 0; payload = Bytes.of_string "data!" } in
+  match Virtio.Ninep.decode_response (Virtio.Ninep.encode_response resp) with
+  | Some r -> check cbool "response roundtrip" true (r = resp)
+  | None -> Alcotest.fail "response decode"
+
+let prop_queue_chains_roundtrip =
+  QCheck.Test.make ~name:"descriptor chains survive add/pop" ~count:100
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 6)
+            (pair (int_range 0 3) (int_range 0 3))))
+    (fun chains ->
+      let _, driver, device = make_queue ~qsz:64 () in
+      List.for_all
+        (fun (nout, nin) ->
+          let nout = max nout 1 in
+          let out = List.init nout (fun i -> (0x1000 + (i * 64), 32)) in
+          let in_ = List.init nin (fun i -> (0x8000 + (i * 64), 32)) in
+          match Q.Driver.add driver ~out ~in_ with
+          | None -> true (* full is acceptable *)
+          | Some h -> (
+              match Q.Device.pop device with
+              | Some (h', bufs) ->
+                  Q.Device.push_used device ~head:h' ~written:0;
+                  ignore (Q.Driver.poll_used driver);
+                  h = h'
+                  && List.length bufs = nout + nin
+                  && List.for_all2
+                       (fun (a, l) b ->
+                         b.Q.Device.addr = a && b.Q.Device.len = l)
+                       (out @ in_) bufs
+              | None -> false))
+        chains)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "virtio.queue",
+      [
+        t "add/pop" test_queue_add_pop;
+        t "used flow" test_queue_used_flow;
+        t "exhaustion + reuse" test_queue_exhaustion_and_reuse;
+        t "fifo order" test_queue_fifo_order;
+        QCheck_alcotest.to_alcotest prop_queue_chains_roundtrip;
+      ] );
+    ( "virtio.mmio",
+      [
+        t "identity regs" test_mmio_identity_regs;
+        t "queue setup + notify" test_mmio_queue_setup_and_notify;
+        t "interrupt latch" test_mmio_interrupt_latch;
+      ] );
+    ( "virtio.blk",
+      [
+        t "serves requests" test_blk_device_serves_requests;
+        t "rejects out of range" test_blk_device_rejects_out_of_range;
+        t "unknown type" test_blk_device_unknown_type;
+      ] );
+    ("virtio.ninep", [ t "codec" test_ninep_codec ]);
+  ]

@@ -1,0 +1,320 @@
+(* Unit tests for VMSH's own pieces below the attach orchestration:
+   memslot discovery codec, Hyp_mem, symbol analysis (including
+   adversarial inputs), the library builder, and the shell. *)
+
+module H = Hostos
+module KV = Linux_guest.Kernel_version
+module Guest = Linux_guest.Guest
+module Vmm = Hypervisor.Vmm
+module Sfs = Blockdev.Simplefs
+module Vfs = Linux_guest.Vfs
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+(* --- memslot codec --- *)
+
+let test_memslot_codec () =
+  let slots =
+    [
+      { Vmsh.Hyp_mem.gpa = 0; size = 1 lsl 26; hva = 0x5000_0000_0000 };
+      { Vmsh.Hyp_mem.gpa = 1 lsl 32; size = 4096; hva = 0x5000_4000_0000 };
+    ]
+  in
+  match Vmsh.Memslot_discovery.decode_slots (Vmsh.Memslot_discovery.encode_slots slots) with
+  | Some s -> check cbool "roundtrip" true (s = slots)
+  | None -> Alcotest.fail "decode"
+
+let test_memslot_decode_rejects_garbage () =
+  check cbool "short buffer" true
+    (Vmsh.Memslot_discovery.decode_slots (Bytes.of_string "xx") = None);
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_int32_le b 0 100l;
+  check cbool "count beyond buffer" true
+    (Vmsh.Memslot_discovery.decode_slots b = None)
+
+(* --- Hyp_mem over a live hypervisor --- *)
+
+let boot_env ?(seed = 61) () =
+  let h = H.Host.create ~seed () in
+  let backend = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:1024 () in
+  let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev backend) ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  Sfs.sync fs;
+  let vmm = Vmm.create h ~profile:Hypervisor.Profile.qemu ~disk:backend () in
+  let g = Vmm.boot vmm ~version:KV.V5_10 in
+  (h, vmm, g)
+
+let hyp_mem_of (h, vmm, g) =
+  let vmsh = H.Host.spawn h ~name:"vmsh-test" ~uid:1000 () in
+  let slots =
+    List.map
+      (fun (s : Kvm.Vm.memslot) ->
+        { Vmsh.Hyp_mem.gpa = s.Kvm.Vm.gpa; size = s.size; hva = s.hva })
+      (Kvm.Vm.memslots (Guest.vm g))
+  in
+  Vmsh.Hyp_mem.create h ~vmsh ~hypervisor_pid:(Vmm.pid vmm) ~slots ()
+
+let test_hyp_mem_reads_guest_phys () =
+  let ((_, _, g) as env) = boot_env () in
+  let mem = hyp_mem_of env in
+  Kvm.Vm.write_phys (Guest.vm g) 0x9000 (Bytes.of_string "through-the-wall");
+  check cstr "remote phys read" "through-the-wall"
+    (Bytes.to_string (Vmsh.Hyp_mem.read_phys mem ~gpa:0x9000 ~len:16));
+  Vmsh.Hyp_mem.write_phys mem ~gpa:0x9800 (Bytes.of_string "injected");
+  check cstr "remote phys write" "injected"
+    (Bytes.to_string (Kvm.Vm.read_phys (Guest.vm g) 0x9800 8))
+
+let test_hyp_mem_virt_translation () =
+  let ((_, _, g) as env) = boot_env () in
+  let mem = hyp_mem_of env in
+  let cr3 = (Kvm.Vm.vcpu_regs (List.hd (Kvm.Vm.vcpus (Guest.vm g)))).X86.Regs.cr3 in
+  (* read the banner through the kernel's own virtual mapping *)
+  let kbase = Guest.kernel_virt g in
+  (match Vmsh.Hyp_mem.read_virt mem ~cr3 ~va:kbase ~len:4096 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "kernel base should translate");
+  check cbool "unmapped is None" true
+    (Vmsh.Hyp_mem.read_virt mem ~cr3 ~va:0x1234_5000 ~len:8 = None)
+
+let test_hyp_mem_copy_modes_agree () =
+  let ((_, _, g) as env) = boot_env () in
+  let mem = hyp_mem_of env in
+  Kvm.Vm.write_phys (Guest.vm g) 0xa000
+    (Bytes.init 100 (fun i -> Char.chr (i land 0xff)));
+  let bulk = Vmsh.Hyp_mem.read_phys mem ~gpa:0xa000 ~len:100 in
+  Vmsh.Hyp_mem.set_mode mem Vmsh.Hyp_mem.Peek_u64;
+  let peek = Vmsh.Hyp_mem.read_phys mem ~gpa:0xa000 ~len:100 in
+  Vmsh.Hyp_mem.set_mode mem Vmsh.Hyp_mem.Chunked_4k;
+  let chunked = Vmsh.Hyp_mem.read_phys mem ~gpa:0xa000 ~len:100 in
+  check cbool "peek equals bulk" true (Bytes.equal bulk peek);
+  check cbool "chunked equals bulk" true (Bytes.equal bulk chunked)
+
+let test_top_of_guest_phys () =
+  let env = boot_env () in
+  let mem = hyp_mem_of env in
+  let top = Vmsh.Hyp_mem.top_of_guest_phys mem in
+  check cint "top is RAM end" (64 * 1024 * 1024) top;
+  Vmsh.Hyp_mem.add_slot mem { Vmsh.Hyp_mem.gpa = 1 lsl 30; size = 4096; hva = 0 };
+  check cint "top follows new slot" ((1 lsl 30) + 4096)
+    (Vmsh.Hyp_mem.top_of_guest_phys mem)
+
+(* --- symbol analysis --- *)
+
+let analyze env =
+  let _, _, g = env in
+  let mem = hyp_mem_of env in
+  let cr3 = (Kvm.Vm.vcpu_regs (List.hd (Kvm.Vm.vcpus (Guest.vm g)))).X86.Regs.cr3 in
+  Vmsh.Symbol_analysis.analyze mem ~cr3
+
+let test_analysis_on_all_layouts () =
+  List.iter
+    (fun version ->
+      let h = H.Host.create ~seed:(70 + Hashtbl.hash version) () in
+      let backend = Blockdev.Backend.create ~blocks:1024 () in
+      let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev backend) ()) in
+      ignore (Sfs.mkdir_p fs "/dev");
+      Sfs.sync fs;
+      let vmm = Vmm.create h ~profile:Hypervisor.Profile.qemu ~disk:backend () in
+      let g = Vmm.boot vmm ~version in
+      match analyze (h, vmm, g) with
+      | Error e -> Alcotest.failf "%s: %s" (KV.to_string version) e
+      | Ok anal ->
+          check cbool
+            (KV.to_string version ^ " layout")
+            true
+            (anal.Vmsh.Symbol_analysis.layout = KV.ksymtab_layout version);
+          check cbool
+            (KV.to_string version ^ " version")
+            true
+            (KV.equal anal.Vmsh.Symbol_analysis.version version))
+    KV.all_lts
+
+let test_analysis_fails_without_kernel () =
+  (* a VM whose page tables map nothing in the KASLR range *)
+  let ((h, vmm, g) as env) = boot_env () in
+  ignore h;
+  ignore vmm;
+  ignore g;
+  let mem = hyp_mem_of env in
+  (* hand the analyzer a CR3 pointing at an empty table *)
+  let empty_root = 0x3f_0000 in
+  Vmsh.Hyp_mem.write_phys mem ~gpa:empty_root (Bytes.make 4096 '\000');
+  match Vmsh.Symbol_analysis.analyze mem ~cr3:empty_root with
+  | Ok _ -> Alcotest.fail "analysis must fail"
+  | Error e -> check cbool "mentions KASLR" true (String.length e > 0)
+
+let test_analysis_resolve () =
+  let env = boot_env () in
+  match analyze env with
+  | Error e -> Alcotest.fail e
+  | Ok anal ->
+      check cbool "printk found" true
+        (Vmsh.Symbol_analysis.resolve anal "printk" <> None);
+      check cbool "unknown is None" true
+        (Vmsh.Symbol_analysis.resolve anal "no_such_symbol_anywhere" = None)
+
+(* --- klib builder --- *)
+
+let test_builder_output_is_valid_elf () =
+  let image, layout =
+    Vmsh.Klib_builder.build ~version:KV.V5_10
+      ~guest_program:(Bytes.of_string "#!prog") ()
+  in
+  let bytes = Elfkit.Elf.to_bytes image in
+  (match Elfkit.Elf.of_bytes bytes with
+  | Ok parsed ->
+      check cbool "imports subset" true
+        (List.for_all
+           (fun s -> List.mem s Vmsh.Klib_builder.required_imports)
+           (Elfkit.Elf.undefined_symbols parsed))
+  | Error e -> Alcotest.fail e);
+  check cbool "status page is page aligned" true
+    (layout.Vmsh.Klib_builder.status_off mod 4096 = 0);
+  check cbool "status beyond text" true
+    (layout.Vmsh.Klib_builder.status_off >= layout.Vmsh.Klib_builder.text_len)
+
+let test_builder_abi_differs_by_version () =
+  let img_old, _ =
+    Vmsh.Klib_builder.build ~version:KV.V4_4 ~guest_program:(Bytes.of_string "p") ()
+  in
+  let img_new, _ =
+    Vmsh.Klib_builder.build ~version:KV.V5_10 ~guest_program:(Bytes.of_string "p") ()
+  in
+  check cbool "different text for different ABIs" false
+    (Bytes.equal img_old.Elfkit.Elf.text img_new.Elfkit.Elf.text)
+
+let test_builder_links_cleanly () =
+  let image, _ =
+    Vmsh.Klib_builder.build ~version:KV.V4_19 ~guest_program:(Bytes.of_string "p") ()
+  in
+  let resolve name =
+    (* fake kernel addresses *)
+    let addrs =
+      List.mapi (fun i n -> (n, 0x7fff_1000_0000 + (i * 64)))
+        Vmsh.Klib_builder.required_imports
+    in
+    List.assoc_opt name addrs
+  in
+  match Elfkit.Elf.link image ~base:0x7fff_2000_0000 ~resolve with
+  | Ok (text, entry) ->
+      check cint "entry at base" 0x7fff_2000_0000 entry;
+      check cbool "text non-empty" true (Bytes.length text > 0)
+  | Error e -> Alcotest.fail e
+
+(* --- shell --- *)
+
+let test_shell_exec_basics () =
+  let _, vmm, g = boot_env () in
+  let proc = Guest.init_proc g in
+  let out = Vmm.in_guest vmm (fun () -> Vmsh.Shell.exec g proc "help") in
+  check cbool "help text" true (String.length out > 20);
+  let out = Vmm.in_guest vmm (fun () -> Vmsh.Shell.exec g proc "frobnicate") in
+  check cbool "unknown command" true
+    (String.length out > 0 && out.[String.length out - 1] = '\n')
+
+let test_shell_ps_and_write () =
+  let _, vmm, g = boot_env () in
+  let proc = Guest.init_proc g in
+  let out = Vmm.in_guest vmm (fun () -> Vmsh.Shell.exec g proc "ps") in
+  check cbool "init listed" true
+    (try ignore (Str.search_forward (Str.regexp_string "init") out 0); true
+     with Not_found -> false);
+  ignore (Vmm.in_guest vmm (fun () -> Vmsh.Shell.exec g proc "write /note hello world"));
+  let out = Vmm.in_guest vmm (fun () -> Vmsh.Shell.exec g proc "cat /note") in
+  check cstr "write then cat" "hello world" out
+
+let test_shell_mkpasswd_deterministic () =
+  check cstr "stable"
+    (Vmsh.Shell.mkpasswd ~user:"root" ~password:"pw")
+    (Vmsh.Shell.mkpasswd ~user:"root" ~password:"pw");
+  check cbool "password-sensitive" true
+    (Vmsh.Shell.mkpasswd ~user:"root" ~password:"a"
+    <> Vmsh.Shell.mkpasswd ~user:"root" ~password:"b")
+
+(* --- overlay namespace setup (without a full attach) --- *)
+
+let test_overlay_setup_namespace () =
+  let _, vmm, g = boot_env () in
+  let image_backend = Blockdev.Backend.create ~blocks:256 () in
+  let image_fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev image_backend) ()) in
+  ignore (Sfs.write_file image_fs "/tool" (Bytes.of_string "tool!"));
+  let proc = Vmm.in_guest vmm (fun () -> Guest.spawn_proc g ~name:"vmsh-overlay" ()) in
+  let result =
+    Vmm.in_guest vmm (fun () ->
+        Vmsh.Overlay.setup_namespace g proc Vmsh.Overlay.default_cfg ~image_fs)
+  in
+  (match result with Ok () -> () | Error e -> Alcotest.fail e);
+  let vfs = Guest.vfs g in
+  check cstr "image visible at /" "tool!"
+    (Bytes.to_string
+       (Result.get_ok
+          (Vmm.in_guest vmm (fun () ->
+               Vfs.read_file vfs ~ns:proc.Linux_guest.Gproc.mnt_ns "/tool"))))
+  [@@warning "-26"]
+
+let test_overlay_missing_container () =
+  let _, vmm, g = boot_env () in
+  let image_backend = Blockdev.Backend.create ~blocks:256 () in
+  let image_fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev image_backend) ()) in
+  let proc = Vmm.in_guest vmm (fun () -> Guest.spawn_proc g ~name:"vmsh-overlay" ()) in
+  let result =
+    Vmm.in_guest vmm (fun () ->
+        Vmsh.Overlay.setup_namespace g proc
+          { Vmsh.Overlay.container_pid = Some 9999; command = None }
+          ~image_fs)
+  in
+  match result with
+  | Ok () -> Alcotest.fail "must fail for unknown container"
+  | Error e -> check cbool "names the pid" true (String.length e > 0)
+
+let test_program_bytes_distinct_per_cfg () =
+  let a = Vmsh.Overlay.program_bytes Vmsh.Overlay.default_cfg in
+  let b =
+    Vmsh.Overlay.program_bytes
+      { Vmsh.Overlay.container_pid = Some 3; command = None }
+  in
+  check cbool "configs hash differently" false (Bytes.equal a b)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "vmsh.memslots",
+      [
+        t "codec" test_memslot_codec;
+        t "rejects garbage" test_memslot_decode_rejects_garbage;
+      ] );
+    ( "vmsh.hyp_mem",
+      [
+        t "phys rw" test_hyp_mem_reads_guest_phys;
+        t "virt translation" test_hyp_mem_virt_translation;
+        t "copy modes agree" test_hyp_mem_copy_modes_agree;
+        t "top of phys" test_top_of_guest_phys;
+      ] );
+    ( "vmsh.symbol_analysis",
+      [
+        t "all layouts" test_analysis_on_all_layouts;
+        t "no kernel" test_analysis_fails_without_kernel;
+        t "resolve" test_analysis_resolve;
+      ] );
+    ( "vmsh.klib_builder",
+      [
+        t "valid elf" test_builder_output_is_valid_elf;
+        t "abi per version" test_builder_abi_differs_by_version;
+        t "links cleanly" test_builder_links_cleanly;
+      ] );
+    ( "vmsh.shell",
+      [
+        t "exec basics" test_shell_exec_basics;
+        t "ps + write" test_shell_ps_and_write;
+        t "mkpasswd" test_shell_mkpasswd_deterministic;
+      ] );
+    ( "vmsh.overlay",
+      [
+        t "setup namespace" test_overlay_setup_namespace;
+        t "missing container" test_overlay_missing_container;
+        t "program bytes per cfg" test_program_bytes_distinct_per_cfg;
+      ] );
+  ]

@@ -1,0 +1,186 @@
+(* Tests for the workload generators: battery size and correctness,
+   fio sanity, Phoronix model invariants, console latency. *)
+
+module H = Hostos
+module X = Workloads.Xfstests
+module Fio = Workloads.Fio
+module Sfs = Blockdev.Simplefs
+module Vmm = Hypervisor.Vmm
+module Guest = Linux_guest.Guest
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+let test_battery_size_and_ids () =
+  let tests = X.all () in
+  check cint "619 cases, as in the paper" 619 (List.length tests);
+  let ids = List.map (fun t -> t.X.id) tests in
+  check cint "ids are unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let native_fs () =
+  let b = Blockdev.Backend.create ~blocks:1024 () in
+  Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev b) ())
+
+let test_battery_native_run () =
+  let s = X.run_suite ~make_fs:native_fs X.native_features in
+  check cint "nothing fails natively" 0 s.X.failed;
+  check cbool "xfs-only cases skipped" true (s.X.skipped > 0);
+  check cint "totals add up" s.X.total (s.X.passed + s.X.failed + s.X.skipped)
+
+let test_battery_quota_gated () =
+  let s = X.run_suite ~make_fs:native_fs X.simplefs_features in
+  check cint "exactly the three quota cases fail" 3 s.X.failed;
+  check cbool "all failures are quota" true
+    (List.for_all
+       (fun (id, _) ->
+         String.length id >= 13 && String.sub id 8 5 = "quota")
+       s.X.failures)
+
+let test_fio_offsets_deterministic () =
+  let clock = H.Clock.create () in
+  let rng1 = H.Rng.create ~seed:4 and rng2 = H.Rng.create ~seed:4 in
+  let b = Blockdev.Backend.create ~clock ~blocks:1024 () in
+  let j = Fio.job Fio.Rand_read ~block_size:4096 ~total:(64 * 4096) in
+  let r1 = Fio.run None ~clock ~rng:rng1 (Fio.Native b) j in
+  let r2 = Fio.run None ~clock ~rng:rng2 (Fio.Native b) j in
+  check cint "same op count" r1.Fio.ops r2.Fio.ops;
+  check cint "expected ops" 64 r1.Fio.ops
+
+let test_fio_native_scales_with_block_size () =
+  let clock = H.Clock.create () in
+  let rng = H.Rng.create ~seed:4 in
+  let b = Blockdev.Backend.create ~clock ~blocks:4096 () in
+  let small = Fio.job Fio.Seq_read ~block_size:4096 ~total:(1 lsl 20) in
+  let big = Fio.job Fio.Seq_read ~block_size:(256 * 1024) ~total:(1 lsl 20) in
+  let rs = Fio.run None ~clock ~rng (Fio.Native b) small in
+  let rb = Fio.run None ~clock ~rng (Fio.Native b) big in
+  check cbool "large blocks give higher throughput" true
+    (rb.Fio.throughput_mb_s > rs.Fio.throughput_mb_s);
+  check cbool "small blocks give more IOPS" true (rs.Fio.iops > rb.Fio.iops)
+
+let boot ?(seed = 91) () =
+  let h = H.Host.create ~seed () in
+  let backend = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:8192 () in
+  let rootdev =
+    Blockdev.Dev.sub (Blockdev.Backend.dev backend) ~first_block:0 ~blocks:1024
+  in
+  let fs = Result.get_ok (Sfs.mkfs rootdev ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  Sfs.sync fs;
+  let vmm = Vmm.create h ~profile:Hypervisor.Profile.qemu ~disk:backend () in
+  let g = Vmm.boot vmm ~version:Linux_guest.Kernel_version.V5_10 in
+  (h, vmm, g)
+
+let test_fio_guest_direct_slower_than_native () =
+  let h, vmm, g = boot () in
+  let clock = h.H.Host.clock in
+  let rng = H.Rng.create ~seed:4 in
+  let nat = Blockdev.Backend.create ~clock ~blocks:2048 () in
+  let j = Fio.job Fio.Seq_read ~block_size:4096 ~total:(1 lsl 20) in
+  let rn = Fio.run None ~clock ~rng (Fio.Native nat) j in
+  let drv = Guest.boot_blk_exn g in
+  let rq = Fio.run (Some vmm) ~clock ~rng (Fio.Guest_raw drv) j in
+  check cbool "virtualisation costs IOPS" true (rn.Fio.iops > rq.Fio.iops);
+  check cbool "but by less than 4x" true (rn.Fio.iops < 4.0 *. rq.Fio.iops)
+
+let test_fio_buffered_faster_than_direct () =
+  let h, vmm, g = boot ~seed:92 () in
+  let clock = h.H.Host.clock in
+  let rng = H.Rng.create ~seed:4 in
+  let drv = Guest.boot_blk_exn g in
+  let raw = Virtio.Blk.Driver.to_blockdev drv in
+  let scratch =
+    Blockdev.Dev.sub raw ~first_block:1024 ~blocks:(raw.Blockdev.Dev.blocks - 1024)
+  in
+  let cache = Guest.page_cache g in
+  let cached = Linux_guest.Page_cache.wrap cache ~dev_id:9 scratch in
+  let fs = Vmm.in_guest vmm (fun () -> Result.get_ok (Sfs.mkfs cached ())) in
+  let j = Fio.job Fio.Seq_read ~block_size:4096 ~total:(1 lsl 20) in
+  let direct =
+    Fio.run (Some vmm) ~clock ~rng
+      (Fio.Guest_fs { fs; cache; path = "/d"; direct = true })
+      j
+  in
+  let buffered =
+    Fio.run (Some vmm) ~clock ~rng
+      (Fio.Guest_fs { fs; cache; path = "/b"; direct = false })
+      j
+  in
+  check cbool "page cache pays off" true (buffered.Fio.iops > direct.Fio.iops)
+
+let test_phoronix_test_count () =
+  check cint "32 Fig-5 configurations" 32 (List.length Workloads.Phoronix.tests)
+
+let test_phoronix_runs_clean () =
+  let h, vmm, g = boot ~seed:93 () in
+  let drv = Guest.boot_blk_exn g in
+  let raw = Virtio.Blk.Driver.to_blockdev drv in
+  let scratch =
+    Blockdev.Dev.sub raw ~first_block:1024 ~blocks:(raw.Blockdev.Dev.blocks - 1024)
+  in
+  let cache = Guest.page_cache g in
+  let cached = Linux_guest.Page_cache.wrap cache ~dev_id:9 scratch in
+  let fs = Vmm.in_guest vmm (fun () -> Result.get_ok (Sfs.mkfs cached ())) in
+  let env =
+    {
+      Workloads.Phoronix.vmm;
+      fs;
+      cache;
+      clock = h.H.Host.clock;
+      rng = H.Rng.create ~seed:6;
+    }
+  in
+  (* a representative subset of each workload family, start to finish *)
+  let sample =
+    List.filter
+      (fun t ->
+        List.mem t.Workloads.Phoronix.tname
+          [
+            "Compile Bench: Compile"; "Dbench: 1 Client";
+            "FS-Mark: 1k Files, No Sync"; "Fio: Rand read, 4KB"; "IOR: 2MB";
+            "PostMark: Disk transactions"; "Sqlite: 1 Threads";
+          ])
+      Workloads.Phoronix.tests
+  in
+  check cint "sample found" 7 (List.length sample);
+  List.iter
+    (fun t ->
+      let ns = Workloads.Phoronix.run_one env t in
+      check cbool (t.Workloads.Phoronix.tname ^ " advances time") true (ns > 0.0))
+    sample
+
+let test_console_latency_models () =
+  let clock = H.Clock.create () in
+  let native = Workloads.Console_latency.native clock in
+  let ssh = Workloads.Console_latency.ssh clock in
+  check cbool "native well under ssh" true
+    (native.Workloads.Console_latency.latency_ms
+    < ssh.Workloads.Console_latency.latency_ms /. 2.0);
+  check cbool "ssh under the 13ms perception limit" true
+    (ssh.Workloads.Console_latency.latency_ms < 13.0)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "workloads.xfstests",
+      [
+        t "size + unique ids" test_battery_size_and_ids;
+        t "native run clean" test_battery_native_run;
+        t "quota feature-gated" test_battery_quota_gated;
+      ] );
+    ( "workloads.fio",
+      [
+        t "deterministic" test_fio_offsets_deterministic;
+        t "block size scaling" test_fio_native_scales_with_block_size;
+        t "guest slower than native" test_fio_guest_direct_slower_than_native;
+        t "buffered beats direct" test_fio_buffered_faster_than_direct;
+      ] );
+    ( "workloads.phoronix",
+      [
+        t "32 configs" test_phoronix_test_count;
+        t "sample runs clean" test_phoronix_runs_clean;
+      ] );
+    ("workloads.console", [ t "latency models" test_console_latency_models ]);
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the x86 page-table encoder/walker. *)
+
+module PT = X86.Page_table
+module Layout = X86.Layout
+module Mem = Hostos.Mem
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+
+(* A little physical memory arena with a bump allocator for tables. *)
+let make_arena ?(pages = 256) () =
+  let phys = Mem.create (pages * 4096) in
+  let next = ref 0 in
+  let alloc () =
+    let pa = !next * 4096 in
+    next := !next + 1;
+    if !next > pages then failwith "arena exhausted";
+    pa
+  in
+  let acc =
+    { PT.read_u64 = (fun pa -> Mem.read_u64 phys pa);
+      write_u64 = (fun pa v -> Mem.write_u64 phys pa v) }
+  in
+  (phys, acc, alloc)
+
+let flags = PT.Flags.(present lor writable)
+
+let test_map_translate_4k () =
+  let _, acc, alloc = make_arena () in
+  let root = alloc () in
+  PT.map_page acc ~alloc ~root ~virt:0x7fff_0000_0000 ~phys:0x5000 ~flags;
+  check (Alcotest.option cint) "translate" (Some 0x5123)
+    (PT.translate acc ~root (0x7fff_0000_0000 + 0x123));
+  check (Alcotest.option cint) "unmapped is None" None
+    (PT.translate acc ~root 0x7fff_0000_1000)
+
+let test_map_range_mixed () =
+  let _, acc, alloc = make_arena () in
+  let root = alloc () in
+  (* 4 MiB range, 2 MiB aligned: should use huge pages. *)
+  PT.map_range acc ~alloc ~root ~virt:0x4000_0000 ~phys:0x20_0000
+    ~len:0x40_0000 ~flags;
+  check (Alcotest.option cint) "start" (Some 0x20_0000)
+    (PT.translate acc ~root 0x4000_0000);
+  check (Alcotest.option cint) "middle" (Some (0x20_0000 + 0x21_0044))
+    (PT.translate acc ~root (0x4000_0000 + 0x21_0044));
+  let huge_seen = ref false in
+  PT.iter_present acc ~root ~f:(fun ~virt:_ ~phys:_ ~huge ->
+      if huge then huge_seen := true);
+  check cbool "huge pages used" true !huge_seen
+
+let test_unaligned_rejected () =
+  let _, acc, alloc = make_arena () in
+  let root = alloc () in
+  Alcotest.check_raises "unaligned" (Invalid_argument "x") (fun () ->
+      try PT.map_page acc ~alloc ~root ~virt:0x1001 ~phys:0x2000 ~flags
+      with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_iter_present_enumerates () =
+  let _, acc, alloc = make_arena () in
+  let root = alloc () in
+  let mapped = [ (0x10_0000, 0x3000); (0x7fff_0000_0000, 0x4000); (0x20_2000, 0x5000) ] in
+  List.iter (fun (v, p) -> PT.map_page acc ~alloc ~root ~virt:v ~phys:p ~flags) mapped;
+  let seen = ref [] in
+  PT.iter_present acc ~root ~f:(fun ~virt ~phys ~huge:_ ->
+      seen := (virt, phys) :: !seen);
+  List.iter
+    (fun vp -> check cbool "mapping enumerated" true (List.mem vp !seen))
+    mapped;
+  check cint "exactly the mappings" (List.length mapped) (List.length !seen)
+
+let test_entry_codec () =
+  let e = PT.entry ~phys:0xabc000 ~flags in
+  check cint "phys" 0xabc000 (PT.entry_phys e);
+  check cint "flags" flags (PT.entry_flags e);
+  check cbool "present" true (PT.is_present e)
+
+let prop_map_translate_roundtrip =
+  QCheck.Test.make ~name:"map/translate roundtrip over random pages" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 32) (pair (int_bound 0xffff) (int_bound 0xfff)))
+    (fun pairs ->
+      let _, acc, alloc = make_arena ~pages:1024 () in
+      let root = alloc () in
+      (* distinct virtual pages mapping to arbitrary physical pages *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (vpage, ppage) ->
+          let virt = (vpage + 1) * 4096 and phys = (ppage + 1) * 4096 in
+          if not (Hashtbl.mem tbl virt) then begin
+            Hashtbl.replace tbl virt phys;
+            PT.map_page acc ~alloc ~root ~virt ~phys ~flags
+          end)
+        pairs;
+      Hashtbl.fold
+        (fun virt phys ok ->
+          ok && PT.translate acc ~root (virt + 5) = Some (phys + 5))
+        tbl true)
+
+let test_layout_direct_map () =
+  check cint "roundtrip" 0x1234
+    (Layout.direct_to_phys (Layout.phys_to_direct 0x1234));
+  check cbool "kaslr slots" true (Layout.kaslr_slots = 512)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "x86.page_table",
+      [
+        t "map/translate 4k" test_map_translate_4k;
+        t "map_range huge" test_map_range_mixed;
+        t "unaligned rejected" test_unaligned_rejected;
+        t "iter_present" test_iter_present_enumerates;
+        t "entry codec" test_entry_codec;
+        QCheck_alcotest.to_alcotest prop_map_translate_roundtrip;
+      ] );
+    ("x86.layout", [ t "direct map" test_layout_direct_map ]);
+  ]
