@@ -676,6 +676,57 @@ let run_ablation () =
     [ 256; 512; 1024 ]
 
 (* ------------------------------------------------------------------ *)
+(* Latency — per-request distributions from the driver histograms,      *)
+(* exported machine-readable to BENCH_results.json                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_latency () =
+  section
+    "Latency — per-request distributions (virtual ns) -> BENCH_results.json";
+  (* Mixed request sizes so the distribution is non-degenerate. *)
+  let mixed_io vmm drv ~n =
+    let sizes = [| 4096; 16384; 65536 |] in
+    Vmm.in_guest vmm (fun () ->
+        for i = 0 to n - 1 do
+          let len = sizes.(i mod Array.length sizes) in
+          let sector = i * 17 mod 512 * Virtio.Blk.sectors_per_block in
+          ignore (Virtio.Blk.Driver.read drv ~sector ~len);
+          if i mod 2 = 0 then
+            Virtio.Blk.Driver.write drv ~sector (Bytes.make len 'b')
+        done;
+        Virtio.Blk.Driver.flush drv)
+  in
+  let hq, vmmq, gq = boot_qemu ~seed:1401 () in
+  mixed_io vmmq (Guest.boot_blk_exn gq) ~n:96;
+  let env = boot_qemu ~seed:1402 () in
+  let _s = attach env in
+  let hv, vmmv, gv = env in
+  mixed_io vmmv (Option.get (Guest.vmsh_blk gv)) ~n:96;
+  let scenarios = [ ("qemu-blk", hq); ("vmsh-blk", hv) ] in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc
+    (Printf.sprintf "{\"scenarios\": {%s}}\n"
+       (String.concat ", "
+          (List.map
+             (fun (label, h) ->
+               Printf.sprintf "%S: %s" label
+                 (Observe.Export.metrics_json h.H.Host.observe))
+             scenarios)));
+  close_out oc;
+  List.iter
+    (fun (label, h) ->
+      List.iter
+        (fun hist ->
+          let p q = Observe.Metrics.percentile hist q in
+          Printf.printf
+            "%-10s %-26s n=%4d  p50 %10.0f  p95 %10.0f  p99 %10.0f ns\n" label
+            (Observe.Metrics.histogram_name hist)
+            (Observe.Metrics.count hist) (p 50.0) (p 95.0) (p 99.0))
+        (Observe.Metrics.histograms (Observe.metrics h.H.Host.observe)))
+    scenarios;
+  Printf.printf "written: BENCH_results.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks (wall-clock cost of simulator hot paths;    *)
 (* one Test.make per experiment family)                                 *)
 (* ------------------------------------------------------------------ *)
@@ -764,6 +815,7 @@ let experiments =
     ("e9", run_e9);
     ("e10", run_e10);
     ("ablation", run_ablation);
+    ("latency", run_latency);
     ("bechamel", run_bechamel);
   ]
 

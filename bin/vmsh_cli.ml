@@ -74,10 +74,58 @@ let tools_image clock =
 
 (* --- attach --- *)
 
+(* Sync the virtual clock's counters into the metrics registry so the
+   JSON snapshot carries them alongside the histograms. *)
+let snapshot_clock_metrics h =
+  let obs = h.H.Host.observe in
+  let mx = Observe.metrics obs in
+  Observe.Metrics.set_gauge
+    (Observe.Metrics.gauge mx "clock.virtual_ns")
+    (Observe.now obs);
+  List.iter
+    (fun (k, v) ->
+      Observe.Metrics.set_counter (Observe.Metrics.counter mx ("clock." ^ k)) v)
+    (H.Clock.to_fields (H.Clock.counters h.H.Host.clock))
+
+let write_observe_outputs h ~trace_out ~metrics_out =
+  let obs = h.H.Host.observe in
+  let ok = ref true in
+  let write path data =
+    match open_out path with
+    | oc ->
+        output_string oc data;
+        close_out oc;
+        true
+    | exception Sys_error msg ->
+        Printf.eprintf "vmsh: cannot write output: %s\n" msg;
+        ok := false;
+        false
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      if write path (Observe.Export.chrome_trace obs) then
+        Printf.printf
+          "trace written to %s (load it in Perfetto or chrome://tracing)\n" path);
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      snapshot_clock_metrics h;
+      if write path (Observe.Export.metrics_json obs) then
+        Printf.printf "metrics written to %s\n" path);
+  !ok
+
 let attach_cmd =
-  let run verbose profile version transport commands =
+  let run verbose profile version transport commands trace_out metrics_out =
     setup_logs verbose;
     let h, vmm, _g = boot_vm ~profile ~version ~seed:11 in
+    let obs = h.H.Host.observe in
+    if verbose || trace_out <> None || metrics_out <> None then
+      Observe.enable obs;
+    if verbose then
+      Observe.set_listener obs
+        (Some (fun e -> Format.eprintf "%a@." Observe.Export.pp_event e));
+    Observe.instant obs ~name:"cli.booted" ();
     Printf.printf "booted %s with guest kernel v%s (hypervisor pid %d)\n"
       profile.Profile.prof_name (KV.to_string version) (Vmm.pid vmm);
     let config = { Vmsh.Attach.default_config with transport } in
@@ -89,9 +137,11 @@ let attach_cmd =
         ()
     with
     | Error e ->
+        ignore (write_observe_outputs h ~trace_out ~metrics_out);
         Printf.eprintf "attach failed: %s\n" e;
         exit 1
     | Ok session ->
+        Observe.instant obs ~name:"cli.attached" ();
         let anal = Vmsh.Attach.analysis session in
         Printf.printf
           "attached (%s): kernel at 0x%x, %d symbols, ksymtab layout %s\n"
@@ -110,8 +160,11 @@ let attach_cmd =
               (Vmsh.Attach.console_roundtrip session cmd))
           commands;
         Vmsh.Attach.detach session;
+        Observe.instant obs ~name:"cli.detached" ();
+        let outputs_ok = write_observe_outputs h ~trace_out ~metrics_out in
         Printf.printf "detached; %d block requests served by vmsh-blk\n"
-          (Vmsh.Devices.stats_requests (Vmsh.Attach.devices session))
+          (Vmsh.Devices.stats_requests (Vmsh.Attach.devices session));
+        if not outputs_ok then exit 1
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
   let profile =
@@ -137,9 +190,27 @@ let attach_cmd =
     Arg.(value & opt_all string [] & info [ "exec"; "e" ] ~docv:"CMD"
            ~doc:"Shell command to run (repeatable).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the attach (virtual-ns \
+             timestamps; load in Perfetto or chrome://tracing).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write a flat JSON snapshot of counters/gauges/histograms.")
+  in
   Cmd.v
     (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
-    Term.(const run $ verbose $ profile $ version $ transport $ commands)
+    Term.(
+      const run $ verbose $ profile $ version $ transport $ commands
+      $ trace_out $ metrics_out)
 
 (* --- matrix --- *)
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Tier-1 gate plus an observability smoke test: build, run the full
+# test suite, then do a real `vmsh attach` with trace/metrics export
+# and check both outputs are well-formed JSON.
+set -e
+
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+
+trace=/tmp/vmsh-ci-trace.json
+metrics=/tmp/vmsh-ci-metrics.json
+dune exec bin/vmsh_cli.exe -- attach \
+  --trace-out "$trace" --metrics-out "$metrics" -e hostname > /dev/null
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$trace" > /dev/null
+  python3 -m json.tool "$metrics" > /dev/null
+  python3 - "$trace" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+names = {e["name"] for e in t["traceEvents"]}
+phases = ["attach", "ptrace-attach", "fd-discovery", "memslot-dump",
+          "register-read", "page-table-walk", "symbol-analysis",
+          "device-setup", "klib-sideload"]
+missing = [p for p in phases if p not in names]
+assert not missing, f"trace is missing attach phases: {missing}"
+EOF
+else
+  # minimal sanity without python: non-empty and JSON-shaped
+  for f in "$trace" "$metrics"; do
+    [ -s "$f" ] || { echo "ci: $f is empty" >&2; exit 1; }
+    head -c1 "$f" | grep -q '{' || { echo "ci: $f is not JSON" >&2; exit 1; }
+  done
+fi
+
+echo "ci: OK"

@@ -44,6 +44,23 @@ let write_range t ~off b =
   in
   go off 0 (Bytes.length b)
 
+let observe obs ~name t =
+  let mx = Observe.metrics obs in
+  let timed op f =
+    let t0 = Observe.now obs in
+    let r = f () in
+    Observe.Metrics.observe
+      (Observe.Metrics.histogram mx (name ^ "." ^ op ^ "_ns"))
+      (Observe.now obs -. t0);
+    r
+  in
+  {
+    t with
+    read_block = (fun i -> timed "read" (fun () -> t.read_block i));
+    write_block = (fun i b -> timed "write" (fun () -> t.write_block i b));
+    flush = (fun () -> timed "flush" (fun () -> t.flush ()));
+  }
+
 let sub t ~first_block ~blocks =
   if first_block + blocks > t.blocks then invalid_arg "Dev.sub: out of range";
   {

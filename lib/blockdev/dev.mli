@@ -25,5 +25,10 @@ val read_range : t -> off:int -> len:int -> bytes
 
 val write_range : t -> off:int -> bytes -> unit
 
+val observe : Observe.t -> name:string -> t -> t
+(** A transparent wrapper recording per-block-operation latency
+    (virtual ns) into histograms ["<name>.read_ns"], ["<name>.write_ns"]
+    and ["<name>.flush_ns"] on the tracer's metrics registry. *)
+
 val sub : t -> first_block:int -> blocks:int -> t
 (** A window onto a contiguous range of an existing device (partition). *)

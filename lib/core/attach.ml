@@ -192,6 +192,18 @@ let wait_ready ~mem ~loaded ~pump =
   go 16
 
 let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
+  let obs = host.Host.observe in
+  Observe.span obs ~name:"attach"
+    ~attrs:
+      [
+        ( "transport",
+          Observe.S
+            (match config.transport with
+            | Devices.Ioregionfd -> "ioregionfd"
+            | Devices.Wrap_syscall -> "wrap_syscall") );
+        ("hypervisor_pid", Observe.I hypervisor_pid);
+      ]
+  @@ fun () ->
   (* VMSH starts with the privileges it needs for discovery and drops
      them afterwards (paper §4.5). *)
   let vmsh =
@@ -202,7 +214,10 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
     Tracee.attach ~seccomp_heuristic:config.seccomp_heuristic host ~vmsh
       ~pid:hypervisor_pid
   in
-  let* slots = Memslot_discovery.discover tracee in
+  let* slots =
+    Observe.span obs ~name:"memslot-dump" (fun () ->
+        Memslot_discovery.discover tracee)
+  in
   if config.drop_privileges then begin
     Proc.drop_cap vmsh Proc.CAP_BPF;
     Proc.drop_cap vmsh Proc.CAP_SYS_ADMIN
@@ -211,11 +226,15 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
     Hyp_mem.create host ~vmsh ~hypervisor_pid ~slots ~mode:config.copy_mode ()
   in
   let* regs =
-    match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
-    | Ok r -> Ok r
-    | Error e -> Error ("KVM_GET_REGS injection: " ^ e)
+    Observe.span obs ~name:"register-read" (fun () ->
+        match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
+        | Ok r -> Ok r
+        | Error e -> Error ("KVM_GET_REGS injection: " ^ e))
   in
-  let* anal = Symbol_analysis.analyze mem ~cr3:regs.X86.Regs.cr3 in
+  let* anal =
+    Observe.span obs ~name:"symbol-analysis" (fun () ->
+        Symbol_analysis.analyze mem ~cr3:regs.X86.Regs.cr3)
+  in
   let* () =
     let missing =
       List.filter
@@ -228,58 +247,70 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
         ("guest kernel does not export required symbols: "
         ^ String.concat ", " missing)
   in
-  (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
-     first, so the irqfds work on MSI-X-only irqchips *)
-  let* () =
-    if config.pci then
-      let* () = install_msi_route tracee ~gsi:console_gsi in
-      install_msi_route tracee ~gsi:blk_gsi
-    else Ok ()
+  let* devs =
+    Observe.span obs ~name:"device-setup" @@ fun () ->
+    (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
+       first, so the irqfds work on MSI-X-only irqchips *)
+    let* () =
+      if config.pci then
+        let* () = install_msi_route tracee ~gsi:console_gsi in
+        install_msi_route tracee ~gsi:blk_gsi
+      else Ok ()
+    in
+    let* console_ev = make_remote_irqfd tracee ~gsi:console_gsi in
+    let* blk_ev = make_remote_irqfd tracee ~gsi:blk_gsi in
+    let* fds, _ctl_local, _ctl_remote =
+      retrieve_fds host vmsh tracee [ console_ev; blk_ev ]
+        ~path:
+          (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
+    in
+    let* console_irqfd, blk_irqfd =
+      match fds with
+      | [ c; b ] -> Ok (c, b)
+      | _ -> Error "fd passing returned the wrong number of descriptors"
+    in
+    let devs =
+      Devices.create ~mem ~tracee ~image:fs_image ~blk_irqfd ~console_irqfd
+        ~pci:config.pci ()
+    in
+    let* () =
+      match config.transport with
+      | Devices.Wrap_syscall ->
+          Devices.install_wrap_syscall devs;
+          Ok ()
+      | Devices.Ioregionfd ->
+          setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
+    in
+    Ok devs
   in
-  let* console_ev = make_remote_irqfd tracee ~gsi:console_gsi in
-  let* blk_ev = make_remote_irqfd tracee ~gsi:blk_gsi in
-  let* fds, _ctl_local, _ctl_remote =
-    retrieve_fds host vmsh tracee [ console_ev; blk_ev ]
-      ~path:
-        (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
+  let* loaded =
+    Observe.span obs ~name:"klib-sideload" @@ fun () ->
+    (* guest program + kernel library *)
+    let program =
+      Overlay.register
+        {
+          Overlay.container_pid = config.container_pid;
+          command = config.command;
+        }
+    in
+    let image, layout =
+      Klib_builder.build ~version:anal.Symbol_analysis.version
+        ~guest_program:program ~pci:config.pci
+        ~console_base:
+          (if config.pci then fst (Devices.region devs)
+           else Devices.console_base devs)
+        ~blk_base:
+          (if config.pci then
+             fst (Devices.region devs) + Layout.virtio_mmio_stride
+           else Devices.blk_base devs)
+        ~console_gsi ~blk_gsi ()
+    in
+    let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
+    let* () = Loader.redirect ~tracee loaded in
+    pump ();
+    let* () = wait_ready ~mem ~loaded ~pump in
+    Ok loaded
   in
-  let* console_irqfd, blk_irqfd =
-    match fds with
-    | [ c; b ] -> Ok (c, b)
-    | _ -> Error "fd passing returned the wrong number of descriptors"
-  in
-  let devs =
-    Devices.create ~mem ~tracee ~image:fs_image ~blk_irqfd ~console_irqfd
-      ~pci:config.pci ()
-  in
-  let* () =
-    match config.transport with
-    | Devices.Wrap_syscall ->
-        Devices.install_wrap_syscall devs;
-        Ok ()
-    | Devices.Ioregionfd -> setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
-  in
-  (* guest program + kernel library *)
-  let program =
-    Overlay.register
-      {
-        Overlay.container_pid = config.container_pid;
-        command = config.command;
-      }
-  in
-  let image, layout =
-    Klib_builder.build ~version:anal.Symbol_analysis.version
-      ~guest_program:program ~pci:config.pci
-      ~console_base:(if config.pci then fst (Devices.region devs) else Devices.console_base devs)
-      ~blk_base:
-        (if config.pci then fst (Devices.region devs) + Layout.virtio_mmio_stride
-         else Devices.blk_base devs)
-      ~console_gsi ~blk_gsi ()
-  in
-  let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
-  let* () = Loader.redirect ~tracee loaded in
-  pump ();
-  let* () = wait_ready ~mem ~loaded ~pump in
   Ok { cfg = config; vmsh; tracee; mem; devs; anal; loaded; pump }
 
 let console_send s line =

@@ -80,7 +80,12 @@ let signal t fd =
    device latency again instead of overlapping with its neighbours —
    the main reason vmsh-blk runs at about half of qemu-blk (§6.3C). *)
 let blk_backend t =
-  let b = Virtio.Blk.Device.backend_of_blockdev (Blockdev.Backend.dev t.image) in
+  let obs = (Tracee.host t.tracee).Hostos.Host.observe in
+  let b =
+    Virtio.Blk.Device.backend_of_blockdev
+      (Blockdev.Dev.observe obs ~name:"vmsh-blk.backend"
+         (Blockdev.Backend.dev t.image))
+  in
   let sync_penalty len =
     Clock.context_switch t.clock;
     Clock.device_op t.clock ~blocks:(max 1 (len / Blockdev.Dev.block_size))
@@ -108,6 +113,10 @@ let process_blk t =
       let n = Virtio.Blk.Device.process q (remote_gmem t) (blk_backend t) in
       if n > 0 then begin
         t.requests <- t.requests + n;
+        Observe.Metrics.incr ~by:n
+          (Observe.Metrics.counter
+             (Observe.metrics (Tracee.host t.tracee).Hostos.Host.observe)
+             "vmsh-blk.requests");
         Mmio.Device.assert_irq t.blk_regs;
         signal t t.blk_irqfd
       end

@@ -15,6 +15,7 @@ type t = {
 let create host ~vmsh ~hypervisor_pid ~slots ?(mode = Bulk) () =
   { host; vmsh; pid = hypervisor_pid; slot_list = slots; cmode = mode }
 
+let host t = t.host
 let slots t = t.slot_list
 let add_slot t s = t.slot_list <- t.slot_list @ [ s ]
 let mode t = t.cmode

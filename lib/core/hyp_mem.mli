@@ -28,6 +28,7 @@ val create :
   Hostos.Host.t -> vmsh:Hostos.Proc.t -> hypervisor_pid:int ->
   slots:slot list -> ?mode:copy_mode -> unit -> t
 
+val host : t -> Hostos.Host.t
 val slots : t -> slot list
 
 (** [add_slot] records a memslot VMSH itself registered (its own

@@ -158,7 +158,12 @@ let find_table img ~kbase ~region layout =
   !best
 
 let analyze mem ~cr3 =
-  let* kernel_base, image_len = find_kernel_base mem ~cr3 in
+  let* kernel_base, image_len =
+    Observe.span
+      (Hyp_mem.host mem).Hostos.Host.observe
+      ~name:"page-table-walk"
+      (fun () -> find_kernel_base mem ~cr3)
+  in
   if image_len = 0 then Error "kernel mapping has zero extent"
   else
     match Hyp_mem.read_virt mem ~cr3 ~va:kernel_base ~len:image_len with

@@ -110,17 +110,27 @@ let inject_any_thread h session tracee_pid ~nr ~args =
   try_tids (Error "tracee has no threads") threads
 
 let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
+  let obs = h.Host.observe in
   let* session =
-    match Ptrace.attach h ~tracer:vmsh ~pid with
-    | Ok s -> Ok s
-    | Error e -> Error ("ptrace attach: " ^ errno_str e)
+    Observe.span obs ~name:"ptrace-attach"
+      ~attrs:[ ("pid", Observe.I pid) ]
+      (fun () ->
+        match Ptrace.attach h ~tracer:vmsh ~pid with
+        | Ok s ->
+            Ptrace.interrupt h s;
+            Ok s
+        | Error e -> Error ("ptrace attach: " ^ errno_str e))
   in
-  Ptrace.interrupt h session;
-  let* vm_fd_num, vcpu_list = discover_kvm h ~pid in
-  let* scratch_hva =
-    if seccomp_heuristic then
-      inject_any_thread h session pid ~nr:Syscall.Nr.mmap ~args:[| 0; 8192 |]
-    else inject_session h session ~nr:Syscall.Nr.mmap ~args:[| 0; 8192 |]
+  let* vm_fd_num, vcpu_list, scratch_hva =
+    Observe.span obs ~name:"fd-discovery" (fun () ->
+        let* vm_fd_num, vcpu_list = discover_kvm h ~pid in
+        let* scratch_hva =
+          if seccomp_heuristic then
+            inject_any_thread h session pid ~nr:Syscall.Nr.mmap
+              ~args:[| 0; 8192 |]
+          else inject_session h session ~nr:Syscall.Nr.mmap ~args:[| 0; 8192 |]
+        in
+        Ok (vm_fd_num, vcpu_list, scratch_hva))
   in
   Ok
     {

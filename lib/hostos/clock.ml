@@ -167,6 +167,23 @@ let fs_op t =
   t.counters.fs_ops <- t.counters.fs_ops + 1;
   advance t t.costs.ns_fs_op
 
+let to_fields c =
+  [
+    ("context_switches", c.context_switches);
+    ("syscalls", c.syscalls);
+    ("vmexits", c.vmexits);
+    ("mmio_exits", c.mmio_exits);
+    ("ptrace_stops", c.ptrace_stops);
+    ("bytes_copied", c.bytes_copied);
+    ("bytes_copied_remote", c.bytes_copied_remote);
+    ("page_cache_hits", c.page_cache_hits);
+    ("page_cache_misses", c.page_cache_misses);
+    ("irq_injections", c.irq_injections);
+    ("socket_msgs", c.socket_msgs);
+    ("device_ops", c.device_ops);
+    ("fs_ops", c.fs_ops);
+  ]
+
 let pp_counters ppf c =
   Format.fprintf ppf
     "@[<v>ctx-switches %d; syscalls %d; vmexits %d (mmio %d); ptrace-stops \

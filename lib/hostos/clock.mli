@@ -80,4 +80,8 @@ val socket_msg : t -> unit
 val device_op : t -> blocks:int -> unit
 val fs_op : t -> unit
 
+val to_fields : counters -> (string * int) list
+(** The counters as a stably-ordered (name, value) vector — the shape
+    the tracing layer diffs to attribute events to spans. *)
+
 val pp_counters : Format.formatter -> counters -> unit

@@ -1,5 +1,6 @@
 type t = {
   clock : Clock.t;
+  observe : Observe.t;
   rng : Rng.t;
   mutable procs : Proc.t list;
   mutable next_pid : int;
@@ -8,8 +9,14 @@ type t = {
 }
 
 let create ?(seed = 0xb5ee5) ?costs () =
+  let clock = Clock.create ?costs () in
   {
-    clock = Clock.create ?costs ();
+    clock;
+    observe =
+      Observe.create
+        ~now:(fun () -> Clock.now_ns clock)
+        ~counters:(fun () -> Clock.to_fields (Clock.counters clock))
+        ();
     rng = Rng.create ~seed;
     procs = [];
     next_pid = 100;

@@ -6,6 +6,9 @@
 
 type t = {
   clock : Clock.t;
+  observe : Observe.t;
+      (** Tracing spans + metrics wired to [clock]; sink is a no-op
+          until [Observe.enable] is called on it. *)
   rng : Rng.t;
   mutable procs : Proc.t list;
   mutable next_pid : int;

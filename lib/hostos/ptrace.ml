@@ -56,18 +56,21 @@ let inject_syscall host s ?tid ~nr ~args () =
       match Proc.find_thread s.tracee ~tid with
       | None -> Error Errno.ESRCH
       | Some th ->
-          let saved = X86.Regs.copy th.Proc.regs in
-          (* Injected syscalls must not re-trigger the tracer's own
-             wrap_syscall hooks (the real implementation distinguishes
-             injected stops from organic ones). *)
-          let saved_hook = s.tracee.Proc.hook in
-          s.tracee.Proc.hook <- None;
-          Clock.ptrace_stop host.Host.clock;
-          let ret = Syscall.call host s.tracee th ~nr ~args in
-          Clock.ptrace_stop host.Host.clock;
-          s.tracee.Proc.hook <- saved_hook;
-          X86.Regs.restore th.Proc.regs ~from:saved;
-          Ok ret)
+          Observe.span host.Host.observe
+            ~name:("ptrace.inject:" ^ Syscall.Nr.name nr)
+            (fun () ->
+              let saved = X86.Regs.copy th.Proc.regs in
+              (* Injected syscalls must not re-trigger the tracer's own
+                 wrap_syscall hooks (the real implementation distinguishes
+                 injected stops from organic ones). *)
+              let saved_hook = s.tracee.Proc.hook in
+              s.tracee.Proc.hook <- None;
+              Clock.ptrace_stop host.Host.clock;
+              let ret = Syscall.call host s.tracee th ~nr ~args in
+              Clock.ptrace_stop host.Host.clock;
+              s.tracee.Proc.hook <- saved_hook;
+              X86.Regs.restore th.Proc.regs ~from:saved;
+              Ok ret))
 
 let hook_syscalls host s ~on_entry ~on_exit =
   let clock = host.Host.clock in

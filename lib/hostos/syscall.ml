@@ -204,6 +204,11 @@ let rec run_once host p th =
     else dispatch host p th
   in
   th.Proc.regs.X86.Regs.rax <- Errno.to_syscall_ret result;
+  if Observe.enabled host.Host.observe then
+    Observe.instant host.Host.observe
+      ~name:("syscall:" ^ Nr.name nr)
+      ~attrs:[ ("ret", Observe.I (Errno.to_syscall_ret result)) ]
+      ();
   match p.Proc.hook with
   | Some hook -> (
       match hook.Proc.on_exit th with

@@ -146,9 +146,14 @@ let deliver_irqs t =
   | Some rt ->
       let direct = t.pending_gsi in
       t.pending_gsi <- [];
+      let obs = t.host.Host.observe in
       List.iter
         (fun gsi ->
           Clock.irq_injection t.host.Host.clock;
+          if Observe.enabled obs then
+            Observe.instant obs ~name:"kvm.irq"
+              ~attrs:[ ("gsi", Observe.I gsi); ("source", Observe.S "direct") ]
+              ();
           rt.on_irq ~gsi)
         direct;
       Hashtbl.iter
@@ -157,6 +162,11 @@ let deliver_irqs t =
           | Some n when n > 0 ->
               ignore (fd.Fd.ops.read ~len:8);
               Clock.irq_injection t.host.Host.clock;
+              if Observe.enabled obs then
+                Observe.instant obs ~name:"kvm.irq"
+                  ~attrs:
+                    [ ("gsi", Observe.I gsi); ("source", Observe.S "irqfd") ]
+                  ();
               rt.on_irq ~gsi
           | _ -> ())
         t.irqfds
@@ -179,6 +189,19 @@ let route_mmio t req =
       (* ioregionfd: the exit is handled in-kernel by forwarding a frame
          over the registered socket; the hypervisor never wakes up. *)
       Clock.vmexit clock;
+      (let obs = t.host.Host.observe in
+       if Observe.enabled obs then
+         Observe.instant obs ~name:"kvm.exit:ioregionfd"
+           ~attrs:
+             [
+               ("addr", Observe.I addr);
+               ( "kind",
+                 Observe.S
+                   (match req with
+                   | Mmio_read _ -> "read"
+                   | Mmio_write _ -> "write") );
+             ]
+           ());
       let msg =
         match req with
         | Mmio_read { addr; len } ->
@@ -224,6 +247,11 @@ let route_mmio t req =
               (* ioeventfd: lightweight in-kernel exit; the iothread is
                  woken to process the queue. *)
               Clock.vmexit clock;
+              (let obs = t.host.Host.observe in
+               if Observe.enabled obs then
+                 Observe.instant obs ~name:"kvm.exit:ioeventfd"
+                   ~attrs:[ ("addr", Observe.I addr) ]
+                   ());
               Fd.eventfd_signal fd;
               List.iter
                 (fun (wfd, waiter) ->
@@ -267,6 +295,16 @@ let effect_handler t =
                       (Api.Exit_mmio { phys_addr; len; is_write; data });
                     vcpu.pending_mmio <- Some k;
                     Clock.mmio_exit t.host.Host.clock;
+                    (let obs = t.host.Host.observe in
+                     if Observe.enabled obs then
+                       Observe.instant obs ~name:"kvm.exit:mmio-userspace"
+                         ~attrs:
+                           [
+                             ("addr", Observe.I phys_addr);
+                             ("len", Observe.I len);
+                             ("is_write", Observe.I (Bool.to_int is_write));
+                           ]
+                         ());
                     Exited)
         | Yield_until pred ->
             Some

@@ -67,6 +67,7 @@ type t = {
 }
 
 let vm t = t.vmh
+let observe_of t = (Vm.host t.vmh).Hostos.Host.observe
 let version t = t.ver
 let kernel_virt t = t.kvirt
 let image_bytes _t = image_size
@@ -310,6 +311,8 @@ let install_kfuns t =
                         ~init:Virtio.Blk.Driver.init
                     with
                     | Ok drv ->
+                        Virtio.Blk.Driver.set_observe drv (observe_of t)
+                          ~name:"vmsh-blk";
                         t.vmsh_blk_drv <- Some drv;
                         printk t "vmsh-blk: virtio block device registered";
                         0
@@ -323,6 +326,8 @@ let install_kfuns t =
                         ~init:Virtio.Console.Driver.init
                     with
                     | Ok drv ->
+                        Virtio.Console.Driver.set_observe drv (observe_of t)
+                          ~name:"vmsh-console";
                         t.vmsh_console_drv <- Some drv;
                         printk t "vmsh-console: virtio console registered";
                         0
@@ -374,6 +379,8 @@ let install_kfuns t =
                             ~init:Virtio.Blk.Driver.init
                         with
                         | Ok drv ->
+                            Virtio.Blk.Driver.set_observe drv (observe_of t)
+                              ~name:"vmsh-blk";
                             t.vmsh_blk_drv <- Some drv;
                             printk t
                               "vmsh-blk: virtio-pci block device registered \
@@ -393,6 +400,8 @@ let install_kfuns t =
                             ~init:Virtio.Console.Driver.init
                         with
                         | Ok drv ->
+                            Virtio.Console.Driver.set_observe drv
+                              (observe_of t) ~name:"vmsh-console";
                             t.vmsh_console_drv <- Some drv;
                             printk t
                               "vmsh-console: virtio-pci console registered \
@@ -749,6 +758,7 @@ let probe_pci_boot_blk t =
           ~expect:Virtio.Blk.device_id ~init:Virtio.Blk.Driver.init
       with
       | Ok drv ->
+          Virtio.Blk.Driver.set_observe drv (observe_of t) ~name:"guest-blk";
           t.boot_blk_drv <- Some drv;
           printk t "virtio-pci: block device at 0000:00:00.0";
           mount_root_from t drv
@@ -762,6 +772,7 @@ let mount_boot_devices t =
        ~init:Virtio.Blk.Driver.init
    with
   | Ok drv ->
+      Virtio.Blk.Driver.set_observe drv (observe_of t) ~name:"guest-blk";
       t.boot_blk_drv <- Some drv;
       mount_root_from t drv
   | Error _ -> probe_pci_boot_blk t);

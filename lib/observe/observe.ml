@@ -1,0 +1,354 @@
+(* Virtual-time tracing spans, metric histograms, and exporters.
+
+   The tracer is deliberately decoupled from the simulation: it is told
+   how to read "now" (the virtual clock) and how to read the global
+   event counters through closures, so the host OS layer can depend on
+   this library without a cycle. Recording never advances virtual time,
+   which keeps traces byte-stable across identical runs and keeps the
+   simulation's results independent of whether tracing is on. *)
+
+type value = S of string | I of int | F of float
+type attr = string * value
+
+type event =
+  | Begin of { name : string; ts : float; attrs : attr list }
+  | End of { name : string; ts : float; deltas : (string * int) list }
+  | Instant of { name : string; ts : float; attrs : attr list }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  (* Log-bucketed histogram: bucket [i] covers values in
+     [growth^i, growth^(i+1)). growth = 2^(1/8) bounds the relative
+     quantile error at ~4.5% (half a bucket) while 512 buckets span the
+     full range of plausible virtual-ns values (up to 2^64). *)
+  let nbuckets = 512
+  let log_growth = 0.125 *. Float.log 2.0
+
+  type counter = { c_name : string; mutable c_count : int }
+  type gauge = { g_name : string; mutable g_value : float }
+
+  type histogram = {
+    h_name : string;
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_buckets : int array;
+  }
+
+  type t = {
+    mutable cs : counter list;
+    mutable gs : gauge list;
+    mutable hs : histogram list;
+  }
+
+  let create () = { cs = []; gs = []; hs = [] }
+
+  (* Find-or-create, preserving registration order for exports. *)
+  let counter t name =
+    match List.find_opt (fun c -> c.c_name = name) t.cs with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_count = 0 } in
+        t.cs <- t.cs @ [ c ];
+        c
+
+  let incr ?(by = 1) c = c.c_count <- c.c_count + by
+  let set_counter c v = c.c_count <- v
+  let counter_value c = c.c_count
+  let counter_name c = c.c_name
+  let gauge_name g = g.g_name
+  let histogram_name h = h.h_name
+
+  let gauge t name =
+    match List.find_opt (fun g -> g.g_name = name) t.gs with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; g_value = 0.0 } in
+        t.gs <- t.gs @ [ g ];
+        g
+
+  let set_gauge g v = g.g_value <- v
+  let gauge_value g = g.g_value
+
+  let histogram t name =
+    match List.find_opt (fun h -> h.h_name = name) t.hs with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_name = name;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make nbuckets 0;
+          }
+        in
+        t.hs <- t.hs @ [ h ];
+        h
+
+  let bucket_of v =
+    if v <= 1.0 then 0
+    else min (nbuckets - 1) (int_of_float (Float.log v /. log_growth))
+
+  let observe h v =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_of v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+  let count h = h.h_count
+  let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+  let min_value h = if h.h_count = 0 then 0.0 else h.h_min
+  let max_value h = if h.h_count = 0 then 0.0 else h.h_max
+
+  (* Quantile estimate: geometric midpoint of the bucket containing the
+     target rank, clamped to the observed [min, max]. *)
+  let percentile h p =
+    if h.h_count = 0 then 0.0
+    else begin
+      let target =
+        max 1
+          (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_count)))
+      in
+      let rec go i cum =
+        if i >= nbuckets then h.h_max
+        else
+          let cum = cum + h.h_buckets.(i) in
+          if cum >= target then
+            Float.exp ((float_of_int i +. 0.5) *. log_growth)
+          else go (i + 1) cum
+      in
+      Float.min h.h_max (Float.max h.h_min (go 0 0))
+    end
+
+  let counters t = t.cs
+  let gauges t = t.gs
+  let histograms t = t.hs
+end
+
+(* ------------------------------------------------------------------ *)
+(* The tracer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ring = {
+  cap : int;
+  buf : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+type sink = Noop | Ring of ring
+
+type t = {
+  now : unit -> float;
+  read_counters : unit -> (string * int) list;
+  mutable sink : sink;
+  mutable listener : (event -> unit) option;
+  mx : Metrics.t;
+}
+
+let default_capacity = 65536
+
+let create ~now ?(counters = fun () -> []) () =
+  { now; read_counters = counters; sink = Noop; listener = None;
+    mx = Metrics.create () }
+
+let null () = create ~now:(fun () -> 0.0) ()
+let now t = t.now ()
+let metrics t = t.mx
+let enabled t = match t.sink with Noop -> false | Ring _ -> true
+
+let enable ?(capacity = default_capacity) t =
+  let dummy = Instant { name = ""; ts = 0.0; attrs = [] } in
+  t.sink <-
+    Ring { cap = capacity; buf = Array.make capacity dummy; start = 0;
+           len = 0; dropped = 0 }
+
+let disable t = t.sink <- Noop
+let set_listener t f = t.listener <- f
+
+let emit t e =
+  (match t.sink with
+  | Noop -> ()
+  | Ring r ->
+      if r.len < r.cap then begin
+        r.buf.((r.start + r.len) mod r.cap) <- e;
+        r.len <- r.len + 1
+      end
+      else begin
+        r.buf.(r.start) <- e;
+        r.start <- (r.start + 1) mod r.cap;
+        r.dropped <- r.dropped + 1
+      end);
+  match t.listener with Some f -> f e | None -> ()
+
+let events t =
+  match t.sink with
+  | Noop -> []
+  | Ring r -> List.init r.len (fun i -> r.buf.((r.start + i) mod r.cap))
+
+let dropped t = match t.sink with Noop -> 0 | Ring r -> r.dropped
+
+let clear t =
+  match t.sink with
+  | Noop -> ()
+  | Ring r ->
+      r.start <- 0;
+      r.len <- 0;
+      r.dropped <- 0
+
+let instant t ~name ?(attrs = []) () =
+  match (t.sink, t.listener) with
+  | Noop, None -> ()
+  | _ -> emit t (Instant { name; ts = t.now (); attrs })
+
+let span t ~name ?(attrs = []) f =
+  match t.sink with
+  | Noop -> f ()
+  | Ring _ ->
+      let before = t.read_counters () in
+      emit t (Begin { name; ts = t.now (); attrs });
+      let finish () =
+        let deltas =
+          List.map2 (fun (k, v0) (_, v1) -> (k, v1 - v0)) before
+            (t.read_counters ())
+        in
+        emit t (End { name; ts = t.now (); deltas })
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Fixed-precision float formatting keeps exports byte-stable. *)
+  let num f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.3f" f
+
+  let value_json = function
+    | S s -> "\"" ^ escape s ^ "\""
+    | I i -> string_of_int i
+    | F f -> num f
+
+  let obj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ v) fields) ^ "}"
+
+  let attrs_json attrs = obj (List.map (fun (k, v) -> (k, value_json v)) attrs)
+
+  let deltas_json ds = obj (List.map (fun (k, v) -> (k, string_of_int v)) ds)
+
+  (* Chrome trace_event JSON array format; timestamps are virtual
+     nanoseconds expressed in the format's microsecond unit, so Perfetto
+     and chrome://tracing render spans on the virtual timeline. *)
+  let chrome_trace t =
+    let us ns = num (ns /. 1000.0) in
+    let common = "\"cat\":\"vmsh\",\"pid\":1,\"tid\":1" in
+    let event_json = function
+      | Begin { name; ts; attrs } ->
+          Printf.sprintf "{\"name\":\"%s\",\"ph\":\"B\",%s,\"ts\":%s,\"args\":%s}"
+            (escape name) common (us ts) (attrs_json attrs)
+      | End { name; ts; deltas } ->
+          Printf.sprintf "{\"name\":\"%s\",\"ph\":\"E\",%s,\"ts\":%s,\"args\":%s}"
+            (escape name) common (us ts) (deltas_json deltas)
+      | Instant { name; ts; attrs } ->
+          Printf.sprintf
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",%s,\"ts\":%s,\"args\":%s}"
+            (escape name) common (us ts) (attrs_json attrs)
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (event_json e))
+      (events t);
+    Buffer.add_string b
+      (Printf.sprintf
+         "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"virtual-ns\",\"dropped\":%d}}"
+         (dropped t));
+    Buffer.contents b
+
+  let histogram_stats_json h =
+    obj
+      [
+        ("count", string_of_int (Metrics.count h));
+        ("mean", num (Metrics.mean h));
+        ("min", num (Metrics.min_value h));
+        ("max", num (Metrics.max_value h));
+        ("p50", num (Metrics.percentile h 50.0));
+        ("p90", num (Metrics.percentile h 90.0));
+        ("p95", num (Metrics.percentile h 95.0));
+        ("p99", num (Metrics.percentile h 99.0));
+      ]
+
+  let metrics_json t =
+    let m = t.mx in
+    obj
+      [
+        ( "counters",
+          obj
+            (List.map
+               (fun c -> (c.Metrics.c_name, string_of_int c.Metrics.c_count))
+               (Metrics.counters m)) );
+        ( "gauges",
+          obj
+            (List.map
+               (fun g -> (g.Metrics.g_name, num g.Metrics.g_value))
+               (Metrics.gauges m)) );
+        ( "histograms",
+          obj
+            (List.map
+               (fun h -> (h.Metrics.h_name, histogram_stats_json h))
+               (Metrics.histograms m)) );
+      ]
+
+  let pp_value ppf = function
+    | S s -> Format.pp_print_string ppf s
+    | I i -> Format.pp_print_int ppf i
+    | F f -> Format.fprintf ppf "%.1f" f
+
+  let pp_attrs ppf attrs =
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) attrs
+
+  let pp_event ppf = function
+    | Begin { name; ts; attrs } ->
+        Format.fprintf ppf "[%12.1f] >> %s%a" ts name pp_attrs attrs
+    | End { name; ts; deltas } ->
+        let nz = List.filter (fun (_, v) -> v <> 0) deltas in
+        Format.fprintf ppf "[%12.1f] << %s%a" ts name pp_attrs
+          (List.map (fun (k, v) -> (k, I v)) nz)
+    | Instant { name; ts; attrs } ->
+        Format.fprintf ppf "[%12.1f]  . %s%a" ts name pp_attrs attrs
+end

@@ -1,0 +1,112 @@
+(** Virtual-time tracing spans, metric histograms, and exporters.
+
+    A tracer [t] records {e spans} (named begin/end pairs with per-span
+    deltas of the global event counters), {e instants}, and {e metrics}
+    (counters, gauges, log-bucketed histograms) against a caller-
+    supplied notion of time — in this repo, the virtual nanosecond clock
+    of {!Hostos.Clock}. Recording never advances virtual time, so
+    enabling tracing cannot change any simulated result, and two
+    identical runs export byte-identical traces.
+
+    The event sink defaults to a no-op: [span t ~name f] is just [f ()]
+    until {!enable} installs the bounded ring buffer. Metrics are
+    always-on (they are pure observation with zero virtual cost). *)
+
+type value = S of string | I of int | F of float
+type attr = string * value
+
+type event =
+  | Begin of { name : string; ts : float; attrs : attr list }
+  | End of { name : string; ts : float; deltas : (string * int) list }
+      (** [deltas] are end-minus-begin values of every global counter,
+          i.e. the events (vmexits, ptrace stops, bytes copied, ...)
+          attributable to the span, inclusive of children. *)
+  | Instant of { name : string; ts : float; attrs : attr list }
+
+(** Counters, gauges, and log-bucketed histograms. Histogram quantiles
+    carry a bounded relative error of about half a bucket (~4.5%). *)
+module Metrics : sig
+  type t
+  type counter
+  type gauge
+  type histogram
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  (** Find-or-create by name; registration order is preserved. *)
+
+  val incr : ?by:int -> counter -> unit
+  val set_counter : counter -> int -> unit
+  val counter_value : counter -> int
+  val gauge : t -> string -> gauge
+  val set_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+  val histogram : t -> string -> histogram
+  val observe : histogram -> float -> unit
+  val count : histogram -> int
+  val mean : histogram -> float
+  val min_value : histogram -> float
+  val max_value : histogram -> float
+
+  val percentile : histogram -> float -> float
+  (** [percentile h 99.0] estimates p99 from the log buckets, clamped
+      to the observed min/max. *)
+
+  val counter_name : counter -> string
+  val gauge_name : gauge -> string
+  val histogram_name : histogram -> string
+  val counters : t -> counter list
+  val gauges : t -> gauge list
+  val histograms : t -> histogram list
+end
+
+type t
+
+val create :
+  now:(unit -> float) -> ?counters:(unit -> (string * int) list) -> unit -> t
+(** [create ~now ~counters ()] builds a disabled tracer. [now] reads
+    the virtual clock; [counters] reads the global counter vector whose
+    deltas annotate each span (the list must keep a stable order). *)
+
+val null : unit -> t
+(** A tracer whose clock is stuck at 0; useful as an inert default. *)
+
+val enabled : t -> bool
+
+val enable : ?capacity:int -> t -> unit
+(** Install a fresh bounded ring sink (default capacity 65536 events;
+    oldest events are overwritten once full and counted in
+    {!dropped}). *)
+
+val disable : t -> unit
+val now : t -> float
+val metrics : t -> Metrics.t
+
+val set_listener : t -> (event -> unit) option -> unit
+(** Live event tap (e.g. the CLI's [-v] reporter); called for every
+    recorded event, after it is stored. *)
+
+val span : t -> name:string -> ?attrs:attr list -> (unit -> 'a) -> 'a
+(** Run [f] inside a named span. With the no-op sink this is exactly
+    [f ()]. Spans nest; the [End] event is emitted even if [f]
+    raises. *)
+
+val instant : t -> name:string -> ?attrs:attr list -> unit -> unit
+val events : t -> event list
+val dropped : t -> int
+val clear : t -> unit
+
+module Export : sig
+  val chrome_trace : t -> string
+  (** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto).
+      Timestamps are virtual nanoseconds in the format's microsecond
+      field, byte-stable across identical runs. *)
+
+  val metrics_json : t -> string
+  (** Flat JSON snapshot: counters, gauges, histogram stats
+      (count/mean/min/max/p50/p90/p95/p99). *)
+
+  val histogram_stats_json : Metrics.histogram -> string
+  val pp_event : Format.formatter -> event -> unit
+end

@@ -162,6 +162,7 @@ module Driver = struct
     queue : Queue.Driver.t;
     slots : slot array;
     capacity : int;
+    mutable obs : (Observe.t * string) option;
   }
 
   let num_slots = 8
@@ -189,9 +190,31 @@ module Driver = struct
             queue = queues.(0);
             slots;
             capacity = Mmio.read_config_u64 access 0;
+            obs = None;
           }
 
   let capacity_sectors t = t.capacity
+  let set_observe t obs ~name = t.obs <- Some (obs, name)
+
+  (* Queue-in to completion latency in virtual ns, recorded per request
+     kind into "<name>.<op>_ns". *)
+  let measure t op ~bytes f =
+    match t.obs with
+    | None -> f ()
+    | Some (obs, name) ->
+        let t0 = Observe.now obs in
+        let r = f () in
+        let dt = Observe.now obs -. t0 in
+        Observe.Metrics.observe
+          (Observe.Metrics.histogram (Observe.metrics obs)
+             (name ^ "." ^ op ^ "_ns"))
+          dt;
+        if Observe.enabled obs then
+          Observe.instant obs
+            ~name:(name ^ "." ^ op)
+            ~attrs:[ ("ns", Observe.F dt); ("bytes", Observe.I bytes) ]
+            ();
+        r
 
   let take_slot t =
     let find () = Array.find_opt (fun s -> not s.busy) t.slots in
@@ -242,45 +265,49 @@ module Driver = struct
 
   let read t ~sector ~len =
     if len > max_data then invalid_arg "virtio-blk read: request too large";
-    let slot = take_slot t in
-    write_header t slot ~typ:t_in ~sector;
-    submit_and_wait t
-      ~out:[ (slot.hdr_addr, header_size) ]
-      ~in_:[ (slot.data_addr, len); (slot.status_addr, 1) ];
-    let data = t.g.Gmem.read ~addr:slot.data_addr ~len in
-    check t slot "read";
-    data
+    measure t "read" ~bytes:len (fun () ->
+        let slot = take_slot t in
+        write_header t slot ~typ:t_in ~sector;
+        submit_and_wait t
+          ~out:[ (slot.hdr_addr, header_size) ]
+          ~in_:[ (slot.data_addr, len); (slot.status_addr, 1) ];
+        let data = t.g.Gmem.read ~addr:slot.data_addr ~len in
+        check t slot "read";
+        data)
 
   let write t ~sector data =
     let len = Bytes.length data in
     if len > max_data then invalid_arg "virtio-blk write: request too large";
-    let slot = take_slot t in
-    write_header t slot ~typ:t_out ~sector;
-    t.g.Gmem.write ~addr:slot.data_addr data;
-    submit_and_wait t
-      ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, len) ]
-      ~in_:[ (slot.status_addr, 1) ];
-    check t slot "write"
+    measure t "write" ~bytes:len (fun () ->
+        let slot = take_slot t in
+        write_header t slot ~typ:t_out ~sector;
+        t.g.Gmem.write ~addr:slot.data_addr data;
+        submit_and_wait t
+          ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, len) ]
+          ~in_:[ (slot.status_addr, 1) ];
+        check t slot "write")
 
   let flush t =
-    let slot = take_slot t in
-    write_header t slot ~typ:t_flush ~sector:0;
-    submit_and_wait t
-      ~out:[ (slot.hdr_addr, header_size) ]
-      ~in_:[ (slot.status_addr, 1) ];
-    check t slot "flush"
+    measure t "flush" ~bytes:0 (fun () ->
+        let slot = take_slot t in
+        write_header t slot ~typ:t_flush ~sector:0;
+        submit_and_wait t
+          ~out:[ (slot.hdr_addr, header_size) ]
+          ~in_:[ (slot.status_addr, 1) ];
+        check t slot "flush")
 
   let discard t ~sector ~count =
-    let slot = take_slot t in
-    write_header t slot ~typ:t_discard ~sector:0;
-    let seg = Bytes.make 16 '\000' in
-    Bytes.set_int64_le seg 0 (Int64.of_int sector);
-    Bytes.set_int32_le seg 8 (Int32.of_int count);
-    t.g.Gmem.write ~addr:slot.data_addr seg;
-    submit_and_wait t
-      ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, 16) ]
-      ~in_:[ (slot.status_addr, 1) ];
-    check t slot "discard"
+    measure t "discard" ~bytes:(count * sector_size) (fun () ->
+        let slot = take_slot t in
+        write_header t slot ~typ:t_discard ~sector:0;
+        let seg = Bytes.make 16 '\000' in
+        Bytes.set_int64_le seg 0 (Int64.of_int sector);
+        Bytes.set_int32_le seg 8 (Int32.of_int count);
+        t.g.Gmem.write ~addr:slot.data_addr seg;
+        submit_and_wait t
+          ~out:[ (slot.hdr_addr, header_size); (slot.data_addr, 16) ]
+          ~in_:[ (slot.status_addr, 1) ];
+        check t slot "discard")
 
   let to_blockdev t =
     let bs = Blockdev.Dev.block_size in

@@ -52,6 +52,11 @@ module Driver : sig
 
   val capacity_sectors : t -> int
 
+  val set_observe : t -> Observe.t -> name:string -> unit
+  (** Record per-request latency (queue-in to completion, virtual ns)
+      into histograms ["<name>.read_ns"], ["<name>.write_ns"], etc. on
+      the given tracer's metrics registry. Off by default. *)
+
   val read : t -> sector:int -> len:int -> bytes
   (** Issue one request (up to 256 KiB); blocks the calling guest
       context via [Yield_until] until completion. *)

@@ -56,6 +56,7 @@ module Driver = struct
     tx_buf_size : int;
     rx_heads : (int, int) Hashtbl.t;  (** posted chain head -> buffer addr *)
     pending : Buffer.t;  (** received bytes not yet consumed by a reader *)
+    mutable obs : (Observe.t * string) option;
   }
 
   let rx_count = 8
@@ -91,6 +92,7 @@ module Driver = struct
             tx_buf_size = buf_size;
             rx_heads = Hashtbl.create 16;
             pending = Buffer.create 64;
+            obs = None;
           }
         in
         Array.iter (fun addr -> post_rx t addr) t.rx_bufs;
@@ -114,17 +116,36 @@ module Driver = struct
     in
     go ()
 
+  let set_observe t obs ~name = t.obs <- Some (obs, name)
+
+  let measure t ~bytes f =
+    match t.obs with
+    | None -> f ()
+    | Some (obs, name) ->
+        let t0 = Observe.now obs in
+        let r = f () in
+        let dt = Observe.now obs -. t0 in
+        Observe.Metrics.observe
+          (Observe.Metrics.histogram (Observe.metrics obs) (name ^ ".tx_ns"))
+          dt;
+        if Observe.enabled obs then
+          Observe.instant obs ~name:(name ^ ".tx")
+            ~attrs:[ ("ns", Observe.F dt); ("bytes", Observe.I bytes) ]
+            ();
+        r
+
   let write t data =
     let len = min (Bytes.length data) t.tx_buf_size in
-    t.g.Gmem.write ~addr:t.tx_buf (Bytes.sub data 0 len);
-    let head =
-      match Queue.Driver.add t.txq ~out:[ (t.tx_buf, len) ] ~in_:[] with
-      | Some h -> h
-      | None -> failwith "virtio-console: tx ring full"
-    in
-    kick t ~queue:1;
-    Effect.perform
-      (Kvm.Vm.Yield_until (fun () -> Queue.Driver.completed t.txq ~head))
+    measure t ~bytes:len (fun () ->
+        t.g.Gmem.write ~addr:t.tx_buf (Bytes.sub data 0 len);
+        let head =
+          match Queue.Driver.add t.txq ~out:[ (t.tx_buf, len) ] ~in_:[] with
+          | Some h -> h
+          | None -> failwith "virtio-console: tx ring full"
+        in
+        kick t ~queue:1;
+        Effect.perform
+          (Kvm.Vm.Yield_until (fun () -> Queue.Driver.completed t.txq ~head)))
 
   let read_available t =
     drain_rx t;

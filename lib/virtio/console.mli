@@ -24,6 +24,10 @@ module Driver : sig
     (t, string) result
   (** Probe and post the initial receive buffers. Guest code. *)
 
+  val set_observe : t -> Observe.t -> name:string -> unit
+  (** Record transmit latency (virtual ns) into ["<name>.tx_ns"] on the
+      given tracer's metrics registry. Off by default. *)
+
   val write : t -> bytes -> unit
   (** Transmit, blocking until the device consumed the buffer. *)
 

@@ -1,0 +1,195 @@
+(* lib/observe: span nesting and delta attribution, histogram quantile
+   accuracy, Chrome-trace determinism across identical attaches, and
+   no-op-sink neutrality (tracing must not perturb the simulation). *)
+
+module H = Hostos
+module Sfs = Blockdev.Simplefs
+module KV = Linux_guest.Kernel_version
+module Vmm = Hypervisor.Vmm
+module Profile = Hypervisor.Profile
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+(* --- spans: event order and counter-delta attribution --- *)
+
+let test_span_nesting () =
+  let now = ref 0.0 in
+  let ticks = ref 0 in
+  let t =
+    Observe.create
+      ~now:(fun () -> !now)
+      ~counters:(fun () -> [ ("ticks", !ticks) ])
+      ()
+  in
+  Observe.enable t;
+  let r =
+    Observe.span t ~name:"outer" (fun () ->
+        now := 10.0;
+        ticks := 3;
+        let inner =
+          Observe.span t ~name:"inner" (fun () ->
+              now := 25.0;
+              ticks := 8;
+              "in")
+        in
+        now := 40.0;
+        ticks := 9;
+        inner ^ "+out")
+  in
+  check cstr "span returns f's value" "in+out" r;
+  match Observe.events t with
+  | [
+   Observe.Begin { name = "outer"; ts = 0.0; _ };
+   Observe.Begin { name = "inner"; ts = 10.0; _ };
+   Observe.End { name = "inner"; ts = 25.0; deltas = d_in };
+   Observe.End { name = "outer"; ts = 40.0; deltas = d_out };
+  ] ->
+      check cint "inner delta covers only its own ticks" 5
+        (List.assoc "ticks" d_in);
+      check cint "outer delta is inclusive of children" 9
+        (List.assoc "ticks" d_out)
+  | evs -> Alcotest.failf "unexpected event sequence (%d events)"
+             (List.length evs)
+
+let test_span_exception_safe () =
+  let now = ref 0.0 in
+  let t = Observe.create ~now:(fun () -> !now) () in
+  Observe.enable t;
+  (try
+     Observe.span t ~name:"boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  match Observe.events t with
+  | [ Observe.Begin { name = "boom"; _ }; Observe.End { name = "boom"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "End event not emitted on exception"
+
+(* --- histograms: percentile estimates within bucket error --- *)
+
+let test_histogram_percentiles () =
+  let mx = Observe.Metrics.create () in
+  let h = Observe.Metrics.histogram mx "lat" in
+  for v = 1 to 10_000 do
+    Observe.Metrics.observe h (Float.of_int v)
+  done;
+  check cint "count" 10_000 (Observe.Metrics.count h);
+  let within pct expected actual =
+    let err = Float.abs (actual -. expected) /. expected in
+    if err > 0.10 then
+      Alcotest.failf "%s: expected ~%.0f, got %.1f (err %.1f%%)" pct expected
+        actual (err *. 100.0)
+  in
+  within "p50" 5000.0 (Observe.Metrics.percentile h 50.0);
+  within "p90" 9000.0 (Observe.Metrics.percentile h 90.0);
+  within "p99" 9900.0 (Observe.Metrics.percentile h 99.0);
+  within "mean" 5000.5 (Observe.Metrics.mean h);
+  check (Alcotest.float 0.001) "min exact" 1.0 (Observe.Metrics.min_value h);
+  check (Alcotest.float 0.001) "max exact" 10000.0
+    (Observe.Metrics.max_value h);
+  (* clamping: a single-sample histogram reports that sample everywhere *)
+  let one = Observe.Metrics.histogram mx "one" in
+  Observe.Metrics.observe one 42.0;
+  check (Alcotest.float 0.001) "p99 of singleton" 42.0
+    (Observe.Metrics.percentile one 99.0)
+
+(* --- end-to-end: identical attaches export identical traces --- *)
+
+let boot ~seed =
+  let h = H.Host.create ~seed () in
+  let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:2048 () in
+  let fs =
+    match Sfs.mkfs (Blockdev.Backend.dev disk) () with
+    | Ok fs -> fs
+    | Error _ -> Alcotest.fail "mkfs"
+  in
+  ignore (Sfs.mkdir_p fs "/dev");
+  Sfs.sync fs;
+  let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+  let _g = Vmm.boot vmm ~version:KV.V5_10 in
+  (h, vmm)
+
+let attach h vmm =
+  let image =
+    match Blockdev.Image.pack [ Blockdev.Image.file "/bin/busybox" 800_000 ] with
+    | Ok (backend, _) -> backend
+    | Error e -> Alcotest.failf "image pack: %a" H.Errno.pp e
+  in
+  match
+    Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm) ~fs_image:image
+      ~pump:(fun () -> Vmm.run_until_idle vmm)
+      ()
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "attach failed: %s" e
+
+let traced_attach ~seed =
+  let h, vmm = boot ~seed in
+  Observe.enable h.H.Host.observe;
+  ignore (attach h vmm);
+  h
+
+let attach_phases =
+  [
+    "attach"; "ptrace-attach"; "fd-discovery"; "memslot-dump"; "register-read";
+    "page-table-walk"; "symbol-analysis"; "device-setup"; "klib-sideload";
+  ]
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_determinism () =
+  let t1 = Observe.Export.chrome_trace (traced_attach ~seed:91).H.Host.observe in
+  let t2 = Observe.Export.chrome_trace (traced_attach ~seed:91).H.Host.observe in
+  check cstr "two identical attaches export identical bytes" t1 t2;
+  List.iter
+    (fun phase ->
+      check cbool ("trace names span " ^ phase) true
+        (contains ~needle:(Printf.sprintf "%S" phase) t1))
+    attach_phases;
+  check cbool "spans carry vmexit deltas" true
+    (contains ~needle:"\"vmexits\"" t1)
+
+(* --- tracing off must not change the simulation --- *)
+
+let test_noop_neutrality () =
+  let run ~traced =
+    let h, vmm = boot ~seed:93 in
+    if traced then Observe.enable h.H.Host.observe;
+    ignore (attach h vmm);
+    h
+  in
+  let off = run ~traced:false and on = run ~traced:true in
+  check (Alcotest.float 0.0001) "virtual clock unchanged by tracing"
+    (H.Clock.now_ns off.H.Host.clock)
+    (H.Clock.now_ns on.H.Host.clock);
+  List.iter2
+    (fun (k, v_off) (k', v_on) ->
+      check cstr "same counter order" k k';
+      check cint ("counter " ^ k ^ " unchanged by tracing") v_off v_on)
+    (H.Clock.to_fields (H.Clock.counters off.H.Host.clock))
+    (H.Clock.to_fields (H.Clock.counters on.H.Host.clock));
+  check cint "no events recorded while disabled" 0
+    (List.length (Observe.events off.H.Host.observe));
+  check cbool "events recorded while enabled" true
+    (Observe.events on.H.Host.observe <> [])
+
+let suite =
+  [
+    ( "observe",
+      [
+        Alcotest.test_case "span nesting + delta attribution" `Quick
+          test_span_nesting;
+        Alcotest.test_case "span End survives exceptions" `Quick
+          test_span_exception_safe;
+        Alcotest.test_case "histogram percentiles" `Quick
+          test_histogram_percentiles;
+        Alcotest.test_case "chrome trace is deterministic" `Quick
+          test_trace_determinism;
+        Alcotest.test_case "no-op sink leaves simulation untouched" `Quick
+          test_noop_neutrality;
+      ] );
+  ]
