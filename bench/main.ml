@@ -702,7 +702,23 @@ let run_latency () =
   let _s = attach env in
   let hv, vmmv, gv = env in
   mixed_io vmmv (Option.get (Guest.vmsh_blk gv)) ~n:96;
-  let scenarios = [ ("qemu-blk", hq); ("vmsh-blk", hv) ] in
+  (* throughput/latency over the side-loaded NIC: a closed-loop echo
+     workload through the RX/TX virtqueues and the simulated fabric *)
+  let envn = boot_qemu ~seed:1403 () in
+  let hn, vmmn, gn = envn in
+  let netcfg =
+    {
+      Vmsh.Attach.default_config with
+      net = Some (Workloads.Traffic.make_network hn ~mode:Workloads.Traffic.Echo ());
+    }
+  in
+  let _s = attach ~config:netcfg envn in
+  let r =
+    Workloads.Traffic.run_client vmmn gn ~requests:1000 ~payload_size:64
+      ~mode:Workloads.Traffic.Echo ()
+  in
+  Format.printf "vmsh-net echo: %a@." Workloads.Traffic.pp_result r;
+  let scenarios = [ ("qemu-blk", hq); ("vmsh-blk", hv); ("vmsh-net", hn) ] in
   let oc = open_out "BENCH_results.json" in
   output_string oc
     (Printf.sprintf "{\"scenarios\": {%s}}\n"

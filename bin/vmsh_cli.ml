@@ -116,9 +116,10 @@ let write_observe_outputs h ~trace_out ~metrics_out =
   !ok
 
 let attach_cmd =
-  let run verbose profile version transport commands trace_out metrics_out =
+  let run verbose profile version transport commands net_echo trace_out
+      metrics_out =
     setup_logs verbose;
-    let h, vmm, _g = boot_vm ~profile ~version ~seed:11 in
+    let h, vmm, g = boot_vm ~profile ~version ~seed:11 in
     let obs = h.H.Host.observe in
     if verbose || trace_out <> None || metrics_out <> None then
       Observe.enable obs;
@@ -128,7 +129,12 @@ let attach_cmd =
     Observe.instant obs ~name:"cli.booted" ();
     Printf.printf "booted %s with guest kernel v%s (hypervisor pid %d)\n"
       profile.Profile.prof_name (KV.to_string version) (Vmm.pid vmm);
-    let config = { Vmsh.Attach.default_config with transport } in
+    let net =
+      if net_echo > 0 then
+        Some (Workloads.Traffic.make_network h ~mode:Workloads.Traffic.Echo ())
+      else None
+    in
+    let config = { Vmsh.Attach.default_config with transport; net } in
     match
       Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
         ~fs_image:(tools_image h.H.Host.clock)
@@ -159,6 +165,14 @@ let attach_cmd =
             Printf.printf "vmsh> %s\n%s" cmd
               (Vmsh.Attach.console_roundtrip session cmd))
           commands;
+        if net_echo > 0 then begin
+          let r =
+            Workloads.Traffic.run_client vmm g ~requests:net_echo
+              ~payload_size:64 ~mode:Workloads.Traffic.Echo ()
+          in
+          Format.printf "net echo over vmsh-net: %a@."
+            Workloads.Traffic.pp_result r
+        end;
         Vmsh.Attach.detach session;
         Observe.instant obs ~name:"cli.detached" ();
         let outputs_ok = write_observe_outputs h ~trace_out ~metrics_out in
@@ -190,6 +204,16 @@ let attach_cmd =
     Arg.(value & opt_all string [] & info [ "exec"; "e" ] ~docv:"CMD"
            ~doc:"Shell command to run (repeatable).")
   in
+  let net_echo =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "net-echo" ] ~docv:"N"
+          ~doc:
+            "Cable the side-loaded virtio-net NIC to a simulated network \
+             and run N echo request/response round-trips after the shell \
+             commands.")
+  in
   let trace_out =
     Arg.(
       value
@@ -210,7 +234,7 @@ let attach_cmd =
     (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
     Term.(
       const run $ verbose $ profile $ version $ transport $ commands
-      $ trace_out $ metrics_out)
+      $ net_echo $ trace_out $ metrics_out)
 
 (* --- matrix --- *)
 

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-1 gate plus an observability smoke test: build, run the full
-# test suite, then do a real `vmsh attach` with trace/metrics export
-# and check both outputs are well-formed JSON.
+# Tier-1 gate plus smoke tests: build, run the full test suite, then do
+# a real `vmsh attach` with trace/metrics export (checking both outputs
+# are well-formed JSON), a networked attach that pushes echo traffic
+# through the side-loaded NIC, and a bench run that must leave a
+# well-formed BENCH_results.json behind.
 set -e
 
 cd "$(dirname "$0")"
@@ -11,8 +13,11 @@ dune runtest
 
 trace=/tmp/vmsh-ci-trace.json
 metrics=/tmp/vmsh-ci-metrics.json
+net_metrics=/tmp/vmsh-ci-net-metrics.json
 dune exec bin/vmsh_cli.exe -- attach \
   --trace-out "$trace" --metrics-out "$metrics" -e hostname > /dev/null
+dune exec bin/vmsh_cli.exe -- attach \
+  --net-echo 1000 --metrics-out "$net_metrics" -e hostname > /dev/null
 
 if command -v python3 > /dev/null 2>&1; then
   python3 -m json.tool "$trace" > /dev/null
@@ -27,12 +32,45 @@ phases = ["attach", "ptrace-attach", "fd-discovery", "memslot-dump",
 missing = [p for p in phases if p not in names]
 assert not missing, f"trace is missing attach phases: {missing}"
 EOF
+  python3 - "$net_metrics" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+counters = m["counters"]
+# counter values are exported as JSON strings
+tx = int(counters["vmsh-net.tx_frames"])
+rx = int(counters["vmsh-net.rx_frames"])
+assert tx >= 1000, f"expected >=1000 TX frames through vmsh-net, got {tx}"
+assert rx >= 1000, f"expected >=1000 RX frames through vmsh-net, got {rx}"
+hist = m["histograms"]["net-echo.request_ns"]
+assert int(hist["count"]) == 1000, f"echo histogram count: {hist['count']}"
+EOF
 else
   # minimal sanity without python: non-empty and JSON-shaped
-  for f in "$trace" "$metrics"; do
+  for f in "$trace" "$metrics" "$net_metrics"; do
     [ -s "$f" ] || { echo "ci: $f is empty" >&2; exit 1; }
     head -c1 "$f" | grep -q '{' || { echo "ci: $f is not JSON" >&2; exit 1; }
   done
+  grep -q '"vmsh-net.rx_frames"' "$net_metrics" \
+    || { echo "ci: no vmsh-net RX counter in $net_metrics" >&2; exit 1; }
+fi
+
+# The latency experiment must regenerate a well-formed BENCH_results.json
+# including the networked scenario.
+dune exec bench/main.exe -- --only latency > /dev/null
+[ -s BENCH_results.json ] || { echo "ci: BENCH_results.json missing" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 - BENCH_results.json <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+scen = b["scenarios"]
+for required in ("qemu-blk", "vmsh-blk", "vmsh-net"):
+    assert required in scen, f"BENCH_results.json is missing {required}"
+net = scen["vmsh-net"]
+assert int(net["histograms"]["net-echo.request_ns"]["count"]) >= 1000
+EOF
+else
+  grep -q '"vmsh-net"' BENCH_results.json \
+    || { echo "ci: no vmsh-net scenario in BENCH_results.json" >&2; exit 1; }
 fi
 
 echo "ci: OK"

@@ -17,6 +17,7 @@ type config = {
   drop_privileges : bool;
   seccomp_heuristic : bool;
   pci : bool;
+  net : (Net.Fabric.t * Net.Link.port) option;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     drop_privileges = true;
     seccomp_heuristic = false;
     pci = false;
+    net = None;
   }
 
 type session = {
@@ -60,6 +62,8 @@ let required_symbols =
 
 let console_gsi = 24
 let blk_gsi = 25
+let net_gsi = 26
+let ninep_gsi = 27
 
 (* Install an MSI route for [gsi] (the PCI transport's interrupt path:
    MSI-X-only irqchips accept irqfds only for MSI-routed GSIs). *)
@@ -178,6 +182,10 @@ let wait_ready ~mem ~loaded ~pump =
                " (console device registration)"
            | s when s = Klib_builder.status_err_blk ->
                " (block device registration)"
+           | s when s = Klib_builder.status_err_net ->
+               " (net device registration)"
+           | s when s = Klib_builder.status_err_ninep ->
+               " (9p device registration)"
            | s when s = Klib_builder.status_err_open -> " (opening exec file)"
            | s when s = Klib_builder.status_err_write -> " (writing program)"
            | s when s = Klib_builder.status_err_spawn -> " (spawning process)"
@@ -254,24 +262,28 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
     let* () =
       if config.pci then
         let* () = install_msi_route tracee ~gsi:console_gsi in
-        install_msi_route tracee ~gsi:blk_gsi
+        let* () = install_msi_route tracee ~gsi:blk_gsi in
+        let* () = install_msi_route tracee ~gsi:net_gsi in
+        install_msi_route tracee ~gsi:ninep_gsi
       else Ok ()
     in
     let* console_ev = make_remote_irqfd tracee ~gsi:console_gsi in
     let* blk_ev = make_remote_irqfd tracee ~gsi:blk_gsi in
+    let* net_ev = make_remote_irqfd tracee ~gsi:net_gsi in
+    let* ninep_ev = make_remote_irqfd tracee ~gsi:ninep_gsi in
     let* fds, _ctl_local, _ctl_remote =
-      retrieve_fds host vmsh tracee [ console_ev; blk_ev ]
+      retrieve_fds host vmsh tracee [ console_ev; blk_ev; net_ev; ninep_ev ]
         ~path:
           (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
     in
-    let* console_irqfd, blk_irqfd =
+    let* console_irqfd, blk_irqfd, net_irqfd, ninep_irqfd =
       match fds with
-      | [ c; b ] -> Ok (c, b)
+      | [ c; b; n; p ] -> Ok (c, b, n, p)
       | _ -> Error "fd passing returned the wrong number of descriptors"
     in
     let devs =
       Devices.create ~mem ~tracee ~image:fs_image ~blk_irqfd ~console_irqfd
-        ~pci:config.pci ()
+        ~net_irqfd ~ninep_irqfd ~pci:config.pci ?net:config.net ()
     in
     let* () =
       match config.transport with
@@ -294,16 +306,19 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
         }
     in
     let image, layout =
+      (* under PCI the klib is pointed at the config windows (the first
+         four strides of the region); under MMIO at the register
+         windows themselves *)
+      let cfg_window i = fst (Devices.region devs) + (i * Layout.virtio_mmio_stride) in
       Klib_builder.build ~version:anal.Symbol_analysis.version
         ~guest_program:program ~pci:config.pci
         ~console_base:
-          (if config.pci then fst (Devices.region devs)
-           else Devices.console_base devs)
-        ~blk_base:
-          (if config.pci then
-             fst (Devices.region devs) + Layout.virtio_mmio_stride
-           else Devices.blk_base devs)
-        ~console_gsi ~blk_gsi ()
+          (if config.pci then cfg_window 0 else Devices.console_base devs)
+        ~blk_base:(if config.pci then cfg_window 1 else Devices.blk_base devs)
+        ~net_base:(if config.pci then cfg_window 2 else Devices.net_base devs)
+        ~ninep_base:
+          (if config.pci then cfg_window 3 else Devices.ninep_base devs)
+        ~console_gsi ~blk_gsi ~net_gsi ~ninep_gsi ()
     in
     let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
     let* () = Loader.redirect ~tracee loaded in

@@ -39,6 +39,9 @@ type config = {
           of the register windows and MSI-routed interrupts — attaches
           to Cloud Hypervisor's MSI-X-only irqchip (the paper's other
           future-work item, implemented here) *)
+  net : (Net.Fabric.t * Net.Link.port) option;
+      (** cable the side-loaded NIC to a port of a deterministic
+          {!Net} fabric; [None] leaves the NIC unplugged *)
 }
 
 val default_config : config

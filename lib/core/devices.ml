@@ -22,28 +22,51 @@ type t = {
   image : Blockdev.Backend.t;
   blk_regs : Mmio.Device.t;
   console_regs : Mmio.Device.t;
+  net_regs : Mmio.Device.t;
+  ninep_regs : Mmio.Device.t;
   mutable blk_queue : Queue.Device.t option;
   mutable console_rx : Queue.Device.t option;
   mutable console_tx : Queue.Device.t option;
+  mutable net_rx : Queue.Device.t option;
+  mutable net_tx : Queue.Device.t option;
+  mutable ninep_queue : Queue.Device.t option;
   blk_irqfd : Fd.t;
   console_irqfd : Fd.t;
+  net_irqfd : Fd.t;
+  ninep_irqfd : Fd.t;
   cons_base : int;
   b_base : int;
+  n_base : int;
+  np_base : int;
   region_base : int;
   region_len : int;
   pci_configs : (int * bytes) list;  (** (window base, header bytes) *)
   console_in : Chan.t;
   console_out : Chan.t;
+  net : (Net.Fabric.t * Net.Link.port) option;
+      (** the fabric port this NIC is cabled to, if any *)
+  net_pending : bytes Stdlib.Queue.t;
+      (** frames that arrived before the guest posted receive buffers *)
+  ninep_fs : Blockdev.Simplefs.t option;
+      (** the tools image mounted for the 9p server *)
+  mac : int;
   mutable requests : int;
+  mutable net_frames : int;
   clock : Clock.t;
 }
 
 let console_base t = t.cons_base
 let blk_base t = t.b_base
+let net_base t = t.n_base
+let ninep_base t = t.np_base
 let region t = (t.region_base, t.region_len)
 let console_gsi _t = 24
 let blk_gsi _t = 25
+let net_gsi _t = 26
+let ninep_gsi _t = 27
+let nic_mac t = t.mac
 let stats_requests t = t.requests
+let stats_net_frames t = t.net_frames
 
 (* Remote view of guest memory for the device-side queue halves. *)
 let remote_gmem t =
@@ -121,6 +144,162 @@ let process_blk t =
         signal t t.blk_irqfd
       end
 
+let host_observe t = (Tracee.host t.tracee).Hostos.Host.observe
+
+let incr_counter t name ~by =
+  Observe.Metrics.incr ~by
+    (Observe.Metrics.counter (Observe.metrics (host_observe t)) name)
+
+(* --- the network device --- *)
+
+(* Deliver frames parked in [net_pending] into posted receive chains.
+   Stops at the first frame the guest has no buffer for (frame order is
+   preserved; nothing is dropped on the host side). *)
+let try_feed_net t =
+  match
+    ensure_queue t t.net_regs 0
+      (fun () -> t.net_rx)
+      (fun q -> t.net_rx <- q)
+  with
+  | None -> ()
+  | Some rxq ->
+      let delivered = ref 0 in
+      let rec go () =
+        match Stdlib.Queue.peek_opt t.net_pending with
+        | None -> ()
+        | Some frame ->
+            if Virtio.Net.Device.feed_rx rxq (remote_gmem t) frame then begin
+              (* one recvmsg-and-copy into guest memory per frame *)
+              Clock.socket_msg t.clock;
+              ignore (Stdlib.Queue.pop t.net_pending);
+              incr delivered;
+              go ()
+            end
+      in
+      go ();
+      if !delivered > 0 then begin
+        incr_counter t "vmsh-net.rx_frames" ~by:!delivered;
+        Mmio.Device.assert_irq t.net_regs;
+        signal t t.net_irqfd
+      end
+
+let process_net_tx t =
+  match
+    ensure_queue t t.net_regs 1
+      (fun () -> t.net_tx)
+      (fun q -> t.net_tx <- q)
+  with
+  | None -> ()
+  | Some txq ->
+      let n =
+        Virtio.Net.Device.process_tx txq (remote_gmem t) ~sink:(fun frame ->
+            (* one sendmsg out of the VMSH process per frame *)
+            Clock.socket_msg t.clock;
+            match t.net with
+            | Some (_, port) -> Net.Link.send port frame
+            | None -> incr_counter t "vmsh-net.tx_unplugged" ~by:1)
+      in
+      if n > 0 then begin
+        t.net_frames <- t.net_frames + n;
+        incr_counter t "vmsh-net.tx_frames" ~by:n;
+        Mmio.Device.assert_irq t.net_regs;
+        signal t t.net_irqfd;
+        (* The fabric runs inside the kick: frames propagate, peers
+           respond, and responses land back in [net_pending] before the
+           guest resumes — keeping the whole exchange deterministic. *)
+        match t.net with
+        | Some (fab, _) ->
+            Net.Fabric.pump fab;
+            try_feed_net t
+        | None -> ()
+      end
+
+(* --- the 9p device (serves the tools image as a file tree) --- *)
+
+let ninep_backend t fs =
+  let module Sfs = Blockdev.Simplefs in
+  let charge_pages len =
+    for _ = 1 to max 1 ((len + 4095) / 4096) do
+      Clock.page_cache_hit t.clock
+    done
+  in
+  {
+    Virtio.Ninep.Device.handle =
+      (fun req ->
+        (* path walk + open + IO against VMSH's own file system — the
+           same per-message syscall tax as the hypervisor's 9p server *)
+        Clock.context_switch t.clock;
+        for _ = 1 to 4 do
+          Clock.syscall t.clock;
+          Clock.fs_op t.clock
+        done;
+        Clock.context_switch t.clock;
+        let ok payload = { Virtio.Ninep.status = 0; payload } in
+        let err e =
+          {
+            Virtio.Ninep.status = Hostos.Errno.to_code e;
+            payload = Bytes.empty;
+          }
+        in
+        match req with
+        | Virtio.Ninep.Read { path; off; len } -> (
+            charge_pages len;
+            match Sfs.lookup fs path with
+            | Error e -> err e
+            | Ok ino -> (
+                match Sfs.read fs ino ~off ~len with
+                | Ok data -> ok data
+                | Error e -> err e))
+        | Virtio.Ninep.Write { path; off; data } -> (
+            charge_pages (Bytes.length data);
+            let ino =
+              match Sfs.lookup fs path with
+              | Ok ino -> Ok ino
+              | Error Hostos.Errno.ENOENT -> Sfs.create fs path
+              | Error e -> Error e
+            in
+            match ino with
+            | Error e -> err e
+            | Ok ino -> (
+                match Sfs.write fs ino ~off data with
+                | Ok n ->
+                    let b = Bytes.create 8 in
+                    Bytes.set_int64_le b 0 (Int64.of_int n);
+                    ok b
+                | Error e -> err e))
+        | Virtio.Ninep.Create path -> (
+            match Sfs.create fs path with
+            | Ok _ | Error Hostos.Errno.EEXIST -> ok Bytes.empty
+            | Error e -> err e)
+        | Virtio.Ninep.Stat path -> (
+            match Sfs.stat fs path with
+            | Ok st ->
+                let b = Bytes.create 16 in
+                Bytes.set_int64_le b 0 (Int64.of_int st.Sfs.st_size);
+                ok b
+            | Error e -> err e));
+  }
+
+let process_ninep t =
+  match t.ninep_fs with
+  | None -> ()
+  | Some fs -> (
+      match
+        ensure_queue t t.ninep_regs 0
+          (fun () -> t.ninep_queue)
+          (fun q -> t.ninep_queue <- q)
+      with
+      | None -> ()
+      | Some q ->
+          let n =
+            Virtio.Ninep.Device.process q (remote_gmem t) (ninep_backend t fs)
+          in
+          if n > 0 then begin
+            incr_counter t "vmsh-9p.requests" ~by:n;
+            Mmio.Device.assert_irq t.ninep_regs;
+            signal t t.ninep_irqfd
+          end)
+
 let try_feed_console t =
   match
     ensure_queue t t.console_regs 0
@@ -162,22 +341,21 @@ let process_console_tx t =
         signal t t.console_irqfd
       end
 
-let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ?(pci = false)
-    ?console_base ?blk_base () =
+let default_mac = Net.Frame.make_mac ~vendor:0x0566 ~serial:1
+
+let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ~net_irqfd
+    ~ninep_irqfd ?(pci = false) ?console_base ?blk_base ?net_base ?ninep_base
+    ?net ?(mac = default_mac) () =
   let stride = Layout.virtio_mmio_stride in
   let region_base = if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base in
-  let region_len = (if pci then 4 else 2) * stride in
-  (* PCI layout: [cfg console][cfg blk][bar console][bar blk];
-     MMIO layout: [regs console][regs blk] *)
-  let console_base =
-    Option.value console_base
-      ~default:(if pci then region_base + (2 * stride) else region_base)
-  in
-  let blk_base =
-    Option.value blk_base
-      ~default:
-        (if pci then region_base + (3 * stride) else region_base + stride)
-  in
+  let region_len = (if pci then 8 else 4) * stride in
+  (* PCI layout: [cfg console][cfg blk][cfg net][cfg 9p] then the four
+     BARs in the same order; MMIO layout: [console][blk][net][9p] *)
+  let bar i = region_base + ((if pci then 4 + i else i) * stride) in
+  let console_base = Option.value console_base ~default:(bar 0) in
+  let blk_base = Option.value blk_base ~default:(bar 1) in
+  let net_base = Option.value net_base ~default:(bar 2) in
+  let ninep_base = Option.value ninep_base ~default:(bar 3) in
   let pci_configs =
     if not pci then []
     else
@@ -188,6 +366,12 @@ let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ?(pci = false)
         ( region_base + stride,
           Virtio.Pci.Config.encode ~device_type:Virtio.Blk.device_id
             ~bar0:blk_base ~msix_gsi:25 );
+        ( region_base + (2 * stride),
+          Virtio.Pci.Config.encode ~device_type:Virtio.Net.device_id
+            ~bar0:net_base ~msix_gsi:26 );
+        ( region_base + (3 * stride),
+          Virtio.Pci.Config.encode ~device_type:Virtio.Ninep.device_id
+            ~bar0:ninep_base ~msix_gsi:27 );
       ]
   in
   let capacity =
@@ -206,25 +390,58 @@ let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ?(pci = false)
       console_regs =
         Mmio.Device.create ~device_id:Virtio.Console.device_id ~num_queues:2
           ~config:(Bytes.make 8 '\000') ();
+      net_regs =
+        Mmio.Device.create ~device_id:Virtio.Net.device_id ~num_queues:2
+          ~config:(Virtio.Net.config ~mac) ();
+      ninep_regs =
+        Mmio.Device.create ~device_id:Virtio.Ninep.device_id ~num_queues:1
+          ~config:(Bytes.make 8 '\000') ();
       blk_queue = None;
       console_rx = None;
       console_tx = None;
+      net_rx = None;
+      net_tx = None;
+      ninep_queue = None;
       blk_irqfd;
       console_irqfd;
+      net_irqfd;
+      ninep_irqfd;
       cons_base = console_base;
       b_base = blk_base;
+      n_base = net_base;
+      np_base = ninep_base;
       region_base;
       region_len;
       pci_configs;
       console_in = Chan.create ~capacity:65536 ();
       console_out = Chan.create ~capacity:1048576 ();
+      net;
+      net_pending = Stdlib.Queue.create ();
+      ninep_fs =
+        (match Blockdev.Simplefs.mount (Blockdev.Backend.dev image) with
+        | Ok fs -> Some fs
+        | Error _ -> None);
+      mac;
       requests = 0;
+      net_frames = 0;
       clock = (Tracee.host tracee).Hostos.Host.clock;
     }
   in
   Mmio.Device.set_notify t.blk_regs (fun ~queue:_ -> process_blk t);
   Mmio.Device.set_notify t.console_regs (fun ~queue ->
       if queue = 1 then process_console_tx t else try_feed_console t);
+  Mmio.Device.set_notify t.net_regs (fun ~queue ->
+      if queue = 1 then process_net_tx t else try_feed_net t);
+  Mmio.Device.set_notify t.ninep_regs (fun ~queue:_ -> process_ninep t);
+  (* Cable the NIC to its fabric port: frames arriving from the network
+     park in [net_pending] and are pushed into the guest's receive ring
+     (with an interrupt) as buffers allow. *)
+  (match net with
+  | Some (_, port) ->
+      Net.Link.set_handler port (fun frame ->
+          Stdlib.Queue.add frame t.net_pending;
+          try_feed_net t)
+  | None -> ());
   t
 
 let window_of t addr =
@@ -232,6 +449,10 @@ let window_of t addr =
     Some (t.console_regs, addr - t.cons_base)
   else if addr >= t.b_base && addr < t.b_base + Layout.virtio_mmio_stride then
     Some (t.blk_regs, addr - t.b_base)
+  else if addr >= t.n_base && addr < t.n_base + Layout.virtio_mmio_stride then
+    Some (t.net_regs, addr - t.n_base)
+  else if addr >= t.np_base && addr < t.np_base + Layout.virtio_mmio_stride then
+    Some (t.ninep_regs, addr - t.np_base)
   else None
 
 let config_of t addr =

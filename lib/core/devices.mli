@@ -21,25 +21,38 @@ val create :
   mem:Hyp_mem.t -> tracee:Tracee.t ->
   image:Blockdev.Backend.t ->
   blk_irqfd:Hostos.Fd.t -> console_irqfd:Hostos.Fd.t ->
-  ?pci:bool -> ?console_base:int -> ?blk_base:int -> unit -> t
-(** [image] is the file-system image served by vmsh-blk; the irqfds are
-    VMSH's local ends of the descriptors passed back from the
-    hypervisor. With [pci] the devices additionally expose PCI config
-    spaces (vendor id, BAR0, MSI-X GSI) ahead of their register
-    windows — the VirtIO-over-PCI transport. *)
+  net_irqfd:Hostos.Fd.t -> ninep_irqfd:Hostos.Fd.t ->
+  ?pci:bool -> ?console_base:int -> ?blk_base:int ->
+  ?net_base:int -> ?ninep_base:int ->
+  ?net:Net.Fabric.t * Net.Link.port -> ?mac:int -> unit -> t
+(** [image] is the file-system image served by vmsh-blk (and, as a file
+    tree, by vmsh-9p); the irqfds are VMSH's local ends of the
+    descriptors passed back from the hypervisor. [net] cables the NIC
+    to one port of a {!Net.Link} on a deterministic fabric — without it
+    the NIC still probes but transmits into the void. With [pci] the
+    devices additionally expose PCI config spaces (vendor id, BAR0,
+    MSI-X GSI) ahead of their register windows — the VirtIO-over-PCI
+    transport. *)
 
 val console_base : t -> int
 (** Base of the console's *register* window (its BAR0 under PCI). *)
 
 val blk_base : t -> int
+val net_base : t -> int
+val ninep_base : t -> int
 
 val region : t -> int * int
 (** [(base, len)] of the full guest-physical region VMSH claims — the
-    range to trap (two register windows, plus two config spaces under
+    range to trap (four register windows, plus four config spaces under
     PCI). *)
 
 val console_gsi : t -> int
 val blk_gsi : t -> int
+val net_gsi : t -> int
+val ninep_gsi : t -> int
+
+val nic_mac : t -> int
+(** The 48-bit station address the NIC advertises in config space. *)
 
 val handle_mmio_read : t -> addr:int -> len:int -> bytes option
 (** [None] when the address is outside VMSH's windows. *)
@@ -68,3 +81,10 @@ val read_console_output : t -> bytes
 
 val stats_requests : t -> int
 (** Block requests served (for tests and benches). *)
+
+val stats_net_frames : t -> int
+(** Frames the guest transmitted through the NIC. *)
+
+val try_feed_net : t -> unit
+(** Push any parked inbound frames into the guest's receive ring,
+    raising the net interrupt if something was delivered. *)

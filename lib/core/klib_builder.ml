@@ -17,6 +17,8 @@ let status_err_blk = 0x82
 let status_err_open = 0x83
 let status_err_write = 0x84
 let status_err_spawn = 0x85
+let status_err_net = 0x86
+let status_err_ninep = 0x87
 
 let base_symbol = "__vmsh_lib"
 let entry_symbol = "vmsh_entry"
@@ -61,21 +63,18 @@ module Data = struct
 end
 
 let build ~version ~guest_program ?(pci = false)
-    ?console_base ?blk_base
-    ?(console_gsi = 24) ?(blk_gsi = 25) ?(exec_path = "/dev/.vmsh-exec")
+    ?console_base ?blk_base ?net_base ?ninep_base
+    ?(console_gsi = 24) ?(blk_gsi = 25) ?(net_gsi = 26) ?(ninep_gsi = 27)
+    ?(exec_path = "/dev/.vmsh-exec")
     ?force_rw_abi ?force_struct_version () =
-  let console_base =
-    match console_base with
-    | Some b -> b
-    | None -> if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base
+  let region_base = if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base in
+  let default_base i =
+    region_base + (i * Layout.virtio_mmio_stride)
   in
-  let blk_base =
-    match blk_base with
-    | Some b -> b
-    | None ->
-        if pci then Layout.vmsh_pci_base + Layout.virtio_mmio_stride
-        else Layout.vmsh_mmio_base + Layout.virtio_mmio_stride
-  in
+  let console_base = Option.value console_base ~default:(default_base 0) in
+  let blk_base = Option.value blk_base ~default:(default_base 1) in
+  let net_base = Option.value net_base ~default:(default_base 2) in
+  let ninep_base = Option.value ninep_base ~default:(default_base 3) in
   let register_import =
     if pci then "register_virtio_pci_dev" else "register_virtio_mmio_dev"
   in
@@ -101,6 +100,17 @@ let build ~version ~guest_program ?(pci = false)
     Data.add_bytes data
       (Guest.encode_virtio_desc ~version_tag:desc_version
          ~device_type:Virtio.Blk.device_id ~mmio_base:blk_base ~gsi:blk_gsi)
+  in
+  let net_desc =
+    Data.add_bytes data
+      (Guest.encode_virtio_desc ~version_tag:desc_version
+         ~device_type:Virtio.Net.device_id ~mmio_base:net_base ~gsi:net_gsi)
+  in
+  let ninep_desc =
+    Data.add_bytes data
+      (Guest.encode_virtio_desc ~version_tag:desc_version
+         ~device_type:Virtio.Ninep.device_id ~mmio_base:ninep_base
+         ~gsi:ninep_gsi)
   in
   let thread_struct =
     Data.add_bytes data
@@ -165,6 +175,16 @@ let build ~version ~guest_program ?(pci = false)
   push_import register_import;
   emit (Klib.Call 1);
   jneg_err status_err_blk;
+  (* register net *)
+  push_data net_desc;
+  push_import register_import;
+  emit (Klib.Call 1);
+  jneg_err status_err_net;
+  (* register 9p *)
+  push_data ninep_desc;
+  push_import register_import;
+  emit (Klib.Call 1);
+  jneg_err status_err_ninep;
   write_status status_devices_ready;
   (* fd = filp_open(path, O_CREAT|O_WRONLY, 0755) *)
   push_data path_off;

@@ -28,6 +28,8 @@ val status_err_blk : int
 val status_err_open : int
 val status_err_write : int
 val status_err_spawn : int
+val status_err_net : int
+val status_err_ninep : int
 
 val required_imports : string list
 (** The kernel functions the library links against. *)
@@ -36,7 +38,8 @@ val build :
   version:Linux_guest.Kernel_version.t ->
   guest_program:bytes ->
   ?pci:bool ->
-  ?console_base:int -> ?blk_base:int -> ?console_gsi:int -> ?blk_gsi:int ->
+  ?console_base:int -> ?blk_base:int -> ?net_base:int -> ?ninep_base:int ->
+  ?console_gsi:int -> ?blk_gsi:int -> ?net_gsi:int -> ?ninep_gsi:int ->
   ?exec_path:string ->
   ?force_rw_abi:Linux_guest.Kernel_version.rw_abi ->
   ?force_struct_version:int ->

@@ -24,7 +24,9 @@ let in_range t lo hi =
   assert (hi >= lo);
   lo + int t (hi - lo + 1)
 
-let float t x = Float.of_int (next t) /. Float.of_int (1 lsl 62) *. x
+(* NB: 2^62 is not representable as an OCaml int (63-bit), so the
+   divisor must be built as a float. *)
+let float t x = Float.of_int (next t) /. Float.ldexp 1.0 62 *. x
 
 let bool t = Int64.logand (next64 t) 1L = 1L
 

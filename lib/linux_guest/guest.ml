@@ -59,6 +59,8 @@ type t = {
   mutable boot_rootfs : Sfs.t option;
   mutable vmsh_blk_drv : Virtio.Blk.Driver.t option;
   mutable vmsh_console_drv : Virtio.Console.Driver.t option;
+  mutable vmsh_net_drv : Virtio.Net.Driver.t option;
+  mutable vmsh_ninep_drv : Virtio.Ninep.Driver.t option;
   programs : (string, t -> Gproc.t -> unit) Hashtbl.t;
   kfiles : (int, kfile) Hashtbl.t;
   mutable next_kfd : int;
@@ -92,6 +94,8 @@ let boot_blk_exn t =
 let boot_ninep t = t.boot_ninep_drv
 let vmsh_blk t = t.vmsh_blk_drv
 let vmsh_console t = t.vmsh_console_drv
+let vmsh_net t = t.vmsh_net_drv
+let vmsh_ninep t = t.vmsh_ninep_drv
 
 let init_proc t =
   match t.proc_list with
@@ -269,6 +273,53 @@ let probe_device t ~base ~expect ~init =
 
 let neg_errno e = -Errno.to_code e
 
+(* Shared by the MMIO and PCI register kfuns: probe [base] as
+   [device_type], stash the driver and attach its metrics. [via] only
+   colours the printk lines. *)
+let register_device_at t ~device_type ~base ~via =
+  let registered what =
+    printk t (Printf.sprintf "%s: virtio%s device registered" what via);
+    0
+  in
+  let failed what e =
+    printk t (Printf.sprintf "%s: probe failed: %s" what e);
+    neg_errno Errno.ENODEV
+  in
+  if device_type = Virtio.Blk.device_id then
+    match probe_device t ~base ~expect:device_type ~init:Virtio.Blk.Driver.init with
+    | Ok drv ->
+        Virtio.Blk.Driver.set_observe drv (observe_of t) ~name:"vmsh-blk";
+        t.vmsh_blk_drv <- Some drv;
+        registered "vmsh-blk"
+    | Error e -> failed "vmsh-blk" e
+  else if device_type = Virtio.Console.device_id then
+    match
+      probe_device t ~base ~expect:device_type ~init:Virtio.Console.Driver.init
+    with
+    | Ok drv ->
+        Virtio.Console.Driver.set_observe drv (observe_of t)
+          ~name:"vmsh-console";
+        t.vmsh_console_drv <- Some drv;
+        registered "vmsh-console"
+    | Error e -> failed "vmsh-console" e
+  else if device_type = Virtio.Net.device_id then
+    match probe_device t ~base ~expect:device_type ~init:Virtio.Net.Driver.init with
+    | Ok drv ->
+        Virtio.Net.Driver.set_observe drv (observe_of t) ~name:"vmsh-net";
+        t.vmsh_net_drv <- Some drv;
+        registered "vmsh-net"
+    | Error e -> failed "vmsh-net" e
+  else if device_type = Virtio.Ninep.device_id then
+    match
+      probe_device t ~base ~expect:device_type ~init:Virtio.Ninep.Driver.init
+    with
+    | Ok drv ->
+        Virtio.Ninep.Driver.set_observe drv (observe_of t) ~name:"vmsh-9p";
+        t.vmsh_ninep_drv <- Some drv;
+        registered "vmsh-9p"
+    | Error e -> failed "vmsh-9p" e
+  else neg_errno Errno.ENODEV
+
 let install_kfuns t =
   let reg name impl va = Hashtbl.replace t.kfun_tbl va (name, impl) in
   let badv = ref 0 in
@@ -305,37 +356,7 @@ let install_kfuns t =
                     Int32.to_int (Bytes.get_int32_le hdr 4) land 0xffffffff
                   in
                   let mmio_base = Int64.to_int (Bytes.get_int64_le hdr 8) in
-                  if device_type = Virtio.Blk.device_id then begin
-                    match
-                      probe_device t ~base:mmio_base ~expect:device_type
-                        ~init:Virtio.Blk.Driver.init
-                    with
-                    | Ok drv ->
-                        Virtio.Blk.Driver.set_observe drv (observe_of t)
-                          ~name:"vmsh-blk";
-                        t.vmsh_blk_drv <- Some drv;
-                        printk t "vmsh-blk: virtio block device registered";
-                        0
-                    | Error e ->
-                        printk t ("vmsh-blk: probe failed: " ^ e);
-                        neg_errno Errno.ENODEV
-                  end
-                  else if device_type = Virtio.Console.device_id then begin
-                    match
-                      probe_device t ~base:mmio_base ~expect:device_type
-                        ~init:Virtio.Console.Driver.init
-                    with
-                    | Ok drv ->
-                        Virtio.Console.Driver.set_observe drv (observe_of t)
-                          ~name:"vmsh-console";
-                        t.vmsh_console_drv <- Some drv;
-                        printk t "vmsh-console: virtio console registered";
-                        0
-                    | Error e ->
-                        printk t ("vmsh-console: probe failed: " ^ e);
-                        neg_errno Errno.ENODEV
-                  end
-                  else neg_errno Errno.ENODEV
+                  register_device_at t ~device_type ~base:mmio_base ~via:""
                 end
               with Failure msg ->
                 printk t ("virtio_mmio: fault reading descriptor: " ^ msg);
@@ -371,47 +392,9 @@ let install_kfuns t =
                       printk t "virtio_pci: no virtio device in config space";
                       neg_errno Errno.ENODEV
                   | Some cfg ->
-                      let bar0 = cfg.Virtio.Pci.Config.bar0 in
-                      if cfg.Virtio.Pci.Config.device_type = Virtio.Blk.device_id
-                      then begin
-                        match
-                          probe_device t ~base:bar0 ~expect:Virtio.Blk.device_id
-                            ~init:Virtio.Blk.Driver.init
-                        with
-                        | Ok drv ->
-                            Virtio.Blk.Driver.set_observe drv (observe_of t)
-                              ~name:"vmsh-blk";
-                            t.vmsh_blk_drv <- Some drv;
-                            printk t
-                              "vmsh-blk: virtio-pci block device registered \
-                               (MSI-X)";
-                            0
-                        | Error e ->
-                            printk t ("vmsh-blk: pci probe failed: " ^ e);
-                            neg_errno Errno.ENODEV
-                      end
-                      else if
-                        cfg.Virtio.Pci.Config.device_type
-                        = Virtio.Console.device_id
-                      then begin
-                        match
-                          probe_device t ~base:bar0
-                            ~expect:Virtio.Console.device_id
-                            ~init:Virtio.Console.Driver.init
-                        with
-                        | Ok drv ->
-                            Virtio.Console.Driver.set_observe drv
-                              (observe_of t) ~name:"vmsh-console";
-                            t.vmsh_console_drv <- Some drv;
-                            printk t
-                              "vmsh-console: virtio-pci console registered \
-                               (MSI-X)";
-                            0
-                        | Error e ->
-                            printk t ("vmsh-console: pci probe failed: " ^ e);
-                            neg_errno Errno.ENODEV
-                      end
-                      else neg_errno Errno.ENODEV
+                      register_device_at t
+                        ~device_type:cfg.Virtio.Pci.Config.device_type
+                        ~base:cfg.Virtio.Pci.Config.bar0 ~via:"-pci (MSI-X)"
                 end
               with Failure msg ->
                 printk t ("virtio_pci: fault reading descriptor: " ^ msg);
@@ -423,7 +406,11 @@ let install_kfuns t =
           | [ device_type ] ->
               if device_type = Virtio.Blk.device_id then t.vmsh_blk_drv <- None
               else if device_type = Virtio.Console.device_id then
-                t.vmsh_console_drv <- None;
+                t.vmsh_console_drv <- None
+              else if device_type = Virtio.Net.device_id then
+                t.vmsh_net_drv <- None
+              else if device_type = Virtio.Ninep.device_id then
+                t.vmsh_ninep_drv <- None;
               0
           | _ -> neg_errno Errno.EINVAL );
       ( "filp_open",
@@ -782,6 +769,7 @@ let mount_boot_devices t =
        ~expect:Virtio.Ninep.device_id ~init:Virtio.Ninep.Driver.init
    with
   | Ok drv ->
+      Virtio.Ninep.Driver.set_observe drv (observe_of t) ~name:"guest-9p";
       t.boot_ninep_drv <- Some drv;
       printk t "9p: host file sharing mounted on /host"
   | Error _ -> ());
@@ -840,6 +828,8 @@ let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) () =
       boot_rootfs = None;
       vmsh_blk_drv = None;
       vmsh_console_drv = None;
+      vmsh_net_drv = None;
+      vmsh_ninep_drv = None;
       programs = Hashtbl.create 8;
       kfiles = Hashtbl.create 16;
       next_kfd = 3;

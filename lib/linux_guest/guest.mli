@@ -105,6 +105,12 @@ val vmsh_blk : t -> Virtio.Blk.Driver.t option
 
 val vmsh_console : t -> Virtio.Console.Driver.t option
 
+val vmsh_net : t -> Virtio.Net.Driver.t option
+(** The side-loaded NIC driver, if the klib registered one. *)
+
+val vmsh_ninep : t -> Virtio.Ninep.Driver.t option
+(** The side-loaded 9p file-sharing driver, if any. *)
+
 (** {1 Struct layouts passed to kernel functions}
 
     Helpers shared with the library builder so both sides agree on the

@@ -132,6 +132,7 @@ module Driver = struct
     queue : Queue.Driver.t;
     req_addr : int;
     resp_addr : int;
+    mutable obs : (Observe.t * string) option;
   }
 
   let init ~gmem ~access ~alloc =
@@ -140,7 +141,43 @@ module Driver = struct
     | Ok queues ->
         let req_addr = alloc ~size:(max_msg + 64) in
         let resp_addr = alloc ~size:(max_msg + 64) in
-        Ok { g = gmem; access; queue = queues.(0); req_addr; resp_addr }
+        Ok
+          {
+            g = gmem;
+            access;
+            queue = queues.(0);
+            req_addr;
+            resp_addr;
+            obs = None;
+          }
+
+  let set_observe t obs ~name = t.obs <- Some (obs, name)
+
+  let op_name = function
+    | Read _ -> "read"
+    | Write _ -> "write"
+    | Create _ -> "create"
+    | Stat _ -> "stat"
+
+  (* Per-request latency, one histogram per 9p message type. *)
+  let measure t req f =
+    match t.obs with
+    | None -> f ()
+    | Some (obs, name) ->
+        let op = op_name req in
+        let t0 = Observe.now obs in
+        let r = f () in
+        let dt = Observe.now obs -. t0 in
+        Observe.Metrics.observe
+          (Observe.Metrics.histogram (Observe.metrics obs)
+             (Printf.sprintf "%s.%s_ns" name op))
+          dt;
+        if Observe.enabled obs then
+          Observe.instant obs
+            ~name:(Printf.sprintf "%s.%s" name op)
+            ~attrs:[ ("ns", Observe.F dt) ]
+            ();
+        r
 
   let kick t =
     let b = Bytes.create 4 in
@@ -148,23 +185,26 @@ module Driver = struct
     t.access.Mmio.mwrite ~off:Mmio.reg_queue_notify b
 
   let roundtrip t req ~resp_len =
-    let reqb = encode_request req in
-    t.g.Gmem.write ~addr:t.req_addr reqb;
-    let head =
-      match
-        Queue.Driver.add t.queue
-          ~out:[ (t.req_addr, Bytes.length reqb) ]
-          ~in_:[ (t.resp_addr, resp_len + 8) ]
-      with
-      | Some h -> h
-      | None -> failwith "9p driver: ring full"
-    in
-    kick t;
-    Effect.perform
-      (Kvm.Vm.Yield_until (fun () -> Queue.Driver.completed t.queue ~head));
-    match decode_response (t.g.Gmem.read ~addr:t.resp_addr ~len:(resp_len + 8)) with
-    | Some r -> r
-    | None -> failwith "9p driver: bad response"
+    measure t req (fun () ->
+        let reqb = encode_request req in
+        t.g.Gmem.write ~addr:t.req_addr reqb;
+        let head =
+          match
+            Queue.Driver.add t.queue
+              ~out:[ (t.req_addr, Bytes.length reqb) ]
+              ~in_:[ (t.resp_addr, resp_len + 8) ]
+          with
+          | Some h -> h
+          | None -> failwith "9p driver: ring full"
+        in
+        kick t;
+        Effect.perform
+          (Kvm.Vm.Yield_until (fun () -> Queue.Driver.completed t.queue ~head));
+        match
+          decode_response (t.g.Gmem.read ~addr:t.resp_addr ~len:(resp_len + 8))
+        with
+        | Some r -> r
+        | None -> failwith "9p driver: bad response")
 
   let to_result r =
     if r.status = 0 then Ok r.payload

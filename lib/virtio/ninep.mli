@@ -38,6 +38,11 @@ module Driver : sig
     gmem:Gmem.t -> access:Mmio.access -> alloc:(size:int -> int) ->
     (t, string) result
 
+  val set_observe : t -> Observe.t -> name:string -> unit
+  (** Record per-request latency (virtual ns) into ["<name>.<op>_ns"]
+      histograms — one per 9p message type — on the given tracer's
+      metrics registry. Off by default. *)
+
   val read : t -> path:string -> off:int -> len:int -> bytes Hostos.Errno.result
   val write : t -> path:string -> off:int -> bytes -> int Hostos.Errno.result
   val create : t -> path:string -> unit Hostos.Errno.result

@@ -1,0 +1,222 @@
+(* Request/response traffic over the side-loaded NIC: the ROADMAP's
+   "serve heavy traffic" workload class, scaled down to a measurable
+   primitive. A host-side server sits on one port of the deterministic
+   fabric (behind the switch); the guest runs a closed-loop client over
+   its vmsh-net driver. Two servers: a UDP echo, and an "HTTP-ish"
+   responder with fixed-size replies. Loss is recovered by bounded
+   application retries (UDP) or TCP-lite stop-and-wait — both
+   deterministic because a reply either sits in the receive ring when
+   the transmit kick returns, or was provably dropped. *)
+
+module Clock = Hostos.Clock
+module Guest = Linux_guest.Guest
+module Netstack = Linux_guest.Netstack
+module Packet = Netstack.Packet
+module Frame = Net.Frame
+module H = Hypervisor.Vmm
+
+(* The fixed addressing plan of the test network. *)
+let server_ip = Packet.make_ip 10 0 0 1
+let client_ip = Packet.make_ip 10 0 0 2
+let server_mac = Frame.make_mac ~vendor:0x0566 ~serial:0xbeef
+let echo_port = 7
+let http_port = 80
+
+type mode = Echo | Http of int  (** response size in bytes *)
+
+let http_response ~size =
+  (* an exactly [size]-byte response: status line + body filler *)
+  let header body_len =
+    Printf.sprintf "HTTP/1.0 200 OK\r\nContent-Length: %6d\r\n\r\n" body_len
+  in
+  let body_len = max 0 (size - String.length (header 0)) in
+  let b = Buffer.create size in
+  Buffer.add_string b (header body_len);
+  for i = 0 to body_len - 1 do
+    Buffer.add_char b (Char.chr (0x61 + (i mod 26)))
+  done;
+  Bytes.of_string (Buffer.contents b)
+
+(* Stand a server up on a fabric port (plug the link's other end into
+   the switch). Replies to UDP datagrams in kind; speaks TCP-lite
+   stop-and-wait for proto-6 segments, re-echoing duplicates so lost
+   replies are recovered by client retransmission. *)
+let install_server fabric port ~udp_port ~mode =
+  let obs = Net.Fabric.observe fabric in
+  let count name =
+    Observe.Metrics.incr (Observe.Metrics.counter (Observe.metrics obs) name)
+  in
+  let response req_data =
+    match mode with
+    | Echo -> req_data
+    | Http size -> http_response ~size
+  in
+  Net.Link.set_handler port (fun raw ->
+      match Frame.decode raw with
+      | None -> ()
+      | Some f when f.Frame.dst <> server_mac && f.Frame.dst <> Frame.broadcast
+        ->
+          ()
+      | Some f -> (
+          match Packet.decode f.Frame.payload with
+          | None -> ()
+          | Some p
+            when p.Packet.dst_ip <> server_ip || p.Packet.dst_port <> udp_port
+            ->
+              count "net-server.misaddressed"
+          | Some p ->
+              let reply ~proto ~seq ~flag data =
+                Net.Link.send port
+                  (Frame.encode
+                     {
+                       Frame.src = server_mac;
+                       dst = f.Frame.src;
+                       ethertype = Frame.eth_ipv4;
+                       payload =
+                         Packet.encode
+                           {
+                             Packet.src_ip = server_ip;
+                             dst_ip = p.Packet.src_ip;
+                             proto;
+                             src_port = udp_port;
+                             dst_port = p.Packet.src_port;
+                             seq;
+                             flag;
+                             data;
+                           };
+                     })
+              in
+              if p.Packet.proto = Packet.proto_udp then begin
+                count "net-server.requests";
+                reply ~proto:Packet.proto_udp ~seq:0 ~flag:Packet.flag_data
+                  (response p.Packet.data)
+              end
+              else if
+                p.Packet.proto = Packet.proto_tcp
+                && p.Packet.flag = Packet.flag_data
+              then begin
+                (* ack, then answer with the same sequence number; a
+                   duplicate request just produces both again *)
+                count "net-server.requests";
+                reply ~proto:Packet.proto_tcp ~seq:p.Packet.seq
+                  ~flag:Packet.flag_ack Bytes.empty;
+                reply ~proto:Packet.proto_tcp ~seq:p.Packet.seq
+                  ~flag:Packet.flag_data (response p.Packet.data)
+              end))
+
+(* Build the canonical two-link test network: guest NIC -- switch --
+   server. Returns the fabric, the port to hand to the attach config,
+   and installs the server. *)
+let make_network (h : Hostos.Host.t) ~mode ?(latency_ns = 30_000.)
+    ?(loss = 0.0) () =
+  let fabric = Net.Fabric.of_host h in
+  let switch = Net.Switch.create fabric ~name:"sw0" in
+  let guest_link = Net.Link.create fabric ~name:"guest-sw" ~latency_ns ~loss () in
+  let server_link = Net.Link.create fabric ~name:"sw-server" ~latency_ns ~loss () in
+  Net.Switch.plug switch (Net.Link.b guest_link);
+  Net.Switch.plug switch (Net.Link.a server_link);
+  let udp_port = match mode with Echo -> echo_port | Http _ -> http_port in
+  install_server fabric (Net.Link.b server_link) ~udp_port ~mode;
+  (fabric, Net.Link.a guest_link)
+
+type result = {
+  requests : int;
+  completed : int;
+  retransmits : int;
+  bytes_rx : int;
+  elapsed_ns : float;
+  rps : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d/%d requests, %d retransmits, %d bytes received, %.2f ms, %.0f req/s"
+    r.completed r.requests r.retransmits r.bytes_rx (r.elapsed_ns /. 1e6)
+    r.rps
+
+let udp_max_retries = 16
+
+(* Closed-loop client, run as guest code against the side-loaded NIC.
+   [proto] selects plain datagrams with application retry, or TCP-lite
+   via the netstack's stop-and-wait. *)
+let run_client vmm g ~requests ~payload_size ~mode
+    ?(proto = `Udp) ?(name = "net-echo") () =
+  let nic =
+    match Guest.vmsh_net g with
+    | Some d -> d
+    | None -> failwith "traffic: no side-loaded NIC (attach with a net config)"
+  in
+  let obs = (Kvm.Vm.host (Guest.vm g)).Hostos.Host.observe in
+  let mx = Observe.metrics obs in
+  let hist = Observe.Metrics.histogram mx (name ^ ".request_ns") in
+  let req_c = Observe.Metrics.counter mx (name ^ ".requests") in
+  let retr_c = Observe.Metrics.counter mx (name ^ ".retransmits") in
+  let clock = (Kvm.Vm.host (Guest.vm g)).Hostos.Host.clock in
+  let dst_port = match mode with Echo -> echo_port | Http _ -> http_port in
+  let local_port = 40000 in
+  H.in_guest vmm (fun () ->
+      let st = Netstack.create ~observe:obs nic ~ip:client_ip in
+      let payload =
+        Bytes.init payload_size (fun i -> Char.chr (0x30 + (i mod 10)))
+      in
+      let completed = ref 0 and retransmits = ref 0 and bytes_rx = ref 0 in
+      let start = Clock.now_ns clock in
+      (match proto with
+      | `Udp ->
+          (match Netstack.bind st ~port:local_port with
+          | Ok () -> ()
+          | Error e -> failwith ("traffic: bind: " ^ Hostos.Errno.show e));
+          for _ = 1 to requests do
+            let t0 = Clock.now_ns clock in
+            let rec attempt n =
+              if n > udp_max_retries then None
+              else begin
+                if n > 1 then begin
+                  incr retransmits;
+                  Observe.Metrics.incr retr_c
+                end;
+                Netstack.udp_send st ~src_port:local_port ~dst_ip:server_ip
+                  ~dst_port payload;
+                match Netstack.udp_try_recv st ~port:local_port with
+                | Some (_, _, data) -> Some data
+                | None -> attempt (n + 1)
+              end
+            in
+            (match attempt 1 with
+            | Some data ->
+                incr completed;
+                bytes_rx := !bytes_rx + Bytes.length data
+            | None -> ());
+            Observe.Metrics.incr req_c;
+            Observe.Metrics.observe hist (Clock.now_ns clock -. t0)
+          done
+      | `Tcp ->
+          let s =
+            match
+              Netstack.tcp_connect st ~local_port ~peer_ip:server_ip
+                ~peer_port:dst_port
+            with
+            | Ok s -> s
+            | Error e -> failwith ("traffic: connect: " ^ Hostos.Errno.show e)
+          in
+          for _ = 1 to requests do
+            let t0 = Clock.now_ns clock in
+            (match Netstack.tcp_request s payload with
+            | Ok data ->
+                incr completed;
+                bytes_rx := !bytes_rx + Bytes.length data
+            | Error _ -> ());
+            Observe.Metrics.incr req_c;
+            Observe.Metrics.observe hist (Clock.now_ns clock -. t0)
+          done);
+      let elapsed = Clock.now_ns clock -. start in
+      {
+        requests;
+        completed = !completed;
+        retransmits = !retransmits;
+        bytes_rx = !bytes_rx;
+        elapsed_ns = elapsed;
+        rps =
+          (if elapsed > 0. then float_of_int !completed /. (elapsed /. 1e9)
+           else 0.);
+      })

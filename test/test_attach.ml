@@ -303,6 +303,50 @@ let test_attach_leaves_existing_guest_files_intact () =
       | Ok b -> check cstr "app intact" "the application\n" (Bytes.to_string b)
       | Error e -> Alcotest.failf "read: %a" H.Errno.pp e)
 
+let test_ninep_side_loaded_share () =
+  (* the attach also hot-plugs a virtio-9p share of the tools image:
+     read a known file through the side-loaded driver's virtqueue and
+     check the per-request latency histograms were recorded *)
+  let env = setup () in
+  let h, vmm, g = env in
+  match do_attach env with
+  | Error e -> Alcotest.failf "attach: %s" e
+  | Ok _ -> (
+      let drv =
+        match Guest.vmsh_ninep g with
+        | Some d -> d
+        | None -> Alcotest.fail "no vmsh-9p driver registered"
+      in
+      let size =
+        Vmm.in_guest vmm (fun () ->
+            Virtio.Ninep.Driver.stat_size drv ~path:"/etc/vmsh-release")
+      in
+      (match size with
+      | Ok n -> check cint "stat size" (String.length "tools image marker\n") n
+      | Error e -> Alcotest.failf "stat: %a" H.Errno.pp e);
+      match
+        Vmm.in_guest vmm (fun () ->
+            Virtio.Ninep.Driver.read drv ~path:"/etc/vmsh-release" ~off:0
+              ~len:64)
+      with
+      | Error e -> Alcotest.failf "read: %a" H.Errno.pp e
+      | Ok b ->
+          check cstr "tools image served over 9p" "tools image marker\n"
+            (Bytes.to_string b);
+          let mx = Observe.metrics h.H.Host.observe in
+          check cbool "read latency histogram recorded" true
+            (Observe.Metrics.count
+               (Observe.Metrics.histogram mx "vmsh-9p.read_ns")
+            >= 1);
+          check cbool "stat latency histogram recorded" true
+            (Observe.Metrics.count
+               (Observe.Metrics.histogram mx "vmsh-9p.stat_ns")
+            >= 1);
+          check cbool "host processed 9p requests" true
+            (Observe.Metrics.counter_value
+               (Observe.Metrics.counter mx "vmsh-9p.requests")
+            >= 2))
+
 let test_privileges_dropped_after_discovery () =
   let env = setup () in
   match do_attach env with
@@ -359,6 +403,7 @@ let suite =
         t "shell commands" test_shell_commands;
         t "overlay protects guest root" test_shell_write_protects_guest;
         t "guest files intact" test_attach_leaves_existing_guest_files_intact;
+        t "9p tools share" test_ninep_side_loaded_share;
         t "privileges dropped" test_privileges_dropped_after_discovery;
         t "container-aware attach" test_container_aware_attach;
         t "double attach refused" test_double_attach_two_sessions;
