@@ -1,0 +1,307 @@
+(* CI output validator: the JSON assertions ci.sh used to delegate to
+   python3 (and silently skipped when python was absent), as a small
+   dune-built executable with a hand-rolled JSON reader.
+
+   Usage:
+     ci_check json FILE...       well-formed JSON
+     ci_check trace FILE         chrome trace contains every attach phase
+     ci_check net-metrics FILE   vmsh-net counters + echo histogram
+     ci_check bench FILE         BENCH_results.json scenarios
+     ci_check fuzz FILE          fault-matrix gate: 0 hangs, 0 unclean,
+                                 every fault class exercised
+
+   Note: the metrics exporter writes counter values as JSON strings;
+   [int_field] accepts both numbers and numeric strings. *)
+
+(* --- minimal JSON --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "bad escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | 'r' -> Buffer.add_char b '\r'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if !pos + 4 > n then fail "bad \\u escape";
+                  let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                  pos := !pos + 4;
+                  (* non-BMP escapes don't occur in our exports *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else Buffer.add_char b '?'
+              | _ -> fail "bad escape");
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "ci_check: %s\n" msg;
+      exit 1
+  in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  try parse data
+  with Bad msg ->
+    Printf.eprintf "ci_check: %s: invalid JSON: %s\n" path msg;
+    exit 1
+
+(* --- accessors --- *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("ci_check: " ^ msg); exit 1) fmt
+
+let field obj k =
+  match obj with
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let field_exn ~ctx obj k =
+  match field obj k with
+  | Some v -> v
+  | None -> fail "%s: missing field %S" ctx k
+
+(* Counter values are exported as JSON strings; histogram stats as
+   numbers. Accept either spelling for robustness. *)
+let as_int ~ctx = function
+  | Num f -> int_of_float f
+  | Str st -> (
+      match int_of_string_opt (String.trim st) with
+      | Some i -> i
+      | None -> fail "%s: %S is not an integer" ctx st)
+  | _ -> fail "%s: expected an integer" ctx
+
+let int_field ~ctx obj k = as_int ~ctx:(ctx ^ "." ^ k) (field_exn ~ctx obj k)
+let opt_int_field ~ctx obj k =
+  match field obj k with Some v -> as_int ~ctx:(ctx ^ "." ^ k) v | None -> 0
+
+(* --- checks --- *)
+
+let attach_phases =
+  [
+    "attach"; "ptrace-attach"; "fd-discovery"; "memslot-dump"; "register-read";
+    "page-table-walk"; "symbol-analysis"; "device-setup"; "klib-sideload";
+  ]
+
+let fault_classes =
+  [
+    "inject-eintr"; "inject-eagain"; "vm-rw-efault"; "attach-race";
+    "notify-drop"; "desc-torn"; "link-burst";
+  ]
+
+let check_trace path =
+  let j = load path in
+  let events =
+    match field_exn ~ctx:path j "traceEvents" with
+    | List l -> l
+    | _ -> fail "%s: traceEvents is not a list" path
+  in
+  let names =
+    List.filter_map
+      (fun e -> match field e "name" with Some (Str s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun p ->
+      if not (List.mem p names) then
+        fail "%s: trace is missing attach phase %S" path p)
+    attach_phases
+
+let check_net_metrics path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let tx = int_field ~ctx:path counters "vmsh-net.tx_frames" in
+  let rx = int_field ~ctx:path counters "vmsh-net.rx_frames" in
+  if tx < 1000 then fail "%s: expected >=1000 TX frames through vmsh-net, got %d" path tx;
+  if rx < 1000 then fail "%s: expected >=1000 RX frames through vmsh-net, got %d" path rx;
+  let hist =
+    field_exn ~ctx:path (field_exn ~ctx:path j "histograms") "net-echo.request_ns"
+  in
+  let count = int_field ~ctx:path hist "count" in
+  if count <> 1000 then fail "%s: echo histogram count: %d" path count
+
+let check_bench path =
+  let j = load path in
+  let scen = field_exn ~ctx:path j "scenarios" in
+  List.iter
+    (fun required ->
+      if field scen required = None then
+        fail "%s: missing scenario %S" path required)
+    [ "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults" ];
+  let net = field_exn ~ctx:path scen "vmsh-net" in
+  let hist =
+    field_exn ~ctx:path (field_exn ~ctx:path net "histograms") "net-echo.request_ns"
+  in
+  if int_field ~ctx:path hist "count" < 1000 then
+    fail "%s: vmsh-net echo histogram count < 1000" path;
+  let faults = field_exn ~ctx:path scen "vmsh-faults" in
+  let rhist =
+    field_exn ~ctx:path
+      (field_exn ~ctx:path faults "histograms")
+      "faults.attach_ns"
+  in
+  if int_field ~ctx:path rhist "count" < 1 then
+    fail "%s: vmsh-faults recorded no attach latencies" path
+
+let check_fuzz path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let seeds = int_field ~ctx:path counters "fuzz.seeds" in
+  if seeds < 1 then fail "%s: no fuzz seeds recorded" path;
+  let hangs = opt_int_field ~ctx:path counters "fuzz.hangs" in
+  let unclean = opt_int_field ~ctx:path counters "fuzz.unclean" in
+  if hangs > 0 then fail "%s: %d hangs in the fault matrix" path hangs;
+  if unclean > 0 then fail "%s: %d unclean failures in the fault matrix" path unclean;
+  List.iter
+    (fun cls ->
+      let seen = opt_int_field ~ctx:path counters ("fuzz.class_seen." ^ cls) in
+      if seen < 1 then fail "%s: fault class %S was never exercised" path cls)
+    fault_classes
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "json" :: (_ :: _ as files) -> List.iter (fun f -> ignore (load f)) files
+  | [ _; "trace"; f ] -> check_trace f
+  | [ _; "net-metrics"; f ] -> check_net_metrics f
+  | [ _; "bench"; f ] -> check_bench f
+  | [ _; "fuzz"; f ] -> check_fuzz f
+  | _ ->
+      prerr_endline
+        "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
+         bench FILE | fuzz FILE}";
+      exit 2

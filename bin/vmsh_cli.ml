@@ -51,8 +51,7 @@ let transport_conv =
       | s -> Error (`Msg ("unknown transport: " ^ s))),
       fun ppf t -> Format.pp_print_string ppf (Vmsh.Devices.show_transport t) )
 
-let boot_vm ~profile ~version ~seed =
-  let h = H.Host.create ~seed () in
+let boot_vm_on h ~profile ~version =
   let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:4096 () in
   let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev disk) ()) in
   ignore (Sfs.mkdir_p fs "/dev");
@@ -62,6 +61,11 @@ let boot_vm ~profile ~version ~seed =
   let disable_seccomp = profile.Profile.prof_name = "Firecracker" in
   let vmm = Vmm.create h ~profile ~disk ~disable_seccomp () in
   let g = Vmm.boot vmm ~version in
+  (vmm, g)
+
+let boot_vm ~profile ~version ~seed =
+  let h = H.Host.create ~seed () in
+  let vmm, g = boot_vm_on h ~profile ~version in
   (h, vmm, g)
 
 let tools_image clock =
@@ -350,9 +354,214 @@ let rescue_cmd =
     (Cmd.info "rescue" ~doc:"Reset a password in a running VM (use case #2)")
     Term.(const run $ user $ password)
 
+(* --- fuzz --- *)
+
+(* The deterministic fault-matrix sweep: one seeded fault schedule per
+   seed, each exercising the full attach path (boot, ptrace attach,
+   injected syscalls, remote memory, device side-load, echo traffic over
+   the side-loaded NIC with bursty link loss). Every attach must either
+   complete or fail cleanly with a diagnosable error; because every
+   retry loop in the substrate is bounded, a run that exceeds the
+   virtual-time budget is reported as a hang. *)
+
+let fuzz_budget_ns = 120e9
+let fuzz_echo_requests = 20
+
+type fuzz_outcome =
+  | Fuzz_completed
+  | Fuzz_clean_fail of string
+  | Fuzz_unclean of string
+  | Fuzz_hang
+
+let outcome_label = function
+  | Fuzz_completed -> "completed"
+  | Fuzz_clean_fail _ -> "clean-fail"
+  | Fuzz_unclean _ -> "UNCLEAN"
+  | Fuzz_hang -> "HANG"
+
+let fuzz_one ~seed ~rate ~trace =
+  let plan = Faults.create ~seed ~rate () in
+  (* Boost one class per seed to certainty (with a small cap so bounded
+     retries still win): 25 seeds sweep all 7 classes several times over
+     while the background rate keeps every other class in play. *)
+  let boosted = List.nth Faults.all (seed mod List.length Faults.all) in
+  Faults.set_class plan boosted ~rate:1.0 ~cap:2;
+  let h = H.Host.create ~seed:(0xf0 + seed) () in
+  H.Host.arm_faults h plan;
+  if trace then Observe.enable h.H.Host.observe;
+  let outcome =
+    match
+      let vmm, g = boot_vm_on h ~profile:Profile.qemu ~version:KV.V5_10 in
+      let net =
+        Workloads.Traffic.make_network h ~mode:Workloads.Traffic.Echo ()
+      in
+      let config = { Vmsh.Attach.default_config with net = Some net } in
+      match
+        Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+          ~fs_image:(tools_image h.H.Host.clock)
+          ~config
+          ~pump:(fun () -> Vmm.run_until_idle vmm)
+          ()
+      with
+      | Error e -> Fuzz_clean_fail e
+      | Ok session ->
+          ignore (Vmsh.Attach.console_recv session);
+          let out = Vmsh.Attach.console_roundtrip session "hostname" in
+          let echo =
+            Workloads.Traffic.run_client vmm g ~requests:fuzz_echo_requests
+              ~payload_size:64 ~mode:Workloads.Traffic.Echo ()
+          in
+          Vmsh.Attach.detach session;
+          if String.length out = 0 then
+            Fuzz_unclean "console dead after attach (guest state corrupted?)"
+          else if
+            echo.Workloads.Traffic.completed = 0
+            && Faults.injected plan Faults.Link_burst = 0
+          then Fuzz_unclean "echo made no progress despite a clean link"
+          else Fuzz_completed
+    with
+    | outcome -> outcome
+    | exception e -> Fuzz_unclean (Printexc.to_string e)
+  in
+  let outcome =
+    if H.Clock.now_ns h.H.Host.clock > fuzz_budget_ns then Fuzz_hang
+    else outcome
+  in
+  (h, plan, boosted, outcome)
+
+let fuzz_cmd =
+  let run verbose seeds rate metrics_out trace_out trace_seed =
+    setup_logs verbose;
+    if seeds <= 0 then begin
+      Printf.eprintf "fuzz: --seeds must be positive\n";
+      exit 2
+    end;
+    let sobs = Observe.create ~now:(fun () -> 0.0) () in
+    let sm = Observe.metrics sobs in
+    let scount ?(by = 1) name =
+      Observe.Metrics.incr ~by (Observe.Metrics.counter sm name)
+    in
+    let attach_hist = Observe.Metrics.histogram sm "fuzz.attach_virtual_ns" in
+    let hangs = ref 0 and unclean = ref 0 in
+    for seed = 0 to seeds - 1 do
+      let trace = trace_out <> None && seed = trace_seed in
+      let h, plan, boosted, outcome = fuzz_one ~seed ~rate ~trace in
+      scount "fuzz.seeds";
+      (match outcome with
+      | Fuzz_completed -> scount "fuzz.completed"
+      | Fuzz_clean_fail _ -> scount "fuzz.clean_failures"
+      | Fuzz_unclean _ ->
+          incr unclean;
+          scount "fuzz.unclean"
+      | Fuzz_hang ->
+          incr hangs;
+          scount "fuzz.hangs");
+      List.iter
+        (fun cls ->
+          let n = Faults.injected plan cls in
+          if n > 0 then begin
+            scount ("fuzz.class_seen." ^ Faults.name cls);
+            scount ~by:n ("faults.injected." ^ Faults.name cls)
+          end)
+        Faults.all;
+      List.iter
+        (fun c ->
+          let name = Observe.Metrics.counter_name c in
+          if String.length name >= 9 && String.sub name 0 9 = "recovery." then
+            scount ~by:(Observe.Metrics.counter_value c) name)
+        (Observe.Metrics.counters (Observe.metrics h.H.Host.observe));
+      Observe.Metrics.observe attach_hist (H.Clock.now_ns h.H.Host.clock);
+      Printf.printf "seed %2d: %-10s boosted=%-13s injected=%2d virtual=%6.1f ms%s\n"
+        seed (outcome_label outcome) (Faults.name boosted)
+        (Faults.total_injected plan)
+        (H.Clock.now_ns h.H.Host.clock /. 1e6)
+        (match outcome with
+        | Fuzz_clean_fail m | Fuzz_unclean m -> " (" ^ m ^ ")"
+        | _ -> "");
+      if trace then
+        match trace_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Observe.Export.chrome_trace h.H.Host.observe);
+            close_out oc
+        | None -> ()
+    done;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Observe.Export.metrics_json sobs);
+        close_out oc;
+        Printf.printf "fuzz metrics written to %s\n" path);
+    let classes_seen =
+      List.length
+        (List.filter
+           (fun cls ->
+             List.exists
+               (fun c ->
+                 Observe.Metrics.counter_name c
+                 = "fuzz.class_seen." ^ Faults.name cls
+                 && Observe.Metrics.counter_value c > 0)
+               (Observe.Metrics.counters sm))
+           Faults.all)
+    in
+    Printf.printf
+      "fuzz: %d seeds, %d hangs, %d unclean failures, %d/%d fault classes seen\n"
+      seeds !hangs !unclean classes_seen
+      (List.length Faults.all);
+    if !hangs > 0 || !unclean > 0 then exit 1
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of fault schedules to sweep.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.15
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Background per-decision fault probability for every class.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the aggregate fuzz metrics (outcomes, per-class \
+             injection and recovery counters) as JSON.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace of the schedule chosen by --trace-seed.")
+  in
+  let trace_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-seed" ] ~docv:"K"
+          ~doc:"Which schedule --trace-out captures (default 0).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Sweep N deterministic fault schedules through boot + attach and \
+          assert every one completes or fails cleanly")
+    Term.(
+      const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed)
+
 let () =
   let info =
     Cmd.info "vmsh" ~version:"0.1.0"
       ~doc:"Hypervisor-agnostic guest overlays for VMs (simulated reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
+            fuzz_cmd;
+          ]))

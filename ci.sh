@@ -1,76 +1,129 @@
 #!/bin/sh
-# Tier-1 gate plus smoke tests: build, run the full test suite, then do
-# a real `vmsh attach` with trace/metrics export (checking both outputs
-# are well-formed JSON), a networked attach that pushes echo traffic
-# through the side-loaded NIC, and a bench run that must leave a
-# well-formed BENCH_results.json behind.
-set -e
+# Tier-1 gate as named, individually timed stages:
+#
+#   build         dune build
+#   test          dune runtest (full alcotest/qcheck suite)
+#   smoke-attach  real `vmsh attach` with trace+metrics export; every
+#                 attach phase must appear in the chrome trace
+#   smoke-net     networked attach pushing 1000 echo requests through
+#                 the side-loaded NIC
+#   fault-matrix  `vmsh fuzz --seeds 25`: 0 hangs, 0 unclean failures,
+#                 every fault class exercised — then a double-run
+#                 determinism check (same seeds => byte-identical
+#                 trace and metrics)
+#   bench         latency experiment regenerating BENCH_results.json,
+#                 including the vmsh-faults recovery scenario
+#
+# All JSON assertions go through the dune-built bin/ci_check.exe (no
+# python needed). Run one stage with `./ci.sh --stage NAME`; artifacts
+# land in $CI_ARTIFACTS (default /tmp/vmsh-ci).
 
+set -u
 cd "$(dirname "$0")"
 
-dune build
-dune runtest
+ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
+STAGES="build test smoke-attach smoke-net fault-matrix bench"
 
-trace=/tmp/vmsh-ci-trace.json
-metrics=/tmp/vmsh-ci-metrics.json
-net_metrics=/tmp/vmsh-ci-net-metrics.json
-dune exec bin/vmsh_cli.exe -- attach \
-  --trace-out "$trace" --metrics-out "$metrics" -e hostname > /dev/null
-dune exec bin/vmsh_cli.exe -- attach \
-  --net-echo 1000 --metrics-out "$net_metrics" -e hostname > /dev/null
+usage() {
+  echo "usage: ./ci.sh [--stage NAME]"
+  echo "stages: $STAGES"
+}
 
-if command -v python3 > /dev/null 2>&1; then
-  python3 -m json.tool "$trace" > /dev/null
-  python3 -m json.tool "$metrics" > /dev/null
-  python3 - "$trace" <<'EOF'
-import json, sys
-t = json.load(open(sys.argv[1]))
-names = {e["name"] for e in t["traceEvents"]}
-phases = ["attach", "ptrace-attach", "fd-discovery", "memslot-dump",
-          "register-read", "page-table-walk", "symbol-analysis",
-          "device-setup", "klib-sideload"]
-missing = [p for p in phases if p not in names]
-assert not missing, f"trace is missing attach phases: {missing}"
-EOF
-  python3 - "$net_metrics" <<'EOF'
-import json, sys
-m = json.load(open(sys.argv[1]))
-counters = m["counters"]
-# counter values are exported as JSON strings
-tx = int(counters["vmsh-net.tx_frames"])
-rx = int(counters["vmsh-net.rx_frames"])
-assert tx >= 1000, f"expected >=1000 TX frames through vmsh-net, got {tx}"
-assert rx >= 1000, f"expected >=1000 RX frames through vmsh-net, got {rx}"
-hist = m["histograms"]["net-echo.request_ns"]
-assert int(hist["count"]) == 1000, f"echo histogram count: {hist['count']}"
-EOF
-else
-  # minimal sanity without python: non-empty and JSON-shaped
-  for f in "$trace" "$metrics" "$net_metrics"; do
-    [ -s "$f" ] || { echo "ci: $f is empty" >&2; exit 1; }
-    head -c1 "$f" | grep -q '{' || { echo "ci: $f is not JSON" >&2; exit 1; }
-  done
-  grep -q '"vmsh-net.rx_frames"' "$net_metrics" \
-    || { echo "ci: no vmsh-net RX counter in $net_metrics" >&2; exit 1; }
+only_stage=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --stage) only_stage="$2"; shift 2 ;;
+    --stage=*) only_stage="${1#--stage=}"; shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "ci: unknown argument: $1" >&2; usage >&2; exit 2 ;;
+  esac
+done
+
+if [ -n "$only_stage" ]; then
+  case " $STAGES " in
+    *" $only_stage "*) ;;
+    *) echo "ci: no such stage: $only_stage" >&2; usage >&2; exit 2 ;;
+  esac
 fi
 
-# The latency experiment must regenerate a well-formed BENCH_results.json
-# including the networked scenario.
-dune exec bench/main.exe -- --only latency > /dev/null
-[ -s BENCH_results.json ] || { echo "ci: BENCH_results.json missing" >&2; exit 1; }
-if command -v python3 > /dev/null 2>&1; then
-  python3 - BENCH_results.json <<'EOF'
-import json, sys
-b = json.load(open(sys.argv[1]))
-scen = b["scenarios"]
-for required in ("qemu-blk", "vmsh-blk", "vmsh-net"):
-    assert required in scen, f"BENCH_results.json is missing {required}"
-net = scen["vmsh-net"]
-assert int(net["histograms"]["net-echo.request_ns"]["count"]) >= 1000
-EOF
-else
-  grep -q '"vmsh-net"' BENCH_results.json \
-    || { echo "ci: no vmsh-net scenario in BENCH_results.json" >&2; exit 1; }
-fi
+mkdir -p "$ARTIFACTS"
 
+vmsh() { dune exec --no-print-directory bin/vmsh_cli.exe -- "$@"; }
+ci_check() { dune exec --no-print-directory bin/ci_check.exe -- "$@"; }
+
+stage_build() {
+  dune build
+}
+
+stage_test() {
+  dune runtest
+}
+
+stage_smoke_attach() {
+  trace=$ARTIFACTS/trace.json
+  metrics=$ARTIFACTS/metrics.json
+  vmsh attach --trace-out "$trace" --metrics-out "$metrics" -e hostname \
+    > /dev/null
+  ci_check json "$trace" "$metrics"
+  ci_check trace "$trace"
+}
+
+stage_smoke_net() {
+  net_metrics=$ARTIFACTS/net-metrics.json
+  vmsh attach --net-echo 1000 --metrics-out "$net_metrics" -e hostname \
+    > /dev/null
+  ci_check net-metrics "$net_metrics"
+}
+
+stage_fault_matrix() {
+  fuzz_metrics=$ARTIFACTS/fuzz-metrics.json
+  vmsh fuzz --seeds 25 --metrics-out "$fuzz_metrics"
+  ci_check fuzz "$fuzz_metrics"
+  # Determinism: the same seeds must replay byte-identically.
+  vmsh fuzz --seeds 3 --trace-seed 1 \
+    --trace-out "$ARTIFACTS/fuzz-trace-a.json" \
+    --metrics-out "$ARTIFACTS/fuzz-metrics-a.json" > /dev/null
+  vmsh fuzz --seeds 3 --trace-seed 1 \
+    --trace-out "$ARTIFACTS/fuzz-trace-b.json" \
+    --metrics-out "$ARTIFACTS/fuzz-metrics-b.json" > /dev/null
+  cmp "$ARTIFACTS/fuzz-trace-a.json" "$ARTIFACTS/fuzz-trace-b.json" || {
+    echo "ci: fault traces diverged across identical seeds" >&2
+    return 1
+  }
+  cmp "$ARTIFACTS/fuzz-metrics-a.json" "$ARTIFACTS/fuzz-metrics-b.json" || {
+    echo "ci: fault metrics diverged across identical seeds" >&2
+    return 1
+  }
+}
+
+stage_bench() {
+  dune exec --no-print-directory bench/main.exe -- --only latency > /dev/null
+  ci_check bench BENCH_results.json
+  cp BENCH_results.json "$ARTIFACTS/BENCH_results.json"
+}
+
+summary=""
+failures=0
+for stage in $STAGES; do
+  if [ -n "$only_stage" ] && [ "$stage" != "$only_stage" ]; then
+    continue
+  fi
+  printf '=== ci stage: %s ===\n' "$stage"
+  start=$(date +%s)
+  if ( set -e; "stage_$(echo "$stage" | tr - _)" ); then
+    status=ok
+  else
+    status=FAIL
+    failures=$((failures + 1))
+  fi
+  elapsed=$(( $(date +%s) - start ))
+  summary="$summary$(printf '%-14s %-4s %4ds' "$stage" "$status" "$elapsed")
+"
+done
+
+printf '\n=== ci summary ===\n%s' "$summary"
+if [ "$failures" -gt 0 ]; then
+  echo "ci: $failures stage(s) FAILED"
+  exit 1
+fi
 echo "ci: OK"

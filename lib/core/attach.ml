@@ -212,6 +212,7 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
         ("hypervisor_pid", Observe.I hypervisor_pid);
       ]
   @@ fun () ->
+  try
   (* VMSH starts with the privileges it needs for discovery and drops
      them afterwards (paper §4.5). *)
   let vmsh =
@@ -327,6 +328,12 @@ let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
     Ok loaded
   in
   Ok { cfg = config; vmsh; tracee; mem; devs; anal; loaded; pump }
+  with
+  (* A substrate failure that exhausted its bounded retries (or guest
+     state the sideloader cannot parse) aborts the attach cleanly: the
+     caller gets a diagnosable error, never an escaped exception. *)
+  | Failure msg -> Error ("attach aborted: " ^ msg)
+  | Kvm.Vm.Guest_error msg -> Error ("attach aborted: guest error: " ^ msg)
 
 let console_send s line =
   Devices.feed_console_input s.devs (Bytes.of_string (line ^ "\n"));

@@ -82,10 +82,17 @@ let ensure_queue t regs slot getter setter =
       let qs = Mmio.Device.queue regs slot in
       if not qs.Mmio.Device.ready then None
       else begin
+        let h = Tracee.host t.tracee in
         let q =
-          Queue.Device.create (remote_gmem t) ~qsz:qs.Mmio.Device.num
-            ~desc:qs.Mmio.Device.desc ~avail:qs.Mmio.Device.avail
-            ~used:qs.Mmio.Device.used
+          Queue.Device.create
+            ~torn:(fun () -> Faults.fire h.Hostos.Host.faults Faults.Desc_torn)
+            ~on_requeue:(fun () ->
+              Observe.Metrics.incr
+                (Observe.Metrics.counter
+                   (Observe.metrics h.Hostos.Host.observe)
+                   "recovery.vq_requeue"))
+            (remote_gmem t) ~qsz:qs.Mmio.Device.num ~desc:qs.Mmio.Device.desc
+            ~avail:qs.Mmio.Device.avail ~used:qs.Mmio.Device.used
         in
         setter (Some q);
         Some q

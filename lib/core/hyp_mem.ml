@@ -31,12 +31,27 @@ let top_of_guest_phys t =
 let fail_errno what e =
   failwith (Printf.sprintf "Hyp_mem.%s: %s" what (Hostos.Errno.show e))
 
+(* All remote-memory traffic goes through the bounded-retry wrappers: a
+   transient EFAULT (page mid-remap under the hypervisor) or EAGAIN is
+   retried with virtual-time backoff; a persistent one still fails. *)
+let vm_read t ~addr ~len =
+  Retry.with_backoff t.host ~counter:"recovery.vm_rw_retry"
+    ~should_retry:(function
+      | Error (Hostos.Errno.EFAULT | Hostos.Errno.EAGAIN) -> true
+      | _ -> false)
+    (fun () -> Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid ~addr ~len)
+
+let vm_write t ~addr b =
+  Retry.with_backoff t.host ~counter:"recovery.vm_rw_retry"
+    ~should_retry:(function
+      | Error (Hostos.Errno.EFAULT | Hostos.Errno.EAGAIN) -> true
+      | _ -> false)
+    (fun () -> Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid ~addr b)
+
 let read_hva t ~hva ~len =
   match t.cmode with
   | Bulk -> (
-      match
-        Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid ~addr:hva ~len
-      with
+      match vm_read t ~addr:hva ~len with
       | Ok b -> b
       | Error e -> fail_errno "read_hva" e)
   | Chunked_4k ->
@@ -49,10 +64,7 @@ let read_hva t ~hva ~len =
              the extra memcpy of the unoptimised path *)
           Hostos.Clock.syscall clock;
           Hostos.Clock.copy_bytes clock chunk;
-          (match
-             Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid
-               ~addr:(hva + off) ~len:chunk
-           with
+          (match vm_read t ~addr:(hva + off) ~len:chunk with
           | Ok b -> Bytes.blit b 0 out off chunk
           | Error e -> fail_errno "read_hva(chunked)" e);
           go (off + chunk)
@@ -65,10 +77,7 @@ let read_hva t ~hva ~len =
       let rec go off =
         if off < len then begin
           let chunk = min 8 (len - off) in
-          (match
-             Host.process_vm_read t.host ~caller:t.vmsh ~pid:t.pid
-               ~addr:(hva + off) ~len:chunk
-           with
+          (match vm_read t ~addr:(hva + off) ~len:chunk with
           | Ok b -> Bytes.blit b 0 out off chunk
           | Error e -> fail_errno "read_hva(peek)" e);
           go (off + 8)
@@ -80,7 +89,7 @@ let read_hva t ~hva ~len =
 let write_hva t ~hva b =
   match t.cmode with
   | Bulk -> (
-      match Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid ~addr:hva b with
+      match vm_write t ~addr:hva b with
       | Ok () -> ()
       | Error e -> fail_errno "write_hva" e)
   | Chunked_4k ->
@@ -91,11 +100,7 @@ let write_hva t ~hva b =
           let chunk = min 4096 (len - off) in
           Hostos.Clock.syscall clock;
           Hostos.Clock.copy_bytes clock chunk;
-          (match
-             Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid
-               ~addr:(hva + off)
-               (Bytes.sub b off chunk)
-           with
+          (match vm_write t ~addr:(hva + off) (Bytes.sub b off chunk) with
           | Ok () -> ()
           | Error e -> fail_errno "write_hva(chunked)" e);
           go (off + chunk)
@@ -107,11 +112,7 @@ let write_hva t ~hva b =
       let rec go off =
         if off < len then begin
           let chunk = min 8 (len - off) in
-          (match
-             Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid
-               ~addr:(hva + off)
-               (Bytes.sub b off chunk)
-           with
+          (match vm_write t ~addr:(hva + off) (Bytes.sub b off chunk) with
           | Ok () -> ()
           | Error e -> fail_errno "write_hva(peek)" e);
           go (off + 8)

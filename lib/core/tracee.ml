@@ -82,8 +82,21 @@ let classify ~nr ret =
          | Ok _ -> assert false))
   else Ok ret
 
+(* EINTR/EAGAIN from an injected syscall means the stop raced a signal
+   and the call never executed — always safe to re-inject verbatim.
+   EPERM is never retried: the seccomp heuristic depends on seeing it. *)
+let transient_ret ret =
+  match Errno.of_syscall_ret ret with
+  | Error Errno.EINTR | Error Errno.EAGAIN -> true
+  | _ -> false
+
+let inject_raw h session ?tid ~nr ~args () =
+  Retry.with_backoff h ~counter:"recovery.syscall_retry"
+    ~should_retry:(function Ok ret -> transient_ret ret | Error _ -> false)
+    (fun () -> Ptrace.inject_syscall h session ?tid ~nr ~args ())
+
 let inject_session h session ~nr ~args =
-  match Ptrace.inject_syscall h session ~nr ~args () with
+  match inject_raw h session ~nr ~args () with
   | Error e -> Error ("injection transport: " ^ errno_str e)
   | Ok ret -> classify ~nr ret
 
@@ -100,7 +113,7 @@ let inject_any_thread h session tracee_pid ~nr ~args =
   let rec try_tids last = function
     | [] -> last
     | tid :: rest -> (
-        match Ptrace.inject_syscall h session ~tid ~nr ~args () with
+        match inject_raw h session ~tid ~nr ~args () with
         | Error e -> Error ("injection transport: " ^ errno_str e)
         | Ok ret ->
             if Errno.of_syscall_ret ret = Error Errno.EPERM then
@@ -115,7 +128,13 @@ let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
     Observe.span obs ~name:"ptrace-attach"
       ~attrs:[ ("pid", Observe.I pid) ]
       (fun () ->
-        match Ptrace.attach h ~tracer:vmsh ~pid with
+        match
+          Retry.with_backoff h ~counter:"recovery.attach_retry"
+            ~should_retry:(function
+              | Error Errno.EAGAIN -> true
+              | _ -> false)
+            (fun () -> Ptrace.attach h ~tracer:vmsh ~pid)
+        with
         | Ok s ->
             Ptrace.interrupt h s;
             Ok s
@@ -152,18 +171,27 @@ let inject t ~nr ~args =
     inject_any_thread t.h t.session t.tracee_pid ~nr ~args
   else inject_session t.h t.session ~nr ~args
 
+let retry_vm_rw h f =
+  Retry.with_backoff h ~counter:"recovery.vm_rw_retry"
+    ~should_retry:(function
+      | Error (Errno.EFAULT | Errno.EAGAIN) -> true
+      | _ -> false)
+    f
+
 let write_scratch t ?(off = 0) b =
   match
-    Host.process_vm_write t.h ~caller:t.vmsh ~pid:t.tracee_pid
-      ~addr:(t.scratch_hva + off) b
+    retry_vm_rw t.h (fun () ->
+        Host.process_vm_write t.h ~caller:t.vmsh ~pid:t.tracee_pid
+          ~addr:(t.scratch_hva + off) b)
   with
   | Ok () -> t.scratch_hva + off
   | Error e -> failwith ("Tracee.write_scratch: " ^ errno_str e)
 
 let read_scratch t ?(off = 0) len =
   match
-    Host.process_vm_read t.h ~caller:t.vmsh ~pid:t.tracee_pid
-      ~addr:(t.scratch_hva + off) ~len
+    retry_vm_rw t.h (fun () ->
+        Host.process_vm_read t.h ~caller:t.vmsh ~pid:t.tracee_pid
+          ~addr:(t.scratch_hva + off) ~len)
   with
   | Ok b -> b
   | Error e -> failwith ("Tracee.read_scratch: " ^ errno_str e)

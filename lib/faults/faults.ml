@@ -1,0 +1,127 @@
+type cls =
+  | Inject_eintr
+  | Inject_eagain
+  | Vm_rw_efault
+  | Attach_race
+  | Notify_drop
+  | Desc_torn
+  | Link_burst
+
+let all =
+  [
+    Inject_eintr;
+    Inject_eagain;
+    Vm_rw_efault;
+    Attach_race;
+    Notify_drop;
+    Desc_torn;
+    Link_burst;
+  ]
+
+let name = function
+  | Inject_eintr -> "inject-eintr"
+  | Inject_eagain -> "inject-eagain"
+  | Vm_rw_efault -> "vm-rw-efault"
+  | Attach_race -> "attach-race"
+  | Notify_drop -> "notify-drop"
+  | Desc_torn -> "desc-torn"
+  | Link_burst -> "link-burst"
+
+let of_name s = List.find_opt (fun c -> name c = s) all
+
+let idx = function
+  | Inject_eintr -> 0
+  | Inject_eagain -> 1
+  | Vm_rw_efault -> 2
+  | Attach_race -> 3
+  | Notify_drop -> 4
+  | Desc_torn -> 5
+  | Link_burst -> 6
+
+let n_cls = 7
+
+type t = {
+  armed : bool;
+  seed : int;
+  burst : int;
+  rates : float array;
+  caps : int array;
+  counts : int array;
+  mutable state : int64;
+  mutable metrics : Observe.Metrics.t option;
+}
+
+let disabled =
+  {
+    armed = false;
+    seed = 0;
+    burst = 0;
+    rates = [||];
+    caps = [||];
+    counts = [||];
+    state = 0L;
+    metrics = None;
+  }
+
+(* Private splitmix64 stream: the plan must not perturb the host's RNG,
+   or arming faults would shift every downstream draw and break the
+   no-faults neutrality invariant. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  Int64.to_int (Int64.shift_right_logical (mix64 t.state) 2)
+
+let draw_unit t = Float.of_int (next t) /. Float.ldexp 1.0 62
+
+let create ~seed ?(rate = 0.15) ?(cap = max_int) ?(classes = all) ?(burst = 3) () =
+  let rates = Array.make n_cls 0.0 in
+  let caps = Array.make n_cls 0 in
+  List.iter
+    (fun c ->
+      rates.(idx c) <- rate;
+      caps.(idx c) <- cap)
+    classes;
+  {
+    armed = true;
+    seed;
+    burst;
+    rates;
+    caps;
+    counts = Array.make n_cls 0;
+    state = Int64.of_int seed;
+    metrics = None;
+  }
+
+let set_class t c ~rate ~cap =
+  if t.armed then begin
+    t.rates.(idx c) <- rate;
+    t.caps.(idx c) <- cap
+  end
+
+let armed t = t.armed
+let seed t = t.seed
+let burst t = t.burst
+let set_metrics t m = if t.armed then t.metrics <- m
+
+let fire t c =
+  if not t.armed then false
+  else
+    let i = idx c in
+    if t.rates.(i) <= 0.0 || t.counts.(i) >= t.caps.(i) then false
+    else if draw_unit t < t.rates.(i) then begin
+      t.counts.(i) <- t.counts.(i) + 1;
+      (match t.metrics with
+      | Some m -> Observe.Metrics.incr (Observe.Metrics.counter m ("faults.injected." ^ name c))
+      | None -> ());
+      true
+    end
+    else false
+
+let injected t c = if t.armed then t.counts.(idx c) else 0
+let total_injected t = if t.armed then Array.fold_left ( + ) 0 t.counts else 0

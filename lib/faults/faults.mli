@@ -1,0 +1,68 @@
+(** Deterministic, seeded fault plans for the simulated substrate.
+
+    A plan decides — from its own private RNG stream, never from the
+    host's — whether a given operation should suffer a simulated
+    transient fault. Each decision point in the substrate names a
+    {!cls}; the plan draws once per armed query, so identical seeds and
+    identical call sequences replay byte-identically (the IRIS
+    property). A disabled plan never draws and never allocates metric
+    counters, which keeps the no-faults run bit-identical to a build
+    without this library. *)
+
+(** The fault classes, each standing in for a real-world failure of the
+    corresponding host interface (see DESIGN.md for the mapping). *)
+type cls =
+  | Inject_eintr  (** injected syscall interrupted before executing *)
+  | Inject_eagain  (** injected syscall bounced with EAGAIN *)
+  | Vm_rw_efault  (** transient process_vm_readv/writev EFAULT *)
+  | Attach_race  (** PTRACE_ATTACH loses a race with another stop *)
+  | Notify_drop  (** ioeventfd doorbell write lost *)
+  | Desc_torn  (** torn read of a virtqueue available-ring slot *)
+  | Link_burst  (** bursty loss on a network link *)
+
+val all : cls list
+val name : cls -> string
+(** Stable kebab-case name, used in metric keys
+    ([faults.injected.<name>]) and CLI output. *)
+
+val of_name : string -> cls option
+
+type t
+
+val disabled : t
+(** The inert default: {!fire} is always [false], no RNG draws, no
+    metric registration. *)
+
+val create :
+  seed:int ->
+  ?rate:float ->
+  ?cap:int ->
+  ?classes:cls list ->
+  ?burst:int ->
+  unit ->
+  t
+(** [create ~seed ()] arms every class at the given [rate] (default
+    0.15) with at most [cap] injections per class (default unlimited).
+    [classes] restricts the plan to a subset; [burst] is the number of
+    consecutive frames lost per [Link_burst] firing (default 3). *)
+
+val set_class : t -> cls -> rate:float -> cap:int -> unit
+(** Override one class's rate/cap, e.g. to guarantee coverage of a
+    class in one fuzz schedule. *)
+
+val armed : t -> bool
+val seed : t -> int
+val burst : t -> int
+
+val set_metrics : t -> Observe.Metrics.t option -> unit
+(** Mirror every injection into a [faults.injected.<class>] counter of
+    the given registry (the host arms this when the plan is
+    installed). *)
+
+val fire : t -> cls -> bool
+(** Ask the plan whether this operation faults. Draws from the plan's
+    RNG only when the plan is armed and the class has a non-zero rate;
+    counts the injection when it fires. *)
+
+val injected : t -> cls -> int
+val total_injected : t -> int

@@ -2,6 +2,7 @@ type t =
   | EPERM
   | ENOENT
   | ESRCH
+  | EINTR
   | EIO
   | EBADF
   | EAGAIN
@@ -23,7 +24,8 @@ type t =
 
 let table =
   [
-    (EPERM, 1); (ENOENT, 2); (ESRCH, 3); (EIO, 5); (EBADF, 9); (EAGAIN, 11);
+    (EPERM, 1); (ENOENT, 2); (ESRCH, 3); (EINTR, 4); (EIO, 5); (EBADF, 9);
+    (EAGAIN, 11);
     (ENOMEM, 12); (EACCES, 13); (EFAULT, 14); (EBUSY, 16); (EEXIST, 17);
     (ENODEV, 19); (ENOTDIR, 20); (EISDIR, 21); (EINVAL, 22); (ENOSPC, 28);
     (ERANGE, 34); (ENOTEMPTY, 39); (ENOSYS, 38); (EDQUOT, 122);

@@ -4,6 +4,7 @@ type t =
   | EPERM
   | ENOENT
   | ESRCH
+  | EINTR
   | EIO
   | EBADF
   | EAGAIN

@@ -6,6 +6,7 @@ type t = {
   mutable next_pid : int;
   ebpf_progs : (string, Ebpf.prog list ref) Hashtbl.t;
   unix_listeners : (string, Fd.t Queue.t) Hashtbl.t;
+  mutable faults : Faults.t;
 }
 
 let create ?(seed = 0xb5ee5) ?costs () =
@@ -22,7 +23,15 @@ let create ?(seed = 0xb5ee5) ?costs () =
     next_pid = 100;
     ebpf_progs = Hashtbl.create 8;
     unix_listeners = Hashtbl.create 8;
+    faults = Faults.disabled;
   }
+
+(* Install a fault plan and point its injection counters at this host's
+   metric registry. The default [Faults.disabled] plan never draws, so
+   unarmed hosts behave bit-identically to builds without lib/faults. *)
+let arm_faults t plan =
+  Faults.set_metrics plan (Some (Observe.metrics t.observe));
+  t.faults <- plan
 
 let spawn t ~name ?(uid = 1000) ?(caps = []) () =
   let pid = t.next_pid in
@@ -212,6 +221,11 @@ let process_vm_read t ~caller ~pid ~addr ~len =
   | None -> Error Errno.ESRCH
   | Some target ->
       if not (may_access caller target) then Error Errno.EPERM
+      else if Faults.fire t.faults Faults.Vm_rw_efault then begin
+        (* Transient fault: the syscall entered the kernel and bounced. *)
+        Clock.syscall t.clock;
+        Error Errno.EFAULT
+      end
       else begin
         Clock.syscall t.clock;
         Clock.copy_bytes_remote t.clock len;
@@ -225,6 +239,10 @@ let process_vm_write t ~caller ~pid ~addr b =
   | None -> Error Errno.ESRCH
   | Some target ->
       if not (may_access caller target) then Error Errno.EPERM
+      else if Faults.fire t.faults Faults.Vm_rw_efault then begin
+        Clock.syscall t.clock;
+        Error Errno.EFAULT
+      end
       else begin
         Clock.syscall t.clock;
         Clock.copy_bytes_remote t.clock (Bytes.length b);

@@ -15,9 +15,16 @@ type t = {
   ebpf_progs : (string, Ebpf.prog list ref) Hashtbl.t;
   unix_listeners : (string, Fd.t Queue.t) Hashtbl.t;
       (** bound path -> queue of not-yet-accepted peer socket ends *)
+  mutable faults : Faults.t;
+      (** Fault plan consulted at every substrate decision point;
+          defaults to [Faults.disabled] (never draws, never fires). *)
 }
 
 val create : ?seed:int -> ?costs:Clock.costs -> unit -> t
+
+val arm_faults : t -> Faults.t -> unit
+(** Install a fault plan and wire its [faults.injected.*] counters into
+    this host's metric registry. *)
 
 val spawn : t -> name:string -> ?uid:int -> ?caps:Proc.cap list -> unit -> Proc.t
 (** Create a process with a fresh pid and a single main thread. *)

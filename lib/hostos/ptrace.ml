@@ -11,6 +11,13 @@ let attach host ~tracer ~pid =
   | Some tracee ->
       if not (may_trace tracer tracee) then Error Errno.EPERM
       else if tracee.Proc.tracer <> None then Error Errno.EPERM
+      else if Faults.fire host.Host.faults Faults.Attach_race then begin
+        (* The target took a competing stop between our permission check
+           and the attach: the kernel reports EAGAIN and the tracee is
+           left untouched, so the caller may simply retry. *)
+        Clock.syscall host.Host.clock;
+        Error Errno.EAGAIN
+      end
       else begin
         tracee.Proc.tracer <- Some tracer.Proc.pid;
         Clock.syscall host.Host.clock;
@@ -59,18 +66,34 @@ let inject_syscall host s ?tid ~nr ~args () =
           Observe.span host.Host.observe
             ~name:("ptrace.inject:" ^ Syscall.Nr.name nr)
             (fun () ->
-              let saved = X86.Regs.copy th.Proc.regs in
-              (* Injected syscalls must not re-trigger the tracer's own
-                 wrap_syscall hooks (the real implementation distinguishes
-                 injected stops from organic ones). *)
-              let saved_hook = s.tracee.Proc.hook in
-              s.tracee.Proc.hook <- None;
-              Clock.ptrace_stop host.Host.clock;
-              let ret = Syscall.call host s.tracee th ~nr ~args in
-              Clock.ptrace_stop host.Host.clock;
-              s.tracee.Proc.hook <- saved_hook;
-              X86.Regs.restore th.Proc.regs ~from:saved;
-              Ok ret))
+              let faulted =
+                if Faults.fire host.Host.faults Faults.Inject_eintr then
+                  Some Errno.EINTR
+                else if Faults.fire host.Host.faults Faults.Inject_eagain then
+                  Some Errno.EAGAIN
+                else None
+              in
+              match faulted with
+              | Some e ->
+                  (* The stop was delivered but the syscall never ran:
+                     the tracee bounces back with a transient errno and
+                     unchanged registers, exactly like a signal racing a
+                     PTRACE_SYSCALL restart. Safe to retry verbatim. *)
+                  Clock.ptrace_stop host.Host.clock;
+                  Ok (-Errno.to_code e)
+              | None ->
+                  let saved = X86.Regs.copy th.Proc.regs in
+                  (* Injected syscalls must not re-trigger the tracer's own
+                     wrap_syscall hooks (the real implementation distinguishes
+                     injected stops from organic ones). *)
+                  let saved_hook = s.tracee.Proc.hook in
+                  s.tracee.Proc.hook <- None;
+                  Clock.ptrace_stop host.Host.clock;
+                  let ret = Syscall.call host s.tracee th ~nr ~args in
+                  Clock.ptrace_stop host.Host.clock;
+                  s.tracee.Proc.hook <- saved_hook;
+                  X86.Regs.restore th.Proc.regs ~from:saved;
+                  Ok ret))
 
 let hook_syscalls host s ~on_entry ~on_exit =
   let clock = host.Host.clock in

@@ -52,6 +52,9 @@ type t = {
   mutable pending_gsi : int list;
   mutable ioeventfds : (int * int option * Fd.t) list;
   mutable eventfd_waiters : (Fd.t * (unit -> unit)) list;
+  mutable missed_notifies : (int * Fd.t) list;
+      (** doorbell writes whose eventfd signal was dropped (fault
+          injection); re-kicked by [deliver_irqs] *)
   mutable ioregions : ioregion list;
   mutable ioregion_pumps : (unit -> unit) list;
   mutable current : vcpu option;
@@ -86,6 +89,7 @@ let has_runnable t =
        (fun _ fd acc ->
          acc || match Fd.eventfd_count fd with Some n -> n > 0 | None -> false)
        t.irqfds false
+  || t.missed_notifies <> []
   (* a parked context whose predicate already holds can also run *)
   || List.exists (fun p -> p.pred ()) t.parked
 let memslots t = List.map (fun i -> i.s) t.islots
@@ -140,7 +144,40 @@ let add_eventfd_waiter t ~fd waiter =
 
 let add_ioregion_pump t pump = t.ioregion_pumps <- t.ioregion_pumps @ [ pump ]
 
+(* A dropped doorbell signal leaves the iothread unaware that the ring
+   has work. Real device backends recover by re-kicking pending queues
+   from a timer/poll path; our equivalent is the scheduler loop, which
+   re-delivers every recorded missed notify before normal irq
+   processing. *)
+let rekick_missed_notifies t =
+  match t.missed_notifies with
+  | [] -> ()
+  | missed ->
+      t.missed_notifies <- [];
+      let obs = t.host.Host.observe in
+      let clock = t.host.Host.clock in
+      let rekicks =
+        Observe.Metrics.counter (Observe.metrics obs) "recovery.notify_rekick"
+      in
+      List.iter
+        (fun (addr, fd) ->
+          Observe.Metrics.incr rekicks;
+          if Observe.enabled obs then
+            Observe.instant obs ~name:"kvm.notify_rekick"
+              ~attrs:[ ("addr", Observe.I addr) ]
+              ();
+          Fd.eventfd_signal fd;
+          List.iter
+            (fun (wfd, waiter) ->
+              if wfd == fd then begin
+                Clock.context_switch clock;
+                waiter ()
+              end)
+            t.eventfd_waiters)
+        missed
+
 let deliver_irqs t =
+  rekick_missed_notifies t;
   match t.rt with
   | None -> ()
   | Some rt ->
@@ -243,6 +280,14 @@ let route_mmio t req =
                 && Int32.to_int (Bytes.get_int32_le data 0) land 0xffffffff = v
           in
           match List.find_opt matches t.ioeventfds with
+          | Some (_, _, fd)
+            when Faults.fire t.host.Host.faults Faults.Notify_drop ->
+              (* The exit happened but the wakeup is lost in flight; the
+                 guest proceeds while the iothread sleeps until the
+                 scheduler's re-kick path finds the missed notify. *)
+              Clock.vmexit clock;
+              t.missed_notifies <- t.missed_notifies @ [ (addr, fd) ];
+              Inline Bytes.empty
           | Some (_, _, fd) ->
               (* ioeventfd: lightweight in-kernel exit; the iothread is
                  woken to process the queue. *)
@@ -534,6 +579,7 @@ let create_vm host owner =
     pending_gsi = [];
     ioeventfds = [];
     eventfd_waiters = [];
+    missed_notifies = [];
     ioregions = [];
     ioregion_pumps = [];
     current = None;

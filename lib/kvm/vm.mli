@@ -30,6 +30,10 @@ type _ Effect.t +=
 type t
 type vcpu
 
+exception Guest_error of string
+(** Raised by the guest execution loop when guest code reaches a state
+    the model cannot represent (e.g. an unhandled exit reason). *)
+
 type Hostos.Ebpf.kdata += Kvm_memslots of memslot list
       (** Kernel-internal data exposed to eBPF programs attached to the
           [kvm_vm_ioctl] hook — the memslot table VMSH's discovery

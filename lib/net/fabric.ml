@@ -20,6 +20,8 @@ type t = {
   mutable pending : event list;  (** sorted by (deliver_at, seq) *)
   mutable next_seq : int;
   mutable pumping : bool;
+  mutable plan : Faults.t;
+  mutable burst_left : int;  (** frames still to drop in the current burst *)
 }
 
 let create ~clock ~rng ~observe () =
@@ -30,11 +32,33 @@ let create ~clock ~rng ~observe () =
     pending = [];
     next_seq = 0;
     pumping = false;
+    plan = Faults.disabled;
+    burst_left = 0;
   }
 
 let of_host (h : Hostos.Host.t) =
-  create ~clock:h.Hostos.Host.clock ~rng:h.Hostos.Host.rng
-    ~observe:h.Hostos.Host.observe ()
+  let t =
+    create ~clock:h.Hostos.Host.clock ~rng:h.Hostos.Host.rng
+      ~observe:h.Hostos.Host.observe ()
+  in
+  t.plan <- h.Hostos.Host.faults;
+  t
+
+let set_fault_plan t plan = t.plan <- plan
+
+(* Bursty loss: one [Link_burst] firing condemns the next [burst] frames
+   on any link of this fabric, modelling a congested or flapping wire
+   rather than independent per-frame loss. *)
+let burst_drop t =
+  if t.burst_left > 0 then begin
+    t.burst_left <- t.burst_left - 1;
+    true
+  end
+  else if Faults.fire t.plan Faults.Link_burst then begin
+    t.burst_left <- Faults.burst t.plan - 1;
+    true
+  end
+  else false
 
 let clock t = t.clock
 let rng t = t.rng

@@ -57,7 +57,10 @@ let send p frame =
   let size = Bytes.length frame in
   Observe.Metrics.incr (Fabric.counter fab "net.frames_tx");
   Observe.Metrics.incr ~by:size (Fabric.counter fab "net.bytes_tx");
-  if link.loss > 0. && Rng.float (Fabric.rng fab) 1.0 < link.loss then begin
+  if
+    Fabric.burst_drop fab
+    || (link.loss > 0. && Rng.float (Fabric.rng fab) 1.0 < link.loss)
+  then begin
     Observe.Metrics.incr (Fabric.counter fab "net.frames_dropped");
     if Observe.enabled (Fabric.observe fab) then
       Observe.instant (Fabric.observe fab) ~name:"net.drop"

@@ -155,12 +155,15 @@ module Device = struct
     used : int;
     mutable last_avail : int;
     mutable used_count : int;
+    torn : (unit -> bool) option;
+    on_requeue : (unit -> unit) option;
   }
 
   type buffer = { addr : int; len : int; writable : bool }
 
-  let create g ~qsz ~desc ~avail ~used =
-    { g; qsz; desc; avail; used; last_avail = 0; used_count = 0 }
+  let create ?torn ?on_requeue g ~qsz ~desc ~avail ~used =
+    { g; qsz; desc; avail; used; last_avail = 0; used_count = 0; torn;
+      on_requeue }
 
   let read_chain t head =
     let rec go d acc guard =
@@ -180,13 +183,32 @@ module Device = struct
     in
     go head [] 0
 
-  let pop t =
+  let rec pop t =
     let cur = avail_idx t.g ~avail:t.avail in
     if t.last_avail land 0xffff = cur then None
     else begin
-      let head = avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.last_avail in
+      let real = avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.last_avail in
+      let head =
+        match t.torn with
+        | Some fire when fire () ->
+            (* Torn read of the ring slot: we raced the driver's publish
+               and saw garbage. 0xdead is always out of range for our
+               queue sizes, so validation below catches it. *)
+            0xdead
+        | _ -> real
+      in
+      let head =
+        if head < t.qsz then head
+        else begin
+          (* Invalid head: re-read the slot — by now the driver's store
+             has settled — and fall back to skipping the entry if the
+             ring itself is corrupt. *)
+          (match t.on_requeue with Some f -> f () | None -> ());
+          real
+        end
+      in
       t.last_avail <- (t.last_avail + 1) land 0xffff;
-      Some (head, read_chain t head)
+      if head < t.qsz then Some (head, read_chain t head) else pop t
     end
 
   let push_used t ~head ~written =

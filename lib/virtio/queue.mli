@@ -56,14 +56,28 @@ end
 module Device : sig
   type t
 
-  val create : Gmem.t -> qsz:int -> desc:int -> avail:int -> used:int -> t
+  val create :
+    ?torn:(unit -> bool) ->
+    ?on_requeue:(unit -> unit) ->
+    Gmem.t ->
+    qsz:int ->
+    desc:int ->
+    avail:int ->
+    used:int ->
+    t
+  (** [torn] is polled once per {!pop} of a non-empty ring; when it
+      returns [true] the ring-slot read is simulated as torn (a garbage
+      head). [on_requeue] is called each time an invalid head forces a
+      re-read of the slot. *)
 
   (** One buffer of a request chain as the device sees it. *)
   type buffer = { addr : int; len : int; writable : bool }
 
   val pop : t -> (int * buffer list) option
   (** Next available chain as [(head, buffers)], or [None] if the ring
-      is empty. *)
+      is empty. Out-of-range heads (torn or corrupt ring slots) are
+      re-read once and skipped if still invalid — a chain is never built
+      from an invalid descriptor index. *)
 
   val push_used : t -> head:int -> written:int -> unit
 end
