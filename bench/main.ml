@@ -62,7 +62,7 @@ let vmsh_image ?clock ?(extra_blocks = 14336) () =
   | Ok (backend, _) -> backend
   | Error e -> failwith ("vmsh image: " ^ H.Errno.show e)
 
-let attach ?(config = Vmsh.Attach.default_config) ?image (h, vmm, _g) =
+let attach ?(config = Vmsh.Attach.Config.make ()) ?image (h, vmm, _g) =
   let fs_image =
     match image with
     | Some i -> i
@@ -74,7 +74,7 @@ let attach ?(config = Vmsh.Attach.default_config) ?image (h, vmm, _g) =
       ()
   with
   | Ok s -> s
-  | Error e -> failwith ("attach: " ^ e)
+  | Error e -> failwith ("attach: " ^ Vmsh.Vmsh_error.to_string e)
 
 (* Scratch file system over the tail of the qemu-blk disk. *)
 let scratch_fs_qemu vmm g =
@@ -131,7 +131,7 @@ let try_attach (h, vmm, g) =
       ()
   with
   | Ok _ -> Ok ()
-  | Error e -> Error e
+  | Error e -> Error (Vmsh.Vmsh_error.to_string e)
 
 let run_table1 () =
   section "Table 1 — hypervisor and kernel support (E2, E3 / paper §6.2)";
@@ -168,12 +168,14 @@ let run_table1 () =
      match
        Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
          ~fs_image:(vmsh_image ~clock:h.H.Host.clock ~extra_blocks:64 ())
-         ~config:{ Vmsh.Attach.default_config with seccomp_heuristic = true }
+         ~config:
+           (Vmsh.Attach.Config.with_seccomp_heuristic true
+              (Vmsh.Attach.Config.make ()))
          ~pump:(fun () -> Vmm.run_until_idle vmm)
          ()
      with
      | Ok _ -> "supported"
-     | Error e -> "FAILED: " ^ e
+     | Error e -> "FAILED: " ^ Vmsh.Vmsh_error.to_string e
    in
    Printf.printf "%-18s %-12s %s\n" "Firecracker" result
      "(stock seccomp + thread-probing heuristic; paper's future work)");
@@ -186,12 +188,13 @@ let run_table1 () =
      match
        Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
          ~fs_image:(vmsh_image ~clock:h.H.Host.clock ~extra_blocks:64 ())
-         ~config:{ Vmsh.Attach.default_config with pci = true }
+         ~config:
+           (Vmsh.Attach.Config.with_pci true (Vmsh.Attach.Config.make ()))
          ~pump:(fun () -> Vmm.run_until_idle vmm)
          ()
      with
      | Ok _ -> "supported"
-     | Error e -> "FAILED: " ^ e
+     | Error e -> "FAILED: " ^ Vmsh.Vmsh_error.to_string e
    in
    Printf.printf "%-18s %-12s %s\n" "Cloud Hypervisor" result
      "(VirtIO-over-PCI transport + MSI routes; paper's future work)");
@@ -217,7 +220,9 @@ let run_table1 () =
             | KV.Absolute_name_first -> "abs/name-first"
             | KV.Prel32 -> "prel32")
             (KV.to_string anal.Vmsh.Symbol_analysis.version)
-      | Error e -> Printf.printf "v%-9s FAILED: %s\n" (KV.to_string version) e)
+      | Error e ->
+          Printf.printf "v%-9s FAILED: %s\n" (KV.to_string version)
+            (Vmsh.Vmsh_error.to_string e))
     KV.all_lts
 
 (* ------------------------------------------------------------------ *)
@@ -398,10 +403,8 @@ let run_e5 () =
     let _s =
       attach
         ~config:
-          {
-            Vmsh.Attach.default_config with
-            transport = Vmsh.Devices.Wrap_syscall;
-          }
+          (Vmsh.Attach.Config.with_transport Vmsh.Devices.Wrap_syscall
+             (Vmsh.Attach.Config.make ()))
         env
     in
     let h, vmm, g = env in
@@ -628,7 +631,10 @@ let run_ablation () =
   let run_mode mode =
     let env = boot_qemu ~seed:(1100 + Hashtbl.hash mode) () in
     let _s =
-      attach ~config:{ Vmsh.Attach.default_config with copy_mode = mode } env
+      attach
+        ~config:
+          (Vmsh.Attach.Config.with_copy_mode mode (Vmsh.Attach.Config.make ()))
+        env
     in
     let h, vmm, g = env in
     let vdrv = Option.get (Guest.vmsh_blk g) in
@@ -656,10 +662,8 @@ let run_ablation () =
            ignore
              (attach
                 ~config:
-                  {
-                    Vmsh.Attach.default_config with
-                    transport = Vmsh.Devices.Wrap_syscall;
-                  }
+                  (Vmsh.Attach.Config.with_transport Vmsh.Devices.Wrap_syscall
+                     (Vmsh.Attach.Config.make ()))
                 env));
         let h, vmm, g = env in
         let drv = Guest.boot_blk_exn g in
@@ -707,10 +711,11 @@ let run_latency () =
   let envn = boot_qemu ~seed:1403 () in
   let hn, vmmn, gn = envn in
   let netcfg =
-    {
-      Vmsh.Attach.default_config with
-      net = Some (Workloads.Traffic.make_network hn ~mode:Workloads.Traffic.Echo ());
-    }
+    let fabric, port =
+      Workloads.Traffic.make_network hn ~mode:Workloads.Traffic.Echo ()
+    in
+    Vmsh.Attach.Config.with_net { Vmsh.Attach.fabric; port }
+      (Vmsh.Attach.Config.make ())
   in
   let _s = attach ~config:netcfg envn in
   let r =
@@ -741,7 +746,7 @@ let run_latency () =
         Observe.Metrics.incr
           (Observe.Metrics.counter fm "faults.attach_failed");
         Printf.printf "vmsh-faults: attach failed cleanly under seed %d: %s\n"
-          seed e
+          seed (Vmsh.Vmsh_error.to_string e)
     | Ok _ ->
         Observe.Metrics.observe
           (Observe.Metrics.histogram fm hist)
@@ -776,10 +781,33 @@ let run_latency () =
      schedule\n"
     (mean "attach.baseline_ns" /. 1e6)
     (mean "faults.attach_ns" /. 1e6);
+  (* fleet attach scaling: N concurrent sessions over virtual time with
+     the shared build-id symbol cache; per-N latency histograms plus the
+     cache counters land in their own registry *)
+  let flobs = Observe.create ~now:(fun () -> 0.0) () in
+  let flm = Observe.metrics flobs in
+  List.iter
+    (fun n ->
+      let r = Fleet.run ~seed:1600 ~vms:n () in
+      Fleet.record flm ~label:(Printf.sprintf "n%d" n) r;
+      let ok =
+        List.length
+          (List.filter
+             (fun sr -> Result.is_ok sr.Fleet.s_result)
+             r.Fleet.r_sessions)
+      in
+      Printf.printf
+        "vmsh-fleet: n=%-3d %d/%d attached, %d slices, cache %d hits; p50 \
+         %.2f ms p99 %.2f ms\n"
+        n ok n r.Fleet.r_yields r.Fleet.r_cache_hits
+        (Fleet.attach_p r 0.50 /. 1e6)
+        (Fleet.attach_p r 0.99 /. 1e6))
+    [ 1; 8; 64 ];
   let scenarios =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
+      ("vmsh-fleet", flobs);
     ]
   in
   let oc = open_out "BENCH_results.json" in

@@ -262,7 +262,7 @@ let check_bench path =
     (fun required ->
       if field scen required = None then
         fail "%s: missing scenario %S" path required)
-    [ "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults" ];
+    [ "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet" ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
     field_exn ~ctx:path (field_exn ~ctx:path net "histograms") "net-echo.request_ns"
@@ -276,7 +276,37 @@ let check_bench path =
       "faults.attach_ns"
   in
   if int_field ~ctx:path rhist "count" < 1 then
-    fail "%s: vmsh-faults recorded no attach latencies" path
+    fail "%s: vmsh-faults recorded no attach latencies" path;
+  (* fleet scaling: a per-N attach histogram for every swept fleet
+     size, and proof the shared symbol cache actually hit *)
+  let fleet = field_exn ~ctx:path scen "vmsh-fleet" in
+  let fhists = field_exn ~ctx:path fleet "histograms" in
+  List.iter
+    (fun (n, expect) ->
+      let h = field_exn ~ctx:path fhists (Printf.sprintf "fleet.attach_ns.n%d" n) in
+      let c = int_field ~ctx:path h "count" in
+      if c <> expect then
+        fail "%s: fleet.attach_ns.n%d count: %d (want %d)" path n c expect)
+    [ (1, 1); (8, 8); (64, 64) ];
+  let fcounters = field_exn ~ctx:path fleet "counters" in
+  if int_field ~ctx:path fcounters "symcache.hits" < 1 then
+    fail "%s: vmsh-fleet symbol cache never hit" path
+
+let check_fleet path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  if int_field ~ctx:path counters "symcache.hits" < 1 then
+    fail "%s: fleet symbol cache never hit" path;
+  if int_field ~ctx:path counters "symcache.misses" < 1 then
+    fail "%s: fleet recorded no cold analysis" path;
+  if opt_int_field ~ctx:path counters "fleet.failures.n8" > 0 then
+    fail "%s: fleet sessions failed in a clean run" path;
+  let hist =
+    field_exn ~ctx:path (field_exn ~ctx:path j "histograms") "fleet.attach_ns.n8"
+  in
+  if int_field ~ctx:path hist "count" <> 8 then
+    fail "%s: fleet attach histogram count: %d (want 8)" path
+      (int_field ~ctx:path hist "count")
 
 let check_fuzz path =
   let j = load path in
@@ -300,8 +330,9 @@ let () =
   | [ _; "net-metrics"; f ] -> check_net_metrics f
   | [ _; "bench"; f ] -> check_bench f
   | [ _; "fuzz"; f ] -> check_fuzz f
+  | [ _; "fleet"; f ] -> check_fleet f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
-         bench FILE | fuzz FILE}";
+         bench FILE | fuzz FILE | fleet FILE}";
       exit 2

@@ -138,7 +138,16 @@ let attach_cmd =
         Some (Workloads.Traffic.make_network h ~mode:Workloads.Traffic.Echo ())
       else None
     in
-    let config = { Vmsh.Attach.default_config with transport; net } in
+    let config =
+      let c =
+        Vmsh.Attach.Config.with_transport transport
+          (Vmsh.Attach.Config.make ())
+      in
+      match net with
+      | Some (fabric, port) ->
+          Vmsh.Attach.Config.with_net { Vmsh.Attach.fabric; port } c
+      | None -> c
+    in
     match
       Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
         ~fs_image:(tools_image h.H.Host.clock)
@@ -148,7 +157,7 @@ let attach_cmd =
     with
     | Error e ->
         ignore (write_observe_outputs h ~trace_out ~metrics_out);
-        Printf.eprintf "attach failed: %s\n" e;
+        Printf.eprintf "attach failed: %s\n" (Vmsh.Vmsh_error.to_string e);
         exit 1
     | Ok session ->
         Observe.instant obs ~name:"cli.attached" ();
@@ -272,7 +281,7 @@ let matrix_cmd =
               ()
           with
           | Ok _ -> "supported"
-          | Error e -> "FAILED: " ^ e
+          | Error e -> "FAILED: " ^ Vmsh.Vmsh_error.to_string e
         in
         Printf.printf "v%-9s %s\n" (KV.to_string version) result)
       KV.all_lts
@@ -395,7 +404,10 @@ let fuzz_one ~seed ~rate ~trace =
       let net =
         Workloads.Traffic.make_network h ~mode:Workloads.Traffic.Echo ()
       in
-      let config = { Vmsh.Attach.default_config with net = Some net } in
+      let config =
+        let fabric, port = net in
+        Vmsh.Attach.Config.(make () |> with_net { Vmsh.Attach.fabric; port })
+      in
       match
         Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
           ~fs_image:(tools_image h.H.Host.clock)
@@ -403,7 +415,7 @@ let fuzz_one ~seed ~rate ~trace =
           ~pump:(fun () -> Vmm.run_until_idle vmm)
           ()
       with
-      | Error e -> Fuzz_clean_fail e
+      | Error e -> Fuzz_clean_fail (Vmsh.Vmsh_error.to_string e)
       | Ok session ->
           ignore (Vmsh.Attach.console_recv session);
           let out = Vmsh.Attach.console_roundtrip session "hostname" in
@@ -553,6 +565,120 @@ let fuzz_cmd =
     Term.(
       const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed)
 
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let run verbose vms seed fault_rate no_share metrics_out trace_out =
+    setup_logs verbose;
+    if vms <= 0 then begin
+      Printf.eprintf "fleet: --vms must be positive\n";
+      exit 2
+    end;
+    let r =
+      Fleet.run ~seed ~fault_rate ~share_symbols:(not no_share) ~vms ()
+    in
+    let failures =
+      List.filter
+        (fun s -> Result.is_error s.Fleet.s_result)
+        r.Fleet.r_sessions
+    in
+    if verbose then
+      List.iter
+        (fun s ->
+          Printf.printf "%-6s %-9s attach=%8.2f ms total=%8.2f ms%s\n"
+            s.Fleet.s_name
+            (match s.Fleet.s_result with Ok () -> "attached" | Error _ -> "FAILED")
+            (s.Fleet.s_attach_ns /. 1e6)
+            (s.Fleet.s_total_ns /. 1e6)
+            (match s.Fleet.s_result with Ok () -> "" | Error e -> " (" ^ e ^ ")"))
+        r.Fleet.r_sessions;
+    Printf.printf
+      "fleet: %d/%d attached, %d scheduler slices, symbol cache %d hits / %d \
+       misses\n"
+      (vms - List.length failures)
+      vms r.Fleet.r_yields r.Fleet.r_cache_hits r.Fleet.r_cache_misses;
+    let p50 = Fleet.attach_p r 0.50 and p99 = Fleet.attach_p r 0.99 in
+    if not (Float.is_nan p50) then
+      Printf.printf "attach latency: p50 %.2f ms, p99 %.2f ms (virtual)\n"
+        (p50 /. 1e6) (p99 /. 1e6);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let sobs = Observe.create ~now:(fun () -> 0.0) () in
+        Fleet.record (Observe.metrics sobs)
+          ~label:(Printf.sprintf "n%d" vms)
+          r;
+        let oc = open_out path in
+        output_string oc (Observe.Export.metrics_json sobs);
+        close_out oc;
+        Printf.printf "fleet metrics written to %s\n" path);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc r.Fleet.r_schedule;
+        close_out oc;
+        Printf.printf "fleet schedule written to %s\n" path);
+    (* clean runs must attach everything; under injected faults a clean
+       per-session failure is an expected outcome *)
+    if fault_rate = 0.0 && failures <> [] then begin
+      List.iter
+        (fun s ->
+          Printf.eprintf "%s: %s\n" s.Fleet.s_name
+            (match s.Fleet.s_result with Error e -> e | Ok () -> ""))
+        failures;
+      exit 1
+    end
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-session lines.") in
+  let vms =
+    Arg.(
+      value & opt int 8
+      & info [ "vms" ] ~docv:"N" ~doc:"Number of concurrent attach sessions.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed; every per-session host derives its own stream.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Arm an independent per-session fault plan at this rate.")
+  in
+  let no_share =
+    Arg.(
+      value & flag
+      & info [ "no-share-symbols" ]
+          ~doc:"Disable the shared build-id symbol cache (every session \
+                pays the full binary analysis).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write attach-latency histograms and cache counters as JSON.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the scheduler's slice-by-slice interleaving (byte-\
+                identical across runs with the same seed).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Attach to N VMs concurrently over virtual time with a shared \
+          symbol cache")
+    Term.(
+      const run $ verbose $ vms $ seed $ fault_rate $ no_share $ metrics_out
+      $ trace_out)
+
 let () =
   let info =
     Cmd.info "vmsh" ~version:"0.1.0"
@@ -563,5 +689,5 @@ let () =
        (Cmd.group info
           [
             attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
-            fuzz_cmd;
+            fuzz_cmd; fleet_cmd;
           ]))

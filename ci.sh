@@ -11,8 +11,12 @@
 #                 every fault class exercised — then a double-run
 #                 determinism check (same seeds => byte-identical
 #                 trace and metrics)
+#   fleet         `vmsh fleet --vms 8`: all sessions attach, the shared
+#                 symbol cache hits, and two identical runs produce
+#                 byte-identical schedules and metrics
 #   bench         latency experiment regenerating BENCH_results.json,
-#                 including the vmsh-faults recovery scenario
+#                 including the vmsh-faults recovery and vmsh-fleet
+#                 scaling scenarios
 #
 # All JSON assertions go through the dune-built bin/ci_check.exe (no
 # python needed). Run one stage with `./ci.sh --stage NAME`; artifacts
@@ -22,7 +26,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet bench"
 
 usage() {
   echo "usage: ./ci.sh [--stage NAME]"
@@ -92,6 +96,26 @@ stage_fault_matrix() {
   }
   cmp "$ARTIFACTS/fuzz-metrics-a.json" "$ARTIFACTS/fuzz-metrics-b.json" || {
     echo "ci: fault metrics diverged across identical seeds" >&2
+    return 1
+  }
+}
+
+stage_fleet() {
+  fleet_metrics=$ARTIFACTS/fleet-metrics.json
+  vmsh fleet --vms 8 \
+    --trace-out "$ARTIFACTS/fleet-sched-a.txt" \
+    --metrics-out "$fleet_metrics"
+  ci_check fleet "$fleet_metrics"
+  # Determinism: same seed, byte-identical schedule and metrics.
+  vmsh fleet --vms 8 \
+    --trace-out "$ARTIFACTS/fleet-sched-b.txt" \
+    --metrics-out "$ARTIFACTS/fleet-metrics-b.json" > /dev/null
+  cmp "$ARTIFACTS/fleet-sched-a.txt" "$ARTIFACTS/fleet-sched-b.txt" || {
+    echo "ci: fleet schedules diverged across identical seeds" >&2
+    return 1
+  }
+  cmp "$fleet_metrics" "$ARTIFACTS/fleet-metrics-b.json" || {
+    echo "ci: fleet metrics diverged across identical seeds" >&2
     return 1
   }
 }

@@ -54,7 +54,7 @@ let () =
         ()
     with
     | Ok s -> s
-    | Error e -> failwith ("attach failed: " ^ e)
+    | Error e -> failwith ("attach failed: " ^ Vmsh.Vmsh_error.to_string e)
   in
   let anal = Vmsh.Attach.analysis session in
   Printf.printf

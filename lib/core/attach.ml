@@ -4,10 +4,13 @@ module Fd = Hostos.Fd
 module Syscall = Hostos.Syscall
 module Layout = X86.Layout
 module KV = Linux_guest.Kernel_version
+module E = Vmsh_error
 
 let src = Logs.Src.create "vmsh.attach" ~doc:"VMSH attach orchestration"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+type net_attachment = { fabric : Net.Fabric.t; port : Net.Link.port }
 
 type config = {
   transport : Devices.transport;
@@ -19,6 +22,90 @@ type config = {
   pci : bool;
   net : (Net.Fabric.t * Net.Link.port) option;
 }
+[@@deprecated "use Attach.Config (builder + validate) instead"]
+
+module Config = struct
+  type t = {
+    transport : Devices.transport;
+    copy_mode : Hyp_mem.copy_mode;
+    container_pid : int option;
+    command : string option;
+    drop_privileges : bool;
+    seccomp_heuristic : bool;
+    pci : bool;
+    net : net_attachment option;
+    faults : Faults.t option;
+    symbol_cache : Symbol_analysis.Cache.t option;
+  }
+
+  let make () =
+    {
+      transport = Devices.Ioregionfd;
+      copy_mode = Hyp_mem.Bulk;
+      container_pid = None;
+      command = None;
+      drop_privileges = true;
+      seccomp_heuristic = false;
+      pci = false;
+      net = None;
+      faults = None;
+      symbol_cache = None;
+    }
+
+  let with_transport transport t = { t with transport }
+  let with_copy_mode copy_mode t = { t with copy_mode }
+  let with_container_pid pid t = { t with container_pid = Some pid }
+  let with_command cmd t = { t with command = Some cmd }
+  let with_drop_privileges drop_privileges t = { t with drop_privileges }
+  let with_seccomp_heuristic seccomp_heuristic t = { t with seccomp_heuristic }
+  let with_pci pci t = { t with pci }
+  let with_net net t = { t with net = Some net }
+  let with_faults plan t = { t with faults = Some plan }
+  let with_symbol_cache cache t = { t with symbol_cache = Some cache }
+  let transport t = t.transport
+  let copy_mode t = t.copy_mode
+  let container_pid t = t.container_pid
+  let command t = t.command
+  let drop_privileges t = t.drop_privileges
+  let seccomp_heuristic t = t.seccomp_heuristic
+  let pci t = t.pci
+  let net t = t.net
+  let faults t = t.faults
+  let symbol_cache t = t.symbol_cache
+
+  let validate t =
+    if t.pci && t.transport = Devices.Wrap_syscall then
+      Error
+        "the PCI transport needs ioregionfd doorbells (wrap_syscall \
+         intercepts KVM_RUN exits that MSI-X-only irqchips route \
+         differently)"
+    else if
+      match t.net with
+      | Some { fabric; port } -> Net.Link.fabric_of_port port != fabric
+      | None -> false
+    then Error "net attachment: the port is not cabled on the supplied fabric"
+    else if (match t.container_pid with Some p -> p <= 0 | None -> false) then
+      Error "container_pid must be positive"
+    else if t.command = Some "" then Error "command must be non-empty"
+    else Ok t
+
+  let of_legacy (c : config) =
+    (* transition shim for the bare-record API; one release only *)
+    {
+      transport = c.transport;
+      copy_mode = c.copy_mode;
+      container_pid = c.container_pid;
+      command = c.command;
+      drop_privileges = c.drop_privileges;
+      seccomp_heuristic = c.seccomp_heuristic;
+      pci = c.pci;
+      net = Option.map (fun (fabric, port) -> { fabric; port }) c.net;
+      faults = None;
+      symbol_cache = None;
+    }
+  [@@alert "-deprecated"]
+end
+[@@alert "-deprecated"]
 
 let default_config =
   {
@@ -31,9 +118,10 @@ let default_config =
     pci = false;
     net = None;
   }
+[@@alert "-deprecated"] [@@deprecated "use Attach.Config.make instead"]
 
 type session = {
-  cfg : config;
+  cfg : Config.t;
   vmsh : Proc.t;
   tracee : Tracee.t;
   mem : Hyp_mem.t;
@@ -45,7 +133,8 @@ type session = {
 
 let vmsh_process s = s.vmsh
 let devices s = s.devs
-let transport s = s.cfg.transport
+let transport s = Config.transport s.cfg
+let config s = s.cfg
 let analysis s = s.anal
 let status s = Loader.poll_status ~mem:s.mem s.loaded
 
@@ -60,10 +149,9 @@ let required_symbols =
     "schedule";
   ]
 
-let console_gsi = 24
-let blk_gsi = 25
-let net_gsi = 26
-let ninep_gsi = 27
+(* The devices every attach stands up, in registration order; the
+   registry derives windows and GSIs from this order. *)
+let device_plan = [ Devices.Console; Devices.Blk; Devices.Net; Devices.Ninep ]
 
 (* Install an MSI route for [gsi] (the PCI transport's interrupt path:
    MSI-X-only irqchips accept irqfds only for MSI-routed GSIs). *)
@@ -77,7 +165,7 @@ let install_msi_route tracee ~gsi =
       ~code:Kvm.Api.set_gsi_routing ~arg ()
   with
   | Ok _ -> Ok ()
-  | Error e -> Error ("KVM_SET_GSI_ROUTING: " ^ e)
+  | Error e -> Error (E.Context ("KVM_SET_GSI_ROUTING", e))
 
 (* Create an eventfd inside the hypervisor, register it as an irqfd for
    [gsi], and return the tracee-side descriptor number. *)
@@ -94,11 +182,19 @@ let make_remote_irqfd tracee ~gsi =
     | Ok r -> Ok r
     | Error _ ->
         Error
-          "KVM_IRQFD rejected: this hypervisor's VM has no GSI-capable \
-           irqchip (PCIe MSI-X only) — MMIO transport unsupported (retry \
-           with the VirtIO-over-PCI transport)"
+          (E.Unsupported
+             "KVM_IRQFD rejected: this hypervisor's VM has no GSI-capable \
+              irqchip (PCIe MSI-X only) — MMIO transport unsupported (retry \
+              with the VirtIO-over-PCI transport)")
   in
   Ok ev
+
+let rec result_map f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = result_map f rest in
+      Ok (y :: ys)
 
 (* Pull tracee descriptors into the VMSH process over an injected
    UNIX-socket connection with SCM_RIGHTS. *)
@@ -106,13 +202,13 @@ let retrieve_fds host vmsh tracee remote_fds ~path =
   let* listener =
     match Host.unix_bind host vmsh ~path with
     | Ok fd -> Ok fd
-    | Error e -> Error ("bind " ^ path ^ ": " ^ Hostos.Errno.show e)
+    | Error e -> Error (E.substrate ("bind " ^ path) e)
   in
   let* remote_sock = Tracee.connect_back tracee ~path in
   let* local_sock =
     match Host.unix_accept host vmsh ~listener with
     | Ok fd -> Ok fd
-    | Error e -> Error ("accept: " ^ Hostos.Errno.show e)
+    | Error e -> Error (E.substrate "accept" e)
   in
   let* () = Tracee.send_fds_back tracee ~sock_fd:remote_sock remote_fds in
   let rec recv n acc =
@@ -120,7 +216,7 @@ let retrieve_fds host vmsh tracee remote_fds ~path =
     else
       match Host.recv_fd host vmsh ~sock:local_sock with
       | Ok fd -> recv (n - 1) (fd :: acc)
-      | Error e -> Error ("recv_fd: " ^ Hostos.Errno.show e)
+      | Error e -> Error (E.substrate "recv_fd" e)
   in
   let* fds = recv (List.length remote_fds) [] in
   Ok (fds, local_sock, remote_sock)
@@ -133,13 +229,13 @@ let setup_ioregionfd host vmsh tracee devs ~hypervisor_pid =
   let* listener =
     match Host.unix_bind host vmsh ~path with
     | Ok fd -> Ok fd
-    | Error e -> Error ("bind " ^ path ^ ": " ^ Hostos.Errno.show e)
+    | Error e -> Error (E.substrate ("bind " ^ path) e)
   in
   let* remote_sock = Tracee.connect_back tracee ~path in
   let* local_sock =
     match Host.unix_accept host vmsh ~listener with
     | Ok fd -> Ok fd
-    | Error e -> Error ("accept: " ^ Hostos.Errno.show e)
+    | Error e -> Error (E.substrate "accept" e)
   in
   let region_base, region_len = Devices.region devs in
   let arg = Bytes.make Kvm.Api.ioregion_req_size '\000' in
@@ -153,7 +249,7 @@ let setup_ioregionfd host vmsh tracee devs ~hypervisor_pid =
         ~code:Kvm.Api.set_ioregion ~arg ()
     with
     | Ok r -> Ok r
-    | Error e -> Error ("KVM_SET_IOREGION: " ^ e)
+    | Error e -> Error (E.Context ("KVM_SET_IOREGION", e))
   in
   (* Scheduling seam of the simulation: register the service callback
      that stands for "the VMSH process wakes up when its socket becomes
@@ -164,34 +260,20 @@ let setup_ioregionfd host vmsh tracee devs ~hypervisor_pid =
     | Ok fd -> (
         match Kvm.Vm.vm_of_fd fd with
         | Some vm -> Ok vm
-        | None -> Error "vm fd does not denote a VM")
-    | Error e -> Error ("vm fd lookup: " ^ Hostos.Errno.show e)
+        | None -> Error (E.Msg "vm fd does not denote a VM"))
+    | Error e -> Error (E.substrate "vm fd lookup" e)
   in
   Kvm.Vm.add_ioregion_pump vm (Devices.ioregion_pump devs ~sock:local_sock);
   Ok ()
 
 let wait_ready ~mem ~loaded ~pump =
   let rec go tries =
+    (* fleet interleave point: each status poll is one scheduler slice *)
+    Sched.yield ();
     let s = Loader.poll_status ~mem loaded in
     if s = Klib_builder.status_done then Ok ()
-    else if s >= 0x80 then
-      Error
-        (Printf.sprintf "guest library failed with status 0x%x%s" s
-           (match s with
-           | s when s = Klib_builder.status_err_console ->
-               " (console device registration)"
-           | s when s = Klib_builder.status_err_blk ->
-               " (block device registration)"
-           | s when s = Klib_builder.status_err_net ->
-               " (net device registration)"
-           | s when s = Klib_builder.status_err_ninep ->
-               " (9p device registration)"
-           | s when s = Klib_builder.status_err_open -> " (opening exec file)"
-           | s when s = Klib_builder.status_err_write -> " (writing program)"
-           | s when s = Klib_builder.status_err_spawn -> " (spawning process)"
-           | _ -> ""))
-    else if tries = 0 then
-      Error (Printf.sprintf "guest library did not complete (status %d)" s)
+    else if s >= 0x80 then Error (E.Guest_error s)
+    else if tries = 0 then Error (E.Timeout s)
     else begin
       pump ();
       go (tries - 1)
@@ -199,141 +281,164 @@ let wait_ready ~mem ~loaded ~pump =
   in
   go 16
 
-let attach host ~hypervisor_pid ~fs_image ?(config = default_config) ~pump () =
+let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
+  let cfg = match config with Some c -> c | None -> Config.make () in
   let obs = host.Host.observe in
   Observe.span obs ~name:"attach"
     ~attrs:
       [
-        ( "transport",
-          Observe.S
-            (match config.transport with
-            | Devices.Ioregionfd -> "ioregionfd"
-            | Devices.Wrap_syscall -> "wrap_syscall") );
+        ("transport", Observe.S (Devices.show_transport (Config.transport cfg)));
         ("hypervisor_pid", Observe.I hypervisor_pid);
       ]
   @@ fun () ->
   try
-  (* VMSH starts with the privileges it needs for discovery and drops
-     them afterwards (paper §4.5). *)
-  let vmsh =
-    Host.spawn host ~name:"vmsh" ~uid:1000
-      ~caps:[ Proc.CAP_BPF; Proc.CAP_SYS_PTRACE ] ()
-  in
+    let* cfg =
+      match Config.validate cfg with
+      | Ok c -> Ok c
+      | Error m -> Error (E.Invalid_config m)
+    in
+    (match Config.faults cfg with
+    | Some plan -> Host.arm_faults host plan
+    | None -> ());
+    (* VMSH starts with the privileges it needs for discovery and drops
+       them afterwards (paper §4.5). *)
+    let vmsh =
+      Host.spawn host ~name:"vmsh" ~uid:1000
+        ~caps:[ Proc.CAP_BPF; Proc.CAP_SYS_PTRACE ] ()
+    in
     let* tracee =
-    Tracee.attach ~seccomp_heuristic:config.seccomp_heuristic host ~vmsh
-      ~pid:hypervisor_pid
-  in
-  let* slots =
-    Observe.span obs ~name:"memslot-dump" (fun () ->
-        Memslot_discovery.discover tracee)
-  in
-  if config.drop_privileges then begin
-    Proc.drop_cap vmsh Proc.CAP_BPF;
-    Proc.drop_cap vmsh Proc.CAP_SYS_ADMIN
-  end;
-  let mem =
-    Hyp_mem.create host ~vmsh ~hypervisor_pid ~slots ~mode:config.copy_mode ()
-  in
-  let* regs =
-    Observe.span obs ~name:"register-read" (fun () ->
-        match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
-        | Ok r -> Ok r
-        | Error e -> Error ("KVM_GET_REGS injection: " ^ e))
-  in
-  let* anal =
-    Observe.span obs ~name:"symbol-analysis" (fun () ->
-        Symbol_analysis.analyze mem ~cr3:regs.X86.Regs.cr3)
-  in
-  let* () =
-    let missing =
-      List.filter
-        (fun s -> Symbol_analysis.resolve anal s = None)
-        required_symbols
+      Tracee.attach
+        ~seccomp_heuristic:(Config.seccomp_heuristic cfg)
+        host ~vmsh ~pid:hypervisor_pid
     in
-    if missing = [] then Ok ()
-    else
-      Error
-        ("guest kernel does not export required symbols: "
-        ^ String.concat ", " missing)
-  in
-  let* devs =
-    Observe.span obs ~name:"device-setup" @@ fun () ->
-    (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
-       first, so the irqfds work on MSI-X-only irqchips *)
-    let* () =
-      if config.pci then
-        let* () = install_msi_route tracee ~gsi:console_gsi in
-        let* () = install_msi_route tracee ~gsi:blk_gsi in
-        let* () = install_msi_route tracee ~gsi:net_gsi in
-        install_msi_route tracee ~gsi:ninep_gsi
-      else Ok ()
+    Sched.yield ();
+    let* slots =
+      Observe.span obs ~name:"memslot-dump" (fun () ->
+          Memslot_discovery.discover tracee)
     in
-    let* console_ev = make_remote_irqfd tracee ~gsi:console_gsi in
-    let* blk_ev = make_remote_irqfd tracee ~gsi:blk_gsi in
-    let* net_ev = make_remote_irqfd tracee ~gsi:net_gsi in
-    let* ninep_ev = make_remote_irqfd tracee ~gsi:ninep_gsi in
-    let* fds, _ctl_local, _ctl_remote =
-      retrieve_fds host vmsh tracee [ console_ev; blk_ev; net_ev; ninep_ev ]
-        ~path:
-          (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
+    if Config.drop_privileges cfg then begin
+      Proc.drop_cap vmsh Proc.CAP_BPF;
+      Proc.drop_cap vmsh Proc.CAP_SYS_ADMIN
+    end;
+    let mem =
+      Hyp_mem.create host ~vmsh ~hypervisor_pid ~slots
+        ~mode:(Config.copy_mode cfg) ()
     in
-    let* console_irqfd, blk_irqfd, net_irqfd, ninep_irqfd =
-      match fds with
-      | [ c; b; n; p ] -> Ok (c, b, n, p)
-      | _ -> Error "fd passing returned the wrong number of descriptors"
+    let* regs =
+      Observe.span obs ~name:"register-read" (fun () ->
+          match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
+          | Ok r -> Ok r
+          | Error e -> Error (E.Context ("KVM_GET_REGS injection", e)))
     in
-    let devs =
-      Devices.create ~mem ~tracee ~image:fs_image ~blk_irqfd ~console_irqfd
-        ~net_irqfd ~ninep_irqfd ~pci:config.pci ?net:config.net ()
+    Sched.yield ();
+    let* anal =
+      Observe.span obs ~name:"symbol-analysis" (fun () ->
+          Result.map_error
+            (fun m -> E.Msg m)
+            (Symbol_analysis.analyze ?cache:(Config.symbol_cache cfg) mem
+               ~cr3:regs.X86.Regs.cr3))
     in
     let* () =
-      match config.transport with
-      | Devices.Wrap_syscall ->
-          Devices.install_wrap_syscall devs;
-          Ok ()
-      | Devices.Ioregionfd ->
-          setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
+      let missing =
+        List.filter
+          (fun s -> Symbol_analysis.resolve anal s = None)
+          required_symbols
+      in
+      if missing = [] then Ok ()
+      else
+        Error
+          (E.Msg
+             ("guest kernel does not export required symbols: "
+             ^ String.concat ", " missing))
     in
-    Ok devs
-  in
-  let* loaded =
-    Observe.span obs ~name:"klib-sideload" @@ fun () ->
-    (* guest program + kernel library *)
-    let program =
-      Overlay.register
-        {
-          Overlay.container_pid = config.container_pid;
-          command = config.command;
-        }
+    Sched.yield ();
+    let* devs =
+      Observe.span obs ~name:"device-setup" @@ fun () ->
+      (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
+         first, so the irqfds work on MSI-X-only irqchips *)
+      let gsis = Devices.gsi_plan device_plan in
+      let* () =
+        if Config.pci cfg then
+          let rec route = function
+            | [] -> Ok ()
+            | (_, gsi) :: rest ->
+                let* () = install_msi_route tracee ~gsi in
+                route rest
+          in
+          route gsis
+        else Ok ()
+      in
+      let* remote_evs =
+        result_map (fun (_, gsi) -> make_remote_irqfd tracee ~gsi) gsis
+      in
+      let* fds, _ctl_local, _ctl_remote =
+        retrieve_fds host vmsh tracee remote_evs
+          ~path:
+            (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
+      in
+      let* () =
+        if List.length fds = List.length device_plan then Ok ()
+        else Error (E.Msg "fd passing returned the wrong number of descriptors")
+      in
+      let devs =
+        Devices.create ~mem ~tracee ~image:fs_image ~pci:(Config.pci cfg)
+          ?net:
+            (Option.map
+               (fun { fabric; port } -> (fabric, port))
+               (Config.net cfg))
+          ()
+      in
+      List.iter2
+        (fun kind irqfd -> ignore (Devices.register devs kind ~irqfd))
+        device_plan fds;
+      let* () =
+        match Config.transport cfg with
+        | Devices.Wrap_syscall ->
+            Devices.install_wrap_syscall devs;
+            Ok ()
+        | Devices.Ioregionfd ->
+            setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
+      in
+      Ok devs
     in
-    let image, layout =
-      (* under PCI the klib is pointed at the config windows (the first
-         four strides of the region); under MMIO at the register
-         windows themselves *)
-      let cfg_window i = fst (Devices.region devs) + (i * Layout.virtio_mmio_stride) in
-      Klib_builder.build ~version:anal.Symbol_analysis.version
-        ~guest_program:program ~pci:config.pci
-        ~console_base:
-          (if config.pci then cfg_window 0 else Devices.console_base devs)
-        ~blk_base:(if config.pci then cfg_window 1 else Devices.blk_base devs)
-        ~net_base:(if config.pci then cfg_window 2 else Devices.net_base devs)
-        ~ninep_base:
-          (if config.pci then cfg_window 3 else Devices.ninep_base devs)
-        ~console_gsi ~blk_gsi ~net_gsi ~ninep_gsi ()
+    Sched.yield ();
+    let* loaded =
+      Observe.span obs ~name:"klib-sideload" @@ fun () ->
+      (* guest program + kernel library *)
+      let program =
+        Overlay.register
+          {
+            Overlay.container_pid = Config.container_pid cfg;
+            command = Config.command cfg;
+          }
+      in
+      let image, layout =
+        (* the klib drives each device through its PCI config window
+           when the PCI transport is active, through the register
+           window itself otherwise — handle_window picks *)
+        let win kind = Devices.handle_window (Devices.handle_exn devs kind) in
+        let gsi kind = Devices.handle_gsi (Devices.handle_exn devs kind) in
+        Klib_builder.build ~version:anal.Symbol_analysis.version
+          ~guest_program:program ~pci:(Config.pci cfg)
+          ~console_base:(win Devices.Console) ~blk_base:(win Devices.Blk)
+          ~net_base:(win Devices.Net) ~ninep_base:(win Devices.Ninep)
+          ~console_gsi:(gsi Devices.Console) ~blk_gsi:(gsi Devices.Blk)
+          ~net_gsi:(gsi Devices.Net) ~ninep_gsi:(gsi Devices.Ninep) ()
+      in
+      let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
+      let* () = Loader.redirect ~tracee loaded in
+      pump ();
+      let* () = wait_ready ~mem ~loaded ~pump in
+      Ok loaded
     in
-    let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
-    let* () = Loader.redirect ~tracee loaded in
-    pump ();
-    let* () = wait_ready ~mem ~loaded ~pump in
-    Ok loaded
-  in
-  Ok { cfg = config; vmsh; tracee; mem; devs; anal; loaded; pump }
+    Ok { cfg; vmsh; tracee; mem; devs; anal; loaded; pump }
   with
   (* A substrate failure that exhausted its bounded retries (or guest
      state the sideloader cannot parse) aborts the attach cleanly: the
      caller gets a diagnosable error, never an escaped exception. *)
-  | Failure msg -> Error ("attach aborted: " ^ msg)
-  | Kvm.Vm.Guest_error msg -> Error ("attach aborted: guest error: " ^ msg)
+  | E.Error e -> Error (E.Attach_aborted e)
+  | Failure msg -> Error (E.Attach_aborted (E.Msg msg))
+  | Kvm.Vm.Guest_error msg -> Error (E.Attach_aborted (E.Guest_fault msg))
 
 let console_send s line =
   Devices.feed_console_input s.devs (Bytes.of_string (line ^ "\n"));
@@ -350,7 +455,7 @@ let console_roundtrip s line =
   console_recv s
 
 let detach s =
-  (match s.cfg.transport with
+  (match Config.transport s.cfg with
   | Devices.Wrap_syscall -> Devices.uninstall_wrap_syscall s.devs
   | Devices.Ioregionfd -> ());
   Tracee.detach s.tracee

@@ -21,41 +21,122 @@
 
     The caller owns the pump because in this simulation the hypervisor's
     vCPU loop must be driven explicitly; with a real VMM the guest
-    simply keeps running. *)
+    simply keeps running.
+
+    Attach sessions are configured through the {!Config} builder and
+    report failures as a structured {!Vmsh_error.t}. Between its major
+    phases the sequence offers cooperative yield points ({!Sched.yield}),
+    so a fleet scheduler can interleave many concurrent attaches over
+    virtual time; outside a scheduler the yields are no-ops. *)
+
+type net_attachment = { fabric : Net.Fabric.t; port : Net.Link.port }
+(** Cable the side-loaded NIC to one [port] of a deterministic
+    {!Net} fabric; the port must belong to [fabric]. *)
 
 type config = {
   transport : Devices.transport;
   copy_mode : Hyp_mem.copy_mode;
-  container_pid : int option;  (** container-aware attach target *)
-  command : string option;  (** one-shot command instead of a shell *)
-  drop_privileges : bool;  (** drop CAP_BPF & co. after discovery *)
+  container_pid : int option;
+  command : string option;
+  drop_privileges : bool;
   seccomp_heuristic : bool;
-      (** probe the hypervisor's threads for one whose seccomp filter
-          admits each injected syscall (lets VMSH attach to stock
-          Firecracker without disabling its filters — the heuristic the
-          paper leaves as future work, implemented here) *)
   pci : bool;
-      (** use the VirtIO-over-PCI transport: PCI config spaces in front
-          of the register windows and MSI-routed interrupts — attaches
-          to Cloud Hypervisor's MSI-X-only irqchip (the paper's other
-          future-work item, implemented here) *)
   net : (Net.Fabric.t * Net.Link.port) option;
-      (** cable the side-loaded NIC to a port of a deterministic
-          {!Net} fabric; [None] leaves the NIC unplugged *)
 }
+[@@deprecated "use Attach.Config (builder + validate) instead"]
+(** The bare configuration record of the previous release. Construct
+    configurations with {!Config.make} and its [with_*] setters; this
+    record (and {!default_config}) remain for one release as a shim —
+    convert with {!Config.of_legacy}. *)
+
+(** Validated attach configuration: a builder ({!make} plus [with_*]
+    setters, each returning an updated value) and an explicit
+    {!validate} step. [attach] validates internally, so callers only
+    call {!validate} when they want the error before spending an
+    attach attempt. *)
+module Config : sig
+  type t
+
+  val make : unit -> t
+  (** ioregionfd transport, bulk copies, interactive shell, privileges
+      dropped after discovery — the defaults of the old
+      [default_config]. *)
+
+  val with_transport : Devices.transport -> t -> t
+  val with_copy_mode : Hyp_mem.copy_mode -> t -> t
+
+  val with_container_pid : int -> t -> t
+  (** Container-aware attach target. *)
+
+  val with_command : string -> t -> t
+  (** One-shot command instead of a shell. *)
+
+  val with_drop_privileges : bool -> t -> t
+  (** Drop CAP_BPF & co. after discovery (default [true]). *)
+
+  val with_seccomp_heuristic : bool -> t -> t
+  (** Probe the hypervisor's threads for one whose seccomp filter
+      admits each injected syscall (lets VMSH attach to stock
+      Firecracker without disabling its filters — the heuristic the
+      paper leaves as future work, implemented here). *)
+
+  val with_pci : bool -> t -> t
+  (** Use the VirtIO-over-PCI transport: PCI config spaces in front of
+      the register windows and MSI-routed interrupts — attaches to
+      Cloud Hypervisor's MSI-X-only irqchip (the paper's other
+      future-work item, implemented here). *)
+
+  val with_net : net_attachment -> t -> t
+  (** Without a net attachment the NIC still probes but transmits into
+      the void. *)
+
+  val with_faults : Faults.t -> t -> t
+  (** Arm this fault plan on the host at attach time (fleet sessions
+      carry per-session plans this way). *)
+
+  val with_symbol_cache : Symbol_analysis.Cache.t -> t -> t
+  (** Share a build-id-keyed symbol cache across attaches; see
+      {!Symbol_analysis.Cache}. *)
+
+  val validate : t -> (t, string) result
+  (** Reject combinations no attach can serve: PCI over the
+      wrap_syscall transport, a net port cabled on a different fabric
+      than the one supplied, a non-positive container pid, an empty
+      command. *)
+
+  val transport : t -> Devices.transport
+  val copy_mode : t -> Hyp_mem.copy_mode
+  val container_pid : t -> int option
+  val command : t -> string option
+  val drop_privileges : t -> bool
+  val seccomp_heuristic : t -> bool
+  val pci : t -> bool
+  val net : t -> net_attachment option
+  val faults : t -> Faults.t option
+  val symbol_cache : t -> Symbol_analysis.Cache.t option
+
+  val of_legacy : config -> t
+    [@@alert "-deprecated"]
+  (** Transition shim for the deprecated record; one release only. *)
+end
 
 val default_config : config
+  [@@deprecated "use Attach.Config.make instead"] [@@alert "-deprecated"]
 (** ioregionfd transport, bulk copies, interactive shell. *)
 
 type session
 
 val attach :
   Hostos.Host.t -> hypervisor_pid:int -> fs_image:Blockdev.Backend.t ->
-  ?config:config -> pump:(unit -> unit) -> unit -> (session, string) result
+  ?config:Config.t -> pump:(unit -> unit) -> unit ->
+  (session, Vmsh_error.t) result
+(** [Vmsh_error.to_string] renders the same messages the CLI printed
+    when errors were bare strings. *)
 
 val vmsh_process : session -> Hostos.Proc.t
 val devices : session -> Devices.t
 val transport : session -> Devices.transport
+val config : session -> Config.t
 val analysis : session -> Symbol_analysis.analysis
 val status : session -> int
 (** Current status word of the side-loaded library. *)

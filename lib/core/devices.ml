@@ -16,35 +16,41 @@ let show_transport = function
   | Wrap_syscall -> "wrap_syscall"
   | Ioregionfd -> "ioregionfd"
 
+type kind = Console | Blk | Net | Ninep
+
+let kind_name = function
+  | Console -> "console"
+  | Blk -> "blk"
+  | Net -> "net"
+  | Ninep -> "9p"
+
+(* One registered device: its register window, interrupt route and
+   queue state. Window base, config window and GSI all derive from the
+   registration index — nothing is hard-coded per kind any more. *)
+type handle = {
+  kind : kind;
+  regs : Mmio.Device.t;
+  base : int;  (** register window (BAR0 under PCI) *)
+  cfg_base : int option;  (** PCI config window *)
+  cfg_header : bytes option;
+  gsi : int;
+  irqfd : Fd.t;
+  mutable q0 : Queue.Device.t option;
+  mutable q1 : Queue.Device.t option;
+}
+
 type t = {
   mem : Hyp_mem.t;
   tracee : Tracee.t;
   image : Blockdev.Backend.t;
-  blk_regs : Mmio.Device.t;
-  console_regs : Mmio.Device.t;
-  net_regs : Mmio.Device.t;
-  ninep_regs : Mmio.Device.t;
-  mutable blk_queue : Queue.Device.t option;
-  mutable console_rx : Queue.Device.t option;
-  mutable console_tx : Queue.Device.t option;
-  mutable net_rx : Queue.Device.t option;
-  mutable net_tx : Queue.Device.t option;
-  mutable ninep_queue : Queue.Device.t option;
-  blk_irqfd : Fd.t;
-  console_irqfd : Fd.t;
-  net_irqfd : Fd.t;
-  ninep_irqfd : Fd.t;
-  cons_base : int;
-  b_base : int;
-  n_base : int;
-  np_base : int;
+  pci : bool;
+  mutable handles : handle list;  (** registration order *)
   region_base : int;
   region_len : int;
-  pci_configs : (int * bytes) list;  (** (window base, header bytes) *)
   console_in : Chan.t;
   console_out : Chan.t;
   net : (Net.Fabric.t * Net.Link.port) option;
-      (** the fabric port this NIC is cabled to, if any *)
+      (** the fabric port the NIC is cabled to, if any *)
   net_pending : bytes Stdlib.Queue.t;
       (** frames that arrived before the guest posted receive buffers *)
   ninep_fs : Blockdev.Simplefs.t option;
@@ -55,15 +61,39 @@ type t = {
   clock : Clock.t;
 }
 
-let console_base t = t.cons_base
-let blk_base t = t.b_base
-let net_base t = t.n_base
-let ninep_base t = t.np_base
+let gsi_base = 24
+let max_devices = 4
+let gsi_plan kinds = List.mapi (fun i k -> (k, gsi_base + i)) kinds
+let handles t = t.handles
+let handle_of t kind = List.find_opt (fun h -> h.kind = kind) t.handles
+
+let handle_exn t kind =
+  match handle_of t kind with
+  | Some h -> h
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Devices.handle_exn: no %s device registered"
+           (kind_name kind))
+
+let handle_kind h = h.kind
+let handle_base h = h.base
+let handle_cfg_base h = h.cfg_base
+let handle_gsi h = h.gsi
+
+(* The window the kernel library drives: the PCI config space when the
+   device sits behind the PCI transport, the raw register window
+   otherwise. *)
+let handle_window h = match h.cfg_base with Some c -> c | None -> h.base
+
+let console_base t = (handle_exn t Console).base
+let blk_base t = (handle_exn t Blk).base
+let net_base t = (handle_exn t Net).base
+let ninep_base t = (handle_exn t Ninep).base
 let region t = (t.region_base, t.region_len)
-let console_gsi _t = 24
-let blk_gsi _t = 25
-let net_gsi _t = 26
-let ninep_gsi _t = 27
+let console_gsi t = (handle_exn t Console).gsi
+let blk_gsi t = (handle_exn t Blk).gsi
+let net_gsi t = (handle_exn t Net).gsi
+let ninep_gsi t = (handle_exn t Ninep).gsi
 let nic_mac t = t.mac
 let stats_requests t = t.requests
 let stats_net_frames t = t.net_frames
@@ -75,21 +105,26 @@ let remote_gmem t =
     write = (fun ~addr b -> Hyp_mem.write_phys t.mem ~gpa:addr b);
   }
 
-let ensure_queue t regs slot getter setter =
+let ensure_queue t h slot =
+  let getter, setter =
+    if slot = 0 then ((fun () -> h.q0), fun q -> h.q0 <- q)
+    else ((fun () -> h.q1), fun q -> h.q1 <- q)
+  in
   match getter () with
   | Some q -> Some q
   | None ->
-      let qs = Mmio.Device.queue regs slot in
+      let qs = Mmio.Device.queue h.regs slot in
       if not qs.Mmio.Device.ready then None
       else begin
-        let h = Tracee.host t.tracee in
+        let host = Tracee.host t.tracee in
         let q =
           Queue.Device.create
-            ~torn:(fun () -> Faults.fire h.Hostos.Host.faults Faults.Desc_torn)
+            ~torn:(fun () ->
+              Faults.fire host.Hostos.Host.faults Faults.Desc_torn)
             ~on_requeue:(fun () ->
               Observe.Metrics.incr
                 (Observe.Metrics.counter
-                   (Observe.metrics h.Hostos.Host.observe)
+                   (Observe.metrics host.Hostos.Host.observe)
                    "recovery.vq_requeue"))
             (remote_gmem t) ~qsz:qs.Mmio.Device.num ~desc:qs.Mmio.Device.desc
             ~avail:qs.Mmio.Device.avail ~used:qs.Mmio.Device.used
@@ -105,12 +140,18 @@ let signal t fd =
   Bytes.set_int64_le b 0 1L;
   ignore (fd.Fd.ops.write b)
 
+let host_observe t = (Tracee.host t.tracee).Hostos.Host.observe
+
+let incr_counter t name ~by =
+  Observe.Metrics.incr ~by
+    (Observe.Metrics.counter (Observe.metrics (host_observe t)) name)
+
 (* The image is served with synchronous, unpipelined file IO (the
    prototype's device is single-threaded), so each request pays the full
    device latency again instead of overlapping with its neighbours —
    the main reason vmsh-blk runs at about half of qemu-blk (§6.3C). *)
 let blk_backend t =
-  let obs = (Tracee.host t.tracee).Hostos.Host.observe in
+  let obs = host_observe t in
   let b =
     Virtio.Blk.Device.backend_of_blockdev
       (Blockdev.Dev.observe obs ~name:"vmsh-blk.backend"
@@ -132,42 +173,25 @@ let blk_backend t =
         b.Virtio.Blk.Device.write ~sector data);
   }
 
-let process_blk t =
-  match
-    ensure_queue t t.blk_regs 0
-      (fun () -> t.blk_queue)
-      (fun q -> t.blk_queue <- q)
-  with
+let process_blk t h =
+  match ensure_queue t h 0 with
   | None -> ()
   | Some q ->
       let n = Virtio.Blk.Device.process q (remote_gmem t) (blk_backend t) in
       if n > 0 then begin
         t.requests <- t.requests + n;
-        Observe.Metrics.incr ~by:n
-          (Observe.Metrics.counter
-             (Observe.metrics (Tracee.host t.tracee).Hostos.Host.observe)
-             "vmsh-blk.requests");
-        Mmio.Device.assert_irq t.blk_regs;
-        signal t t.blk_irqfd
+        incr_counter t "vmsh-blk.requests" ~by:n;
+        Mmio.Device.assert_irq h.regs;
+        signal t h.irqfd
       end
-
-let host_observe t = (Tracee.host t.tracee).Hostos.Host.observe
-
-let incr_counter t name ~by =
-  Observe.Metrics.incr ~by
-    (Observe.Metrics.counter (Observe.metrics (host_observe t)) name)
 
 (* --- the network device --- *)
 
 (* Deliver frames parked in [net_pending] into posted receive chains.
    Stops at the first frame the guest has no buffer for (frame order is
    preserved; nothing is dropped on the host side). *)
-let try_feed_net t =
-  match
-    ensure_queue t t.net_regs 0
-      (fun () -> t.net_rx)
-      (fun q -> t.net_rx <- q)
-  with
+let try_feed_net_h t h =
+  match ensure_queue t h 0 with
   | None -> ()
   | Some rxq ->
       let delivered = ref 0 in
@@ -186,16 +210,15 @@ let try_feed_net t =
       go ();
       if !delivered > 0 then begin
         incr_counter t "vmsh-net.rx_frames" ~by:!delivered;
-        Mmio.Device.assert_irq t.net_regs;
-        signal t t.net_irqfd
+        Mmio.Device.assert_irq h.regs;
+        signal t h.irqfd
       end
 
-let process_net_tx t =
-  match
-    ensure_queue t t.net_regs 1
-      (fun () -> t.net_tx)
-      (fun q -> t.net_tx <- q)
-  with
+let try_feed_net t =
+  match handle_of t Net with Some h -> try_feed_net_h t h | None -> ()
+
+let process_net_tx t h =
+  match ensure_queue t h 1 with
   | None -> ()
   | Some txq ->
       let n =
@@ -209,15 +232,15 @@ let process_net_tx t =
       if n > 0 then begin
         t.net_frames <- t.net_frames + n;
         incr_counter t "vmsh-net.tx_frames" ~by:n;
-        Mmio.Device.assert_irq t.net_regs;
-        signal t t.net_irqfd;
+        Mmio.Device.assert_irq h.regs;
+        signal t h.irqfd;
         (* The fabric runs inside the kick: frames propagate, peers
            respond, and responses land back in [net_pending] before the
            guest resumes — keeping the whole exchange deterministic. *)
         match t.net with
         | Some (fab, _) ->
             Net.Fabric.pump fab;
-            try_feed_net t
+            try_feed_net_h t h
         | None -> ()
       end
 
@@ -287,15 +310,11 @@ let ninep_backend t fs =
             | Error e -> err e));
   }
 
-let process_ninep t =
+let process_ninep t h =
   match t.ninep_fs with
   | None -> ()
   | Some fs -> (
-      match
-        ensure_queue t t.ninep_regs 0
-          (fun () -> t.ninep_queue)
-          (fun q -> t.ninep_queue <- q)
-      with
+      match ensure_queue t h 0 with
       | None -> ()
       | Some q ->
           let n =
@@ -303,16 +322,12 @@ let process_ninep t =
           in
           if n > 0 then begin
             incr_counter t "vmsh-9p.requests" ~by:n;
-            Mmio.Device.assert_irq t.ninep_regs;
-            signal t t.ninep_irqfd
+            Mmio.Device.assert_irq h.regs;
+            signal t h.irqfd
           end)
 
-let try_feed_console t =
-  match
-    ensure_queue t t.console_regs 0
-      (fun () -> t.console_rx)
-      (fun q -> t.console_rx <- q)
-  with
+let try_feed_console t h =
+  match ensure_queue t h 0 with
   | None -> ()
   | Some rxq -> (
       match Chan.read t.console_in 4096 with
@@ -326,17 +341,13 @@ let try_feed_console t =
               (Chan.write t.console_in
                  (Bytes.sub pending delivered (Bytes.length pending - delivered)));
           if delivered > 0 then begin
-            Mmio.Device.assert_irq t.console_regs;
-            signal t t.console_irqfd
+            Mmio.Device.assert_irq h.regs;
+            signal t h.irqfd
           end
       | _ -> ())
 
-let process_console_tx t =
-  match
-    ensure_queue t t.console_regs 1
-      (fun () -> t.console_tx)
-      (fun q -> t.console_tx <- q)
-  with
+let process_console_tx t h =
+  match ensure_queue t h 1 with
   | None -> ()
   | Some txq ->
       let n =
@@ -344,128 +355,140 @@ let process_console_tx t =
             ignore (Chan.write t.console_out b))
       in
       if n > 0 then begin
-        Mmio.Device.assert_irq t.console_regs;
-        signal t t.console_irqfd
+        Mmio.Device.assert_irq h.regs;
+        signal t h.irqfd
       end
 
 let default_mac = Net.Frame.make_mac ~vendor:0x0566 ~serial:1
 
-let create ~mem ~tracee ~image ~blk_irqfd ~console_irqfd ~net_irqfd
-    ~ninep_irqfd ?(pci = false) ?console_base ?blk_base ?net_base ?ninep_base
-    ?net ?(mac = default_mac) () =
+let create ~mem ~tracee ~image ?(pci = false) ?net ?(mac = default_mac) () =
   let stride = Layout.virtio_mmio_stride in
-  let region_base = if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base in
-  let region_len = (if pci then 8 else 4) * stride in
-  (* PCI layout: [cfg console][cfg blk][cfg net][cfg 9p] then the four
-     BARs in the same order; MMIO layout: [console][blk][net][9p] *)
-  let bar i = region_base + ((if pci then 4 + i else i) * stride) in
-  let console_base = Option.value console_base ~default:(bar 0) in
-  let blk_base = Option.value blk_base ~default:(bar 1) in
-  let net_base = Option.value net_base ~default:(bar 2) in
-  let ninep_base = Option.value ninep_base ~default:(bar 3) in
-  let pci_configs =
-    if not pci then []
-    else
-      [
-        ( region_base,
-          Virtio.Pci.Config.encode ~device_type:Virtio.Console.device_id
-            ~bar0:console_base ~msix_gsi:24 );
-        ( region_base + stride,
-          Virtio.Pci.Config.encode ~device_type:Virtio.Blk.device_id
-            ~bar0:blk_base ~msix_gsi:25 );
-        ( region_base + (2 * stride),
-          Virtio.Pci.Config.encode ~device_type:Virtio.Net.device_id
-            ~bar0:net_base ~msix_gsi:26 );
-        ( region_base + (3 * stride),
-          Virtio.Pci.Config.encode ~device_type:Virtio.Ninep.device_id
-            ~bar0:ninep_base ~msix_gsi:27 );
-      ]
+  let region_base =
+    if pci then Layout.vmsh_pci_base else Layout.vmsh_mmio_base
   in
-  let capacity =
-    Blockdev.Dev.size_bytes (Blockdev.Backend.dev image)
-    / Virtio.Blk.sector_size
+  (* The region is sized for [max_devices] registrations up front: PCI
+     puts the config windows in the first [max_devices] strides and the
+     BARs after them; MMIO uses the strides directly. *)
+  let region_len = (if pci then 2 * max_devices else max_devices) * stride in
+  {
+    mem;
+    tracee;
+    image;
+    pci;
+    handles = [];
+    region_base;
+    region_len;
+    console_in = Chan.create ~capacity:65536 ();
+    console_out = Chan.create ~capacity:1048576 ();
+    net;
+    net_pending = Stdlib.Queue.create ();
+    ninep_fs =
+      (match Blockdev.Simplefs.mount (Blockdev.Backend.dev image) with
+      | Ok fs -> Some fs
+      | Error _ -> None);
+    mac;
+    requests = 0;
+    net_frames = 0;
+    clock = (Tracee.host tracee).Hostos.Host.clock;
+  }
+
+let make_regs t = function
+  | Console ->
+      Mmio.Device.create ~device_id:Virtio.Console.device_id ~num_queues:2
+        ~config:(Bytes.make 8 '\000') ()
+  | Blk ->
+      let capacity =
+        Blockdev.Dev.size_bytes (Blockdev.Backend.dev t.image)
+        / Virtio.Blk.sector_size
+      in
+      Mmio.Device.create ~device_id:Virtio.Blk.device_id ~num_queues:1
+        ~config:(Virtio.Blk.Device.config ~capacity_sectors:capacity)
+        ()
+  | Net ->
+      Mmio.Device.create ~device_id:Virtio.Net.device_id ~num_queues:2
+        ~config:(Virtio.Net.config ~mac:t.mac) ()
+  | Ninep ->
+      Mmio.Device.create ~device_id:Virtio.Ninep.device_id ~num_queues:1
+        ~config:(Bytes.make 8 '\000') ()
+
+let device_type = function
+  | Console -> Virtio.Console.device_id
+  | Blk -> Virtio.Blk.device_id
+  | Net -> Virtio.Net.device_id
+  | Ninep -> Virtio.Ninep.device_id
+
+let register t kind ~irqfd =
+  let index = List.length t.handles in
+  if index >= max_devices then
+    invalid_arg "Devices.register: device region is full";
+  if List.exists (fun h -> h.kind = kind) t.handles then
+    invalid_arg
+      (Printf.sprintf "Devices.register: %s already registered"
+         (kind_name kind));
+  let stride = Layout.virtio_mmio_stride in
+  let base =
+    t.region_base + ((if t.pci then max_devices + index else index) * stride)
   in
-  let t =
+  let cfg_base = if t.pci then Some (t.region_base + (index * stride)) else None in
+  let gsi = gsi_base + index in
+  let cfg_header =
+    if t.pci then
+      Some
+        (Virtio.Pci.Config.encode ~device_type:(device_type kind) ~bar0:base
+           ~msix_gsi:gsi)
+    else None
+  in
+  let h =
     {
-      mem;
-      tracee;
-      image;
-      blk_regs =
-        Mmio.Device.create ~device_id:Virtio.Blk.device_id ~num_queues:1
-          ~config:(Virtio.Blk.Device.config ~capacity_sectors:capacity)
-          ();
-      console_regs =
-        Mmio.Device.create ~device_id:Virtio.Console.device_id ~num_queues:2
-          ~config:(Bytes.make 8 '\000') ();
-      net_regs =
-        Mmio.Device.create ~device_id:Virtio.Net.device_id ~num_queues:2
-          ~config:(Virtio.Net.config ~mac) ();
-      ninep_regs =
-        Mmio.Device.create ~device_id:Virtio.Ninep.device_id ~num_queues:1
-          ~config:(Bytes.make 8 '\000') ();
-      blk_queue = None;
-      console_rx = None;
-      console_tx = None;
-      net_rx = None;
-      net_tx = None;
-      ninep_queue = None;
-      blk_irqfd;
-      console_irqfd;
-      net_irqfd;
-      ninep_irqfd;
-      cons_base = console_base;
-      b_base = blk_base;
-      n_base = net_base;
-      np_base = ninep_base;
-      region_base;
-      region_len;
-      pci_configs;
-      console_in = Chan.create ~capacity:65536 ();
-      console_out = Chan.create ~capacity:1048576 ();
-      net;
-      net_pending = Stdlib.Queue.create ();
-      ninep_fs =
-        (match Blockdev.Simplefs.mount (Blockdev.Backend.dev image) with
-        | Ok fs -> Some fs
-        | Error _ -> None);
-      mac;
-      requests = 0;
-      net_frames = 0;
-      clock = (Tracee.host tracee).Hostos.Host.clock;
+      kind;
+      regs = make_regs t kind;
+      base;
+      cfg_base;
+      cfg_header;
+      gsi;
+      irqfd;
+      q0 = None;
+      q1 = None;
     }
   in
-  Mmio.Device.set_notify t.blk_regs (fun ~queue:_ -> process_blk t);
-  Mmio.Device.set_notify t.console_regs (fun ~queue ->
-      if queue = 1 then process_console_tx t else try_feed_console t);
-  Mmio.Device.set_notify t.net_regs (fun ~queue ->
-      if queue = 1 then process_net_tx t else try_feed_net t);
-  Mmio.Device.set_notify t.ninep_regs (fun ~queue:_ -> process_ninep t);
-  (* Cable the NIC to its fabric port: frames arriving from the network
-     park in [net_pending] and are pushed into the guest's receive ring
-     (with an interrupt) as buffers allow. *)
-  (match net with
-  | Some (_, port) ->
-      Net.Link.set_handler port (fun frame ->
-          Stdlib.Queue.add frame t.net_pending;
-          try_feed_net t)
-  | None -> ());
-  t
+  t.handles <- t.handles @ [ h ];
+  (match kind with
+  | Console ->
+      Mmio.Device.set_notify h.regs (fun ~queue ->
+          if queue = 1 then process_console_tx t h else try_feed_console t h)
+  | Blk -> Mmio.Device.set_notify h.regs (fun ~queue:_ -> process_blk t h)
+  | Net ->
+      Mmio.Device.set_notify h.regs (fun ~queue ->
+          if queue = 1 then process_net_tx t h else try_feed_net_h t h);
+      (* Cable the NIC to its fabric port: frames arriving from the
+         network park in [net_pending] and are pushed into the guest's
+         receive ring (with an interrupt) as buffers allow. *)
+      (match t.net with
+      | Some (_, port) ->
+          Net.Link.set_handler port (fun frame ->
+              Stdlib.Queue.add frame t.net_pending;
+              try_feed_net_h t h)
+      | None -> ())
+  | Ninep -> Mmio.Device.set_notify h.regs (fun ~queue:_ -> process_ninep t h));
+  h
 
 let window_of t addr =
-  if addr >= t.cons_base && addr < t.cons_base + Layout.virtio_mmio_stride then
-    Some (t.console_regs, addr - t.cons_base)
-  else if addr >= t.b_base && addr < t.b_base + Layout.virtio_mmio_stride then
-    Some (t.blk_regs, addr - t.b_base)
-  else if addr >= t.n_base && addr < t.n_base + Layout.virtio_mmio_stride then
-    Some (t.net_regs, addr - t.n_base)
-  else if addr >= t.np_base && addr < t.np_base + Layout.virtio_mmio_stride then
-    Some (t.ninep_regs, addr - t.np_base)
-  else None
+  List.find_map
+    (fun h ->
+      if addr >= h.base && addr < h.base + Layout.virtio_mmio_stride then
+        Some (h.regs, addr - h.base)
+      else None)
+    t.handles
 
 let config_of t addr =
-  List.find_opt
-    (fun (base, _) -> addr >= base && addr < base + Layout.virtio_mmio_stride)
-    t.pci_configs
+  List.find_map
+    (fun h ->
+      match (h.cfg_base, h.cfg_header) with
+      | Some base, Some header
+        when addr >= base && addr < base + Layout.virtio_mmio_stride ->
+          Some (base, header)
+      | _ -> None)
+    t.handles
 
 let handle_mmio_read t ~addr ~len =
   match window_of t addr with
@@ -565,7 +588,9 @@ let ioregion_pump t ~sock () =
 
 let feed_console_input t b =
   ignore (Chan.write t.console_in b);
-  try_feed_console t
+  match handle_of t Console with
+  | Some h -> try_feed_console t h
+  | None -> ()
 
 let read_console_output t =
   match Chan.read t.console_out 1048576 with

@@ -9,33 +9,79 @@
       hypervisor, peeking at KVM_RUN exits — taxes the whole hypervisor
       (Fig. 6's wrap_syscall rows);
     - {b ioregionfd}: the in-kernel MMIO-to-socket dispatch, invisible
-      to the hypervisor (no tax on qemu-blk). *)
+      to the hypervisor (no tax on qemu-blk).
+
+    Devices are added through a typed registry: {!create} claims the
+    guest-physical region, {!register} places each device at the next
+    free window and GSI. Register windows, PCI config windows and GSIs
+    are all functions of the registration index, so callers never
+    hard-code a device order. *)
 
 type transport = Wrap_syscall | Ioregionfd
 
 val show_transport : transport -> string
 
+type kind = Console | Blk | Net | Ninep
+
+val kind_name : kind -> string
+
 type t
+
+type handle
+(** One registered device: window, interrupt route, queue state. *)
+
+val gsi_base : int
+(** First GSI the registry hands out (registration index [i] gets
+    [gsi_base + i]). *)
+
+val max_devices : int
+(** Windows available in the claimed region. *)
+
+val gsi_plan : kind list -> (kind * int) list
+(** The GSIs {!register} will assign to this registration order —
+    lets the attach sequence create irqfds before the devices exist. *)
 
 val create :
   mem:Hyp_mem.t -> tracee:Tracee.t ->
   image:Blockdev.Backend.t ->
-  blk_irqfd:Hostos.Fd.t -> console_irqfd:Hostos.Fd.t ->
-  net_irqfd:Hostos.Fd.t -> ninep_irqfd:Hostos.Fd.t ->
-  ?pci:bool -> ?console_base:int -> ?blk_base:int ->
-  ?net_base:int -> ?ninep_base:int ->
+  ?pci:bool ->
   ?net:Net.Fabric.t * Net.Link.port -> ?mac:int -> unit -> t
-(** [image] is the file-system image served by vmsh-blk (and, as a file
-    tree, by vmsh-9p); the irqfds are VMSH's local ends of the
-    descriptors passed back from the hypervisor. [net] cables the NIC
-    to one port of a {!Net.Link} on a deterministic fabric — without it
-    the NIC still probes but transmits into the void. With [pci] the
-    devices additionally expose PCI config spaces (vendor id, BAR0,
-    MSI-X GSI) ahead of their register windows — the VirtIO-over-PCI
-    transport. *)
+(** Claim the device region; no devices exist until {!register}.
+    [image] is the file-system image served by vmsh-blk (and, as a file
+    tree, by vmsh-9p). [net] cables the NIC to one port of a
+    {!Net.Link} on a deterministic fabric — without it the NIC still
+    probes but transmits into the void. With [pci] the devices
+    additionally expose PCI config spaces (vendor id, BAR0, MSI-X GSI)
+    ahead of their register windows — the VirtIO-over-PCI transport. *)
+
+val register : t -> kind -> irqfd:Hostos.Fd.t -> handle
+(** Place a device of [kind] at the next free window/GSI and wire its
+    doorbell handlers. [irqfd] is VMSH's local end of the descriptor
+    passed back from the hypervisor. Raises [Invalid_argument] when the
+    region is full or [kind] is already registered. *)
+
+val handles : t -> handle list
+(** Registration order. *)
+
+val handle_of : t -> kind -> handle option
+val handle_exn : t -> kind -> handle
+val handle_kind : handle -> kind
+val handle_base : handle -> int
+(** Base of the register window (BAR0 under PCI). *)
+
+val handle_cfg_base : handle -> int option
+(** PCI config window, when the PCI transport is active. *)
+
+val handle_gsi : handle -> int
+
+val handle_window : handle -> int
+(** The window the kernel library drives: config window under PCI,
+    register window otherwise. *)
 
 val console_base : t -> int
-(** Base of the console's *register* window (its BAR0 under PCI). *)
+(** Base of the console's *register* window (its BAR0 under PCI).
+    Raises when no console is registered (likewise the other per-kind
+    accessors below). *)
 
 val blk_base : t -> int
 val net_base : t -> int
@@ -43,8 +89,7 @@ val ninep_base : t -> int
 
 val region : t -> int * int
 (** [(base, len)] of the full guest-physical region VMSH claims — the
-    range to trap (four register windows, plus four config spaces under
-    PCI). *)
+    range to trap (register windows, plus config spaces under PCI). *)
 
 val console_gsi : t -> int
 val blk_gsi : t -> int

@@ -28,8 +28,7 @@ let gpa_to_hva t gpa =
 let top_of_guest_phys t =
   List.fold_left (fun acc s -> max acc (s.gpa + s.size)) 0 t.slot_list
 
-let fail_errno what e =
-  failwith (Printf.sprintf "Hyp_mem.%s: %s" what (Hostos.Errno.show e))
+let fail_errno what e = Vmsh_error.fail (Vmsh_error.substrate ("Hyp_mem." ^ what) e)
 
 (* All remote-memory traffic goes through the bounded-retry wrappers: a
    transient EFAULT (page mid-remap under the hypervisor) or EAGAIN is
@@ -47,6 +46,20 @@ let vm_write t ~addr b =
       | Error (Hostos.Errno.EFAULT | Hostos.Errno.EAGAIN) -> true
       | _ -> false)
     (fun () -> Host.process_vm_write t.host ~caller:t.vmsh ~pid:t.pid ~addr b)
+
+let vm_readv t ~iov =
+  Retry.with_backoff t.host ~counter:"recovery.vm_rw_retry"
+    ~should_retry:(function
+      | Error (Hostos.Errno.EFAULT | Hostos.Errno.EAGAIN) -> true
+      | _ -> false)
+    (fun () -> Host.process_vm_readv t.host ~caller:t.vmsh ~pid:t.pid ~iov)
+
+let vm_writev t ~iov =
+  Retry.with_backoff t.host ~counter:"recovery.vm_rw_retry"
+    ~should_retry:(function
+      | Error (Hostos.Errno.EFAULT | Hostos.Errno.EAGAIN) -> true
+      | _ -> false)
+    (fun () -> Host.process_vm_writev t.host ~caller:t.vmsh ~pid:t.pid ~iov)
 
 let read_hva t ~hva ~len =
   match t.cmode with
@@ -120,34 +133,74 @@ let write_hva t ~hva b =
       in
       go 0
 
-(* Physical accesses may cross slot boundaries. *)
-let rec read_phys t ~gpa ~len =
+(* Physical accesses may cross slot boundaries. [segments] resolves a
+   gpa range to host-virtual (hva, len) pieces, merging pieces whose
+   hva ranges happen to be contiguous so the Bulk path can hand the
+   whole access to one vectored process_vm_readv/writev call. *)
+let segments t ~what ~gpa ~len =
+  let rec go gpa len acc =
+    if len = 0 then List.rev acc
+    else
+      match
+        List.find_opt
+          (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size)
+          t.slot_list
+      with
+      | None ->
+          Vmsh_error.fail
+            (Vmsh_error.Msg (Printf.sprintf "Hyp_mem.%s: 0x%x unbacked" what gpa))
+      | Some s ->
+          let avail = s.gpa + s.size - gpa in
+          let chunk = min avail len in
+          let hva = s.hva + (gpa - s.gpa) in
+          let acc =
+            match acc with
+            | (phva, plen) :: rest when phva + plen = hva ->
+                (phva, plen + chunk) :: rest
+            | _ -> (hva, chunk) :: acc
+          in
+          go (gpa + chunk) (len - chunk) acc
+  in
+  go gpa len []
+
+let read_phys t ~gpa ~len =
   if len = 0 then Bytes.empty
   else
-    match
-      List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
-    with
-    | None -> failwith (Printf.sprintf "Hyp_mem.read_phys: 0x%x unbacked" gpa)
-    | Some s ->
-        let avail = s.gpa + s.size - gpa in
-        let chunk = min avail len in
-        let part = read_hva t ~hva:(s.hva + (gpa - s.gpa)) ~len:chunk in
-        if chunk = len then part
-        else Bytes.cat part (read_phys t ~gpa:(gpa + chunk) ~len:(len - chunk))
+    let segs = segments t ~what:"read_phys" ~gpa ~len in
+    match (t.cmode, segs) with
+    | Bulk, _ -> (
+        (* one vectored syscall for the whole access, however many
+           memslots back it *)
+        match vm_readv t ~iov:segs with
+        | Ok parts -> Bytes.concat Bytes.empty parts
+        | Error e -> fail_errno "read_phys" e)
+    | _, _ ->
+        Bytes.concat Bytes.empty
+          (List.map (fun (hva, len) -> read_hva t ~hva ~len) segs)
 
-let rec write_phys t ~gpa b =
+let write_phys t ~gpa b =
   let len = Bytes.length b in
-  if len > 0 then
-    match
-      List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
-    with
-    | None -> failwith (Printf.sprintf "Hyp_mem.write_phys: 0x%x unbacked" gpa)
-    | Some s ->
-        let avail = s.gpa + s.size - gpa in
-        let chunk = min avail len in
-        write_hva t ~hva:(s.hva + (gpa - s.gpa)) (Bytes.sub b 0 chunk);
-        if chunk < len then
-          write_phys t ~gpa:(gpa + chunk) (Bytes.sub b chunk (len - chunk))
+  if len > 0 then begin
+    let segs = segments t ~what:"write_phys" ~gpa ~len in
+    match t.cmode with
+    | Bulk -> (
+        let _, iov =
+          List.fold_left
+            (fun (off, acc) (hva, len) ->
+              (off + len, (hva, Bytes.sub b off len) :: acc))
+            (0, []) segs
+        in
+        match vm_writev t ~iov:(List.rev iov) with
+        | Ok () -> ()
+        | Error e -> fail_errno "write_phys" e)
+    | _ ->
+        ignore
+          (List.fold_left
+             (fun off (hva, len) ->
+               write_hva t ~hva (Bytes.sub b off len);
+               off + len)
+             0 segs)
+  end
 
 let read_phys_u64 t gpa =
   Int64.to_int (Bytes.get_int64_le (read_phys t ~gpa ~len:8) 0)

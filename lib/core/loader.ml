@@ -64,7 +64,7 @@ let load ~tracee ~mem ~analysis ~image ~layout =
         ~resolve:(fun name -> Symbol_analysis.resolve analysis name)
     with
     | Ok v -> Ok v
-    | Error e -> Error ("linking guest library: " ^ e)
+    | Error e -> Error (Vmsh_error.Context ("linking guest library", Vmsh_error.Msg e))
   in
   (* 4. copy into the new guest-physical region *)
   Hyp_mem.write_phys mem ~gpa:gpa_base text;
@@ -73,7 +73,7 @@ let load ~tracee ~mem ~analysis ~image ~layout =
   let* regs =
     match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
     | Ok r -> Ok r
-    | Error e -> Error ("reading vCPU registers: " ^ e)
+    | Error e -> Error (Vmsh_error.Context ("reading vCPU registers", e))
   in
   let arena_base = gpa_base + page_align layout.Klib_builder.total_len in
   let arena_next = ref arena_base in
@@ -81,7 +81,7 @@ let load ~tracee ~mem ~analysis ~image ~layout =
     let pa = !arena_next in
     arena_next := pa + Layout.page_size;
     if !arena_next > gpa_base + region_len then
-      failwith "vmsh loader: page-table arena exhausted";
+      Vmsh_error.fail (Vmsh_error.Msg "vmsh loader: page-table arena exhausted");
     Hyp_mem.write_phys mem ~gpa:pa (Bytes.make Layout.page_size '\000');
     pa
   in
@@ -92,7 +92,7 @@ let load ~tracee ~mem ~analysis ~image ~layout =
        ~flags:PT.Flags.(present lor writable)
    with
   | () -> ()
-  | exception Failure e -> failwith e);
+  | exception Failure e -> Vmsh_error.fail (Vmsh_error.Msg e));
   (* 6. stash the interrupted context where the trampoline finds it *)
   let blob_gpa = gpa_base + layout.Klib_builder.blob_off in
   Hyp_mem.write_phys mem ~gpa:blob_gpa (Kvm.Api.regs_to_bytes regs);
@@ -112,6 +112,6 @@ let redirect ~tracee loaded =
   regs.rdi <- loaded.blob_va;
   match Tracee.set_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) regs with
   | Ok () -> Ok ()
-  | Error e -> Error ("redirecting vCPU: " ^ e)
+  | Error e -> Error (Vmsh_error.Context ("redirecting vCPU", e))
 
 let poll_status ~mem loaded = Hyp_mem.read_phys_u64 mem loaded.status_gpa

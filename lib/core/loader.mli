@@ -28,10 +28,10 @@ val load :
   tracee:Tracee.t -> mem:Hyp_mem.t ->
   analysis:Symbol_analysis.analysis ->
   image:Elfkit.Elf.t -> layout:Klib_builder.layout ->
-  (loaded, string) result
+  (loaded, Vmsh_error.t) result
 (** Perform every step above except the final RIP redirect. *)
 
-val redirect : tracee:Tracee.t -> loaded -> (unit, string) result
+val redirect : tracee:Tracee.t -> loaded -> (unit, Vmsh_error.t) result
 (** Point vCPU 0 at the library entry (with RDI = saved-context blob). *)
 
 val poll_status : mem:Hyp_mem.t -> loaded -> int

@@ -60,18 +60,16 @@ let discover tracee =
   let ring = ref None in
   match Host.attach_ebpf h ~caller:vmsh ~hook:"kvm_vm_ioctl" (make_prog ring) with
   | Error e ->
-      Error
-        ("attaching eBPF program requires CAP_BPF: errno "
-        ^ Hostos.Errno.show e)
+      Error (Vmsh_error.Injection ("attaching eBPF program requires CAP_BPF", e))
   | Ok () ->
       (* Trigger: inject a harmless unknown VM ioctl — kvm_vm_ioctl (and
          so the hook) runs on entry regardless of the ioctl's result. *)
       ignore (Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee) ~code:0xAE00 ());
       Host.detach_ebpf h ~hook:"kvm_vm_ioctl" ~name:program_name;
       (match !ring with
-      | None -> Error "eBPF program produced no memslot dump"
+      | None -> Error (Vmsh_error.Msg "eBPF program produced no memslot dump")
       | Some b -> (
           match decode_slots b with
           | Some slots when slots <> [] -> Ok slots
-          | Some _ -> Error "memslot dump is empty"
-          | None -> Error "malformed memslot dump"))
+          | Some _ -> Error (Vmsh_error.Msg "memslot dump is empty")
+          | None -> Error (Vmsh_error.Msg "malformed memslot dump")))

@@ -8,7 +8,7 @@
     requires CAP_BPF — the privilege VMSH drops right afterwards. *)
 
 val discover :
-  Tracee.t -> (Hyp_mem.slot list, string) result
+  Tracee.t -> (Hyp_mem.slot list, Vmsh_error.t) result
 (** Attach the program, trigger it, parse the slots, detach the
     program. Fails when the calling process lacks CAP_BPF. *)
 

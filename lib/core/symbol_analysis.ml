@@ -157,18 +157,57 @@ let find_table img ~kbase ~region layout =
   done;
   !best
 
-let analyze mem ~cr3 =
-  let* kernel_base, image_len =
-    Observe.span
-      (Hyp_mem.host mem).Hostos.Host.observe
-      ~name:"page-table-walk"
-      (fun () -> find_kernel_base mem ~cr3)
+(* --- build-id memoization ---
+
+   A kernel *build* is identified by the note the image carries (the
+   stand-in for NT_GNU_BUILD_ID); two VMs booted from the same build
+   differ only in their KASLR base. The cache stores base-relative
+   symbol offsets, so a hit needs just the page-table walk, one page of
+   the image (for the note) and an offset rebase — skipping the full
+   image copy and both section scans. *)
+
+let buildid_magic = "VMSHBID0"
+let buildid_hex_len = 32
+
+module Cache = struct
+  type entry = {
+    c_image_len : int;
+    c_layout : KV.ksymtab_layout;
+    c_sym_offsets : (string * int) list;  (* name -> va - kernel_base *)
+    c_version : KV.t;
+  }
+
+  type t = (string, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 7
+end
+
+(* Locate the build-id note in the image's first page. Scanned for, not
+   assumed at a fixed offset — the analyzer discovers everything. *)
+let find_build_id page =
+  let s = Bytes.unsafe_to_string page in
+  let m = String.length buildid_magic in
+  let rec go i =
+    if i + m + buildid_hex_len > String.length s then None
+    else if String.sub s i m = buildid_magic then
+      Some (String.sub s (i + m) buildid_hex_len)
+    else go (i + 1)
   in
-  if image_len = 0 then Error "kernel mapping has zero extent"
-  else
+  go 0
+
+let bump mem name =
+  let obs = (Hyp_mem.host mem).Hostos.Host.observe in
+  Observe.Metrics.incr (Observe.Metrics.counter (Observe.metrics obs) name)
+
+let analyze_full ?cache ~build_id mem ~cr3 ~kernel_base ~image_len =
     match Hyp_mem.read_virt mem ~cr3 ~va:kernel_base ~len:image_len with
     | None -> Error "kernel image pages vanished during analysis"
     | Some img ->
+        (* the strings scan and the per-layout table searches each walk
+           the copied image once — charge those passes to virtual time
+           (the measurable cost a cache hit saves) *)
+        Hostos.Clock.copy_bytes (Hyp_mem.host mem).Hostos.Host.clock
+          (4 * image_len);
         let* region = find_strings_region img in
         (* all layout variants in parallel; the consistency checks keep
            only entries whose name pointers land exactly on string
@@ -207,6 +246,66 @@ let analyze mem ~cr3 =
                     | Some v -> Ok v
                     | None -> Error ("unrecognised banner: " ^ s)))
           in
-          Ok { kernel_base; image_len; layout; symbols; version }
+          begin
+            (match (cache, build_id) with
+            | Some c, Some bid ->
+                Hashtbl.replace c bid
+                  {
+                    Cache.c_image_len = image_len;
+                    c_layout = layout;
+                    c_sym_offsets =
+                      List.map (fun (n, va) -> (n, va - kernel_base)) symbols;
+                    c_version = version;
+                  }
+            | _ -> ());
+            Ok { kernel_base; image_len; layout; symbols; version }
+          end
+
+let analyze ?cache mem ~cr3 =
+  let* kernel_base, image_len =
+    Observe.span
+      (Hyp_mem.host mem).Hostos.Host.observe
+      ~name:"page-table-walk"
+      (fun () -> find_kernel_base mem ~cr3)
+  in
+  if image_len = 0 then Error "kernel mapping has zero extent"
+  else
+    let build_id =
+      match cache with
+      | None -> None
+      | Some _ ->
+          Option.bind
+            (Hyp_mem.read_virt mem ~cr3 ~va:kernel_base
+               ~len:(min image_len Layout.page_size))
+            find_build_id
+    in
+    let cached =
+      match (cache, build_id) with
+      | Some c, Some bid -> Hashtbl.find_opt c bid
+      | _ -> None
+    in
+    match cached with
+    | Some e ->
+        (* cache hit: rebase the stored offsets to this VM's KASLR
+           base; no image copy, no scans *)
+        bump mem "symcache.hits";
+        Observe.span
+          (Hyp_mem.host mem).Hostos.Host.observe
+          ~name:"symcache-rebase"
+          (fun () ->
+            Ok
+              {
+                kernel_base;
+                image_len = e.Cache.c_image_len;
+                layout = e.Cache.c_layout;
+                symbols =
+                  List.map
+                    (fun (n, off) -> (n, kernel_base + off))
+                    e.Cache.c_sym_offsets;
+                version = e.Cache.c_version;
+              })
+    | None ->
+        (match cache with Some _ -> bump mem "symcache.misses" | None -> ());
+        analyze_full ?cache ~build_id mem ~cr3 ~kernel_base ~image_len
 
 let resolve a name = List.assoc_opt name a.symbols

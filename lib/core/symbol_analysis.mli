@@ -25,7 +25,21 @@ val anchor_symbol : string
 val find_kernel_base : Hyp_mem.t -> cr3:int -> (int * int, string) result
 (** [(base, mapped_len)] of the kernel image within the KASLR range. *)
 
-val analyze : Hyp_mem.t -> cr3:int -> (analysis, string) result
+(** Memoization across attaches to identically-built kernels, keyed by
+    the build-id note found in the image's first page. A hit skips the
+    full image copy and both section scans (only the page-table walk
+    and an offset rebase remain); counters [symcache.hits] /
+    [symcache.misses] are bumped on the analyzed host's registry when a
+    cache is supplied. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+end
+
+val analyze : ?cache:Cache.t -> Hyp_mem.t -> cr3:int -> (analysis, string) result
+(** Without [cache] (the default) behaviour is exactly the uncached
+    analysis — byte-identical traces for existing single-attach runs. *)
 
 val resolve : analysis -> string -> int option
 (** Look up an exported symbol's address. *)

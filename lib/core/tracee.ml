@@ -30,7 +30,7 @@ let scratch t = t.scratch_hva
 
 let ( let* ) = Result.bind
 
-let errno_str e = "errno " ^ Errno.show e
+let err m = Error (Vmsh_error.Msg m)
 
 (* /proc-based discovery of the KVM descriptors (paper §5). *)
 let discover_kvm host ~pid =
@@ -50,9 +50,9 @@ let discover_kvm host ~pid =
       fds
   in
   match vm_fd with
-  | None -> Error "no kvm-vm descriptor found in /proc/<pid>/fd"
+  | None -> err "no kvm-vm descriptor found in /proc/<pid>/fd"
   | Some (vm_fd_num, _) ->
-      if vcpu_fds = [] then Error "no kvm-vcpu descriptors found"
+      if vcpu_fds = [] then err "no kvm-vcpu descriptors found"
       else begin
         (* kvm_run pages from /proc/<pid>/maps *)
         let maps = Host.proc_maps host ~pid in
@@ -69,17 +69,18 @@ let discover_kvm host ~pid =
               | None -> None)
             (List.sort compare vcpu_fds)
         in
-        if handles = [] then Error "could not locate mmapped kvm_run pages"
+        if handles = [] then err "could not locate mmapped kvm_run pages"
         else Ok (vm_fd_num, handles)
       end
 
 let classify ~nr ret =
   if ret < 0 then
     Error
-      (Printf.sprintf "injected %s failed: %s" (Syscall.Nr.name nr)
-         (match Errno.of_syscall_ret ret with
-         | Error e -> errno_str e
-         | Ok _ -> assert false))
+      (match Errno.of_syscall_ret ret with
+      | Error e ->
+          Vmsh_error.Injection
+            (Printf.sprintf "injected %s failed" (Syscall.Nr.name nr), e)
+      | Ok _ -> assert false)
   else Ok ret
 
 (* EINTR/EAGAIN from an injected syscall means the stop raced a signal
@@ -97,7 +98,7 @@ let inject_raw h session ?tid ~nr ~args () =
 
 let inject_session h session ~nr ~args =
   match inject_raw h session ~nr ~args () with
-  | Error e -> Error ("injection transport: " ^ errno_str e)
+  | Error e -> Error (Vmsh_error.Injection ("injection transport", e))
   | Ok ret -> classify ~nr ret
 
 (* The seccomp heuristic: probe every tracee thread until one's filter
@@ -114,13 +115,13 @@ let inject_any_thread h session tracee_pid ~nr ~args =
     | [] -> last
     | tid :: rest -> (
         match inject_raw h session ~tid ~nr ~args () with
-        | Error e -> Error ("injection transport: " ^ errno_str e)
+        | Error e -> Error (Vmsh_error.Injection ("injection transport", e))
         | Ok ret ->
             if Errno.of_syscall_ret ret = Error Errno.EPERM then
               try_tids (classify ~nr ret) rest
             else classify ~nr ret)
   in
-  try_tids (Error "tracee has no threads") threads
+  try_tids (err "tracee has no threads") threads
 
 let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
   let obs = h.Host.observe in
@@ -138,7 +139,7 @@ let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
         | Ok s ->
             Ptrace.interrupt h s;
             Ok s
-        | Error e -> Error ("ptrace attach: " ^ errno_str e))
+        | Error e -> Error (Vmsh_error.Injection ("ptrace attach", e)))
   in
   let* vm_fd_num, vcpu_list, scratch_hva =
     Observe.span obs ~name:"fd-discovery" (fun () ->
@@ -167,6 +168,8 @@ let detach t = Ptrace.detach t.h t.session
 let set_seccomp_heuristic t v = t.seccomp_heuristic <- v
 
 let inject t ~nr ~args =
+  (* fleet interleave point: one injected syscall per scheduler slice *)
+  Sched.yield ();
   if t.seccomp_heuristic then
     inject_any_thread t.h t.session t.tracee_pid ~nr ~args
   else inject_session t.h t.session ~nr ~args
@@ -185,7 +188,7 @@ let write_scratch t ?(off = 0) b =
           ~addr:(t.scratch_hva + off) b)
   with
   | Ok () -> t.scratch_hva + off
-  | Error e -> failwith ("Tracee.write_scratch: " ^ errno_str e)
+  | Error e -> Vmsh_error.fail (Vmsh_error.Injection ("Tracee.write_scratch", e))
 
 let read_scratch t ?(off = 0) len =
   match
@@ -194,7 +197,7 @@ let read_scratch t ?(off = 0) len =
           ~addr:(t.scratch_hva + off) ~len)
   with
   | Ok b -> b
-  | Error e -> failwith ("Tracee.read_scratch: " ^ errno_str e)
+  | Error e -> Vmsh_error.fail (Vmsh_error.Injection ("Tracee.read_scratch", e))
 
 let inject_ioctl t ~fd ~code ?arg () =
   let ptr =

@@ -20,7 +20,7 @@ val host : t -> Hostos.Host.t
 
 val attach :
   ?seccomp_heuristic:bool -> Hostos.Host.t -> vmsh:Hostos.Proc.t ->
-  pid:int -> (t, string) result
+  pid:int -> (t, Vmsh_error.t) result
 (** ptrace-attach, PTRACE_INTERRUPT, discover the KVM fds and map a
     scratch page in the tracee for argument structs. With
     [seccomp_heuristic] the probing strategy of {!set_seccomp_heuristic}
@@ -35,7 +35,7 @@ val set_seccomp_heuristic : t -> bool -> unit
     API thread carries a laxer filter than its vCPU threads, so
     injection can succeed without disabling seccomp. *)
 
-val inject : t -> nr:int -> args:int array -> (int, string) result
+val inject : t -> nr:int -> args:int array -> (int, Vmsh_error.t) result
 (** Run one syscall in the tracee; negative returns are surfaced as
     errors with the errno name. With the seccomp heuristic enabled,
     EPERM results are retried on every thread before giving up. *)
@@ -51,13 +51,13 @@ val read_scratch : t -> ?off:int -> int -> bytes
     page. *)
 
 val inject_ioctl :
-  t -> fd:int -> code:int -> ?arg:bytes -> unit -> (int, string) result
+  t -> fd:int -> code:int -> ?arg:bytes -> unit -> (int, Vmsh_error.t) result
 (** Write [arg] (if any) to scratch and inject ioctl(fd, code, scratch). *)
 
-val get_vcpu_regs : t -> vcpu_handle -> (X86.Regs.t, string) result
+val get_vcpu_regs : t -> vcpu_handle -> (X86.Regs.t, Vmsh_error.t) result
 (** Injected KVM_GET_REGS + remote read of the result struct. *)
 
-val set_vcpu_regs : t -> vcpu_handle -> X86.Regs.t -> (unit, string) result
+val set_vcpu_regs : t -> vcpu_handle -> X86.Regs.t -> (unit, Vmsh_error.t) result
 
 val hook_syscalls :
   t -> on_entry:(Hostos.Proc.thread -> unit) ->
@@ -65,10 +65,10 @@ val hook_syscalls :
 
 val unhook_syscalls : t -> unit
 
-val connect_back : t -> path:string -> (int, string) result
+val connect_back : t -> path:string -> (int, Vmsh_error.t) result
 (** Inject socket()+connect() to the given UNIX path; returns the
     tracee-side descriptor number. *)
 
-val send_fds_back : t -> sock_fd:int -> int list -> (unit, string) result
+val send_fds_back : t -> sock_fd:int -> int list -> (unit, Vmsh_error.t) result
 (** Inject sendmsg(SCM_RIGHTS) passing tracee descriptors to whoever
     accepted the connection (i.e. VMSH itself). *)

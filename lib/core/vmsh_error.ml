@@ -1,0 +1,114 @@
+module Errno = Hostos.Errno
+
+type t =
+  | Attach_aborted of t
+  | Guest_error of int
+  | Guest_fault of string
+  | Substrate of Errno.t
+  | Injection of string * Errno.t
+  | Timeout of int
+  | Invalid_config of string
+  | Unsupported of string
+  | Context of string * t
+  | Msg of string
+
+exception Error of t
+
+let fail e = raise (Error e)
+let substrate what e = Context (what, Substrate e)
+
+let guest_status_note s =
+  match s with
+  | s when s = Klib_builder.status_err_console -> " (console device registration)"
+  | s when s = Klib_builder.status_err_blk -> " (block device registration)"
+  | s when s = Klib_builder.status_err_net -> " (net device registration)"
+  | s when s = Klib_builder.status_err_ninep -> " (9p device registration)"
+  | s when s = Klib_builder.status_err_open -> " (opening exec file)"
+  | s when s = Klib_builder.status_err_write -> " (writing program)"
+  | s when s = Klib_builder.status_err_spawn -> " (spawning process)"
+  | _ -> ""
+
+let rec to_string = function
+  | Attach_aborted e -> "attach aborted: " ^ to_string e
+  | Guest_error s ->
+      Printf.sprintf "guest library failed with status 0x%x%s" s
+        (guest_status_note s)
+  | Guest_fault m -> "guest error: " ^ m
+  | Substrate e -> Errno.show e
+  | Injection (what, e) -> what ^ ": errno " ^ Errno.show e
+  | Timeout s -> Printf.sprintf "guest library did not complete (status %d)" s
+  | Invalid_config m -> "invalid attach config: " ^ m
+  | Unsupported m -> m
+  | Context (what, e) -> what ^ ": " ^ to_string e
+  | Msg m -> m
+
+let all_errnos =
+  Errno.
+    [
+      EPERM; ENOENT; ESRCH; EINTR; EIO; EBADF; EAGAIN; ENOMEM; EACCES; EFAULT;
+      EBUSY; EEXIST; ENODEV; ENOTDIR; EISDIR; EINVAL; ENOSPC; ERANGE; ENOSYS;
+      ENOTEMPTY; EDQUOT;
+    ]
+
+let errno_of_show s = List.find_opt (fun e -> Errno.show e = s) all_errnos
+
+let drop_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+(* "what: tail" split on the first ": " occurrence; nested contexts
+   then peel outside-in by recursing on the tail. *)
+let split_first_colon s =
+  let rec find i =
+    if i + 1 >= String.length s then None
+    else if s.[i] = ':' && s.[i + 1] = ' ' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+  | None -> None
+
+let rec of_string s =
+  match drop_prefix ~prefix:"attach aborted: " s with
+  | Some rest -> Attach_aborted (of_string rest)
+  | None -> (
+      match drop_prefix ~prefix:"guest error: " s with
+      | Some rest -> Guest_fault rest
+      | None -> (
+          match drop_prefix ~prefix:"invalid attach config: " s with
+          | Some rest -> Invalid_config rest
+          | None -> (
+              match drop_prefix ~prefix:"guest library failed with status 0x" s with
+              | Some rest -> (
+                  match Scanf.sscanf_opt rest "%x" (fun v -> v) with
+                  | Some v -> Guest_error v
+                  | None -> Msg s)
+              | None -> (
+                  match
+                    Scanf.sscanf_opt s
+                      "guest library did not complete (status %d)" (fun v -> v)
+                  with
+                  | Some v -> Timeout v
+                  | None -> (
+                      match errno_of_show s with
+                      | Some e -> Substrate e
+                      | None -> (
+                          match split_first_colon s with
+                          | Some (what, tail) -> (
+                              match drop_prefix ~prefix:"errno " tail with
+                              | Some en -> (
+                                  match errno_of_show en with
+                                  | Some e -> Injection (what, e)
+                                  | None -> Msg s)
+                              | None -> (
+                                  (* recurse on the tail so nested
+                                     contexts reconstruct outside-in;
+                                     an unrecognised tail keeps the
+                                     whole string as one Msg *)
+                                  match of_string tail with
+                                  | Msg _ -> Msg s
+                                  | inner -> Context (what, inner)))
+                          | None -> Msg s))))))

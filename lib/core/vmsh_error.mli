@@ -1,0 +1,44 @@
+(** Typed error taxonomy for the attach pipeline.
+
+    Replaces the stringly [Error "..."] / raised [Failure] mix that
+    grew across Attach, Tracee and Loader. [to_string] reproduces the
+    exact legacy CLI messages, so drivers that match on text keep
+    working; [of_string] classifies a rendered message back into the
+    taxonomy (inverse of [to_string] for every variant that carries
+    enough structure to be recognised). *)
+
+type t =
+  | Attach_aborted of t  (** top-level attach failure wrapper *)
+  | Guest_error of int  (** guest library status byte (>= 0x80) *)
+  | Guest_fault of string  (** guest-side fault surfaced by the vCPU loop *)
+  | Substrate of Hostos.Errno.t  (** raw errno from the host substrate *)
+  | Injection of string * Hostos.Errno.t
+      (** ptrace/syscall-injection failure: what * errno *)
+  | Timeout of int  (** guest library never completed; last status *)
+  | Invalid_config of string  (** rejected by [Attach.Config.validate] *)
+  | Unsupported of string  (** host/hypervisor capability missing *)
+  | Context of string * t  (** [what]: [inner] *)
+  | Msg of string  (** untyped message (discovery, linking, ...) *)
+
+exception Error of t
+(** For internal paths that must raise (memory fabric, loader arena);
+    [Attach.attach] converts it into [Error (Attach_aborted _)]. *)
+
+val to_string : t -> string
+(** Renders the same message strings the CLI printed before the
+    taxonomy existed. *)
+
+val of_string : string -> t
+(** Best-effort inverse of [to_string]: recognises the attach-aborted
+    prefix, guest status / timeout formats, errno-tailed contexts and
+    injection messages; anything else becomes [Msg]. *)
+
+val substrate : string -> Hostos.Errno.t -> t
+(** [substrate what e] = [Context (what, Substrate e)]. *)
+
+val fail : t -> 'a
+(** [fail e] raises [Error e]. *)
+
+val guest_status_note : int -> string
+(** Human annotation for a guest library failure status (e.g.
+    [" (block device registration)"]); [""] when unknown. *)

@@ -1,0 +1,187 @@
+module H = Hostos
+module Sfs = Blockdev.Simplefs
+module Vmm = Hypervisor.Vmm
+module Profile = Hypervisor.Profile
+module KV = Linux_guest.Kernel_version
+
+let src = Logs.Src.create "vmsh.fleet" ~doc:"VMSH fleet attach engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type session_report = {
+  s_name : string;
+  s_result : (unit, string) result;
+  s_attach_ns : float;
+  s_total_ns : float;
+}
+
+type report = {
+  r_vms : int;
+  r_seed : int;
+  r_sessions : session_report list;
+  r_yields : int;
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_schedule : string;
+}
+
+let boot_disk h ~name =
+  let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:4096 () in
+  let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev disk) ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  ignore (Sfs.mkdir_p fs "/etc");
+  ignore (Sfs.write_file fs "/etc/hostname" (Bytes.of_string (name ^ "\n")));
+  Sfs.sync fs;
+  disk
+
+let tools_image clock =
+  match
+    Blockdev.Image.pack ~clock [ Blockdev.Image.file "/bin/busybox" 800_000 ]
+  with
+  | Ok (backend, _) -> backend
+  | Error e -> failwith (H.Errno.show e)
+
+(* One fleet session: boot a fresh VM on its own host, attach, prove
+   the overlay answers on the console, detach. Runs as a fiber; every
+   step between yield points touches only this session's host. *)
+let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
+    results () =
+  let disk = boot_disk host ~name in
+  let disable_seccomp = profile.Profile.prof_name = "Firecracker" in
+  let vmm = Vmm.create host ~profile ~disk ~disable_seccomp () in
+  ignore (Vmm.boot vmm ~version);
+  let t0 = H.Clock.now_ns host.H.Host.clock in
+  let config =
+    let open Vmsh.Attach.Config in
+    let c = make () in
+    let c = match cache with Some k -> with_symbol_cache k c | None -> c in
+    if fault_rate > 0.0 then
+      with_faults (Faults.create ~seed:((seed * 31) + index) ~rate:fault_rate ()) c
+    else c
+  in
+  let result =
+    match
+      Vmsh.Attach.attach host ~hypervisor_pid:(Vmm.pid vmm)
+        ~fs_image:(tools_image host.H.Host.clock)
+        ~config
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    with
+    | Error e -> Error (Vmsh.Vmsh_error.to_string e)
+    | Ok sess ->
+        ignore (Vmsh.Attach.console_recv sess);
+        let out = Vmsh.Attach.console_roundtrip sess "hostname" in
+        Vmsh.Attach.detach sess;
+        if String.length out = 0 then Error "console dead after attach"
+        else Ok ()
+  in
+  let now = H.Clock.now_ns host.H.Host.clock in
+  results.(index) <-
+    Some
+      {
+        s_name = name;
+        s_result = result;
+        s_attach_ns = now -. t0;
+        s_total_ns = now;
+      }
+
+let counter_value mx name =
+  Observe.Metrics.counter_value (Observe.Metrics.counter mx name)
+
+let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
+    ?(fault_rate = 0.0) ?(share_symbols = true) ~vms () =
+  if vms <= 0 then invalid_arg "Fleet.run: vms must be positive";
+  let cache =
+    if share_symbols then Some (Vmsh.Symbol_analysis.Cache.create ()) else None
+  in
+  let sched = Sched.create () in
+  let schedule = Buffer.create (vms * 256) in
+  let slice = ref 0 in
+  Sched.set_tracer sched
+    (Some
+       (fun ~name ~now_ns ->
+         Buffer.add_string schedule
+           (Printf.sprintf "slice %d %s t=%.0f\n" !slice name now_ns);
+         incr slice));
+  let results = Array.make vms None in
+  let hosts =
+    List.init vms (fun i ->
+        (* distinct, well-separated seed per session: each host draws an
+           independent deterministic RNG stream *)
+        let host = H.Host.create ~seed:((seed * 1009) + (i * 17)) () in
+        let name = Printf.sprintf "vm%d" i in
+        Sched.spawn sched ~name ~clock:host.H.Host.clock
+          (session ~host ~name ~profile ~version ~fault_rate ~seed ~index:i
+             ~cache results);
+        host)
+  in
+  let outcomes = Sched.run sched in
+  List.iteri
+    (fun i (name, outcome) ->
+      match (outcome, results.(i)) with
+      | Sched.Done, Some _ -> ()
+      | Sched.Done, None | Sched.Failed _, _ ->
+          (* the fiber died before filing its report (escaped exception
+             or an aborted run): synthesize a failed session so the
+             report always has [vms] entries *)
+          let msg =
+            match outcome with
+            | Sched.Failed e -> Printexc.to_string e
+            | Sched.Done -> "session filed no report"
+          in
+          let host = List.nth hosts i in
+          results.(i) <-
+            Some
+              {
+                s_name = name;
+                s_result = Error msg;
+                s_attach_ns = Float.nan;
+                s_total_ns = H.Clock.now_ns host.H.Host.clock;
+              })
+    outcomes;
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) host ->
+        let mx = Observe.metrics host.H.Host.observe in
+        ( h + counter_value mx "symcache.hits",
+          m + counter_value mx "symcache.misses" ))
+      (0, 0) hosts
+  in
+  {
+    r_vms = vms;
+    r_seed = seed;
+    r_sessions = List.filter_map Fun.id (Array.to_list results);
+    r_yields = Sched.yields sched;
+    r_cache_hits = hits;
+    r_cache_misses = misses;
+    r_schedule = Buffer.contents schedule;
+  }
+
+let successes r =
+  List.filter_map
+    (fun s -> if Result.is_ok s.s_result then Some s.s_attach_ns else None)
+    r.r_sessions
+
+let record mx ~label r =
+  let hist = Observe.Metrics.histogram mx ("fleet.attach_ns." ^ label) in
+  List.iter (Observe.Metrics.observe hist) (successes r);
+  let bump name by =
+    Observe.Metrics.incr ~by (Observe.Metrics.counter mx name)
+  in
+  if r.r_cache_hits > 0 then bump "symcache.hits" r.r_cache_hits;
+  if r.r_cache_misses > 0 then bump "symcache.misses" r.r_cache_misses;
+  bump ("fleet.yields." ^ label) r.r_yields;
+  let failures =
+    List.length (List.filter (fun s -> Result.is_error s.s_result) r.r_sessions)
+  in
+  if failures > 0 then bump ("fleet.failures." ^ label) failures
+
+let attach_p r p =
+  match successes r with
+  | [] -> Float.nan
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) i))

@@ -1,0 +1,60 @@
+(** Fleet attach engine: N concurrent VMSH attaches over virtual time.
+
+    Each session is a fully independent simulated machine — its own
+    {!Hostos.Host.t} (clock, RNG, fault plan), its own hypervisor and
+    guest, its own attach. The {!Sched} scheduler interleaves the
+    sessions at the yield points the attach path exposes (one injected
+    syscall, one KVM_RUN, one status poll per slice), always resuming
+    the session whose virtual clock is furthest behind — the
+    discrete-event analogue of N vmsh processes sharing one physical
+    host.
+
+    Sessions share exactly one piece of state by design: the
+    {!Vmsh.Symbol_analysis.Cache}, so the first attach pays the full
+    binary analysis and the other N-1 hit the build-id cache — the
+    fleet-scale payoff the bench measures.
+
+    Everything is deterministic: same [seed] and [vms] give a
+    byte-identical {!report.schedule} and metrics. *)
+
+type session_report = {
+  s_name : string;  (** ["vm0"], ["vm1"], … *)
+  s_result : (unit, string) result;  (** rendered {!Vmsh.Vmsh_error.t} *)
+  s_attach_ns : float;  (** virtual boot-to-overlay attach latency *)
+  s_total_ns : float;  (** session's final virtual time *)
+}
+
+type report = {
+  r_vms : int;
+  r_seed : int;
+  r_sessions : session_report list;  (** in session order *)
+  r_yields : int;  (** scheduler suspensions across the run *)
+  r_cache_hits : int;  (** symcache.hits summed over sessions *)
+  r_cache_misses : int;
+  r_schedule : string;
+      (** one line per scheduling decision ("slice N vmK t=NS") — the
+          byte-comparable witness of the interleaving *)
+}
+
+val run :
+  ?seed:int ->
+  ?profile:Hypervisor.Profile.t ->
+  ?version:Linux_guest.Kernel_version.t ->
+  ?fault_rate:float ->
+  ?share_symbols:bool ->
+  vms:int -> unit -> report
+(** Boot and attach [vms] sessions concurrently. [fault_rate] arms an
+    independent per-session fault plan (default 0: clean runs).
+    [share_symbols] (default true) shares the build-id symbol cache
+    across sessions. A session failure is reported in its
+    {!session_report}, never raised. *)
+
+val record : Observe.Metrics.t -> label:string -> report -> unit
+(** Fold a report into a metrics registry: an
+    [fleet.attach_ns.<label>] histogram over the successful sessions'
+    attach latencies, plus [symcache.hits] / [symcache.misses] /
+    [fleet.yields.<label>] / [fleet.failures.<label>] counters. *)
+
+val attach_p : report -> float -> float
+(** [attach_p r 0.99]: percentile over the successful sessions' attach
+    latencies (virtual ns); [nan] when none succeeded. *)

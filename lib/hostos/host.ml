@@ -234,6 +234,33 @@ let process_vm_read t ~caller ~pid ~addr ~len =
         | exception Invalid_argument _ -> Error Errno.EFAULT
       end
 
+(* Vectored remote copies: the whole iovec batch is one syscall entry —
+   one permission check, one fault-injection draw, copy cost charged on
+   the summed byte count. A bad segment fails the batch atomically
+   (nothing observable was transferred), mirroring the partial-transfer
+   guard our callers would otherwise need. *)
+let process_vm_readv t ~caller ~pid ~iov =
+  match find_proc t ~pid with
+  | None -> Error Errno.ESRCH
+  | Some target ->
+      if not (may_access caller target) then Error Errno.EPERM
+      else if Faults.fire t.faults Faults.Vm_rw_efault then begin
+        Clock.syscall t.clock;
+        Error Errno.EFAULT
+      end
+      else begin
+        Clock.syscall t.clock;
+        Clock.copy_bytes_remote t.clock
+          (List.fold_left (fun acc (_, len) -> acc + len) 0 iov);
+        try
+          Ok
+            (List.map
+               (fun (addr, len) ->
+                 Mem.Addr_space.read target.Proc.aspace addr len)
+               iov)
+        with Invalid_argument _ -> Error Errno.EFAULT
+      end
+
 let process_vm_write t ~caller ~pid ~addr b =
   match find_proc t ~pid with
   | None -> Error Errno.ESRCH
@@ -249,4 +276,25 @@ let process_vm_write t ~caller ~pid ~addr b =
         match Mem.Addr_space.write target.Proc.aspace addr b with
         | () -> Ok ()
         | exception Invalid_argument _ -> Error Errno.EFAULT
+      end
+
+let process_vm_writev t ~caller ~pid ~iov =
+  match find_proc t ~pid with
+  | None -> Error Errno.ESRCH
+  | Some target ->
+      if not (may_access caller target) then Error Errno.EPERM
+      else if Faults.fire t.faults Faults.Vm_rw_efault then begin
+        Clock.syscall t.clock;
+        Error Errno.EFAULT
+      end
+      else begin
+        Clock.syscall t.clock;
+        Clock.copy_bytes_remote t.clock
+          (List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 iov);
+        try
+          List.iter
+            (fun (addr, b) -> Mem.Addr_space.write target.Proc.aspace addr b)
+            iov;
+          Ok ()
+        with Invalid_argument _ -> Error Errno.EFAULT
       end

@@ -85,3 +85,25 @@ val process_vm_read :
 
 val process_vm_write :
   t -> caller:Proc.t -> pid:int -> addr:int -> bytes -> unit Errno.result
+
+val process_vm_readv :
+  t ->
+  caller:Proc.t ->
+  pid:int ->
+  iov:(int * int) list ->
+  bytes list Errno.result
+(** Vectored read: one syscall entry covering every [(addr, len)]
+    segment — one permission/fault check, copy cost charged on the
+    summed length. Fails atomically: any unreadable segment fails the
+    whole call. *)
+
+val process_vm_writev :
+  t ->
+  caller:Proc.t ->
+  pid:int ->
+  iov:(int * bytes) list ->
+  unit Errno.result
+(** Vectored write: one syscall entry for the batch. Segments are
+    written in order; a faulting segment stops the batch with EFAULT
+    (earlier segments stay written, as with the real syscall's partial
+    transfer). *)

@@ -614,6 +614,8 @@ let dev_kvm host proc =
         ~label:"/dev/kvm" ())
 
 let run_vcpu host proc thread ~vcpu_fd =
+  (* fleet interleave point: one KVM_RUN per scheduler slice *)
+  Sched.yield ();
   let ret =
     Syscall.call host proc thread ~nr:Syscall.Nr.ioctl
       ~args:[| vcpu_fd.Fd.num; Api.run; 0 |]

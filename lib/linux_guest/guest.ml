@@ -19,6 +19,7 @@ let image_pad = 0x20_0000
 
 (* Fixed offsets inside the kernel image. The analyzer never learns
    these; it must rediscover the sections by scanning. *)
+let buildid_off = 0x200
 let idle_off = 0x800
 let kfun_base_off = 0x1000
 let kfun_stride = 0x40
@@ -621,6 +622,14 @@ let build_image t ~syms =
   (* idle loop marker *)
   Bytes.blit_string "\xf4\xeb\xfd" 0 img idle_off 3;
   (* hlt; jmp *)
+  (* build-id note: identifies the kernel *build*, not this boot — the
+     per-VM rng noise above differs across VMs of the same build, so
+     the id is derived from the version banner alone (as a distro
+     kernel's NT_GNU_BUILD_ID is fixed per package) *)
+  let bid =
+    "VMSHBID0" ^ Digest.to_hex (Digest.string (Kernel_version.banner t.ver))
+  in
+  Bytes.blit_string bid 0 img buildid_off (String.length bid);
   (* banner *)
   let banner = Kernel_version.banner t.ver in
   Bytes.blit_string banner 0 img banner_off (String.length banner);

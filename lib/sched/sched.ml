@@ -1,0 +1,120 @@
+(* Cooperative scheduler over virtual time.
+
+   Implemented with OCaml 5 effects: a fiber performs [Yield]; the
+   handler stashes its continuation and returns control to the
+   scheduler loop, which resumes the runnable fiber with the smallest
+   [Clock.now_ns]. Determinism hinges on exactly two things: the pick
+   is a pure function of (virtual time, spawn id), and fibers never
+   touch shared mutable state between yield points except through
+   their own per-session Host. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type outcome = Done | Failed of exn
+
+type fiber = {
+  id : int;
+  name : string;
+  clock : Hostos.Clock.t;
+  mutable resume : (unit -> unit) option;
+  mutable outcome : outcome option;
+}
+
+type t = {
+  mutable fibers : fiber list; (* reverse spawn order *)
+  mutable yields : int;
+  mutable running : bool;
+  mutable tracer : (name:string -> now_ns:float -> unit) option;
+}
+
+(* The scheduler currently driving fibers, if any. [yield] outside a
+   run must be a no-op so yield points can live in library code that
+   is also exercised by ordinary single-session callers. *)
+let current : t option ref = ref None
+
+let create () = { fibers = []; yields = 0; running = false; tracer = None }
+let set_tracer t tracer = t.tracer <- tracer
+
+let spawn t ~name ~clock body =
+  let fiber =
+    { id = List.length t.fibers; name; clock; resume = None; outcome = None }
+  in
+  fiber.resume <-
+    Some
+      (fun () ->
+        match_with body ()
+          {
+            retc = (fun () -> fiber.outcome <- Some Done);
+            exnc = (fun e -> fiber.outcome <- Some (Failed e));
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Yield ->
+                    Some
+                      (fun (k : (a, _) continuation) ->
+                        fiber.resume <- Some (fun () -> continue k ()))
+                | _ -> None);
+          });
+  t.fibers <- fiber :: t.fibers
+
+let yield () =
+  match !current with
+  | Some t ->
+      t.yields <- t.yields + 1;
+      perform Yield
+  | None -> ()
+
+let pick fibers =
+  List.fold_left
+    (fun best f ->
+      match (f.resume, best) with
+      | None, _ -> best
+      | Some _, None -> Some f
+      | Some _, Some b ->
+          let tf = Hostos.Clock.now_ns f.clock
+          and tb = Hostos.Clock.now_ns b.clock in
+          if tf < tb || (tf = tb && f.id < b.id) then Some f else best)
+    None fibers
+
+let run t =
+  if t.running then invalid_arg "Sched.run: scheduler already running";
+  (match !current with
+  | Some _ -> invalid_arg "Sched.run: another scheduler is running"
+  | None -> ());
+  t.running <- true;
+  current := Some t;
+  let finish () =
+    current := None;
+    t.running <- false
+  in
+  (try
+     let rec loop () =
+       match pick t.fibers with
+       | None -> ()
+       | Some f ->
+           (match t.tracer with
+           | Some trace ->
+               trace ~name:f.name ~now_ns:(Hostos.Clock.now_ns f.clock)
+           | None -> ());
+           let resume = Option.get f.resume in
+           f.resume <- None;
+           resume ();
+           loop ()
+     in
+     loop ()
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  List.rev_map
+    (fun f ->
+      ( f.name,
+        match f.outcome with
+        | Some o -> o
+        | None -> Failed (Invalid_argument "Sched: fiber never completed") ))
+    t.fibers
+
+let yields t = t.yields

@@ -1,0 +1,42 @@
+(** Cooperative virtual-time scheduler.
+
+    A [t] multiplexes N fibers, each pinned to its own
+    {!Hostos.Clock.t}. Fibers suspend at explicit {!yield} points
+    (effect-based, no threads); the scheduler always resumes the
+    runnable fiber whose clock shows the smallest virtual time,
+    breaking ties by spawn order. The pick is a pure function of the
+    fibers' virtual clocks, so a run's interleaving — and therefore
+    every trace and metric derived from it — is byte-identical across
+    repeats with the same seeds.
+
+    [yield] called outside a scheduler run is a no-op, so library code
+    can sprinkle yield points unconditionally. *)
+
+type t
+
+type outcome = Done | Failed of exn
+
+val create : unit -> t
+
+val spawn : t -> name:string -> clock:Hostos.Clock.t -> (unit -> unit) -> unit
+(** Register a fiber. Its body runs when {!run} is called; exceptions
+    are captured per-fiber (one session's failure does not unwind the
+    fleet). *)
+
+val run : t -> (string * outcome) list
+(** Drive all fibers to completion, interleaving at yield points in
+    ascending virtual-time order. Returns per-fiber outcomes in spawn
+    order. Raises [Invalid_argument] on re-entrant use. *)
+
+val yield : unit -> unit
+(** Suspend the current fiber and let the scheduler pick the next one.
+    No-op when no scheduler is running. *)
+
+val yields : t -> int
+(** Total number of suspensions taken during {!run}. *)
+
+val set_tracer : t -> (name:string -> now_ns:float -> unit) option -> unit
+(** Observe every scheduling decision: called with the chosen fiber and
+    its virtual time just before each resume. Because the pick is
+    deterministic, the emitted schedule is too — the fleet determinism
+    test compares it byte for byte. *)

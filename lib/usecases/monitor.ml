@@ -63,7 +63,7 @@ let collect h ~vmm =
       ~pump:(fun () -> Vmm.run_until_idle vmm)
       ()
   with
-  | Error e -> Error e
+  | Error e -> Error (Vmsh.Vmsh_error.to_string e)
   | Ok session ->
       let ps = Vmsh.Attach.console_roundtrip session "ps" in
       let df = Vmsh.Attach.console_roundtrip session "df" in

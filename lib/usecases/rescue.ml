@@ -16,10 +16,9 @@ let rescue_image () =
 
 let reset_password h ~vmm ~user ~password =
   let config =
-    {
-      Vmsh.Attach.default_config with
-      command = Some (Printf.sprintf "chpasswd %s %s" user password);
-    }
+    Vmsh.Attach.Config.(
+      make ()
+      |> with_command (Printf.sprintf "chpasswd %s %s" user password))
   in
   match
     Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
@@ -27,7 +26,7 @@ let reset_password h ~vmm ~user ~password =
       ~pump:(fun () -> Vmm.run_until_idle vmm)
       ()
   with
-  | Error e -> Error e
+  | Error e -> Error (Vmsh.Vmsh_error.to_string e)
   | Ok session ->
       let out = Vmsh.Attach.console_recv session in
       Vmsh.Attach.detach session;

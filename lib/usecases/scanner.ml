@@ -72,7 +72,7 @@ let scan h ~vmm ?(secdb = default_secdb) () =
       ~pump:(fun () -> Vmm.run_until_idle vmm)
       ()
   with
-  | Error e -> Error e
+  | Error e -> Error (Vmsh.Vmsh_error.to_string e)
   | Ok session ->
       let out =
         Vmsh.Attach.console_roundtrip session "cat /var/lib/vmsh/lib/apk/db/installed"

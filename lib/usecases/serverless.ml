@@ -118,7 +118,7 @@ let debug_shell h t lam =
       ~pump:(fun () -> Vmm.run_until_idle lam.vmm)
       ()
   with
-  | Error e -> Error e
+  | Error e -> Error (Vmsh.Vmsh_error.to_string e)
   | Ok session ->
       (* the integration prevents scale-down while the user debugs *)
       lam.pinned <- true;

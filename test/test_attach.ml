@@ -67,10 +67,11 @@ let setup ?(profile = Profile.qemu) ?(version = KV.V5_10) ?(seed = 23)
   (h, vmm, g)
 
 let do_attach ?config (h, vmm, _g) =
-  Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm) ~fs_image:(make_fs_image ())
-    ?config
-    ~pump:(fun () -> Vmm.run_until_idle vmm)
-    ()
+  Result.map_error Vmsh.Vmsh_error.to_string
+    (Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+       ~fs_image:(make_fs_image ()) ?config
+       ~pump:(fun () -> Vmm.run_until_idle vmm)
+       ())
 
 let test_attach_ioregionfd () =
   let env = setup () in
@@ -87,7 +88,8 @@ let test_attach_ioregionfd () =
 let test_attach_wrap_syscall () =
   let env = setup () in
   let config =
-    { Vmsh.Attach.default_config with transport = Vmsh.Devices.Wrap_syscall }
+    Vmsh.Attach.Config.with_transport Vmsh.Devices.Wrap_syscall
+      (Vmsh.Attach.Config.make ())
   in
   match do_attach ~config env with
   | Error e -> Alcotest.failf "attach failed: %s" e
@@ -187,7 +189,7 @@ let test_firecracker_seccomp_heuristic () =
      attach completes without disabling seccomp *)
   let env = setup ~profile:Profile.firecracker ~disable_seccomp:false () in
   let config =
-    { Vmsh.Attach.default_config with seccomp_heuristic = true }
+    Vmsh.Attach.Config.with_seccomp_heuristic true (Vmsh.Attach.Config.make ())
   in
   match do_attach ~config env with
   | Ok session ->
@@ -205,7 +207,7 @@ let test_cloud_hypervisor_pci_transport () =
   | Ok _ -> Alcotest.fail "MMIO transport should be refused"
   | Error _ -> ());
   let env = setup ~profile:Profile.cloud_hypervisor ~seed:29 () in
-  let config = { Vmsh.Attach.default_config with pci = true } in
+  let config = Vmsh.Attach.Config.with_pci true (Vmsh.Attach.Config.make ()) in
   match do_attach ~config env with
   | Error e -> Alcotest.failf "PCI attach failed: %s" e
   | Ok session ->
@@ -220,7 +222,7 @@ let test_cloud_hypervisor_pci_transport () =
 let test_pci_transport_on_qemu_too () =
   (* the PCI transport is not Cloud-Hypervisor-specific *)
   let env = setup ~seed:31 () in
-  let config = { Vmsh.Attach.default_config with pci = true } in
+  let config = Vmsh.Attach.Config.with_pci true (Vmsh.Attach.Config.make ()) in
   match do_attach ~config env with
   | Error e -> Alcotest.failf "attach: %s" e
   | Ok session ->
@@ -366,10 +368,8 @@ let test_container_aware_attach () =
           ~image:[ ("/etc/web.conf", "listen 80\n") ])
   in
   let config =
-    {
-      Vmsh.Attach.default_config with
-      container_pid = Some container.Linux_guest.Gproc.gpid;
-    }
+    Vmsh.Attach.Config.with_container_pid container.Linux_guest.Gproc.gpid
+      (Vmsh.Attach.Config.make ())
   in
   match do_attach ~config env with
   | Error e -> Alcotest.failf "container attach: %s" e
@@ -448,7 +448,8 @@ let test_multi_vcpu_attach () =
   with
   | Ok session ->
       check cint "done" Vmsh.Klib_builder.status_done (Vmsh.Attach.status session)
-  | Error e -> Alcotest.failf "attach to 4-vcpu VM: %s" e
+  | Error e ->
+      Alcotest.failf "attach to 4-vcpu VM: %s" (Vmsh.Vmsh_error.to_string e)
 
 let test_loader_region_never_overlaps =
   (* DESIGN.md ablation promise: the top-of-address-space placement never

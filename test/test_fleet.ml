@@ -1,0 +1,274 @@
+(* The fleet attach engine and the redesigned session API: scheduler
+   determinism, config-builder validation, the error taxonomy's
+   round-trips, and the cache-accelerated concurrent attach itself. *)
+
+module H = Hostos
+module E = Vmsh.Vmsh_error
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+(* --- scheduler --- *)
+
+let test_sched_orders_by_virtual_time () =
+  (* three fibers burning different per-slice costs: the trace must
+     always resume the fiber whose clock is furthest behind *)
+  let sched = Sched.create () in
+  let order = Buffer.create 64 in
+  Sched.set_tracer sched
+    (Some (fun ~name ~now_ns:_ -> Buffer.add_string order (name ^ ";")));
+  let fiber name cost =
+    let clock = H.Clock.create () in
+    Sched.spawn sched ~name ~clock (fun () ->
+        for _ = 1 to 3 do
+          H.Clock.advance clock cost;
+          Sched.yield ()
+        done)
+  in
+  fiber "slow" 300.;
+  fiber "fast" 100.;
+  let outcomes = Sched.run sched in
+  List.iter
+    (fun (n, o) -> check cbool (n ^ " done") true (o = Sched.Done))
+    outcomes;
+  (* both start at t=0 (spawn order breaks the tie), then fast runs
+     three slices for every one of slow's *)
+  (* the final "slow;slow;" is the run-to-completion pair: once fast
+     finishes at t=300, slow owns the tail of the schedule *)
+  check cstr "interleave"
+    "slow;fast;fast;fast;slow;fast;slow;slow;" (Buffer.contents order);
+  check cint "yields counted" 6 (Sched.yields sched)
+
+let test_sched_captures_fiber_failure () =
+  let sched = Sched.create () in
+  let clock = H.Clock.create () in
+  Sched.spawn sched ~name:"ok" ~clock (fun () -> Sched.yield ());
+  Sched.spawn sched ~name:"bad" ~clock:(H.Clock.create ()) (fun () ->
+      failwith "boom");
+  match Sched.run sched with
+  | [ ("ok", Sched.Done); ("bad", Sched.Failed e) ] ->
+      check cstr "failure preserved" "boom"
+        (match e with Failure m -> m | _ -> Printexc.to_string e)
+  | outcomes ->
+      Alcotest.failf "unexpected outcomes (%d fibers)" (List.length outcomes)
+
+let test_yield_outside_run_is_noop () =
+  Sched.yield ();
+  Sched.yield ()
+
+(* --- config builder --- *)
+
+let validate c =
+  match Vmsh.Attach.Config.validate c with
+  | Ok _ -> Ok ()
+  | Error m -> Error m
+
+let test_config_defaults_valid () =
+  check cbool "defaults validate" true
+    (Result.is_ok (validate (Vmsh.Attach.Config.make ())))
+
+let test_config_rejects_pci_wrap_conflict () =
+  let c =
+    Vmsh.Attach.Config.with_pci true
+      (Vmsh.Attach.Config.with_transport Vmsh.Devices.Wrap_syscall
+         (Vmsh.Attach.Config.make ()))
+  in
+  match validate c with
+  | Ok () -> Alcotest.fail "pci + wrap_syscall must be rejected"
+  | Error m -> check cbool "names the conflict" true (String.length m > 0)
+
+let test_config_rejects_miscabled_net () =
+  let h = H.Host.create ~seed:3 () in
+  let fabric_a = Net.Fabric.of_host h in
+  let h2 = H.Host.create ~seed:4 () in
+  let fabric_b = Net.Fabric.of_host h2 in
+  let link = Net.Link.create fabric_b ~name:"wrong" () in
+  let c =
+    Vmsh.Attach.Config.with_net
+      { Vmsh.Attach.fabric = fabric_a; port = Net.Link.a link }
+      (Vmsh.Attach.Config.make ())
+  in
+  (match validate c with
+  | Ok () -> Alcotest.fail "port on another fabric must be rejected"
+  | Error _ -> ());
+  (* correctly cabled passes *)
+  let good =
+    Vmsh.Attach.Config.with_net
+      { Vmsh.Attach.fabric = fabric_b; port = Net.Link.a link }
+      (Vmsh.Attach.Config.make ())
+  in
+  check cbool "same fabric validates" true (Result.is_ok (validate good))
+
+let test_config_rejects_bad_pid_and_command () =
+  let bad_pid =
+    Vmsh.Attach.Config.with_container_pid 0 (Vmsh.Attach.Config.make ())
+  in
+  check cbool "pid 0 rejected" true (Result.is_error (validate bad_pid));
+  let bad_cmd =
+    Vmsh.Attach.Config.with_command "" (Vmsh.Attach.Config.make ())
+  in
+  check cbool "empty command rejected" true (Result.is_error (validate bad_cmd))
+
+let test_invalid_config_surfaces_through_attach () =
+  let env = Test_attach.setup ~seed:51 () in
+  let config =
+    Vmsh.Attach.Config.with_pci true
+      (Vmsh.Attach.Config.with_transport Vmsh.Devices.Wrap_syscall
+         (Vmsh.Attach.Config.make ()))
+  in
+  match Test_attach.do_attach ~config env with
+  | Ok _ -> Alcotest.fail "invalid config must not attach"
+  | Error e ->
+      check cbool "rendered as invalid attach config" true
+        (String.length e >= 21 && String.sub e 0 21 = "invalid attach config")
+
+(* --- error taxonomy --- *)
+
+let test_error_roundtrips () =
+  let cases =
+    [
+      E.Attach_aborted (E.Msg "tracee has no threads");
+      E.Attach_aborted (E.Guest_fault "triple fault");
+      E.Guest_error Vmsh.Klib_builder.status_err_blk;
+      E.Guest_fault "bad opcode";
+      E.Substrate H.Errno.EPERM;
+      E.Injection ("ptrace attach", H.Errno.EACCES);
+      E.Injection ("injected ioctl failed", H.Errno.EINTR);
+      E.Timeout 1;
+      E.Invalid_config "container_pid must be positive";
+      E.Context ("KVM_SET_GSI_ROUTING", E.Substrate H.Errno.EINVAL);
+      E.Context
+        ( "reading vCPU registers",
+          E.Injection ("injection transport", H.Errno.ESRCH) );
+    ]
+  in
+  List.iter
+    (fun e ->
+      let rendered = E.to_string e in
+      check cbool
+        ("roundtrip: " ^ rendered)
+        true
+        (E.of_string rendered = e))
+    cases
+
+let test_error_strings_preserve_legacy_messages () =
+  check cstr "guest status note"
+    "guest library failed with status 0x82 (block device registration)"
+    (E.to_string (E.Guest_error Vmsh.Klib_builder.status_err_blk));
+  check cstr "attach aborted prefix" "attach aborted: guest error: boom"
+    (E.to_string (E.Attach_aborted (E.Guest_fault "boom")));
+  check cstr "injection style"
+    ("ptrace attach: errno " ^ H.Errno.show H.Errno.EPERM)
+    (E.to_string (E.Injection ("ptrace attach", H.Errno.EPERM)));
+  check cstr "substrate context"
+    ("bind /run/x.sock: " ^ H.Errno.show H.Errno.EACCES)
+    (E.to_string (E.substrate "bind /run/x.sock" H.Errno.EACCES))
+
+(* --- device registry --- *)
+
+let test_gsi_plan_matches_legacy_assignment () =
+  match
+    Vmsh.Devices.gsi_plan
+      [ Vmsh.Devices.Console; Vmsh.Devices.Blk; Vmsh.Devices.Net;
+        Vmsh.Devices.Ninep ]
+  with
+  | [ (Vmsh.Devices.Console, 24); (Vmsh.Devices.Blk, 25);
+      (Vmsh.Devices.Net, 26); (Vmsh.Devices.Ninep, 27) ] ->
+      ()
+  | plan -> Alcotest.failf "unexpected plan (%d entries)" (List.length plan)
+
+(* --- fleet engine --- *)
+
+let test_fleet_attaches_all_sessions () =
+  let r = Fleet.run ~seed:5 ~vms:3 () in
+  check cint "three sessions" 3 (List.length r.Fleet.r_sessions);
+  List.iter
+    (fun s ->
+      check cbool (s.Fleet.s_name ^ " attached") true
+        (Result.is_ok s.Fleet.s_result))
+    r.Fleet.r_sessions;
+  check cbool "scheduler interleaved" true (r.Fleet.r_yields > 0);
+  check cbool "schedule nonempty" true (String.length r.Fleet.r_schedule > 0)
+
+let test_fleet_shares_symbol_cache () =
+  let r = Fleet.run ~seed:6 ~vms:4 () in
+  check cint "one full analysis" 1 r.Fleet.r_cache_misses;
+  check cint "rest hit the cache" 3 r.Fleet.r_cache_hits;
+  (* the hit must be measurably cheaper: every cached session attaches
+     faster than the one that paid the image scan *)
+  match r.Fleet.r_sessions with
+  | first :: rest ->
+      List.iter
+        (fun s ->
+          check cbool (s.Fleet.s_name ^ " faster than cold attach") true
+            (s.Fleet.s_attach_ns < first.Fleet.s_attach_ns))
+        rest
+  | [] -> Alcotest.fail "no sessions"
+
+let test_fleet_no_sharing_all_miss () =
+  let r = Fleet.run ~seed:6 ~vms:2 ~share_symbols:false () in
+  check cint "no hits" 0 r.Fleet.r_cache_hits;
+  check cint "no misses counted (no cache armed)" 0 r.Fleet.r_cache_misses
+
+let test_fleet_deterministic () =
+  (* the acceptance bar: two identical runs, byte-identical schedules
+     and metrics *)
+  let run () =
+    let r = Fleet.run ~seed:7 ~vms:8 () in
+    let obs = Observe.create ~now:(fun () -> 0.0) () in
+    Fleet.record (Observe.metrics obs) ~label:"n8" r;
+    (r.Fleet.r_schedule, Observe.Export.metrics_json obs)
+  in
+  let sched_a, metrics_a = run () in
+  let sched_b, metrics_b = run () in
+  check cstr "byte-identical schedule" sched_a sched_b;
+  check cstr "byte-identical metrics" metrics_a metrics_b;
+  check cbool "schedule mentions every session" true
+    (List.for_all
+       (fun i ->
+         let needle = Printf.sprintf " vm%d " i in
+         let hay = " " ^ sched_a ^ " " in
+         let rec find j =
+           j + String.length needle <= String.length hay
+           && (String.sub hay j (String.length needle) = needle
+              || find (j + 1))
+         in
+         find 0)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  [
+    ( "sched",
+      [
+        t "resumes smallest virtual time" test_sched_orders_by_virtual_time;
+        t "captures fiber failure" test_sched_captures_fiber_failure;
+        t "yield outside run is noop" test_yield_outside_run_is_noop;
+      ] );
+    ( "attach.config",
+      [
+        t "defaults valid" test_config_defaults_valid;
+        t "pci + wrap_syscall rejected" test_config_rejects_pci_wrap_conflict;
+        t "miscabled net rejected" test_config_rejects_miscabled_net;
+        t "bad pid / empty command rejected"
+          test_config_rejects_bad_pid_and_command;
+        t "invalid config surfaces through attach"
+          test_invalid_config_surfaces_through_attach;
+      ] );
+    ( "vmsh.errors",
+      [
+        t "to_string/of_string roundtrip" test_error_roundtrips;
+        t "legacy messages preserved" test_error_strings_preserve_legacy_messages;
+      ] );
+    ( "devices.registry",
+      [ t "gsi plan matches legacy" test_gsi_plan_matches_legacy_assignment ] );
+    ( "fleet",
+      [
+        t "all sessions attach" test_fleet_attaches_all_sessions;
+        t "symbol cache shared" test_fleet_shares_symbol_cache;
+        t "sharing can be disabled" test_fleet_no_sharing_all_miss;
+        t "vms=8 byte-identical runs" test_fleet_deterministic;
+      ] );
+  ]

@@ -56,7 +56,7 @@ let test_vmsh_blk_more_context_switches () =
         ~pump:(fun () -> Vmm.run_until_idle vmm)
         ()
     with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Vmsh.Vmsh_error.to_string e)
     | Ok _ -> (h, vmm, g)
   in
   let h, vmm, g = run_attached () in

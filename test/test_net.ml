@@ -173,7 +173,9 @@ let attach_with_net ?(mode = Traffic.Echo) ?(loss = 0.0) ?(seed = 23) () =
   let h, vmm, g = Test_attach.setup ~seed () in
   let fabric, guest_port = Traffic.make_network h ~mode ~loss () in
   let config =
-    { Vmsh.Attach.default_config with net = Some (fabric, guest_port) }
+    Vmsh.Attach.Config.with_net
+      { Vmsh.Attach.fabric; port = guest_port }
+      (Vmsh.Attach.Config.make ())
   in
   match Test_attach.do_attach ~config (h, vmm, g) with
   | Error e -> Alcotest.failf "attach failed: %s" e

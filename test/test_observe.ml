@@ -122,7 +122,8 @@ let attach h vmm =
       ()
   with
   | Ok s -> s
-  | Error e -> Alcotest.failf "attach failed: %s" e
+  | Error e ->
+      Alcotest.failf "attach failed: %s" (Vmsh.Vmsh_error.to_string e)
 
 let traced_attach ~seed =
   let h, vmm = boot ~seed in
