@@ -803,11 +803,74 @@ let run_latency () =
         (Fleet.attach_p r 0.50 /. 1e6)
         (Fleet.attach_p r 0.99 /. 1e6))
     [ 1; 8; 64 ];
+  (* transactional detach: attach+detach round-trip latency with the
+     journal on, the snapshot oracle re-checked per cycle, and the
+     journal's fault-free overhead vs the with_journal-false ablation *)
+  let dobs = Observe.create ~now:(fun () -> 0.0) () in
+  let dm = Observe.metrics dobs in
+  let detach_cycle ~seed ~journal =
+    let h = H.Host.create ~seed () in
+    let disk = make_disk ~blocks:4096 h in
+    let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+    let _g = Vmm.boot vmm ~version:KV.V5_10 in
+    let vm = Vmm.kvm_vm vmm in
+    let before = Vmsh.Snapshot.capture vm in
+    let t0 = Clock.now_ns h.H.Host.clock in
+    match
+      Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+        ~fs_image:(vmsh_image ~clock:h.H.Host.clock ~extra_blocks:64 ())
+        ~config:
+          (Vmsh.Attach.Config.with_journal journal
+             (Vmsh.Attach.Config.make ()))
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    with
+    | Error e -> failwith ("vmsh-detach attach: " ^ Vmsh.Vmsh_error.to_string e)
+    | Ok s ->
+        let late =
+          match Vmsh.Attach.journal s with
+          | Some j -> Vmsh.Journal.late_writes j
+          | None -> []
+        in
+        (match Vmsh.Attach.detach s with
+        | Ok () -> ()
+        | Error e ->
+            failwith ("vmsh-detach detach: " ^ Vmsh.Vmsh_error.to_string e));
+        let elapsed = Clock.now_ns h.H.Host.clock -. t0 in
+        if journal then begin
+          Observe.Metrics.observe
+            (Observe.Metrics.histogram dm "detach.roundtrip_ns")
+            elapsed;
+          let exclude = Vmsh.Snapshot.dirty_since vm before @ late in
+          Observe.Metrics.incr
+            (Observe.Metrics.counter dm
+               (if
+                  Vmsh.Snapshot.check ~before
+                    ~after:(Vmsh.Snapshot.capture vm) ~exclude
+                then "detach.oracle_pass"
+                else "detach.oracle_fail"))
+        end;
+        elapsed
+  in
+  let sum = List.fold_left ( +. ) 0.0 in
+  let journaled = sum (List.init 4 (fun i -> detach_cycle ~seed:(1700 + i) ~journal:true)) in
+  let bare = sum (List.init 4 (fun i -> detach_cycle ~seed:(1700 + i) ~journal:false)) in
+  let overhead_permille =
+    int_of_float ((journaled -. bare) /. bare *. 1000.)
+  in
+  Observe.Metrics.set_counter
+    (Observe.Metrics.counter dm "detach.journal_overhead_permille")
+    (max 0 overhead_permille);
+  Printf.printf
+    "vmsh-detach: attach+detach %.2f ms journaled vs %.2f ms bare (journal \
+     overhead %+.1f%%)\n"
+    (journaled /. 4. /. 1e6) (bare /. 4. /. 1e6)
+    (float_of_int overhead_permille /. 10.);
   let scenarios =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
-      ("vmsh-fleet", flobs);
+      ("vmsh-fleet", flobs); ("vmsh-detach", dobs);
     ]
   in
   let oc = open_out "BENCH_results.json" in

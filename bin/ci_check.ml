@@ -9,6 +9,9 @@
      ci_check bench FILE         BENCH_results.json scenarios
      ci_check fuzz FILE          fault-matrix gate: 0 hangs, 0 unclean,
                                  every fault class exercised
+     ci_check sweep FILE         crash-matrix gate: every abort-at-yield
+                                 point restored the guest, leaked no
+                                 descriptors, failed cleanly
 
    Note: the metrics exporter writes counter values as JSON strings;
    [int_field] accepts both numbers and numeric strings. *)
@@ -262,7 +265,10 @@ let check_bench path =
     (fun required ->
       if field scen required = None then
         fail "%s: missing scenario %S" path required)
-    [ "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet" ];
+    [
+      "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
+      "vmsh-detach";
+    ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
     field_exn ~ctx:path (field_exn ~ctx:path net "histograms") "net-echo.request_ns"
@@ -290,7 +296,27 @@ let check_bench path =
     [ (1, 1); (8, 8); (64, 64) ];
   let fcounters = field_exn ~ctx:path fleet "counters" in
   if int_field ~ctx:path fcounters "symcache.hits" < 1 then
-    fail "%s: vmsh-fleet symbol cache never hit" path
+    fail "%s: vmsh-fleet symbol cache never hit" path;
+  (* transactional detach: round-trips recorded, oracle clean, and the
+     journal's fault-free overhead within the 5%% acceptance bound *)
+  let detach = field_exn ~ctx:path scen "vmsh-detach" in
+  let dhist =
+    field_exn ~ctx:path
+      (field_exn ~ctx:path detach "histograms")
+      "detach.roundtrip_ns"
+  in
+  if int_field ~ctx:path dhist "count" < 1 then
+    fail "%s: vmsh-detach recorded no round-trips" path;
+  let dcounters = field_exn ~ctx:path detach "counters" in
+  if int_field ~ctx:path dcounters "detach.oracle_pass" < 1 then
+    fail "%s: vmsh-detach oracle never passed" path;
+  if opt_int_field ~ctx:path dcounters "detach.oracle_fail" > 0 then
+    fail "%s: vmsh-detach oracle failures" path;
+  let overhead =
+    int_field ~ctx:path dcounters "detach.journal_overhead_permille"
+  in
+  if overhead > 50 then
+    fail "%s: journal overhead %d permille exceeds the 5%% bound" path overhead
 
 let check_fleet path =
   let j = load path in
@@ -323,6 +349,28 @@ let check_fuzz path =
       if seen < 1 then fail "%s: fault class %S was never exercised" path cls)
     fault_classes
 
+let check_sweep path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let points = int_field ~ctx:path counters "sweep.points" in
+  if points < 1 then fail "%s: no sweep points recorded" path;
+  if int_field ~ctx:path counters "sweep.classes" < 2 then
+    fail "%s: sweep covered fewer than 2 fault classes" path;
+  let pass = int_field ~ctx:path counters "sweep.oracle_pass" in
+  let oracle_fail = opt_int_field ~ctx:path counters "sweep.oracle_fail" in
+  if oracle_fail > 0 then
+    fail "%s: %d sweep points left the guest mutated" path oracle_fail;
+  if pass <> points then
+    fail "%s: oracle passed %d of %d points" path pass points;
+  let leaked = opt_int_field ~ctx:path counters "sweep.leaked_fds" in
+  if leaked > 0 then fail "%s: %d descriptors leaked across the sweep" path leaked;
+  let unclean = opt_int_field ~ctx:path counters "sweep.unclean" in
+  if unclean > 0 then fail "%s: %d unclean failures in the sweep" path unclean;
+  if opt_int_field ~ctx:path counters "sweep.aborted" < 1 then
+    fail "%s: no crash point ever fired (sweep vacuous)" path;
+  if opt_int_field ~ctx:path counters "sweep.completed" < 1 then
+    fail "%s: no probe completed (sweep vacuous)" path
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "json" :: (_ :: _ as files) -> List.iter (fun f -> ignore (load f)) files
@@ -331,8 +379,9 @@ let () =
   | [ _; "bench"; f ] -> check_bench f
   | [ _; "fuzz"; f ] -> check_fuzz f
   | [ _; "fleet"; f ] -> check_fleet f
+  | [ _; "sweep"; f ] -> check_sweep f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
-         bench FILE | fuzz FILE | fleet FILE}";
+         bench FILE | fuzz FILE | fleet FILE | sweep FILE}";
       exit 2

@@ -120,8 +120,8 @@ let write_observe_outputs h ~trace_out ~metrics_out =
   !ok
 
 let attach_cmd =
-  let run verbose profile version transport commands net_echo trace_out
-      metrics_out =
+  let run verbose profile version transport commands net_echo detach_after
+      trace_out metrics_out =
     setup_logs verbose;
     let h, vmm, g = boot_vm ~profile ~version ~seed:11 in
     let obs = h.H.Host.observe in
@@ -147,6 +147,10 @@ let attach_cmd =
       | Some (fabric, port) ->
           Vmsh.Attach.Config.with_net { Vmsh.Attach.fabric; port } c
       | None -> c
+    in
+    let before =
+      if detach_after then Some (Vmsh.Snapshot.capture (Vmm.kvm_vm vmm))
+      else None
     in
     match
       Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
@@ -186,12 +190,43 @@ let attach_cmd =
           Format.printf "net echo over vmsh-net: %a@."
             Workloads.Traffic.pp_result r
         end;
-        Vmsh.Attach.detach session;
+        (* grab the journal's late-write intervals before detach replays
+           and drops the log *)
+        let late_writes =
+          match Vmsh.Attach.journal session with
+          | Some j -> Vmsh.Journal.late_writes j
+          | None -> []
+        in
+        (match Vmsh.Attach.detach session with
+        | Ok () -> ()
+        | Error e ->
+            ignore (write_observe_outputs h ~trace_out ~metrics_out);
+            Printf.eprintf "detach failed: %s\n" (Vmsh.Vmsh_error.to_string e);
+            exit 1);
         Observe.instant obs ~name:"cli.detached" ();
+        let oracle_ok =
+          match before with
+          | None -> true
+          | Some snap ->
+              let vm = Vmm.kvm_vm vmm in
+              let exclude = Vmsh.Snapshot.dirty_since vm snap @ late_writes in
+              let problems =
+                Vmsh.Snapshot.diff ~before:snap
+                  ~after:(Vmsh.Snapshot.capture vm) ~exclude
+              in
+              (match problems with
+              | [] ->
+                  Printf.printf
+                    "rollback oracle: guest restored byte-for-byte (modulo \
+                     guest-dirtied pages)\n"
+              | ps ->
+                  List.iter (Printf.eprintf "rollback oracle: %s\n") ps);
+              problems = []
+        in
         let outputs_ok = write_observe_outputs h ~trace_out ~metrics_out in
         Printf.printf "detached; %d block requests served by vmsh-blk\n"
           (Vmsh.Devices.stats_requests (Vmsh.Attach.devices session));
-        if not outputs_ok then exit 1
+        if not (outputs_ok && oracle_ok) then exit 1
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logs.") in
   let profile =
@@ -227,6 +262,16 @@ let attach_cmd =
              and run N echo request/response round-trips after the shell \
              commands.")
   in
+  let detach_after =
+    Arg.(
+      value & flag
+      & info [ "detach-after" ]
+          ~doc:
+            "Snapshot guest memory and vCPU registers before attaching and \
+             verify after detach that the journal replay restored the guest \
+             byte-for-byte (modulo pages the guest itself dirtied); exit 1 \
+             if the oracle finds a discrepancy.")
+  in
   let trace_out =
     Arg.(
       value
@@ -247,7 +292,7 @@ let attach_cmd =
     (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
     Term.(
       const run $ verbose $ profile $ version $ transport $ commands
-      $ net_echo $ trace_out $ metrics_out)
+      $ net_echo $ detach_after $ trace_out $ metrics_out)
 
 (* --- matrix --- *)
 
@@ -423,14 +468,16 @@ let fuzz_one ~seed ~rate ~trace =
             Workloads.Traffic.run_client vmm g ~requests:fuzz_echo_requests
               ~payload_size:64 ~mode:Workloads.Traffic.Echo ()
           in
-          Vmsh.Attach.detach session;
-          if String.length out = 0 then
-            Fuzz_unclean "console dead after attach (guest state corrupted?)"
-          else if
-            echo.Workloads.Traffic.completed = 0
-            && Faults.injected plan Faults.Link_burst = 0
-          then Fuzz_unclean "echo made no progress despite a clean link"
-          else Fuzz_completed
+          (match Vmsh.Attach.detach session with
+          | Error e -> Fuzz_unclean ("detach: " ^ Vmsh.Vmsh_error.to_string e)
+          | Ok () ->
+              if String.length out = 0 then
+                Fuzz_unclean "console dead after attach (guest state corrupted?)"
+              else if
+                echo.Workloads.Traffic.completed = 0
+                && Faults.injected plan Faults.Link_burst = 0
+              then Fuzz_unclean "echo made no progress despite a clean link"
+              else Fuzz_completed)
     with
     | outcome -> outcome
     | exception e -> Fuzz_unclean (Printexc.to_string e)
@@ -565,6 +612,108 @@ let fuzz_cmd =
     Term.(
       const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed)
 
+(* --- sweep --- *)
+
+(* The crash-point sweep gate: for every fault class, learn how many
+   cooperative yield points the attach crosses, then kill the attach at
+   each one and assert the transaction rolled the guest back. *)
+
+let sweep_cmd =
+  let run verbose vms seed classes metrics_out =
+    setup_logs verbose;
+    if vms <= 0 then begin
+      Printf.eprintf "sweep: --vms must be positive\n";
+      exit 2
+    end;
+    let classes =
+      match classes with
+      | [] -> None
+      | cs ->
+          Some
+            (List.map
+               (fun s ->
+                 if s = "fault-free" then None
+                 else
+                   match Faults.of_name s with
+                   | Some c -> Some c
+                   | None ->
+                       Printf.eprintf
+                         "sweep: unknown fault class %S (try fault-free or: %s)\n"
+                         s
+                         (String.concat ", " (List.map Faults.name Faults.all));
+                       exit 2)
+               cs)
+    in
+    let r = Fleet.Sweep.run ~seed ?classes ~vms () in
+    if verbose then
+      List.iter
+        (fun p -> Format.printf "%a@." Fleet.Sweep.pp_point p)
+        r.Fleet.Sweep.sw_points;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let sobs = Observe.create ~now:(fun () -> 0.0) () in
+        Fleet.Sweep.record (Observe.metrics sobs) r;
+        let oc = open_out path in
+        output_string oc (Observe.Export.metrics_json sobs);
+        close_out oc;
+        Printf.printf "sweep metrics written to %s\n" path);
+    Printf.printf
+      "sweep: %d points over %d classes, oracle %d pass / %d FAIL, %d leaked \
+       fds, %d unclean\n"
+      (List.length r.Fleet.Sweep.sw_points)
+      r.Fleet.Sweep.sw_classes r.Fleet.Sweep.sw_oracle_pass
+      r.Fleet.Sweep.sw_oracle_fail r.Fleet.Sweep.sw_leaked_fds
+      r.Fleet.Sweep.sw_unclean;
+    if not (Fleet.Sweep.ok r) then begin
+      List.iter
+        (fun p ->
+          if p.Fleet.Sweep.pt_oracle <> [] || p.Fleet.Sweep.pt_leaked_fds > 0
+             || p.Fleet.Sweep.pt_unclean <> None
+          then Format.eprintf "%a@." Fleet.Sweep.pp_point p)
+        r.Fleet.Sweep.sw_points;
+      exit 1
+    end
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One line per sweep point.")
+  in
+  let vms =
+    Arg.(
+      value & opt int 1
+      & info [ "vms" ] ~docv:"N"
+          ~doc:"Interleave N sweep points concurrently on the virtual-time \
+                scheduler (each point still gets its own machine).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 5
+      & info [ "seed" ] ~docv:"S" ~doc:"Base seed for the per-point hosts.")
+  in
+  let classes =
+    Arg.(
+      value & opt_all string []
+      & info [ "class" ] ~docv:"CLS"
+          ~doc:
+            "Restrict the sweep to this fault class (repeatable; \
+             \"fault-free\" sweeps crash points with no faults armed). \
+             Default: fault-free plus every class.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the sweep.* counters (points, oracle verdicts, leaked \
+                fds) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Kill the attach at every yield point under every fault class and \
+          assert full rollback (crash-point sweep gate)")
+    Term.(const run $ verbose $ vms $ seed $ classes $ metrics_out)
+
 (* --- fleet --- *)
 
 let fleet_cmd =
@@ -689,5 +838,5 @@ let () =
        (Cmd.group info
           [
             attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
-            fuzz_cmd; fleet_cmd;
+            fuzz_cmd; fleet_cmd; sweep_cmd;
           ]))

@@ -14,6 +14,11 @@
 #   fleet         `vmsh fleet --vms 8`: all sessions attach, the shared
 #                 symbol cache hits, and two identical runs produce
 #                 byte-identical schedules and metrics
+#   crash-matrix  `vmsh sweep`: abort-at-yield(k) for every k on every
+#                 fault class; each point must restore the guest
+#                 byte-for-byte, leak no descriptors, and fail with a
+#                 clean round-trippable error — then a concurrent
+#                 subset on the virtual-time scheduler
 #   bench         latency experiment regenerating BENCH_results.json,
 #                 including the vmsh-faults recovery and vmsh-fleet
 #                 scaling scenarios
@@ -26,7 +31,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix bench"
 
 usage() {
   echo "usage: ./ci.sh [--stage NAME]"
@@ -118,6 +123,18 @@ stage_fleet() {
     echo "ci: fleet metrics diverged across identical seeds" >&2
     return 1
   }
+}
+
+stage_crash_matrix() {
+  sweep_metrics=$ARTIFACTS/sweep-metrics.json
+  # the full matrix: every fault class (plus fault-free), every yield
+  vmsh sweep --metrics-out "$sweep_metrics"
+  ci_check sweep "$sweep_metrics"
+  # a subset interleaved on the virtual-time scheduler: the
+  # post-conditions must hold under concurrency too
+  vmsh sweep --vms 4 --class fault-free --class inject-eintr \
+    --metrics-out "$ARTIFACTS/sweep-metrics-vms4.json"
+  ci_check sweep "$ARTIFACTS/sweep-metrics-vms4.json"
 }
 
 stage_bench() {

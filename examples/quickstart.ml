@@ -76,7 +76,9 @@ let () =
 
   (* 5. Detach: the guest never noticed beyond a dmesg line. *)
   step "detaching";
-  Vmsh.Attach.detach session;
+  (match Vmsh.Attach.detach session with
+  | Ok () -> ()
+  | Error e -> failwith (Vmsh.Vmsh_error.to_string e));
   Printf.printf "guest kernel log tail:\n";
   List.iter (Printf.printf "  %s\n")
     (List.filteri (fun i _ -> i >= max 0 (List.length (Guest.dmesg guest) - 4))

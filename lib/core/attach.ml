@@ -36,6 +36,7 @@ module Config = struct
     net : net_attachment option;
     faults : Faults.t option;
     symbol_cache : Symbol_analysis.Cache.t option;
+    journal : bool;
   }
 
   let make () =
@@ -50,6 +51,7 @@ module Config = struct
       net = None;
       faults = None;
       symbol_cache = None;
+      journal = true;
     }
 
   let with_transport transport t = { t with transport }
@@ -62,6 +64,7 @@ module Config = struct
   let with_net net t = { t with net = Some net }
   let with_faults plan t = { t with faults = Some plan }
   let with_symbol_cache cache t = { t with symbol_cache = Some cache }
+  let with_journal journal t = { t with journal }
   let transport t = t.transport
   let copy_mode t = t.copy_mode
   let container_pid t = t.container_pid
@@ -72,6 +75,7 @@ module Config = struct
   let net t = t.net
   let faults t = t.faults
   let symbol_cache t = t.symbol_cache
+  let journal t = t.journal
 
   let validate t =
     if t.pci && t.transport = Devices.Wrap_syscall then
@@ -102,6 +106,7 @@ module Config = struct
       net = Option.map (fun (fabric, port) -> { fabric; port }) c.net;
       faults = None;
       symbol_cache = None;
+      journal = true;
     }
   [@@alert "-deprecated"]
 end
@@ -129,6 +134,8 @@ type session = {
   anal : Symbol_analysis.analysis;
   loaded : Loader.loaded;
   pump : unit -> unit;
+  journal : Journal.t option;
+      (** sealed on success; replayed by {!detach} to restore the guest *)
 }
 
 let vmsh_process s = s.vmsh
@@ -137,8 +144,36 @@ let transport s = Config.transport s.cfg
 let config s = s.cfg
 let analysis s = s.anal
 let status s = Loader.poll_status ~mem:s.mem s.loaded
+let journal s = s.journal
 
 let ( let* ) = Result.bind
+
+(* Journal plumbing: [jrec] records an undo whose failure matters (the
+   closure returns a result; failures surface as [Rollback_failed]),
+   [jrec_u] one that cannot fail. Both are no-ops when the transaction
+   journal is disabled. *)
+let jrec j ~what undo =
+  match j with
+  | Some j ->
+      Journal.record j ~what (fun () ->
+          match undo () with Ok _ -> () | Error e -> E.fail e)
+  | None -> ()
+
+let jrec_u j ~what undo =
+  match j with Some j -> Journal.record j ~what undo | None -> ()
+
+(* Virtual-time watchdog budgets. Generously above what any fault-free
+   phase spends, so they only fire when the guest or the handshake
+   hangs — turning a would-be unbounded wait into abort → rollback. *)
+let ready_deadline_ns = 1_000_000_000.
+let handshake_deadline_ns = 1_000_000_000.
+
+(* The watchdog counter registers lazily, on first fire: runs that never
+   trip a deadline stay byte-identical. *)
+let deadline_error obs ~what ~elapsed_ns =
+  Observe.Metrics.incr
+    (Observe.Metrics.counter (Observe.metrics obs) "watchdog.fired");
+  E.Context (what, E.Deadline_exceeded (int_of_float elapsed_ns))
 
 (* The twelve kernel interfaces VMSH relies on (paper §5). *)
 let required_symbols =
@@ -168,9 +203,12 @@ let install_msi_route tracee ~gsi =
   | Error e -> Error (E.Context ("KVM_SET_GSI_ROUTING", e))
 
 (* Create an eventfd inside the hypervisor, register it as an irqfd for
-   [gsi], and return the tracee-side descriptor number. *)
-let make_remote_irqfd tracee ~gsi =
+   [gsi], and return the tracee-side descriptor number. The undo
+   deassigns the irqfd (flags bit 0) and closes the remote eventfd. *)
+let make_remote_irqfd tracee ~j ~gsi =
   let* ev = Tracee.inject tracee ~nr:Syscall.Nr.eventfd2 ~args:[||] in
+  jrec j ~what:(Printf.sprintf "remote eventfd (gsi %d)" gsi) (fun () ->
+      Tracee.inject tracee ~nr:Syscall.Nr.close ~args:[| ev |]);
   let arg = Bytes.make Kvm.Api.irqfd_req_size '\000' in
   Bytes.set_int32_le arg 0 (Int32.of_int ev);
   Bytes.set_int32_le arg 4 (Int32.of_int gsi);
@@ -187,6 +225,13 @@ let make_remote_irqfd tracee ~gsi =
               irqchip (PCIe MSI-X only) — MMIO transport unsupported (retry \
               with the VirtIO-over-PCI transport)")
   in
+  jrec j ~what:(Printf.sprintf "irqfd gsi %d" gsi) (fun () ->
+      let arg = Bytes.make Kvm.Api.irqfd_req_size '\000' in
+      Bytes.set_int32_le arg 0 (Int32.of_int ev);
+      Bytes.set_int32_le arg 4 (Int32.of_int gsi);
+      Bytes.set_int32_le arg 8 1l (* KVM_IRQFD_FLAG_DEASSIGN *);
+      Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee) ~code:Kvm.Api.irqfd
+        ~arg ());
   Ok ev
 
 let rec result_map f = function
@@ -196,88 +241,149 @@ let rec result_map f = function
       let* ys = result_map f rest in
       Ok (y :: ys)
 
-(* Pull tracee descriptors into the VMSH process over an injected
-   UNIX-socket connection with SCM_RIGHTS. *)
-let retrieve_fds host vmsh tracee remote_fds ~path =
+(* An injected UNIX-socket connection from the tracee back into the
+   VMSH process: bind, connect-back, accept. Each descriptor it creates
+   gets an undo entry, so an aborted attach leaks no fds on either
+   side. *)
+let connect_tracee_back host vmsh tracee ~j ~path =
   let* listener =
     match Host.unix_bind host vmsh ~path with
     | Ok fd -> Ok fd
     | Error e -> Error (E.substrate ("bind " ^ path) e)
   in
-  let* remote_sock = Tracee.connect_back tracee ~path in
+  jrec j ~what:("unix listener " ^ path) (fun () ->
+      Host.unix_unbind host ~path;
+      Result.map_error
+        (fun e -> E.substrate "close listener" e)
+        (Proc.close_fd vmsh listener.Fd.num));
+  let* remote_sock =
+    Tracee.connect_back tracee ~path ~on_socket:(fun sock ->
+        jrec j ~what:"tracee control socket" (fun () ->
+            Tracee.inject tracee ~nr:Syscall.Nr.close ~args:[| sock |]))
+  in
   let* local_sock =
     match Host.unix_accept host vmsh ~listener with
     | Ok fd -> Ok fd
     | Error e -> Error (E.substrate "accept" e)
   in
+  jrec j ~what:"local control socket" (fun () ->
+      Result.map_error
+        (fun e -> E.substrate "close socket" e)
+        (Proc.close_fd vmsh local_sock.Fd.num));
+  Ok (listener, local_sock, remote_sock)
+
+(* Pull tracee descriptors into the VMSH process over an injected
+   UNIX-socket connection with SCM_RIGHTS. The receive loop runs under
+   the device-handshake watchdog: a peer that stops sending aborts the
+   attach (and rolls back) instead of spinning forever. *)
+let retrieve_fds host vmsh tracee remote_fds ~j ~path =
+  let* _listener, local_sock, remote_sock =
+    connect_tracee_back host vmsh tracee ~j ~path
+  in
   let* () = Tracee.send_fds_back tracee ~sock_fd:remote_sock remote_fds in
+  let clock = host.Host.clock in
+  let start = Hostos.Clock.now_ns clock in
   let rec recv n acc =
     if n = 0 then Ok (List.rev acc)
     else
-      match Host.recv_fd host vmsh ~sock:local_sock with
-      | Ok fd -> recv (n - 1) (fd :: acc)
-      | Error e -> Error (E.substrate "recv_fd" e)
+      let elapsed = Hostos.Clock.now_ns clock -. start in
+      if elapsed > handshake_deadline_ns then
+        Error
+          (deadline_error host.Host.observe ~what:"device handshake"
+             ~elapsed_ns:elapsed)
+      else
+        match Host.recv_fd host vmsh ~sock:local_sock with
+        | Ok fd ->
+            jrec j ~what:(Printf.sprintf "received irqfd %d" fd.Fd.num)
+              (fun () ->
+                Result.map_error
+                  (fun e -> E.substrate "close irqfd" e)
+                  (Proc.close_fd vmsh fd.Fd.num));
+            recv (n - 1) (fd :: acc)
+        | Error e -> Error (E.substrate "recv_fd" e)
   in
   let* fds = recv (List.length remote_fds) [] in
   Ok (fds, local_sock, remote_sock)
 
-let setup_ioregionfd host vmsh tracee devs ~hypervisor_pid =
+(* The simulated-KVM VM object behind the tracee's vm fd (the
+   simulation's stand-in for in-kernel state only ioctls can reach). *)
+let vm_of_tracee host tracee ~hypervisor_pid =
+  let hyp = Host.proc_exn host ~pid:hypervisor_pid in
+  match Proc.fd hyp (Tracee.vm_fd tracee) with
+  | Ok fd -> (
+      match Kvm.Vm.vm_of_fd fd with
+      | Some vm -> Ok vm
+      | None -> Error (E.Msg "vm fd does not denote a VM"))
+  | Error e -> Error (E.substrate "vm fd lookup" e)
+
+let setup_ioregionfd host vmsh tracee devs ~j ~hypervisor_pid =
   let path =
     Printf.sprintf "/run/vmsh-ioregion-%d-%d.sock" hypervisor_pid
       vmsh.Proc.pid
   in
-  let* listener =
-    match Host.unix_bind host vmsh ~path with
-    | Ok fd -> Ok fd
-    | Error e -> Error (E.substrate ("bind " ^ path) e)
-  in
-  let* remote_sock = Tracee.connect_back tracee ~path in
-  let* local_sock =
-    match Host.unix_accept host vmsh ~listener with
-    | Ok fd -> Ok fd
-    | Error e -> Error (E.substrate "accept" e)
+  let* _listener, local_sock, remote_sock =
+    connect_tracee_back host vmsh tracee ~j ~path
   in
   let region_base, region_len = Devices.region devs in
-  let arg = Bytes.make Kvm.Api.ioregion_req_size '\000' in
-  Bytes.set_int64_le arg 0 (Int64.of_int region_base);
-  Bytes.set_int64_le arg 8 (Int64.of_int region_len);
-  Bytes.set_int32_le arg 16 (Int32.of_int remote_sock);
-  Bytes.set_int32_le arg 20 (Int32.of_int remote_sock);
+  let ioregion_arg ~flags =
+    let arg = Bytes.make Kvm.Api.ioregion_req_size '\000' in
+    Bytes.set_int64_le arg 0 (Int64.of_int region_base);
+    Bytes.set_int64_le arg 8 (Int64.of_int region_len);
+    Bytes.set_int32_le arg 16 (Int32.of_int remote_sock);
+    Bytes.set_int32_le arg 20 (Int32.of_int remote_sock);
+    Bytes.set_int32_le arg 24 (Int32.of_int flags);
+    arg
+  in
   let* _ =
     match
       Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
-        ~code:Kvm.Api.set_ioregion ~arg ()
+        ~code:Kvm.Api.set_ioregion ~arg:(ioregion_arg ~flags:0) ()
     with
     | Ok r -> Ok r
     | Error e -> Error (E.Context ("KVM_SET_IOREGION", e))
   in
+  jrec j ~what:"ioregion registration" (fun () ->
+      Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
+        ~code:Kvm.Api.set_ioregion
+        ~arg:(ioregion_arg ~flags:1 (* detach *))
+        ());
   (* Scheduling seam of the simulation: register the service callback
      that stands for "the VMSH process wakes up when its socket becomes
      readable" (see DESIGN.md). *)
-  let* vm =
-    let hyp = Host.proc_exn host ~pid:hypervisor_pid in
-    match Proc.fd hyp (Tracee.vm_fd tracee) with
-    | Ok fd -> (
-        match Kvm.Vm.vm_of_fd fd with
-        | Some vm -> Ok vm
-        | None -> Error (E.Msg "vm fd does not denote a VM"))
-    | Error e -> Error (E.substrate "vm fd lookup" e)
+  let* vm = vm_of_tracee host tracee ~hypervisor_pid in
+  let pump_id =
+    Kvm.Vm.add_ioregion_pump vm (Devices.ioregion_pump devs ~sock:local_sock)
   in
-  Kvm.Vm.add_ioregion_pump vm (Devices.ioregion_pump devs ~sock:local_sock);
+  jrec_u j ~what:"ioregion pump" (fun () ->
+      Kvm.Vm.remove_ioregion_pump vm pump_id);
   Ok ()
 
+(* Poll the library's status word until the overlay reports ready,
+   under the guest-ready watchdog: a guest that never flips the word —
+   or burns unbounded virtual time getting there — aborts the attach. *)
 let wait_ready ~mem ~loaded ~pump =
+  let host = Hyp_mem.host mem in
+  let clock = host.Host.clock in
+  let start = Hostos.Clock.now_ns clock in
   let rec go tries =
-    (* fleet interleave point: each status poll is one scheduler slice *)
+    (* fleet interleave point (and crash point): each status poll is
+       one scheduler slice *)
+    Faults.yield_tick host.Host.faults;
     Sched.yield ();
-    let s = Loader.poll_status ~mem loaded in
-    if s = Klib_builder.status_done then Ok ()
-    else if s >= 0x80 then Error (E.Guest_error s)
-    else if tries = 0 then Error (E.Timeout s)
-    else begin
-      pump ();
-      go (tries - 1)
-    end
+    let elapsed = Hostos.Clock.now_ns clock -. start in
+    if elapsed > ready_deadline_ns then
+      Error
+        (deadline_error host.Host.observe ~what:"guest-ready poll"
+           ~elapsed_ns:elapsed)
+    else
+      let s = Loader.poll_status ~mem loaded in
+      if s = Klib_builder.status_done then Ok ()
+      else if s >= 0x80 then Error (E.Guest_error s)
+      else if tries = 0 then Error (E.Timeout s)
+      else begin
+        pump ();
+        go (tries - 1)
+      end
   in
   go 16
 
@@ -291,7 +397,15 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
         ("hypervisor_pid", Observe.I hypervisor_pid);
       ]
   @@ fun () ->
-  try
+  (* The attach is a transaction: [jref] collects an undo entry for
+     every guest/hypervisor mutation below (and [Hyp_mem] adds byte
+     entries for guest-memory writes once [memr] is set). Any abort —
+     error, escaped exception, or a swept crash point — replays the
+     journal before returning. *)
+  let jref = ref None in
+  let memr = ref None in
+  let result =
+    try
     let* cfg =
       match Config.validate cfg with
       | Ok c -> Ok c
@@ -300,6 +414,8 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     (match Config.faults cfg with
     | Some plan -> Host.arm_faults host plan
     | None -> ());
+    let j = if Config.journal cfg then Some (Journal.create ()) else None in
+    jref := j;
     (* VMSH starts with the privileges it needs for discovery and drops
        them afterwards (paper §4.5). *)
     let vmsh =
@@ -311,6 +427,12 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
         ~seccomp_heuristic:(Config.seccomp_heuristic cfg)
         host ~vmsh ~pid:hypervisor_pid
     in
+    (* recorded first, so it replays last: every other injected undo
+       still needs the scratch page for its ioctl arguments *)
+    jrec j ~what:"scratch mmap" (fun () ->
+        Tracee.inject tracee ~nr:Syscall.Nr.munmap
+          ~args:[| Tracee.scratch tracee; 8192 |]);
+    Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* slots =
       Observe.span obs ~name:"memslot-dump" (fun () ->
@@ -324,12 +446,15 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
       Hyp_mem.create host ~vmsh ~hypervisor_pid ~slots
         ~mode:(Config.copy_mode cfg) ()
     in
+    Hyp_mem.set_journal mem j;
+    memr := Some mem;
     let* regs =
       Observe.span obs ~name:"register-read" (fun () ->
           match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
           | Ok r -> Ok r
           | Error e -> Error (E.Context ("KVM_GET_REGS injection", e)))
     in
+    Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* anal =
       Observe.span obs ~name:"symbol-analysis" (fun () ->
@@ -351,6 +476,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
              ("guest kernel does not export required symbols: "
              ^ String.concat ", " missing))
     in
+    Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* devs =
       Observe.span obs ~name:"device-setup" @@ fun () ->
@@ -359,20 +485,25 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
       let gsis = Devices.gsi_plan device_plan in
       let* () =
         if Config.pci cfg then
+          let* vm = vm_of_tracee host tracee ~hypervisor_pid in
           let rec route = function
             | [] -> Ok ()
             | (_, gsi) :: rest ->
                 let* () = install_msi_route tracee ~gsi in
+                (* KVM_SET_GSI_ROUTING has no removal encoding; the undo
+                   drops the route from the simulated irqchip directly *)
+                jrec_u j ~what:(Printf.sprintf "MSI route gsi %d" gsi)
+                  (fun () -> Kvm.Vm.remove_msi_route vm ~gsi);
                 route rest
           in
           route gsis
         else Ok ()
       in
       let* remote_evs =
-        result_map (fun (_, gsi) -> make_remote_irqfd tracee ~gsi) gsis
+        result_map (fun (_, gsi) -> make_remote_irqfd tracee ~j ~gsi) gsis
       in
       let* fds, _ctl_local, _ctl_remote =
-        retrieve_fds host vmsh tracee remote_evs
+        retrieve_fds host vmsh tracee remote_evs ~j
           ~path:
             (Printf.sprintf "/run/vmsh-%d-%d.sock" hypervisor_pid vmsh.Proc.pid)
       in
@@ -389,18 +520,25 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
           ()
       in
       List.iter2
-        (fun kind irqfd -> ignore (Devices.register devs kind ~irqfd))
+        (fun kind irqfd ->
+          let h = Devices.register devs kind ~irqfd in
+          jrec_u j
+            ~what:(Printf.sprintf "%s device" (Devices.kind_name kind))
+            (fun () -> Devices.unregister devs h))
         device_plan fds;
       let* () =
         match Config.transport cfg with
         | Devices.Wrap_syscall ->
             Devices.install_wrap_syscall devs;
+            jrec_u j ~what:"wrap_syscall hook" (fun () ->
+                Devices.uninstall_wrap_syscall devs);
             Ok ()
         | Devices.Ioregionfd ->
-            setup_ioregionfd host vmsh tracee devs ~hypervisor_pid
+            setup_ioregionfd host vmsh tracee devs ~j ~hypervisor_pid
       in
       Ok devs
     in
+    Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* loaded =
       Observe.span obs ~name:"klib-sideload" @@ fun () ->
@@ -426,19 +564,42 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
           ~net_gsi:(gsi Devices.Net) ~ninep_gsi:(gsi Devices.Ninep) ()
       in
       let* loaded = Loader.load ~tracee ~mem ~analysis:anal ~image ~layout in
-      let* () = Loader.redirect ~tracee loaded in
+      let* () = Loader.redirect ~tracee ~mem loaded in
       pump ();
       let* () = wait_ready ~mem ~loaded ~pump in
       Ok loaded
     in
-    Ok { cfg; vmsh; tracee; mem; devs; anal; loaded; pump }
-  with
-  (* A substrate failure that exhausted its bounded retries (or guest
-     state the sideloader cannot parse) aborts the attach cleanly: the
-     caller gets a diagnosable error, never an escaped exception. *)
-  | E.Error e -> Error (E.Attach_aborted e)
-  | Failure msg -> Error (E.Attach_aborted (E.Msg msg))
-  | Kvm.Vm.Guest_error msg -> Error (E.Attach_aborted (E.Guest_fault msg))
+    Ok { cfg; vmsh; tracee; mem; devs; anal; loaded; pump; journal = j }
+    with
+    (* A substrate failure that exhausted its bounded retries (or guest
+       state the sideloader cannot parse) aborts the attach cleanly: the
+       caller gets a diagnosable error, never an escaped exception. *)
+    | Faults.Crash_point k ->
+        Error
+          (E.Attach_aborted (E.Msg (Printf.sprintf "crash point at yield %d" k)))
+    | E.Error e -> Error (E.Attach_aborted e)
+    | Failure msg -> Error (E.Attach_aborted (E.Msg msg))
+    | Kvm.Vm.Guest_error msg -> Error (E.Attach_aborted (E.Guest_fault msg))
+  in
+  match result with
+  | Ok s ->
+      (* Commit: freeze the log. Steady-state device writes from here on
+         are tracked only as oracle-exclusion intervals; [detach] replays
+         the sealed log to restore the guest. *)
+      (match s.journal with Some j -> Journal.seal j | None -> ());
+      Ok s
+  | Error err -> (
+      (* Abort → rollback. Crash points are disarmed first (the rollback
+         itself crosses yield points) and the journal is detached from
+         the memory view so undo writes go through the raw path. *)
+      Faults.set_abort_at_yield host.Host.faults None;
+      (match !memr with Some m -> Hyp_mem.set_journal m None | None -> ());
+      match !jref with
+      | None -> Error err
+      | Some j -> (
+          match Journal.replay ~metrics:(Observe.metrics obs) j with
+          | Ok () -> Error err
+          | Error re -> Error (E.Rollback_failed re)))
 
 let console_send s line =
   Devices.feed_console_input s.devs (Bytes.of_string (line ^ "\n"));
@@ -454,8 +615,30 @@ let console_roundtrip s line =
   console_send s line;
   console_recv s
 
+(* Detach = replay the sealed journal, then drop ptrace. The replay
+   unwinds in reverse mutation order: vCPU redirect and guest bytes
+   first, then the memslot and its mmap, then device registrations and
+   irqfd/ioregionfd wiring, sockets and fds, the scratch page last.
+   Ptrace must go last of all — every injected undo still needs the
+   tracee stopped. (The pre-journal detach dropped ptrace first, which
+   left the irqfds and the ioregion registration dangling in KVM.) *)
 let detach s =
-  (match Config.transport s.cfg with
-  | Devices.Wrap_syscall -> Devices.uninstall_wrap_syscall s.devs
-  | Devices.Ioregionfd -> ());
-  Tracee.detach s.tracee
+  let host = Hyp_mem.host s.mem in
+  let replayed =
+    match s.journal with
+    | Some j ->
+        Hyp_mem.set_journal s.mem None;
+        Journal.replay ~metrics:(Observe.metrics host.Host.observe) j
+    | None ->
+        (* journal disabled: legacy teardown, transport hook only *)
+        (match Config.transport s.cfg with
+        | Devices.Wrap_syscall -> Devices.uninstall_wrap_syscall s.devs
+        | Devices.Ioregionfd -> ());
+        Ok ()
+  in
+  (* ptrace goes even when an undo failed — a half-restored guest with a
+     dangling tracer would be strictly worse *)
+  Tracee.detach s.tracee;
+  match replayed with
+  | Ok () -> Ok ()
+  | Error re -> Error (E.Rollback_failed re)

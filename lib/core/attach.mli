@@ -98,6 +98,13 @@ module Config : sig
   (** Share a build-id-keyed symbol cache across attaches; see
       {!Symbol_analysis.Cache}. *)
 
+  val with_journal : bool -> t -> t
+  (** Record every guest/hypervisor mutation on a per-session undo
+      journal (default [true]), giving transactional attach: any abort
+      — and {!detach} — restores the guest byte-for-byte. [false]
+      reverts to the journal-free attach of the previous release (the
+      bench ablation knob). *)
+
   val validate : t -> (t, string) result
   (** Reject combinations no attach can serve: PCI over the
       wrap_syscall transport, a net port cabled on a different fabric
@@ -114,6 +121,7 @@ module Config : sig
   val net : t -> net_attachment option
   val faults : t -> Faults.t option
   val symbol_cache : t -> Symbol_analysis.Cache.t option
+  val journal : t -> bool
 
   val of_legacy : config -> t
     [@@alert "-deprecated"]
@@ -131,7 +139,16 @@ val attach :
   ?config:Config.t -> pump:(unit -> unit) -> unit ->
   (session, Vmsh_error.t) result
 (** [Vmsh_error.to_string] renders the same messages the CLI printed
-    when errors were bare strings. *)
+    when errors were bare strings.
+
+    Attach is transactional: every mutation of guest or hypervisor
+    state (overwritten guest bytes, PTE installs, the vCPU redirect,
+    memslot additions, remote mmaps, eventfds, sockets, device and
+    irqfd/ioregionfd wiring) is journaled, and every abort path —
+    including a {!Faults.Crash_point} from the sweep harness and the
+    virtual-time watchdogs on the guest-ready poll and the device
+    handshake — replays the journal in reverse before returning its
+    [Error]. A failed undo surfaces as {!Vmsh_error.Rollback_failed}. *)
 
 val vmsh_process : session -> Hostos.Proc.t
 val devices : session -> Devices.t
@@ -150,6 +167,16 @@ val console_recv : session -> string
 val console_roundtrip : session -> string -> string
 (** [console_send] + [console_recv]: one command, its output. *)
 
-val detach : session -> unit
-(** Remove syscall hooks and ptrace. Guest devices stay registered (as
-    with the real prototype, a detached overlay keeps running). *)
+val journal : session -> Journal.t option
+(** The session's sealed mutation journal (None when the session was
+    configured with [with_journal false]). Its late-write intervals
+    feed the snapshot oracle's exclusion set. *)
+
+val detach : session -> (unit, Vmsh_error.t) result
+(** Replay the mutation journal in reverse — unwinding device
+    registrations, irqfd/ioregionfd wiring, sockets, the side-loaded
+    memslot and every journaled guest byte — then drop ptrace (always
+    last: injected undos need the tracee stopped). Leaves guest memory
+    and vCPU registers byte-identical to the pre-attach snapshot, modulo
+    pages the guest itself dirtied. [Error (Rollback_failed _)] when an
+    undo entry failed; ptrace is dropped regardless. *)

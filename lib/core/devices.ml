@@ -472,6 +472,19 @@ let register t kind ~irqfd =
   | Ninep -> Mmio.Device.set_notify h.regs (fun ~queue:_ -> process_ninep t h));
   h
 
+(* Rollback of [register]: drop the handle and uncable any external
+   plumbing it claimed. Replayed newest-first by the journal, so handles
+   leave in reverse registration order and the index arithmetic in
+   [register] stays consistent for a later re-attach. *)
+let unregister t h =
+  t.handles <- List.filter (fun h' -> h' != h) t.handles;
+  match h.kind with
+  | Net -> (
+      match t.net with
+      | Some (_, port) -> Net.Link.clear_handler port
+      | None -> ())
+  | Console | Blk | Ninep -> ()
+
 let window_of t addr =
   List.find_map
     (fun h ->

@@ -60,6 +60,12 @@ val register : t -> kind -> irqfd:Hostos.Fd.t -> handle
     passed back from the hypervisor. Raises [Invalid_argument] when the
     region is full or [kind] is already registered. *)
 
+val unregister : t -> handle -> unit
+(** Rollback of {!register}: drop the handle (its window and GSI become
+    free again) and uncable the NIC's fabric-port handler if it was the
+    network device. Safe to call in any order, but the journal replays
+    registrations newest-first. *)
+
 val handles : t -> handle list
 (** Registration order. *)
 

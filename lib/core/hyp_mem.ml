@@ -10,16 +10,21 @@ type t = {
   pid : int;
   mutable slot_list : slot list;
   mutable cmode : copy_mode;
+  mutable journal : Journal.t option;
 }
 
 let create host ~vmsh ~hypervisor_pid ~slots ?(mode = Bulk) () =
-  { host; vmsh; pid = hypervisor_pid; slot_list = slots; cmode = mode }
+  { host; vmsh; pid = hypervisor_pid; slot_list = slots; cmode = mode;
+    journal = None }
 
 let host t = t.host
 let slots t = t.slot_list
 let add_slot t s = t.slot_list <- t.slot_list @ [ s ]
+let remove_slot t ~gpa = t.slot_list <- List.filter (fun s -> s.gpa <> gpa) t.slot_list
 let mode t = t.cmode
 let set_mode t m = t.cmode <- m
+let set_journal t j = t.journal <- j
+let journal t = t.journal
 
 let gpa_to_hva t gpa =
   List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
@@ -178,7 +183,7 @@ let read_phys t ~gpa ~len =
         Bytes.concat Bytes.empty
           (List.map (fun (hva, len) -> read_hva t ~hva ~len) segs)
 
-let write_phys t ~gpa b =
+let write_phys_raw t ~gpa b =
   let len = Bytes.length b in
   if len > 0 then begin
     let segs = segments t ~what:"write_phys" ~gpa ~len in
@@ -201,6 +206,27 @@ let write_phys t ~gpa b =
                off + len)
              0 segs)
   end
+
+(* Journal hook: before overwriting guest-physical bytes, read and
+   record the old content so rollback can restore them (PTE installs
+   arrive here too, via [pt_access]'s write_u64). Writes wholly inside
+   an overlay-owned range (the fresh vmsh memslot and its page-table
+   arena) are exempt — removing the slot undoes them wholesale. After
+   the journal seals (attach committed), steady-state device writes are
+   only noted as late-write intervals for the snapshot oracle. *)
+let write_phys t ~gpa b =
+  let len = Bytes.length b in
+  (match t.journal with
+  | Some j when len > 0 ->
+      if Journal.sealed j then Journal.note_late_write j ~gpa ~len
+      else if not (Journal.owns j ~gpa ~len) then begin
+        let old = read_phys t ~gpa ~len in
+        Journal.record j
+          ~what:(Printf.sprintf "guest bytes 0x%x+%d" gpa len)
+          (fun () -> write_phys_raw t ~gpa old)
+      end
+  | _ -> ());
+  write_phys_raw t ~gpa b
 
 let read_phys_u64 t gpa =
   Int64.to_int (Bytes.get_int64_le (read_phys t ~gpa ~len:8) 0)

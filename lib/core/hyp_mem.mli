@@ -34,8 +34,20 @@ val slots : t -> slot list
 (** [add_slot] records a memslot VMSH itself registered (its own
     guest-physical allocation at the top of the address space). *)
 val add_slot : t -> slot -> unit
+
+val remove_slot : t -> gpa:int -> unit
+(** Forget the slot based at [gpa] (rollback of [add_slot]). *)
+
 val mode : t -> copy_mode
 val set_mode : t -> copy_mode -> unit
+
+val set_journal : t -> Journal.t option -> unit
+(** Attach a guest-mutation journal: every subsequent {!write_phys}
+    first records the overwritten bytes as an undo entry (or, once the
+    journal is sealed, a late-write interval). [None] detaches it —
+    rollback itself writes through the raw path. *)
+
+val journal : t -> Journal.t option
 
 val gpa_to_hva : t -> int -> int option
 

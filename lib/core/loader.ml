@@ -29,6 +29,16 @@ let ( let* ) = Result.bind
 
 let page_align n = (n + Layout.page_size - 1) land lnot (Layout.page_size - 1)
 
+(* Undo entries for the mutations [load] performs in the hypervisor /
+   guest. A failing undo raises so [Journal.replay] can report it as the
+   rollback failure. *)
+let record_undo mem ~what f =
+  match Hyp_mem.journal mem with
+  | Some j ->
+      Journal.record j ~what (fun () ->
+          match f () with Ok _ -> () | Error e -> Vmsh_error.fail e)
+  | None -> ()
+
 let load ~tracee ~mem ~analysis ~image ~layout =
   let region_len =
     page_align layout.Klib_builder.total_len + (pt_arena_pages * Layout.page_size)
@@ -38,22 +48,39 @@ let load ~tracee ~mem ~analysis ~image ~layout =
   let gpa_base = max (page_align (Hyp_mem.top_of_guest_phys mem)) 0x1000_0000 in
   (* 1. fresh memory in the hypervisor *)
   let* hva = Tracee.inject tracee ~nr:Syscall.Nr.mmap ~args:[| 0; region_len |] in
+  record_undo mem ~what:"klib region mmap" (fun () ->
+      Tracee.inject tracee ~nr:Syscall.Nr.munmap ~args:[| hva; region_len |]);
+  (* Everything we write inside our own region needs no byte journal —
+     the memslot-removal undo tears the whole range down. Only PTE links
+     planted in pre-existing guest page-table pages get byte entries. *)
+  (match Hyp_mem.journal mem with
+  | Some j -> Journal.note_owned j ~gpa:gpa_base ~len:region_len
+  | None -> ());
   (* 2. register it as a memslot *)
   let slot_index = !next_memslot in
   incr next_memslot;
+  let memslot_arg ~size =
+    let b = Bytes.make Kvm.Api.memory_region_size '\000' in
+    Bytes.set_int32_le b 0 (Int32.of_int slot_index);
+    Bytes.set_int64_le b 8 (Int64.of_int gpa_base);
+    Bytes.set_int64_le b 16 (Int64.of_int size);
+    Bytes.set_int64_le b 24 (Int64.of_int hva);
+    b
+  in
   let* _ =
     Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
-      ~code:Kvm.Api.set_user_memory_region
-      ~arg:
-        (let b = Bytes.make Kvm.Api.memory_region_size '\000' in
-         Bytes.set_int32_le b 0 (Int32.of_int slot_index);
-         Bytes.set_int64_le b 8 (Int64.of_int gpa_base);
-         Bytes.set_int64_le b 16 (Int64.of_int region_len);
-         Bytes.set_int64_le b 24 (Int64.of_int hva);
-         b)
+      ~code:Kvm.Api.set_user_memory_region ~arg:(memslot_arg ~size:region_len)
       ()
   in
   Hyp_mem.add_slot mem { Hyp_mem.gpa = gpa_base; size = region_len; hva };
+  record_undo mem ~what:"vmsh memslot" (fun () ->
+      (* size 0 deletes the slot in KVM; then forget our remote view *)
+      let r =
+        Tracee.inject_ioctl tracee ~fd:(Tracee.vm_fd tracee)
+          ~code:Kvm.Api.set_user_memory_region ~arg:(memslot_arg ~size:0) ()
+      in
+      Hyp_mem.remove_slot mem ~gpa:gpa_base;
+      r);
   (* 3. link the image for its final virtual address *)
   let va_base =
     analysis.Symbol_analysis.kernel_base + analysis.Symbol_analysis.image_len
@@ -106,12 +133,17 @@ let load ~tracee ~mem ~analysis ~image ~layout =
       saved_regs = regs;
     }
 
-let redirect ~tracee loaded =
+let redirect ~tracee ~mem loaded =
   let regs = X86.Regs.copy loaded.saved_regs in
   regs.X86.Regs.rip <- loaded.entry_va;
   regs.rdi <- loaded.blob_va;
   match Tracee.set_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) regs with
-  | Ok () -> Ok ()
+  | Ok () ->
+      record_undo mem ~what:"vCPU redirect" (fun () ->
+          Tracee.set_vcpu_regs tracee
+            (List.hd (Tracee.vcpus tracee))
+            loaded.saved_regs);
+      Ok ()
   | Error e -> Error (Vmsh_error.Context ("redirecting vCPU", e))
 
 let poll_status ~mem loaded = Hyp_mem.read_phys_u64 mem loaded.status_gpa

@@ -31,8 +31,11 @@ val load :
   (loaded, Vmsh_error.t) result
 (** Perform every step above except the final RIP redirect. *)
 
-val redirect : tracee:Tracee.t -> loaded -> (unit, Vmsh_error.t) result
-(** Point vCPU 0 at the library entry (with RDI = saved-context blob). *)
+val redirect :
+  tracee:Tracee.t -> mem:Hyp_mem.t -> loaded -> (unit, Vmsh_error.t) result
+(** Point vCPU 0 at the library entry (with RDI = saved-context blob).
+    Records the register restore on [mem]'s journal so detach/rollback
+    resumes the interrupted context. *)
 
 val poll_status : mem:Hyp_mem.t -> loaded -> int
 (** Current value of the library's status word. *)

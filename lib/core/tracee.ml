@@ -168,7 +168,10 @@ let detach t = Ptrace.detach t.h t.session
 let set_seccomp_heuristic t v = t.seccomp_heuristic <- v
 
 let inject t ~nr ~args =
-  (* fleet interleave point: one injected syscall per scheduler slice *)
+  (* fleet interleave point: one injected syscall per scheduler slice.
+     Also a crash point for the abort-at-yield sweep — ticked before the
+     yield so the crash fires whether or not a scheduler is running. *)
+  Faults.yield_tick t.h.Host.faults;
   Sched.yield ();
   if t.seccomp_heuristic then
     inject_any_thread t.h t.session t.tracee_pid ~nr ~args
@@ -225,8 +228,12 @@ let hook_syscalls t ~on_entry ~on_exit =
 
 let unhook_syscalls t = Ptrace.unhook_syscalls t.h t.session
 
-let connect_back t ~path =
+let connect_back ?(on_socket = fun (_ : int) -> ()) t ~path =
   let* sock = inject t ~nr:Syscall.Nr.socket ~args:[| 1; 1; 0 |] in
+  (* the connect() below is itself a yield (and crash) point: give the
+     caller the descriptor now so its undo is journaled before we can
+     die with the socket already open in the tracee *)
+  on_socket sock;
   let path_ptr = write_scratch t ~off:2048 (Bytes.of_string path) in
   let* _ =
     inject t ~nr:Syscall.Nr.connect

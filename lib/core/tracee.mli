@@ -65,9 +65,12 @@ val hook_syscalls :
 
 val unhook_syscalls : t -> unit
 
-val connect_back : t -> path:string -> (int, Vmsh_error.t) result
-(** Inject socket()+connect() to the given UNIX path; returns the
-    tracee-side descriptor number. *)
+val connect_back :
+  ?on_socket:(int -> unit) -> t -> path:string -> (int, Vmsh_error.t) result
+(** Inject socket() + connect() towards [path]; returns the tracee-side
+    descriptor. [on_socket] fires between the two injections, as soon as
+    the descriptor exists — the attach journal uses it to record the
+    close-undo before the connect()'s own crash point can abort. *)
 
 val send_fds_back : t -> sock_fd:int -> int list -> (unit, Vmsh_error.t) result
 (** Inject sendmsg(SCM_RIGHTS) passing tracee descriptors to whoever

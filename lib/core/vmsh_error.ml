@@ -11,6 +11,8 @@ type t =
   | Unsupported of string
   | Context of string * t
   | Msg of string
+  | Rollback_failed of t
+  | Deadline_exceeded of int
 
 exception Error of t
 
@@ -41,6 +43,9 @@ let rec to_string = function
   | Unsupported m -> m
   | Context (what, e) -> what ^ ": " ^ to_string e
   | Msg m -> m
+  | Rollback_failed e -> "rollback failed: " ^ to_string e
+  | Deadline_exceeded ns ->
+      Printf.sprintf "virtual-time deadline exceeded after %d ns" ns
 
 let all_errnos =
   Errno.
@@ -75,6 +80,15 @@ let rec of_string s =
   match drop_prefix ~prefix:"attach aborted: " s with
   | Some rest -> Attach_aborted (of_string rest)
   | None -> (
+      match drop_prefix ~prefix:"rollback failed: " s with
+      | Some rest -> Rollback_failed (of_string rest)
+      | None -> (
+      match
+        Scanf.sscanf_opt s "virtual-time deadline exceeded after %d ns"
+          (fun v -> v)
+      with
+      | Some ns -> Deadline_exceeded ns
+      | None -> (
       match drop_prefix ~prefix:"guest error: " s with
       | Some rest -> Guest_fault rest
       | None -> (
@@ -111,4 +125,4 @@ let rec of_string s =
                                   match of_string tail with
                                   | Msg _ -> Msg s
                                   | inner -> Context (what, inner)))
-                          | None -> Msg s))))))
+                          | None -> Msg s))))))))

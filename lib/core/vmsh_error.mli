@@ -19,6 +19,12 @@ type t =
   | Unsupported of string  (** host/hypervisor capability missing *)
   | Context of string * t  (** [what]: [inner] *)
   | Msg of string  (** untyped message (discovery, linking, ...) *)
+  | Rollback_failed of t
+      (** the guest-mutation journal could not be fully replayed; the
+          guest may retain attach side effects *)
+  | Deadline_exceeded of int
+      (** a virtual-time watchdog expired after this many ns; wrap in
+          [Context] to name the guarded phase *)
 
 exception Error of t
 (** For internal paths that must raise (memory fabric, loader arena);

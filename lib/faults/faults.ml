@@ -49,6 +49,8 @@ type t = {
   counts : int array;
   mutable state : int64;
   mutable metrics : Observe.Metrics.t option;
+  mutable abort_at_yield : int option;
+  mutable yield_seen : int;
 }
 
 let disabled =
@@ -61,6 +63,8 @@ let disabled =
     counts = [||];
     state = 0L;
     metrics = None;
+    abort_at_yield = None;
+    yield_seen = 0;
   }
 
 (* Private splitmix64 stream: the plan must not perturb the host's RNG,
@@ -96,6 +100,8 @@ let create ~seed ?(rate = 0.15) ?(cap = max_int) ?(classes = all) ?(burst = 3) (
     counts = Array.make n_cls 0;
     state = Int64.of_int seed;
     metrics = None;
+    abort_at_yield = None;
+    yield_seen = 0;
   }
 
 let set_class t c ~rate ~cap =
@@ -125,3 +131,29 @@ let fire t c =
 
 let injected t c = if t.armed then t.counts.(idx c) else 0
 let total_injected t = if t.armed then Array.fold_left ( + ) 0 t.counts else 0
+
+(* --- crash points ---
+
+   [abort-at-yield(k)] is deterministic by construction, not a
+   probabilistic class: the sweep harness needs to kill an attach at
+   *every* k-th yield point exactly once, so the decision is an index
+   comparison rather than an RNG draw (which also keeps the splitmix64
+   stream — and therefore every probabilistic class's replay —
+   untouched by arming it). *)
+
+exception Crash_point of int
+
+let set_abort_at_yield t k =
+  t.abort_at_yield <- k;
+  t.yield_seen <- 0
+
+let abort_at_yield t = t.abort_at_yield
+let yield_ticks t = t.yield_seen
+
+let yield_tick t =
+  match t.abort_at_yield with
+  | None -> ()
+  | Some k ->
+      let n = t.yield_seen in
+      t.yield_seen <- n + 1;
+      if n = k then raise (Crash_point k)

@@ -66,3 +66,29 @@ val fire : t -> cls -> bool
 
 val injected : t -> cls -> int
 val total_injected : t -> int
+
+(** {2 Crash points}
+
+    The [abort-at-yield(k)] pseudo-class: deterministically kill the
+    guarded operation at its k-th cooperative yield point. Unlike the
+    probabilistic classes it draws nothing from the RNG stream (so
+    arming it never shifts a probabilistic replay), and it is not part
+    of {!all} — the crash-point sweep enumerates k exhaustively instead
+    of sampling. *)
+
+exception Crash_point of int
+(** Raised by {!yield_tick} at the armed yield index. The attach path
+    converts it into a clean [Vmsh_error] after rolling back. *)
+
+val set_abort_at_yield : t -> int option -> unit
+(** Arm ([Some k]) or disarm ([None]) the crash point and reset the
+    yield counter. Never arm {!disabled} — it is a shared constant. *)
+
+val abort_at_yield : t -> int option
+
+val yield_tick : t -> unit
+(** Count one yield point; raises {!Crash_point} when the armed index
+    is reached. A no-op on an unarmed plan. *)
+
+val yield_ticks : t -> int
+(** Yield points seen since the crash point was last (dis)armed. *)

@@ -3,6 +3,7 @@ module Sfs = Blockdev.Simplefs
 module Vmm = Hypervisor.Vmm
 module Profile = Hypervisor.Profile
 module KV = Linux_guest.Kernel_version
+module Sweep = Fleet_sweep
 
 let src = Logs.Src.create "vmsh.fleet" ~doc:"VMSH fleet attach engine"
 
@@ -68,12 +69,14 @@ let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
         ()
     with
     | Error e -> Error (Vmsh.Vmsh_error.to_string e)
-    | Ok sess ->
+    | Ok sess -> (
         ignore (Vmsh.Attach.console_recv sess);
         let out = Vmsh.Attach.console_roundtrip sess "hostname" in
-        Vmsh.Attach.detach sess;
-        if String.length out = 0 then Error "console dead after attach"
-        else Ok ()
+        match Vmsh.Attach.detach sess with
+        | Error e -> Error (Vmsh.Vmsh_error.to_string e)
+        | Ok () ->
+            if String.length out = 0 then Error "console dead after attach"
+            else Ok ())
   in
   let now = H.Clock.now_ns host.H.Host.clock in
   results.(index) <-

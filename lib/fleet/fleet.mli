@@ -17,6 +17,11 @@
     Everything is deterministic: same [seed] and [vms] give a
     byte-identical {!report.schedule} and metrics. *)
 
+module Sweep = Fleet_sweep
+(** The crash-point sweep: abort-at-yield(k) × fault-class matrix with
+    rollback-oracle and fd-leak post-conditions (the crash-matrix CI
+    gate). *)
+
 type session_report = {
   s_name : string;  (** ["vm0"], ["vm1"], … *)
   s_result : (unit, string) result;  (** rendered {!Vmsh.Vmsh_error.t} *)

@@ -1,0 +1,229 @@
+(* Crash-point sweep: the robustness gate for transactional attach.
+
+   For every fault class (plus a fault-free lane) the sweep first runs a
+   probe attach with the crash point parked beyond reach to learn Y, the
+   number of cooperative yield points the attach path crosses, then
+   re-runs the attach Y more times with [abort-at-yield(k)] armed for
+   every k in [0, Y). Each point boots a fresh simulated machine, so the
+   points are independent and can be interleaved by the virtual-time
+   scheduler (the fleet-shaped crash matrix).
+
+   Every aborted point must satisfy three post-conditions:
+   - the error is a clean, parseable {!Vmsh.Vmsh_error.t} (an escaped
+     exception is reported as unclean);
+   - the snapshot oracle finds guest memory and vCPU registers
+     byte-identical to the pre-attach capture, modulo pages the guest
+     itself dirtied;
+   - the host-wide open-descriptor count returns to its pre-attach
+     value (nothing leaked in the VMSH process or the hypervisor). *)
+
+module H = Hostos
+module Sfs = Blockdev.Simplefs
+module Vmm = Hypervisor.Vmm
+module Profile = Hypervisor.Profile
+module KV = Linux_guest.Kernel_version
+
+type point = {
+  pt_class : string;  (** armed fault class, or ["fault-free"] *)
+  pt_yield : int;  (** k of [abort-at-yield(k)]; the probe uses [-1] *)
+  pt_outcome : string;  (** ["completed"] / ["aborted"] / ["clean-fail"] *)
+  pt_error : string option;  (** rendered error when not completed *)
+  pt_oracle : string list;  (** oracle discrepancies; [[]] = restored *)
+  pt_leaked_fds : int;  (** host-wide open-fd delta after the point *)
+  pt_unclean : string option;  (** escaped exception, if any *)
+}
+
+type report = {
+  sw_points : point list;
+  sw_classes : int;
+  sw_oracle_pass : int;
+  sw_oracle_fail : int;
+  sw_leaked_fds : int;
+  sw_unclean : int;
+}
+
+let fault_free = "fault-free"
+
+let boot_disk h =
+  let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:4096 () in
+  let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev disk) ()) in
+  ignore (Sfs.mkdir_p fs "/dev");
+  ignore (Sfs.mkdir_p fs "/etc");
+  ignore (Sfs.write_file fs "/etc/hostname" (Bytes.of_string "sweep-vm\n"));
+  Sfs.sync fs;
+  disk
+
+let tools_image clock =
+  match
+    Blockdev.Image.pack ~clock [ Blockdev.Image.file "/bin/busybox" 800_000 ]
+  with
+  | Ok (backend, _) -> backend
+  | Error e -> failwith (H.Errno.show e)
+
+let open_fds h =
+  List.fold_left
+    (fun acc p -> acc + List.length (H.Proc.fd_numbers p))
+    0 h.H.Host.procs
+
+let class_label = function Some c -> Faults.name c | None -> fault_free
+
+(* The attach path renders a fired crash point through this message (a
+   stable part of the error taxonomy, round-tripped by Vmsh_error). *)
+let crash_point_fired msg =
+  let needle = "crash point at yield" in
+  let nl = String.length needle and ml = String.length msg in
+  let rec scan i = i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* One sweep point: fresh machine, armed plan, one attach. [k = None]
+   is the probe (crash point parked at max_int); returns the point and,
+   for the probe, the yield count the attach crossed. *)
+let run_point ~seed ~cls ~k =
+  let host = H.Host.create ~seed () in
+  let vmm = Vmm.create host ~profile:Profile.qemu ~disk:(boot_disk host) () in
+  ignore (Vmm.boot vmm ~version:KV.V5_10);
+  let vm = Vmm.kvm_vm vmm in
+  let plan = Faults.create ~seed:((seed * 31) + Option.value k ~default:0) ~rate:0.0 () in
+  (match cls with
+  | Some c -> Faults.set_class plan c ~rate:1.0 ~cap:2
+  | None -> ());
+  Faults.set_abort_at_yield plan (Some (Option.value k ~default:max_int));
+  let before = Vmsh.Snapshot.capture vm in
+  let fds_before = open_fds host in
+  let config = Vmsh.Attach.Config.(with_faults plan (make ())) in
+  let outcome, error, late_writes, unclean, yields =
+    match
+      Vmsh.Attach.attach host ~hypervisor_pid:(Vmm.pid vmm)
+        ~fs_image:(tools_image host.H.Host.clock)
+        ~config
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    with
+    | Ok session -> (
+        let yields = Faults.yield_ticks plan in
+        ignore (Vmsh.Attach.console_recv session);
+        let out = Vmsh.Attach.console_roundtrip session "hostname" in
+        let late =
+          match Vmsh.Attach.journal session with
+          | Some j -> Vmsh.Journal.late_writes j
+          | None -> []
+        in
+        match Vmsh.Attach.detach session with
+        | Ok () when String.length out > 0 ->
+            ("completed", None, late, None, yields)
+        | Ok () ->
+            ("completed", None, late, Some "console dead after attach", yields)
+        | Error e ->
+            ("completed", Some (Vmsh.Vmsh_error.to_string e), late,
+             Some "detach failed", yields))
+    | Error e ->
+        let msg = Vmsh.Vmsh_error.to_string e in
+        (* the taxonomy must round-trip: a clean abort is diagnosable
+           from its rendered form alone *)
+        let unclean =
+          if Vmsh.Vmsh_error.to_string (Vmsh.Vmsh_error.of_string msg) <> msg
+          then Some ("error does not round-trip: " ^ msg)
+          else None
+        in
+        ((if crash_point_fired msg then "aborted" else "clean-fail"),
+         Some msg, [], unclean, 0)
+    | exception e ->
+        ("unclean", None, [], Some (Printexc.to_string e), 0)
+  in
+  let exclude = Vmsh.Snapshot.dirty_since vm before @ late_writes in
+  let oracle =
+    Vmsh.Snapshot.diff ~before ~after:(Vmsh.Snapshot.capture vm) ~exclude
+  in
+  ( {
+      pt_class = class_label cls;
+      pt_yield = (match k with Some k -> k | None -> -1);
+      pt_outcome = outcome;
+      pt_error = error;
+      pt_oracle = oracle;
+      pt_leaked_fds = open_fds host - fds_before;
+      pt_unclean = unclean;
+    },
+    yields )
+
+(* Run [points] thunks, [vms] at a time, on the virtual-time scheduler
+   (vms = 1 degenerates to a plain sequential loop). Every point has
+   its own host, so fibers only interleave at the attach path's yield
+   points — the same seam the fleet engine exercises. *)
+let run_batched ~vms thunks =
+  if vms <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make (List.length thunks) None in
+    let rec batches i = function
+      | [] -> ()
+      | rest ->
+          let batch = List.filteri (fun j _ -> j < vms) rest in
+          let rest' = List.filteri (fun j _ -> j >= vms) rest in
+          let sched = Sched.create () in
+          List.iteri
+            (fun j f ->
+              let clock = H.Clock.create () in
+              Sched.spawn sched ~name:(Printf.sprintf "pt%d" (i + j)) ~clock
+                (fun () -> results.(i + j) <- Some (f ())))
+            batch;
+          ignore (Sched.run sched);
+          batches (i + List.length batch) rest'
+    in
+    batches 0 thunks;
+    List.filter_map Fun.id (Array.to_list results)
+  end
+
+let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) () =
+  let classes =
+    match classes with
+    | Some cs -> cs
+    | None -> None :: List.map Option.some Faults.all
+  in
+  let points =
+    List.concat_map
+      (fun cls ->
+        (* probe: crash point out of reach; learns Y for this class *)
+        let probe, yields = run_point ~seed ~cls ~k:None in
+        let ks = List.init (min yields max_yields) Fun.id in
+        let swept =
+          run_batched ~vms
+            (List.map (fun k () -> fst (run_point ~seed ~cls ~k:(Some k))) ks)
+        in
+        probe :: swept)
+      classes
+  in
+  let count f = List.length (List.filter f points) in
+  {
+    sw_points = points;
+    sw_classes = List.length classes;
+    sw_oracle_pass = count (fun p -> p.pt_oracle = []);
+    sw_oracle_fail = count (fun p -> p.pt_oracle <> []);
+    sw_leaked_fds = List.fold_left (fun a p -> a + max 0 p.pt_leaked_fds) 0 points;
+    sw_unclean = count (fun p -> p.pt_unclean <> None);
+  }
+
+let ok r = r.sw_oracle_fail = 0 && r.sw_leaked_fds = 0 && r.sw_unclean = 0
+
+let record mx r =
+  let set name v =
+    Observe.Metrics.set_counter (Observe.Metrics.counter mx name) v
+  in
+  set "sweep.points" (List.length r.sw_points);
+  set "sweep.classes" r.sw_classes;
+  set "sweep.oracle_pass" r.sw_oracle_pass;
+  set "sweep.oracle_fail" r.sw_oracle_fail;
+  set "sweep.leaked_fds" r.sw_leaked_fds;
+  set "sweep.unclean" r.sw_unclean;
+  set "sweep.aborted"
+    (List.length (List.filter (fun p -> p.pt_outcome = "aborted") r.sw_points));
+  set "sweep.completed"
+    (List.length (List.filter (fun p -> p.pt_outcome = "completed") r.sw_points))
+
+let pp_point ppf p =
+  Format.fprintf ppf "%-13s k=%-3s %-10s oracle=%-5s fds=%+d%s%s"
+    p.pt_class
+    (if p.pt_yield < 0 then "Y" else string_of_int p.pt_yield)
+    p.pt_outcome
+    (if p.pt_oracle = [] then "pass" else "FAIL")
+    p.pt_leaked_fds
+    (match p.pt_unclean with Some m -> " UNCLEAN: " ^ m | None -> "")
+    (match p.pt_oracle with [] -> "" | d :: _ -> " (" ^ d ^ ")")

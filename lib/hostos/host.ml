@@ -155,6 +155,11 @@ let unix_bind t p ~path =
     Ok fd
   end
 
+(* Rollback of unix_bind: forget the listener so the path can be bound
+   again by a later attach. Pending (unaccepted) peer ends are dropped
+   with the queue. *)
+let unix_unbind t ~path = Hashtbl.remove t.unix_listeners path
+
 let unix_connect t p ~path =
   match Hashtbl.find_opt t.unix_listeners path with
   | None -> Error Errno.ENOENT

@@ -65,6 +65,11 @@ val fire_ebpf : t -> hook:string -> args:int array -> Ebpf.kdata -> bytes option
 val unix_bind : t -> Proc.t -> path:string -> Fd.t Errno.result
 (** Create a listening socket at [path] in the caller's fd table. *)
 
+val unix_unbind : t -> path:string -> unit
+(** Forget the listener at [path] (rollback of {!unix_bind}); pending
+    unaccepted connections are dropped. The listener fd itself is closed
+    separately by its owner. *)
+
 val unix_connect : t -> Proc.t -> path:string -> Fd.t Errno.result
 (** Connect to a bound path; the peer end is queued for [unix_accept]. *)
 

@@ -77,6 +77,9 @@ let vmm_gmem t =
     write =
       (fun ~addr b ->
         Clock.copy_bytes t.h.Host.clock (Bytes.length b);
+        (* device completions serve guest-initiated requests: record the
+           interval so the rollback oracle blames the guest, not VMSH *)
+        Vm.mark_dirty t.vm ~pa:addr ~len:(Bytes.length b);
         Mem.Addr_space.write t.p.Proc.aspace (t.ram_hva + addr) b);
   }
 

@@ -56,9 +56,14 @@ type t = {
       (** doorbell writes whose eventfd signal was dropped (fault
           injection); re-kicked by [deliver_irqs] *)
   mutable ioregions : ioregion list;
-  mutable ioregion_pumps : (unit -> unit) list;
+  mutable ioregion_pumps : (int * (unit -> unit)) list;
+  mutable next_pump_id : int;
   mutable current : vcpu option;
   mutable gsi_irqfd_supported : bool;
+  mutable dirty_writes : (int * int) list;
+      (** (gpa, len) of every in-guest write since boot — the ground
+          truth "pages the guest itself dirtied" that the rollback
+          snapshot oracle excludes *)
 }
 
 and vcpu = {
@@ -116,8 +121,12 @@ let read_phys t pa len =
   let m, off = resolve_phys t pa in
   Mem.read_bytes m off len
 
+let mark_dirty t ~pa ~len =
+  if len > 0 then t.dirty_writes <- (pa, len) :: t.dirty_writes
+
 let write_phys t pa b =
   let m, off = resolve_phys t pa in
+  mark_dirty t ~pa ~len:(Bytes.length b);
   Mem.write_bytes m off b
 
 let read_phys_u64 t pa =
@@ -126,6 +135,7 @@ let read_phys_u64 t pa =
 
 let write_phys_u64 t pa v =
   let m, off = resolve_phys t pa in
+  mark_dirty t ~pa ~len:8;
   Mem.write_u64 m off v
 
 let pt_access t =
@@ -142,7 +152,17 @@ let signal_gsi t ~gsi =
 let add_eventfd_waiter t ~fd waiter =
   t.eventfd_waiters <- t.eventfd_waiters @ [ (fd, waiter) ]
 
-let add_ioregion_pump t pump = t.ioregion_pumps <- t.ioregion_pumps @ [ pump ]
+let add_ioregion_pump t pump =
+  let id = t.next_pump_id in
+  t.next_pump_id <- id + 1;
+  t.ioregion_pumps <- t.ioregion_pumps @ [ (id, pump) ];
+  id
+
+let remove_ioregion_pump t id =
+  t.ioregion_pumps <- List.filter (fun (i, _) -> i <> id) t.ioregion_pumps
+
+let remove_msi_route t ~gsi = Hashtbl.remove t.msi_routes gsi
+let dirty_intervals t = t.dirty_writes
 
 (* A dropped doorbell signal leaves the iothread unaware that the ring
    has work. Real device backends recover by re-kicking pending queues
@@ -252,7 +272,7 @@ let route_mmio t req =
       | Error e ->
           raise (Guest_error ("ioregionfd write: " ^ Hostos.Errno.show e)));
       Clock.context_switch clock;
-      List.iter (fun pump -> pump ()) t.ioregion_pumps;
+      List.iter (fun (_, pump) -> pump ()) t.ioregion_pumps;
       Clock.socket_msg clock;
       Clock.context_switch clock;
       match req with
@@ -523,10 +543,17 @@ let vm_ioctl t ~code ~arg : int Errno.result =
     match Api.read_irqfd_req t.owner.Proc.aspace ~ptr:arg with
     | exception Invalid_argument _ -> Error Errno.EFAULT
     | r ->
+        (* flags bit 0 = KVM_IRQFD_FLAG_DEASSIGN: drop the gsi route.
+           Accepted regardless of fd state — deassign during teardown
+           must work even when the eventfd is about to close. *)
+        if r.Api.irqfd_flags land 1 = 1 then begin
+          Hashtbl.remove t.irqfds r.Api.gsi;
+          Ok 0
+        end
         (* a plain-GSI irqfd needs a GSI-capable irqchip; an MSI-routed
            GSI works on any irqchip (Cloud Hypervisor's MSI-X-only one
            included) *)
-        if
+        else if
           (not t.gsi_irqfd_supported)
           && not (Hashtbl.mem t.msi_routes r.Api.gsi)
         then Error Errno.EINVAL
@@ -547,14 +574,33 @@ let vm_ioctl t ~code ~arg : int Errno.result =
         match Proc.fd t.owner r.Api.ioev_fd with
         | Error e -> Error e
         | Ok fd ->
-            let dm = if r.Api.ioev_flags land 1 = 1 then Some r.Api.datamatch else None in
-            t.ioeventfds <- (r.Api.ioev_addr, dm, fd) :: t.ioeventfds;
-            Ok 0)
+            (* flags bit 2 = KVM_IOEVENTFD_FLAG_DEASSIGN *)
+            if r.Api.ioev_flags land 4 = 4 then begin
+              t.ioeventfds <-
+                List.filter
+                  (fun (a, _, f) ->
+                    not (a = r.Api.ioev_addr && f.Fd.num = fd.Fd.num))
+                  t.ioeventfds;
+              Ok 0
+            end
+            else begin
+              let dm = if r.Api.ioev_flags land 1 = 1 then Some r.Api.datamatch else None in
+              t.ioeventfds <- (r.Api.ioev_addr, dm, fd) :: t.ioeventfds;
+              Ok 0
+            end)
   end
   else if code = Api.set_ioregion then begin
     match Api.read_ioregion_req t.owner.Proc.aspace ~ptr:arg with
     | exception Invalid_argument _ -> Error Errno.EFAULT
-    | r -> (
+    | r ->
+        (* flags bit 0 = detach: unregister the region at this base
+           (before its sockets close, so no fd validation here) *)
+        if r.Api.region_flags land 1 = 1 then begin
+          t.ioregions <-
+            List.filter (fun ir -> ir.base <> r.Api.region_gpa) t.ioregions;
+          Ok 0
+        end
+        else (
         match (Proc.fd t.owner r.Api.region_rfd, Proc.fd t.owner r.Api.region_wfd) with
         | Ok rfd, Ok wfd ->
             t.ioregions <-
@@ -582,6 +628,8 @@ let create_vm host owner =
     missed_notifies = [];
     ioregions = [];
     ioregion_pumps = [];
+    next_pump_id = 0;
+    dirty_writes = [];
     current = None;
     gsi_irqfd_supported = true;
   }

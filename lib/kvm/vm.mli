@@ -110,9 +110,28 @@ val add_eventfd_waiter : t -> fd:Hostos.Fd.t -> (unit -> unit) -> unit
 (** Register a callback invoked when the given ioeventfd is signalled by
     a guest doorbell (models the VMM iothread wake-up). *)
 
-val add_ioregion_pump : t -> (unit -> unit) -> unit
+val add_ioregion_pump : t -> (unit -> unit) -> int
 (** Register a callback that drains ioregionfd sockets and posts
-    responses (models the VMSH device thread being scheduled). *)
+    responses (models the VMSH device thread being scheduled). Returns
+    a pump id for {!remove_ioregion_pump}. *)
+
+val remove_ioregion_pump : t -> int -> unit
+(** Unregister a pump by id (detach/rollback of the device thread). *)
+
+val remove_msi_route : t -> gsi:int -> unit
+(** Drop an MSI route installed via KVM_SET_GSI_ROUTING (rollback). *)
+
+val mark_dirty : t -> pa:int -> len:int -> unit
+(** Record a guest-initiated write interval without performing it —
+    used by VMM device emulation that writes guest RAM through its own
+    process mapping rather than {!write_phys}. *)
+
+val dirty_intervals : t -> (int * int) list
+(** (gpa, len) intervals the guest itself has written through
+    {!write_phys} / {!write_phys_u64} (or noted via {!mark_dirty})
+    since the VM was created — the ground truth the rollback snapshot
+    oracle uses to exclude pages the guest legitimately dirtied while
+    VMSH was attached. *)
 
 (** {1 Creation and the ioctl surface} *)
 

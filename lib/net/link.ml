@@ -46,6 +46,7 @@ let a t = t.ports.(0)
 let b t = t.ports.(1)
 let name t = t.name
 let set_handler p f = p.handler <- Some f
+let clear_handler p = p.handler <- None
 let fabric_of_port p = p.link.fabric
 
 (* Send raw frame bytes out of [p]; they arrive at the peer port's

@@ -68,7 +68,9 @@ let collect h ~vmm =
       let ps = Vmsh.Attach.console_roundtrip session "ps" in
       let df = Vmsh.Attach.console_roundtrip session "df" in
       let dmesg = Vmsh.Attach.console_roundtrip session "dmesg" in
-      Vmsh.Attach.detach session;
+      (match Vmsh.Attach.detach session with
+      | Ok () -> ()
+      | Error e -> failwith (Vmsh.Vmsh_error.to_string e));
       let dmesg_lines =
         String.split_on_char '\n' dmesg
         |> List.filter (fun l -> String.trim l <> "" && l <> "vmsh> ")

@@ -29,8 +29,9 @@ let reset_password h ~vmm ~user ~password =
   | Error e -> Error (Vmsh.Vmsh_error.to_string e)
   | Ok session ->
       let out = Vmsh.Attach.console_recv session in
-      Vmsh.Attach.detach session;
-      Ok out
+      (match Vmsh.Attach.detach session with
+      | Ok () -> Ok out
+      | Error e -> Error (Vmsh.Vmsh_error.to_string e))
 
 let verify_password_set vmm guest ~user ~password =
   let expected = Vmsh.Shell.mkpasswd ~user ~password in

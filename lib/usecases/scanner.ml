@@ -77,7 +77,9 @@ let scan h ~vmm ?(secdb = default_secdb) () =
       let out =
         Vmsh.Attach.console_roundtrip session "cat /var/lib/vmsh/lib/apk/db/installed"
       in
-      Vmsh.Attach.detach session;
+      (match Vmsh.Attach.detach session with
+      | Ok () -> ()
+      | Error e -> failwith (Vmsh.Vmsh_error.to_string e));
       if
         String.length out >= 6
         && String.sub out 0 6 = "error:"

@@ -126,7 +126,9 @@ let debug_shell h t lam =
       Ok session
 
 let end_debug _t lam session =
-  Vmsh.Attach.detach session;
+  (match Vmsh.Attach.detach session with
+  | Ok () -> ()
+  | Error e -> failwith (Vmsh.Vmsh_error.to_string e));
   lam.pinned <- false
 
 let scale_down t =

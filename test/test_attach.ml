@@ -95,7 +95,9 @@ let test_attach_wrap_syscall () =
   | Error e -> Alcotest.failf "attach failed: %s" e
   | Ok session ->
       check cint "done" Vmsh.Klib_builder.status_done (Vmsh.Attach.status session);
-      Vmsh.Attach.detach session;
+      (match Vmsh.Attach.detach session with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "detach: %s" (Vmsh.Vmsh_error.to_string e));
       let _, _, g = env in
       check cbool "no crash" true (Guest.crashed g = None)
 
@@ -423,10 +425,14 @@ let suite =
 
 let test_detach_then_reattach () =
   (* repeated attach to the same VM after a clean detach (the first
-     session's devices stay registered; the second replaces them) *)
+     session's journal replay unwinds its devices, sockets and memslot,
+     so the second attach starts from a pristine guest) *)
   let env = setup ~seed:43 () in
   (match do_attach env with
-  | Ok session -> Vmsh.Attach.detach session
+  | Ok session -> (
+      match Vmsh.Attach.detach session with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "first detach: %s" (Vmsh.Vmsh_error.to_string e))
   | Error e -> Alcotest.failf "first attach: %s" e);
   match do_attach env with
   | Ok session ->

@@ -142,6 +142,12 @@ let test_error_roundtrips () =
       E.Context
         ( "reading vCPU registers",
           E.Injection ("injection transport", H.Errno.ESRCH) );
+      E.Deadline_exceeded 1_000_000_001;
+      E.Context ("guest-ready poll", E.Deadline_exceeded 2_000_000_000);
+      E.Rollback_failed (E.Context ("remote eventfd", E.Substrate H.Errno.EBADF));
+      E.Attach_aborted
+        (E.Rollback_failed
+           (E.Injection ("injected munmap failed", H.Errno.EBADF)));
     ]
   in
   List.iter
