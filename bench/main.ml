@@ -866,11 +866,90 @@ let run_latency () =
      overhead %+.1f%%)\n"
     (journaled /. 4. /. 1e6) (bare /. 4. /. 1e6)
     (float_of_int overhead_permille /. 10.);
+  (* flight recorder: per-stage pipeline profile, the recording-overhead
+     ablation (always-on recording vs a disabled recorder — virtual
+     time, so the expected overhead is exactly zero), and the
+     replay-diff oracle folded into counters *)
+  let tobs = Observe.create ~now:(fun () -> 0.0) () in
+  let tm = Observe.metrics tobs in
+  let smoke_attach ~recording ~seed =
+    let h = H.Host.create ~seed () in
+    Trace.Recorder.set_enabled h.H.Host.recorder recording;
+    let disk = make_disk ~blocks:4096 h in
+    let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+    let _g = Vmm.boot vmm ~version:KV.V5_10 in
+    let t0 = Clock.now_ns h.H.Host.clock in
+    (match
+       Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+         ~fs_image:(vmsh_image ~clock:h.H.Host.clock ~extra_blocks:64 ())
+         ~pump:(fun () -> Vmm.run_until_idle vmm)
+         ()
+     with
+    | Error e -> failwith ("vmsh-trace attach: " ^ Vmsh.Vmsh_error.to_string e)
+    | Ok _ -> ());
+    (h, Clock.now_ns h.H.Host.clock -. t0)
+  in
+  let p50 xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let recorded_hosts, on_ns =
+    List.split (List.init 4 (fun i -> smoke_attach ~recording:true ~seed:(1800 + i)))
+  in
+  let off_ns =
+    List.map
+      (fun i -> snd (smoke_attach ~recording:false ~seed:(1800 + i)))
+      [ 0; 1; 2; 3 ]
+  in
+  let on50 = p50 on_ns and off50 = p50 off_ns in
+  Observe.Metrics.set_counter
+    (Observe.Metrics.counter tm "trace.overhead_permille")
+    (max 0 (int_of_float ((on50 -. off50) /. off50 *. 1000.)));
+  (* the stage profile (stage.attach.*_ns histograms, stage.exit.* and
+     stage.pump.* counters) from the recorded attaches *)
+  List.iter
+    (fun h -> Observe.Metrics.merge_into ~into:tm (Observe.metrics h.H.Host.observe))
+    recorded_hosts;
+  Observe.Metrics.set_counter
+    (Observe.Metrics.counter tm "trace.events")
+    (Trace.Recorder.total (List.hd recorded_hosts).H.Host.recorder);
+  (* replay-diff oracle: two independent executions of the same recipe
+     must produce identical event streams and guest digests *)
+  (match
+     (Replay.execute (Replay.Attach { seed = 1850 }),
+      Replay.execute (Replay.Attach { seed = 1850 }))
+   with
+  | Ok a, Ok b ->
+      let clean =
+        Trace.diff a.Replay.run_events b.Replay.run_events = []
+        && a.Replay.run_digest = b.Replay.run_digest
+      in
+      Observe.Metrics.set_counter
+        (Observe.Metrics.counter tm
+           (if clean then "trace.replay_match" else "trace.replay_mismatch"))
+        1
+  | _ ->
+      Observe.Metrics.set_counter
+        (Observe.Metrics.counter tm "trace.replay_mismatch")
+        1);
+  Printf.printf
+    "vmsh-trace: attach p50 %.2f ms recording vs %.2f ms disabled (overhead \
+     %d permille); replay-diff %s\n"
+    (on50 /. 1e6) (off50 /. 1e6)
+    (Observe.Metrics.counter_value
+       (Observe.Metrics.counter tm "trace.overhead_permille"))
+    (if
+       Observe.Metrics.counter_value
+         (Observe.Metrics.counter tm "trace.replay_match")
+       = 1
+     then "clean"
+     else "DIVERGED");
   let scenarios =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
-      ("vmsh-fleet", flobs); ("vmsh-detach", dobs);
+      ("vmsh-fleet", flobs); ("vmsh-detach", dobs); ("vmsh-trace", tobs);
     ]
   in
   let oc = open_out "BENCH_results.json" in

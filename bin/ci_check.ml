@@ -267,7 +267,7 @@ let check_bench path =
         fail "%s: missing scenario %S" path required)
     [
       "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
-      "vmsh-detach";
+      "vmsh-detach"; "vmsh-trace";
     ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
@@ -316,23 +316,78 @@ let check_bench path =
     int_field ~ctx:path dcounters "detach.journal_overhead_permille"
   in
   if overhead > 50 then
-    fail "%s: journal overhead %d permille exceeds the 5%% bound" path overhead
+    fail "%s: journal overhead %d permille exceeds the 5%% bound" path overhead;
+  (* flight recorder: always-on recording within the 5%% attach-p50
+     bound, the replay-diff oracle clean, and the per-stage pipeline
+     profile (attach phases, exit classes, pump stages) present *)
+  let trace = field_exn ~ctx:path scen "vmsh-trace" in
+  let tcounters = field_exn ~ctx:path trace "counters" in
+  let toverhead = int_field ~ctx:path tcounters "trace.overhead_permille" in
+  if toverhead > 50 then
+    fail "%s: recording overhead %d permille exceeds the 5%% bound" path
+      toverhead;
+  if int_field ~ctx:path tcounters "trace.events" < 1 then
+    fail "%s: the flight recorder captured no events" path;
+  if opt_int_field ~ctx:path tcounters "trace.replay_mismatch" > 0 then
+    fail "%s: replay-diff oracle diverged" path;
+  if opt_int_field ~ctx:path tcounters "trace.replay_match" < 1 then
+    fail "%s: replay-diff oracle never ran" path;
+  List.iter
+    (fun c ->
+      if int_field ~ctx:path tcounters c < 1 then
+        fail "%s: stage profile counter %S is empty" path c)
+    [ "stage.exit.ioregionfd"; "stage.exit.mmio-userspace"; "stage.pump.blk" ];
+  let thists = field_exn ~ctx:path trace "histograms" in
+  List.iter
+    (fun name ->
+      let h = field_exn ~ctx:path thists ("stage.attach." ^ name ^ "_ns") in
+      if int_field ~ctx:path h "count" < 1 then
+        fail "%s: stage profile histogram %S is empty" path name)
+    [
+      "ptrace-attach"; "fd-discovery"; "memslot-dump"; "register-read";
+      "symbol-analysis"; "device-setup"; "klib-sideload"; "total";
+    ]
 
+(* The fleet metrics document is one merged object: fleet-wide
+   aggregates (every session's counters and histogram buckets folded
+   together) under "fleet", per-session registries under "sessions". *)
 let check_fleet path =
   let j = load path in
-  let counters = field_exn ~ctx:path j "counters" in
+  let fleet = field_exn ~ctx:path j "fleet" in
+  let sessions =
+    match field_exn ~ctx:path j "sessions" with
+    | Obj kvs -> kvs
+    | _ -> fail "%s: sessions is not an object" path
+  in
+  let n = List.length sessions in
+  if n < 1 then fail "%s: no per-session breakdown" path;
+  let counters = field_exn ~ctx:path fleet "counters" in
   if int_field ~ctx:path counters "symcache.hits" < 1 then
     fail "%s: fleet symbol cache never hit" path;
   if int_field ~ctx:path counters "symcache.misses" < 1 then
     fail "%s: fleet recorded no cold analysis" path;
-  if opt_int_field ~ctx:path counters "fleet.failures.n8" > 0 then
+  if opt_int_field ~ctx:path counters "fleet.failures.fleet" > 0 then
     fail "%s: fleet sessions failed in a clean run" path;
   let hist =
-    field_exn ~ctx:path (field_exn ~ctx:path j "histograms") "fleet.attach_ns.n8"
+    field_exn ~ctx:path
+      (field_exn ~ctx:path fleet "histograms")
+      "fleet.attach_ns.fleet"
   in
-  if int_field ~ctx:path hist "count" <> 8 then
-    fail "%s: fleet attach histogram count: %d (want 8)" path
+  if int_field ~ctx:path hist "count" <> n then
+    fail "%s: fleet attach histogram count: %d (want %d sessions)" path
       (int_field ~ctx:path hist "count")
+      n;
+  (* every session carries its own stage profile *)
+  List.iter
+    (fun (name, sj) ->
+      let h =
+        field_exn ~ctx:(path ^ ":" ^ name)
+          (field_exn ~ctx:(path ^ ":" ^ name) sj "histograms")
+          "stage.attach.total_ns"
+      in
+      if int_field ~ctx:(path ^ ":" ^ name) h "count" < 1 then
+        fail "%s: session %s has no stage profile" path name)
+    sessions
 
 let check_fuzz path =
   let j = load path in

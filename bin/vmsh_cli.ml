@@ -51,6 +51,24 @@ let transport_conv =
       | s -> Error (`Msg ("unknown transport: " ^ s))),
       fun ppf t -> Format.pp_print_string ppf (Vmsh.Devices.show_transport t) )
 
+let log_level_conv =
+  Arg.conv
+    ( (fun s ->
+        match Observe.level_of_string s with
+        | Some l -> Ok l
+        | None -> Error (`Msg ("unknown log level: " ^ s))),
+      fun ppf l -> Format.pp_print_string ppf (Observe.level_to_string l) )
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Structured, virtual-time-stamped stderr logging: quiet, info or \
+           debug. Default quiet (stderr byte-identical to a build without \
+           logging).")
+
 let boot_vm_on h ~profile ~version =
   let disk = Blockdev.Backend.create ~clock:h.H.Host.clock ~blocks:4096 () in
   let fs = Result.get_ok (Sfs.mkfs (Blockdev.Backend.dev disk) ()) in
@@ -121,10 +139,11 @@ let write_observe_outputs h ~trace_out ~metrics_out =
 
 let attach_cmd =
   let run verbose profile version transport commands net_echo detach_after
-      trace_out metrics_out =
+      trace_out metrics_out log_level =
     setup_logs verbose;
     let h, vmm, g = boot_vm ~profile ~version ~seed:11 in
     let obs = h.H.Host.observe in
+    Option.iter (Observe.set_log_level obs) log_level;
     if verbose || trace_out <> None || metrics_out <> None then
       Observe.enable obs;
     if verbose then
@@ -292,7 +311,7 @@ let attach_cmd =
     (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
     Term.(
       const run $ verbose $ profile $ version $ transport $ commands
-      $ net_echo $ detach_after $ trace_out $ metrics_out)
+      $ net_echo $ detach_after $ trace_out $ metrics_out $ log_level_arg)
 
 (* --- matrix --- *)
 
@@ -433,7 +452,7 @@ let outcome_label = function
   | Fuzz_unclean _ -> "UNCLEAN"
   | Fuzz_hang -> "HANG"
 
-let fuzz_one ~seed ~rate ~trace =
+let fuzz_one ?log_level ~seed ~rate ~trace () =
   let plan = Faults.create ~seed ~rate () in
   (* Boost one class per seed to certainty (with a small cap so bounded
      retries still win): 25 seeds sweep all 7 classes several times over
@@ -441,6 +460,15 @@ let fuzz_one ~seed ~rate ~trace =
   let boosted = List.nth Faults.all (seed mod List.length Faults.all) in
   Faults.set_class plan boosted ~rate:1.0 ~cap:2;
   let h = H.Host.create ~seed:(0xf0 + seed) () in
+  (* the recipe a failure artifact needs to be replayed without us *)
+  List.iter
+    (fun (k, v) -> Trace.Recorder.set_meta h.H.Host.recorder k v)
+    [
+      ("scenario", "fuzz");
+      ("fuzz-seed", string_of_int seed);
+      ("rate", string_of_float rate);
+    ];
+  Option.iter (Observe.set_log_level h.H.Host.observe) log_level;
   H.Host.arm_faults h plan;
   if trace then Observe.enable h.H.Host.observe;
   let outcome =
@@ -489,7 +517,7 @@ let fuzz_one ~seed ~rate ~trace =
   (h, plan, boosted, outcome)
 
 let fuzz_cmd =
-  let run verbose seeds rate metrics_out trace_out trace_seed =
+  let run verbose seeds rate metrics_out trace_out trace_seed log_level =
     setup_logs verbose;
     if seeds <= 0 then begin
       Printf.eprintf "fuzz: --seeds must be positive\n";
@@ -504,7 +532,7 @@ let fuzz_cmd =
     let hangs = ref 0 and unclean = ref 0 in
     for seed = 0 to seeds - 1 do
       let trace = trace_out <> None && seed = trace_seed in
-      let h, plan, boosted, outcome = fuzz_one ~seed ~rate ~trace in
+      let h, plan, boosted, outcome = fuzz_one ?log_level ~seed ~rate ~trace () in
       scount "fuzz.seeds";
       (match outcome with
       | Fuzz_completed -> scount "fuzz.completed"
@@ -515,6 +543,15 @@ let fuzz_cmd =
       | Fuzz_hang ->
           incr hangs;
           scount "fuzz.hangs");
+      (* every fuzz failure leaves a replayable flight recording when
+         VMSH_TRACE_DIR is set *)
+      (match outcome with
+      | Fuzz_unclean _ | Fuzz_hang ->
+          ignore
+            (Trace.dump_on_failure h.H.Host.recorder
+               ~name:(Printf.sprintf "fuzz-seed%d" seed)
+               ())
+      | Fuzz_completed | Fuzz_clean_fail _ -> ());
       List.iter
         (fun cls ->
           let n = Faults.injected plan cls in
@@ -610,7 +647,8 @@ let fuzz_cmd =
          "Sweep N deterministic fault schedules through boot + attach and \
           assert every one completes or fails cleanly")
     Term.(
-      const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed)
+      const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed
+      $ log_level_arg)
 
 (* --- sweep --- *)
 
@@ -717,14 +755,15 @@ let sweep_cmd =
 (* --- fleet --- *)
 
 let fleet_cmd =
-  let run verbose vms seed fault_rate no_share metrics_out trace_out =
+  let run verbose vms seed fault_rate no_share metrics_out trace_out log_level =
     setup_logs verbose;
     if vms <= 0 then begin
       Printf.eprintf "fleet: --vms must be positive\n";
       exit 2
     end;
     let r =
-      Fleet.run ~seed ~fault_rate ~share_symbols:(not no_share) ~vms ()
+      Fleet.run ~seed ~fault_rate ~share_symbols:(not no_share) ?log_level ~vms
+        ()
     in
     let failures =
       List.filter
@@ -753,12 +792,11 @@ let fleet_cmd =
     (match metrics_out with
     | None -> ()
     | Some path ->
-        let sobs = Observe.create ~now:(fun () -> 0.0) () in
-        Fleet.record (Observe.metrics sobs)
-          ~label:(Printf.sprintf "n%d" vms)
-          r;
+        (* one merged document: fleet-wide aggregates (every session's
+           counters and histogram samples folded together) plus the
+           per-session breakdown *)
         let oc = open_out path in
-        output_string oc (Observe.Export.metrics_json sobs);
+        output_string oc (Fleet.metrics_json r);
         close_out oc;
         Printf.printf "fleet metrics written to %s\n" path);
     (match trace_out with
@@ -826,7 +864,184 @@ let fleet_cmd =
           symbol cache")
     Term.(
       const run $ verbose $ vms $ seed $ fault_rate $ no_share $ metrics_out
-      $ trace_out)
+      $ trace_out $ log_level_arg)
+
+(* --- trace --- *)
+
+(* The flight-recorder verb: record a scenario as a .vmshtrace file,
+   replay one deterministically and diff, or inspect an artifact a
+   failed sweep/fuzz/fleet run left behind. *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"A .vmshtrace flight recording.")
+
+let trace_record_cmd =
+  let run scenario seed vms cls k out =
+    let spec =
+      match scenario with
+      | "attach" -> Replay.Attach { seed }
+      | "fleet" -> Replay.Fleet_run { seed; vms }
+      | "sweep" | "sweep-cell" -> Replay.Sweep_cell { seed; cls; k }
+      | s ->
+          Printf.eprintf
+            "trace record: unknown scenario %S (try attach, fleet or sweep)\n" s;
+          exit 2
+    in
+    match Replay.record spec ~path:out with
+    | Error e ->
+        Printf.eprintf "trace record: %s\n" e;
+        exit 1
+    | Ok r ->
+        Printf.printf "recorded %d events (guest digest %s) to %s\n"
+          (List.length r.Replay.run_events)
+          r.Replay.run_digest out
+  in
+  let scenario =
+    Arg.(
+      value & opt string "attach"
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:"What to run and record: attach, fleet, or sweep (one cell).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 5
+      & info [ "seed" ] ~docv:"N" ~doc:"Scenario seed (fleet default is 7).")
+  in
+  let vms =
+    Arg.(
+      value & opt int 8
+      & info [ "vms" ] ~docv:"N" ~doc:"Fleet size (fleet scenario only).")
+  in
+  let cls =
+    Arg.(
+      value & opt string "fault-free"
+      & info [ "class" ] ~docv:"CLS"
+          ~doc:"Fault class of the sweep cell (sweep scenario only).")
+  in
+  let k =
+    Arg.(
+      value & opt int (-1)
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Abort-at-yield index of the sweep cell; -1 is the probe \
+             (sweep scenario only).")
+  in
+  let out =
+    Arg.(
+      value & opt string "out.vmshtrace"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a deterministic scenario and save its flight recording")
+    Term.(const run $ scenario $ seed $ vms $ cls $ k $ out)
+
+let trace_replay_cmd =
+  let run file =
+    match Trace.load file with
+    | Error e ->
+        Printf.eprintf "trace replay: %s\n" e;
+        exit 1
+    | Ok f -> (
+        (* fuzz artifacts replay through the CLI's own fuzz driver;
+           every other scenario through the recipe library *)
+        let diffs =
+          match List.assoc_opt "scenario" f.Trace.f_meta with
+          | Some "fuzz" ->
+              let geti key d =
+                Option.bind (List.assoc_opt key f.Trace.f_meta)
+                  int_of_string_opt
+                |> Option.value ~default:d
+              in
+              let rate =
+                Option.bind (List.assoc_opt "rate" f.Trace.f_meta)
+                  float_of_string_opt
+                |> Option.value ~default:0.15
+              in
+              let h, _, _, _ =
+                fuzz_one ~seed:(geti "fuzz-seed" 0) ~rate ~trace:false ()
+              in
+              Ok
+                (Trace.diff f.Trace.f_events
+                   (Trace.Recorder.events h.H.Host.recorder))
+          | _ -> Replay.replay ~path:file
+        in
+        match diffs with
+        | Error e ->
+            Printf.eprintf "trace replay: %s\n" e;
+            exit 1
+        | Ok [] ->
+            Printf.printf
+              "replay matches recording: %d events, guest digest identical\n"
+              (List.length f.Trace.f_events)
+        | Ok lines ->
+            List.iter (Printf.eprintf "replay-diff: %s\n") lines;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a recording's scenario deterministically and diff the two \
+          event streams and guest digests")
+    Term.(const run $ trace_file_arg)
+
+let trace_dump_cmd =
+  let run file limit =
+    match Trace.load file with
+    | Error e ->
+        Printf.eprintf "trace dump: %s\n" e;
+        exit 1
+    | Ok f ->
+        List.iter (fun (k, v) -> Printf.printf "# %s = %s\n" k v) f.Trace.f_meta;
+        if f.Trace.f_dropped > 0 then
+          Printf.printf "# dropped = %d\n" f.Trace.f_dropped;
+        let n = List.length f.Trace.f_events in
+        List.iteri
+          (fun i e ->
+            if limit <= 0 || i < limit then
+              Format.printf "%a@." Trace.pp_event e)
+          f.Trace.f_events;
+        if limit > 0 && n > limit then
+          Printf.printf "... %d more events (raise --limit)\n" (n - limit)
+  in
+  let limit =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Print at most N events (0 = everything).")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a recording's metadata and events")
+    Term.(const run $ trace_file_arg $ limit)
+
+let trace_stat_cmd =
+  let run file =
+    match Trace.load file with
+    | Error e ->
+        Printf.eprintf "trace stat: %s\n" e;
+        exit 1
+    | Ok f ->
+        Printf.printf "%d events (%d dropped at record time)\n"
+          (List.length f.Trace.f_events)
+          f.Trace.f_dropped;
+        List.iter
+          (fun (kind, n) -> Printf.printf "%8d  %s\n" n kind)
+          (Trace.stat f.Trace.f_events)
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Per-event-kind counts of a recording")
+    Term.(const run $ trace_file_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, replay and inspect hypervisor-boundary flight recordings \
+          (.vmshtrace)")
+    [ trace_record_cmd; trace_replay_cmd; trace_dump_cmd; trace_stat_cmd ]
 
 let () =
   let info =
@@ -838,5 +1053,5 @@ let () =
        (Cmd.group info
           [
             attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
-            fuzz_cmd; fleet_cmd; sweep_cmd;
+            fuzz_cmd; fleet_cmd; sweep_cmd; trace_cmd;
           ]))

@@ -19,9 +19,16 @@
 #                 byte-for-byte, leak no descriptors, and fail with a
 #                 clean round-trippable error — then a concurrent
 #                 subset on the virtual-time scheduler
+#   trace         flight recorder: record -> replay -> diff on a smoke
+#                 attach, a fleet run, and one crash-point sweep cell;
+#                 two identically-seeded recordings must be
+#                 byte-identical
 #   bench         latency experiment regenerating BENCH_results.json,
-#                 including the vmsh-faults recovery and vmsh-fleet
-#                 scaling scenarios
+#                 including the vmsh-faults recovery, vmsh-fleet
+#                 scaling, and vmsh-trace recording-overhead scenarios
+#
+# Every sweep/fuzz/fleet failure drops a replayable .vmshtrace artifact
+# into $CI_ARTIFACTS (VMSH_TRACE_DIR), uploaded by the workflow.
 #
 # All JSON assertions go through the dune-built bin/ci_check.exe (no
 # python needed). Run one stage with `./ci.sh --stage NAME`; artifacts
@@ -31,7 +38,12 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace bench"
+
+# dump-on-failure: any failing sweep/fuzz/fleet run leaves a replayable
+# .vmshtrace recording next to the other artifacts
+VMSH_TRACE_DIR=$ARTIFACTS
+export VMSH_TRACE_DIR
 
 usage() {
   echo "usage: ./ci.sh [--stage NAME]"
@@ -135,6 +147,28 @@ stage_crash_matrix() {
   vmsh sweep --vms 4 --class fault-free --class inject-eintr \
     --metrics-out "$ARTIFACTS/sweep-metrics-vms4.json"
   ci_check sweep "$ARTIFACTS/sweep-metrics-vms4.json"
+}
+
+stage_trace() {
+  # record -> replay -> diff: the replay-diff oracle must come back
+  # clean for a smoke attach, a fleet run, and one sweep crash cell
+  vmsh trace record --scenario attach --seed 5 \
+    -o "$ARTIFACTS/attach-a.vmshtrace"
+  vmsh trace replay "$ARTIFACTS/attach-a.vmshtrace"
+  vmsh trace record --scenario fleet --seed 7 --vms 8 \
+    -o "$ARTIFACTS/fleet.vmshtrace"
+  vmsh trace replay "$ARTIFACTS/fleet.vmshtrace"
+  vmsh trace record --scenario sweep --class inject-eintr -k 3 --seed 5 \
+    -o "$ARTIFACTS/sweep-cell.vmshtrace"
+  vmsh trace replay "$ARTIFACTS/sweep-cell.vmshtrace"
+  # Determinism: the binary recording itself must be byte-stable.
+  vmsh trace record --scenario attach --seed 5 \
+    -o "$ARTIFACTS/attach-b.vmshtrace" > /dev/null
+  cmp "$ARTIFACTS/attach-a.vmshtrace" "$ARTIFACTS/attach-b.vmshtrace" || {
+    echo "ci: .vmshtrace recordings diverged across identical seeds" >&2
+    return 1
+  }
+  vmsh trace stat "$ARTIFACTS/attach-a.vmshtrace"
 }
 
 stage_bench() {

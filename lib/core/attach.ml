@@ -148,6 +148,34 @@ let journal s = s.journal
 
 let ( let* ) = Result.bind
 
+(* Per-phase profiling, always-on: each attach phase feeds its virtual
+   duration into a stage.attach.<phase>_ns histogram and one
+   "attach.phase" flight-recorder event. Pure observation — identical
+   in every run — so determinism is preserved. The Observe span inside
+   still only fires when the ring sink is enabled. *)
+let phase host name f =
+  let obs = host.Host.observe in
+  let clock = host.Host.clock in
+  let t0 = Hostos.Clock.now_ns clock in
+  let finish () =
+    let dur = Hostos.Clock.now_ns clock -. t0 in
+    Observe.Metrics.observe
+      (Observe.Metrics.histogram (Observe.metrics obs)
+         ("stage.attach." ^ name ^ "_ns"))
+      dur;
+    Trace.Recorder.record host.Host.recorder ~kind:"attach.phase"
+      ~args:[ ("name", Trace.S name); ("dur_ns", Trace.I (int_of_float dur)) ]
+      ();
+    Observe.log obs Observe.Debug "attach phase %s: %.0f ns" name dur
+  in
+  match Observe.span obs ~name f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 (* Journal plumbing: [jrec] records an undo whose failure matters (the
    closure returns a result; failures surface as [Rollback_failed]),
    [jrec_u] one that cannot fail. Both are no-ops when the transaction
@@ -390,6 +418,10 @@ let wait_ready ~mem ~loaded ~pump =
 let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
   let cfg = match config with Some c -> c | None -> Config.make () in
   let obs = host.Host.observe in
+  let attach_t0 = Hostos.Clock.now_ns host.Host.clock in
+  Trace.Recorder.record host.Host.recorder ~kind:"attach.begin"
+    ~args:[ ("hypervisor_pid", Trace.I hypervisor_pid) ]
+    ();
   Observe.span obs ~name:"attach"
     ~attrs:
       [
@@ -435,8 +467,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* slots =
-      Observe.span obs ~name:"memslot-dump" (fun () ->
-          Memslot_discovery.discover tracee)
+      phase host "memslot-dump" (fun () -> Memslot_discovery.discover tracee)
     in
     if Config.drop_privileges cfg then begin
       Proc.drop_cap vmsh Proc.CAP_BPF;
@@ -449,7 +480,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     Hyp_mem.set_journal mem j;
     memr := Some mem;
     let* regs =
-      Observe.span obs ~name:"register-read" (fun () ->
+      phase host "register-read" (fun () ->
           match Tracee.get_vcpu_regs tracee (List.hd (Tracee.vcpus tracee)) with
           | Ok r -> Ok r
           | Error e -> Error (E.Context ("KVM_GET_REGS injection", e)))
@@ -457,7 +488,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* anal =
-      Observe.span obs ~name:"symbol-analysis" (fun () ->
+      phase host "symbol-analysis" (fun () ->
           Result.map_error
             (fun m -> E.Msg m)
             (Symbol_analysis.analyze ?cache:(Config.symbol_cache cfg) mem
@@ -479,7 +510,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* devs =
-      Observe.span obs ~name:"device-setup" @@ fun () ->
+      phase host "device-setup" @@ fun () ->
       (* interrupt plumbing; the PCI transport routes the GSIs as MSIs
          first, so the irqfds work on MSI-X-only irqchips *)
       let gsis = Devices.gsi_plan device_plan in
@@ -541,7 +572,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     Faults.yield_tick host.Host.faults;
     Sched.yield ();
     let* loaded =
-      Observe.span obs ~name:"klib-sideload" @@ fun () ->
+      phase host "klib-sideload" @@ fun () ->
       (* guest program + kernel library *)
       let program =
         Overlay.register
@@ -581,12 +612,24 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     | Failure msg -> Error (E.Attach_aborted (E.Msg msg))
     | Kvm.Vm.Guest_error msg -> Error (E.Attach_aborted (E.Guest_fault msg))
   in
+  let total_ns () = Hostos.Clock.now_ns host.Host.clock -. attach_t0 in
+  let observe_total () =
+    Observe.Metrics.observe
+      (Observe.Metrics.histogram (Observe.metrics obs) "stage.attach.total_ns")
+      (total_ns ())
+  in
   match result with
   | Ok s ->
       (* Commit: freeze the log. Steady-state device writes from here on
          are tracked only as oracle-exclusion intervals; [detach] replays
          the sealed log to restore the guest. *)
       (match s.journal with Some j -> Journal.seal j | None -> ());
+      observe_total ();
+      Trace.Recorder.record host.Host.recorder ~kind:"attach.commit"
+        ~args:[ ("dur_ns", Trace.I (int_of_float (total_ns ()))) ]
+        ();
+      Observe.log obs Observe.Info "attach committed in %.0f virtual ns"
+        (total_ns ());
       Ok s
   | Error err -> (
       (* Abort → rollback. Crash points are disarmed first (the rollback
@@ -594,9 +637,22 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
          the memory view so undo writes go through the raw path. *)
       Faults.set_abort_at_yield host.Host.faults None;
       (match !memr with Some m -> Hyp_mem.set_journal m None | None -> ());
+      observe_total ();
+      Observe.log obs Observe.Info "attach aborted: %s" (E.to_string err);
       match !jref with
-      | None -> Error err
+      | None ->
+          Trace.Recorder.record host.Host.recorder ~kind:"attach.abort"
+            ~args:[ ("entries", Trace.I 0) ]
+            ();
+          Error err
       | Some j -> (
+          Trace.Recorder.record host.Host.recorder ~kind:"journal.rollback"
+            ~args:
+              [
+                ("entries", Trace.I (Journal.length j));
+                ("origin", Trace.S "abort");
+              ]
+            ();
           match Journal.replay ~metrics:(Observe.metrics obs) j with
           | Ok () -> Error err
           | Error re -> Error (E.Rollback_failed re)))
@@ -628,6 +684,13 @@ let detach s =
     match s.journal with
     | Some j ->
         Hyp_mem.set_journal s.mem None;
+        Trace.Recorder.record host.Host.recorder ~kind:"journal.rollback"
+          ~args:
+            [
+              ("entries", Trace.I (Journal.length j));
+              ("origin", Trace.S "detach");
+            ]
+          ();
         Journal.replay ~metrics:(Observe.metrics host.Host.observe) j
     | None ->
         (* journal disabled: legacy teardown, transport hook only *)

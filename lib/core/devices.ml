@@ -146,6 +146,14 @@ let incr_counter t name ~by =
   Observe.Metrics.incr ~by
     (Observe.Metrics.counter (Observe.metrics (host_observe t)) name)
 
+(* Virtqueue pump-stage instrumentation, always-on: every pump
+   invocation bumps its stage.pump.<stage> counter and appends one
+   flight-recorder event — pure observation, no virtual cost. *)
+let pump_stage t name =
+  incr_counter t ("stage.pump." ^ name) ~by:1;
+  Trace.Recorder.record (Tracee.host t.tracee).Hostos.Host.recorder
+    ~kind:("pump." ^ name) ()
+
 (* The image is served with synchronous, unpipelined file IO (the
    prototype's device is single-threaded), so each request pays the full
    device latency again instead of overlapping with its neighbours —
@@ -174,6 +182,7 @@ let blk_backend t =
   }
 
 let process_blk t h =
+  pump_stage t "blk";
   match ensure_queue t h 0 with
   | None -> ()
   | Some q ->
@@ -191,6 +200,7 @@ let process_blk t h =
    Stops at the first frame the guest has no buffer for (frame order is
    preserved; nothing is dropped on the host side). *)
 let try_feed_net_h t h =
+  pump_stage t "net-rx";
   match ensure_queue t h 0 with
   | None -> ()
   | Some rxq ->
@@ -218,6 +228,7 @@ let try_feed_net t =
   match handle_of t Net with Some h -> try_feed_net_h t h | None -> ()
 
 let process_net_tx t h =
+  pump_stage t "net-tx";
   match ensure_queue t h 1 with
   | None -> ()
   | Some txq ->
@@ -311,6 +322,7 @@ let ninep_backend t fs =
   }
 
 let process_ninep t h =
+  pump_stage t "ninep";
   match t.ninep_fs with
   | None -> ()
   | Some fs -> (
@@ -327,6 +339,7 @@ let process_ninep t h =
           end)
 
 let try_feed_console t h =
+  pump_stage t "console-rx";
   match ensure_queue t h 0 with
   | None -> ()
   | Some rxq -> (
@@ -347,6 +360,7 @@ let try_feed_console t h =
       | _ -> ())
 
 let process_console_tx t h =
+  pump_stage t "console-tx";
   match ensure_queue t h 1 with
   | None -> ()
   | Some txq ->

@@ -112,3 +112,21 @@ let diff ~before ~after ~exclude =
   List.rev !problems
 
 let check ~before ~after ~exclude = diff ~before ~after ~exclude = []
+
+(* One hex string summarizing the whole snapshot — what the flight
+   recorder's replay-diff oracle compares between a live run and its
+   replay. Folds every page digest and register digest in slot order,
+   so two snapshots digest equal iff the captured state is equal. *)
+let digest t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (slot, gpa, size, pages) ->
+      Buffer.add_string b (Printf.sprintf "%d:%x:%d;" slot gpa size);
+      Array.iter (Buffer.add_string b) pages)
+    t.slots;
+  List.iter
+    (fun (idx, d) ->
+      Buffer.add_string b (string_of_int idx);
+      Buffer.add_string b d)
+    t.regs;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))

@@ -24,3 +24,8 @@ val diff : before:t -> after:t -> exclude:(int * int) list -> string list
     pages (page-granular), and register files. *)
 
 val check : before:t -> after:t -> exclude:(int * int) list -> bool
+
+val digest : t -> string
+(** One hex digest over every page and register digest — equal iff the
+    captured guest states are equal. The replay-diff oracle compares
+    this between a live run and its replay. *)

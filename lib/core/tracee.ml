@@ -32,6 +32,30 @@ let ( let* ) = Result.bind
 
 let err m = Error (Vmsh_error.Msg m)
 
+(* Same per-phase profiling as Attach.phase: virtual duration into a
+   stage.attach.<name>_ns histogram plus one flight event, always-on. *)
+let phase h name ?(attrs = []) f =
+  let obs = h.Host.observe in
+  let clock = h.Host.clock in
+  let t0 = Hostos.Clock.now_ns clock in
+  let finish () =
+    let dur = Hostos.Clock.now_ns clock -. t0 in
+    Observe.Metrics.observe
+      (Observe.Metrics.histogram (Observe.metrics obs)
+         ("stage.attach." ^ name ^ "_ns"))
+      dur;
+    Trace.Recorder.record h.Host.recorder ~kind:"attach.phase"
+      ~args:[ ("name", Trace.S name); ("dur_ns", Trace.I (int_of_float dur)) ]
+      ()
+  in
+  match Observe.span obs ~name ~attrs f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
 (* /proc-based discovery of the KVM descriptors (paper §5). *)
 let discover_kvm host ~pid =
   let fds = Host.proc_fd_listing host ~pid in
@@ -124,9 +148,8 @@ let inject_any_thread h session tracee_pid ~nr ~args =
   try_tids (err "tracee has no threads") threads
 
 let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
-  let obs = h.Host.observe in
   let* session =
-    Observe.span obs ~name:"ptrace-attach"
+    phase h "ptrace-attach"
       ~attrs:[ ("pid", Observe.I pid) ]
       (fun () ->
         match
@@ -142,7 +165,7 @@ let attach ?(seccomp_heuristic = false) h ~vmsh ~pid =
         | Error e -> Error (Vmsh_error.Injection ("ptrace attach", e)))
   in
   let* vm_fd_num, vcpu_list, scratch_hva =
-    Observe.span obs ~name:"fd-discovery" (fun () ->
+    phase h "fd-discovery" (fun () ->
         let* vm_fd_num, vcpu_list = discover_kvm h ~pid in
         let* scratch_hva =
           if seccomp_heuristic then
@@ -173,9 +196,20 @@ let inject t ~nr ~args =
      yield so the crash fires whether or not a scheduler is running. *)
   Faults.yield_tick t.h.Host.faults;
   Sched.yield ();
-  if t.seccomp_heuristic then
-    inject_any_thread t.h t.session t.tracee_pid ~nr ~args
-  else inject_session t.h t.session ~nr ~args
+  let r =
+    if t.seccomp_heuristic then
+      inject_any_thread t.h t.session t.tracee_pid ~nr ~args
+    else inject_session t.h t.session ~nr ~args
+  in
+  Trace.Recorder.record t.h.Host.recorder ~kind:"inject.syscall"
+    ~args:
+      (("nr", Trace.S (Syscall.Nr.name nr))
+      ::
+      (match r with
+      | Ok ret -> [ ("ret", Trace.I ret) ]
+      | Error e -> [ ("err", Trace.S (Vmsh_error.to_string e)) ]))
+    ();
+  r
 
 let retry_vm_rw h f =
   Retry.with_backoff h ~counter:"recovery.vm_rw_retry"

@@ -14,6 +14,8 @@ type session_report = {
   s_result : (unit, string) result;
   s_attach_ns : float;
   s_total_ns : float;
+  s_host : H.Host.t;
+  s_digest : string;
 }
 
 type report = {
@@ -47,6 +49,9 @@ let tools_image clock =
    step between yield points touches only this session's host. *)
 let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
     results () =
+  (* tag every flight event and any failure artifact with the session *)
+  Trace.Recorder.set_session host.H.Host.recorder index;
+  Trace.Recorder.set_meta host.H.Host.recorder "session" name;
   let disk = boot_disk host ~name in
   let disable_seccomp = profile.Profile.prof_name = "Firecracker" in
   let vmm = Vmm.create host ~profile ~disk ~disable_seccomp () in
@@ -79,6 +84,9 @@ let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
             else Ok ())
   in
   let now = H.Clock.now_ns host.H.Host.clock in
+  (* zero-virtual-cost guest-state digest: the replay-diff oracle
+     compares it between a live fleet run and its replay *)
+  let digest = Vmsh.Snapshot.digest (Vmsh.Snapshot.capture (Vmm.kvm_vm vmm)) in
   results.(index) <-
     Some
       {
@@ -86,13 +94,15 @@ let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
         s_result = result;
         s_attach_ns = now -. t0;
         s_total_ns = now;
+        s_host = host;
+        s_digest = digest;
       }
 
 let counter_value mx name =
   Observe.Metrics.counter_value (Observe.Metrics.counter mx name)
 
 let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
-    ?(fault_rate = 0.0) ?(share_symbols = true) ~vms () =
+    ?(fault_rate = 0.0) ?(share_symbols = true) ?log_level ~vms () =
   if vms <= 0 then invalid_arg "Fleet.run: vms must be positive";
   let cache =
     if share_symbols then Some (Vmsh.Symbol_analysis.Cache.create ()) else None
@@ -112,6 +122,7 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
         (* distinct, well-separated seed per session: each host draws an
            independent deterministic RNG stream *)
         let host = H.Host.create ~seed:((seed * 1009) + (i * 17)) () in
+        Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
         let name = Printf.sprintf "vm%d" i in
         Sched.spawn sched ~name ~clock:host.H.Host.clock
           (session ~host ~name ~profile ~version ~fault_rate ~seed ~index:i
@@ -140,8 +151,29 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
                 s_result = Error msg;
                 s_attach_ns = Float.nan;
                 s_total_ns = H.Clock.now_ns host.H.Host.clock;
+                s_host = host;
+                s_digest = "";
               })
     outcomes;
+  (* every failed session leaves a replayable artifact when
+     VMSH_TRACE_DIR is set (CI uploads them) *)
+  Array.iter
+    (fun r ->
+      match r with
+      | Some s when Result.is_error s.s_result ->
+          ignore
+            (Trace.dump_on_failure s.s_host.H.Host.recorder
+               ~name:(Printf.sprintf "fleet-s%d-%s" seed s.s_name)
+               ~extra_meta:
+                 [
+                   ("scenario", "fleet");
+                   ("fleet-seed", string_of_int seed);
+                   ("vms", string_of_int vms);
+                   ("error", Result.fold ~ok:(fun () -> "") ~error:Fun.id s.s_result);
+                 ]
+               ())
+      | _ -> ())
+    results;
   let hits, misses =
     List.fold_left
       (fun (h, m) host ->
@@ -188,3 +220,56 @@ let attach_p r p =
       let n = Array.length a in
       let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
       a.(max 0 (min (n - 1) i))
+
+(* One hex digest over every session's final guest-state digest, in
+   session order — the fleet-wide half of the replay-diff oracle. *)
+let digest r =
+  Digest.to_hex
+    (Digest.string (String.concat ";" (List.map (fun s -> s.s_digest) r.r_sessions)))
+
+(* The fleet's merged flight recording: each session's events in
+   session order (each already tagged with its session id). Sessions
+   are deterministic, so the concatenation is too. *)
+let flight_events r =
+  List.concat_map
+    (fun s -> Trace.Recorder.events s.s_host.H.Host.recorder)
+    r.r_sessions
+
+(* One fleet-wide metrics document: per-session registries folded into
+   a global registry (counters and histogram buckets add, so the fleet
+   p50/p99 come from every session's samples), plus the per-session
+   breakdown. *)
+let metrics_json r =
+  let agg = Observe.create ~now:(fun () -> 0.0) () in
+  let mx = Observe.metrics agg in
+  List.iter
+    (fun s -> Observe.Metrics.merge_into ~into:mx
+        (Observe.metrics s.s_host.H.Host.observe))
+    r.r_sessions;
+  (* the merge already folded each session's symcache, recovery and
+     stage counters together; add only the fleet-level summary the
+     sessions cannot know *)
+  let hist = Observe.Metrics.histogram mx "fleet.attach_ns.fleet" in
+  List.iter (Observe.Metrics.observe hist) (successes r);
+  Observe.Metrics.set_counter
+    (Observe.Metrics.counter mx "fleet.yields.fleet")
+    r.r_yields;
+  let failures =
+    List.length (List.filter (fun s -> Result.is_error s.s_result) r.r_sessions)
+  in
+  if failures > 0 then
+    Observe.Metrics.set_counter
+      (Observe.Metrics.counter mx "fleet.failures.fleet")
+      failures;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"fleet\": ";
+  Buffer.add_string b (Observe.Export.metrics_json agg);
+  Buffer.add_string b ", \"sessions\": {";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%S: " s.s_name);
+      Buffer.add_string b (Observe.Export.metrics_json s.s_host.H.Host.observe))
+    r.r_sessions;
+  Buffer.add_string b "}}";
+  Buffer.contents b

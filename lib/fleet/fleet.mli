@@ -27,6 +27,12 @@ type session_report = {
   s_result : (unit, string) result;  (** rendered {!Vmsh.Vmsh_error.t} *)
   s_attach_ns : float;  (** virtual boot-to-overlay attach latency *)
   s_total_ns : float;  (** session's final virtual time *)
+  s_host : Hostos.Host.t;
+      (** the session's simulated machine — carries its metrics
+          registry and flight recorder for post-run aggregation *)
+  s_digest : string;
+      (** {!Vmsh.Snapshot.digest} of the guest after detach; [""] when
+          the session died before filing its report *)
 }
 
 type report = {
@@ -47,12 +53,16 @@ val run :
   ?version:Linux_guest.Kernel_version.t ->
   ?fault_rate:float ->
   ?share_symbols:bool ->
+  ?log_level:Observe.level ->
   vms:int -> unit -> report
 (** Boot and attach [vms] sessions concurrently. [fault_rate] arms an
     independent per-session fault plan (default 0: clean runs).
     [share_symbols] (default true) shares the build-id symbol cache
-    across sessions. A session failure is reported in its
-    {!session_report}, never raised. *)
+    across sessions. [log_level] sets each session's stderr log level
+    (default: the hosts' default, {!Observe.Quiet}). A session failure
+    is reported in its {!session_report}, never raised; when
+    [VMSH_TRACE_DIR] is set each failed session also dumps a
+    replayable [.vmshtrace] artifact. *)
 
 val record : Observe.Metrics.t -> label:string -> report -> unit
 (** Fold a report into a metrics registry: an
@@ -63,3 +73,20 @@ val record : Observe.Metrics.t -> label:string -> report -> unit
 val attach_p : report -> float -> float
 (** [attach_p r 0.99]: percentile over the successful sessions' attach
     latencies (virtual ns); [nan] when none succeeded. *)
+
+val digest : report -> string
+(** One hex digest folding every session's {!session_report.s_digest}
+    in session order — the guest-state half of the replay-diff
+    oracle. *)
+
+val flight_events : report -> Trace.event list
+(** The fleet's merged flight recording: every session's events
+    concatenated in session order, each tagged with its session id.
+    Deterministic for a given seed, so a replayed fleet diffs clean. *)
+
+val metrics_json : report -> string
+(** One fleet-wide JSON document:
+    [{"fleet": <merged>, "sessions": {"vm0": <per-session>, ...}}].
+    The merged registry folds every session's counters and histogram
+    buckets together (so fleet p50/p99 are over all sessions' samples)
+    and includes the [fleet.attach_ns.fleet] summary histogram. *)

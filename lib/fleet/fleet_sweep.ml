@@ -31,6 +31,8 @@ type point = {
   pt_oracle : string list;  (** oracle discrepancies; [[]] = restored *)
   pt_leaked_fds : int;  (** host-wide open-fd delta after the point *)
   pt_unclean : string option;  (** escaped exception, if any *)
+  pt_digest : string;  (** {!Vmsh.Snapshot.digest} of the final guest state *)
+  pt_events : Trace.event list;  (** the point's flight recording *)
 }
 
 type report = {
@@ -80,6 +82,18 @@ let crash_point_fired msg =
    for the probe, the yield count the attach crossed. *)
 let run_point ~seed ~cls ~k =
   let host = H.Host.create ~seed () in
+  (* scenario meta makes the point's flight recording self-describing:
+     [vmsh trace replay] re-runs this exact cell from the file alone *)
+  let rec_meta =
+    [
+      ("scenario", "sweep-cell");
+      ("sweep-seed", string_of_int seed);
+      ("class", class_label cls);
+      ("k", string_of_int (Option.value k ~default:(-1)));
+    ]
+  in
+  List.iter (fun (key, v) -> Trace.Recorder.set_meta host.H.Host.recorder key v)
+    rec_meta;
   let vmm = Vmm.create host ~profile:Profile.qemu ~disk:(boot_disk host) () in
   ignore (Vmm.boot vmm ~version:KV.V5_10);
   let vm = Vmm.kvm_vm vmm in
@@ -131,10 +145,10 @@ let run_point ~seed ~cls ~k =
         ("unclean", None, [], Some (Printexc.to_string e), 0)
   in
   let exclude = Vmsh.Snapshot.dirty_since vm before @ late_writes in
-  let oracle =
-    Vmsh.Snapshot.diff ~before ~after:(Vmsh.Snapshot.capture vm) ~exclude
-  in
-  ( {
+  let after = Vmsh.Snapshot.capture vm in
+  let oracle = Vmsh.Snapshot.diff ~before ~after ~exclude in
+  let point =
+    {
       pt_class = class_label cls;
       pt_yield = (match k with Some k -> k | None -> -1);
       pt_outcome = outcome;
@@ -142,8 +156,21 @@ let run_point ~seed ~cls ~k =
       pt_oracle = oracle;
       pt_leaked_fds = open_fds host - fds_before;
       pt_unclean = unclean;
-    },
-    yields )
+      pt_digest = Vmsh.Snapshot.digest after;
+      pt_events = Trace.Recorder.events host.H.Host.recorder;
+    }
+  in
+  (* a failed post-condition leaves a replayable artifact when
+     VMSH_TRACE_DIR is set (CI uploads them) *)
+  if point.pt_oracle <> [] || point.pt_leaked_fds > 0 || point.pt_unclean <> None
+  then
+    ignore
+      (Trace.dump_on_failure host.H.Host.recorder
+         ~name:
+           (Printf.sprintf "sweep-%s-k%d" point.pt_class
+              (Option.value k ~default:(-1)))
+         ());
+  (point, yields)
 
 (* Run [points] thunks, [vms] at a time, on the virtual-time scheduler
    (vms = 1 degenerates to a plain sequential loop). Every point has

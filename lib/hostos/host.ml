@@ -1,6 +1,7 @@
 type t = {
   clock : Clock.t;
   observe : Observe.t;
+  recorder : Trace.Recorder.t;
   rng : Rng.t;
   mutable procs : Proc.t list;
   mutable next_pid : int;
@@ -11,6 +12,10 @@ type t = {
 
 let create ?(seed = 0xb5ee5) ?costs () =
   let clock = Clock.create ?costs () in
+  let recorder =
+    Trace.Recorder.create ~now:(fun () -> Clock.now_ns clock) ()
+  in
+  Trace.Recorder.set_meta recorder "seed" (string_of_int seed);
   {
     clock;
     observe =
@@ -18,6 +23,7 @@ let create ?(seed = 0xb5ee5) ?costs () =
         ~now:(fun () -> Clock.now_ns clock)
         ~counters:(fun () -> Clock.to_fields (Clock.counters clock))
         ();
+    recorder;
     rng = Rng.create ~seed;
     procs = [];
     next_pid = 100;
@@ -28,9 +34,13 @@ let create ?(seed = 0xb5ee5) ?costs () =
 
 (* Install a fault plan and point its injection counters at this host's
    metric registry. The default [Faults.disabled] plan never draws, so
-   unarmed hosts behave bit-identically to builds without lib/faults. *)
+   unarmed hosts behave bit-identically to builds without lib/faults.
+   The flight-recorder header is tagged with the plan's seed so a
+   failure artifact names the exact fault stream that produced it. *)
 let arm_faults t plan =
   Faults.set_metrics plan (Some (Observe.metrics t.observe));
+  Trace.Recorder.set_meta t.recorder "fault-plan-seed"
+    (string_of_int (Faults.seed plan));
   t.faults <- plan
 
 let spawn t ~name ?(uid = 1000) ?(caps = []) () =

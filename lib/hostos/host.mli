@@ -9,6 +9,11 @@ type t = {
   observe : Observe.t;
       (** Tracing spans + metrics wired to [clock]; sink is a no-op
           until [Observe.enable] is called on it. *)
+  recorder : Trace.Recorder.t;
+      (** Always-on bounded flight recorder of KVM-boundary events,
+          tagged with the host seed (and the fault-plan seed once
+          {!arm_faults} runs). Pure observation: never advances the
+          clock, never draws from [rng]. *)
   rng : Rng.t;
   mutable procs : Proc.t list;
   mutable next_pid : int;
@@ -23,8 +28,9 @@ type t = {
 val create : ?seed:int -> ?costs:Clock.costs -> unit -> t
 
 val arm_faults : t -> Faults.t -> unit
-(** Install a fault plan and wire its [faults.injected.*] counters into
-    this host's metric registry. *)
+(** Install a fault plan, wire its [faults.injected.*] counters into
+    this host's metric registry, and tag the flight-recorder header
+    with the plan's seed. *)
 
 val spawn : t -> name:string -> ?uid:int -> ?caps:Proc.cap list -> unit -> Proc.t
 (** Create a process with a fresh pid and a single main thread. *)

@@ -82,6 +82,18 @@ exception Guest_error of string
 
 let host t = t.host
 let owner t = t.owner
+
+(* Flight-recorder + per-exit-class profiling, both always-on: the
+   recorder is pure observation and the stage counters register
+   identically in every run, so neither perturbs determinism. *)
+let flight t ~kind args =
+  Trace.Recorder.record t.host.Host.recorder ~kind ~args ()
+
+let stage_exit t cls =
+  Observe.Metrics.incr
+    (Observe.Metrics.counter
+       (Observe.metrics t.host.Host.observe)
+       ("stage.exit." ^ cls))
 let set_runtime t rt = t.rt <- Some rt
 let runtime_installed t = t.rt <> None
 let enqueue_task t ~name thunk = Queue.push (name, thunk) t.tasks
@@ -182,6 +194,7 @@ let rekick_missed_notifies t =
       List.iter
         (fun (addr, fd) ->
           Observe.Metrics.incr rekicks;
+          flight t ~kind:"kvm.notify_rekick" [ ("addr", Trace.I addr) ];
           if Observe.enabled obs then
             Observe.instant obs ~name:"kvm.notify_rekick"
               ~attrs:[ ("addr", Observe.I addr) ]
@@ -207,6 +220,8 @@ let deliver_irqs t =
       List.iter
         (fun gsi ->
           Clock.irq_injection t.host.Host.clock;
+          flight t ~kind:"kvm.irq"
+            [ ("gsi", Trace.I gsi); ("source", Trace.S "direct") ];
           if Observe.enabled obs then
             Observe.instant obs ~name:"kvm.irq"
               ~attrs:[ ("gsi", Observe.I gsi); ("source", Observe.S "direct") ]
@@ -219,6 +234,8 @@ let deliver_irqs t =
           | Some n when n > 0 ->
               ignore (fd.Fd.ops.read ~len:8);
               Clock.irq_injection t.host.Host.clock;
+              flight t ~kind:"kvm.irq"
+                [ ("gsi", Trace.I gsi); ("source", Trace.S "irqfd") ];
               if Observe.enabled obs then
                 Observe.instant obs ~name:"kvm.irq"
                   ~attrs:
@@ -246,6 +263,15 @@ let route_mmio t req =
       (* ioregionfd: the exit is handled in-kernel by forwarding a frame
          over the registered socket; the hypervisor never wakes up. *)
       Clock.vmexit clock;
+      stage_exit t "ioregionfd";
+      flight t ~kind:"kvm.exit.ioregionfd"
+        [
+          ("addr", Trace.I addr);
+          ( "kind",
+            Trace.S
+              (match req with Mmio_read _ -> "read" | Mmio_write _ -> "write")
+          );
+        ];
       (let obs = t.host.Host.observe in
        if Observe.enabled obs then
          Observe.instant obs ~name:"kvm.exit:ioregionfd"
@@ -306,12 +332,16 @@ let route_mmio t req =
                  guest proceeds while the iothread sleeps until the
                  scheduler's re-kick path finds the missed notify. *)
               Clock.vmexit clock;
+              stage_exit t "ioeventfd";
+              flight t ~kind:"kvm.notify_drop" [ ("addr", Trace.I addr) ];
               t.missed_notifies <- t.missed_notifies @ [ (addr, fd) ];
               Inline Bytes.empty
           | Some (_, _, fd) ->
               (* ioeventfd: lightweight in-kernel exit; the iothread is
                  woken to process the queue. *)
               Clock.vmexit clock;
+              stage_exit t "ioeventfd";
+              flight t ~kind:"kvm.kick" [ ("addr", Trace.I addr) ];
               (let obs = t.host.Host.observe in
                if Observe.enabled obs then
                  Observe.instant obs ~name:"kvm.exit:ioeventfd"
@@ -360,6 +390,13 @@ let effect_handler t =
                       (Api.Exit_mmio { phys_addr; len; is_write; data });
                     vcpu.pending_mmio <- Some k;
                     Clock.mmio_exit t.host.Host.clock;
+                    stage_exit t "mmio-userspace";
+                    flight t ~kind:"kvm.exit.mmio"
+                      [
+                        ("addr", Trace.I phys_addr);
+                        ("len", Trace.I len);
+                        ("is_write", Trace.I (Bool.to_int is_write));
+                      ];
                     (let obs = t.host.Host.observe in
                      if Observe.enabled obs then
                        Observe.instant obs ~name:"kvm.exit:mmio-userspace"
@@ -484,6 +521,7 @@ let make_vcpu t ~index =
 let vm_ioctl t ~code ~arg : int Errno.result =
   (* The kvm_vm_ioctl kernel entry point: the attach point of VMSH's
      eBPF memslot-discovery program. *)
+  flight t ~kind:"kvm.ioctl" [ ("code", Trace.I code) ];
   ignore
     (Host.fire_ebpf t.host ~hook:"kvm_vm_ioctl" ~args:[| code; arg |]
        (Kvm_memslots (memslots t)));

@@ -95,18 +95,28 @@ module Metrics = struct
     if v <= 1.0 then 0
     else min (nbuckets - 1) (int_of_float (Float.log v /. log_growth))
 
+  (* NaN observations are dropped: recording one would poison min/max
+     (NaN comparisons are always false, leaving h_min = infinity with a
+     nonzero count) and make every later export non-JSON. A failed
+     fleet session's attach time is NaN, so this path is reachable. *)
   let observe h v =
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let i = bucket_of v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1
+    if not (Float.is_nan v) then begin
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_of v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1
+    end
 
   let count h = h.h_count
-  let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
-  let min_value h = if h.h_count = 0 then 0.0 else h.h_min
-  let max_value h = if h.h_count = 0 then 0.0 else h.h_max
+
+  let finite_or v fallback = if Float.is_finite v then v else fallback
+  let mean h =
+    if h.h_count = 0 then 0.0
+    else finite_or (h.h_sum /. float_of_int h.h_count) 0.0
+  let min_value h = if h.h_count = 0 then 0.0 else finite_or h.h_min 0.0
+  let max_value h = if h.h_count = 0 then 0.0 else finite_or h.h_max 0.0
 
   (* Quantile estimate: geometric midpoint of the bucket containing the
      target rank, clamped to the observed [min, max]. *)
@@ -125,12 +135,33 @@ module Metrics = struct
             Float.exp ((float_of_int i +. 0.5) *. log_growth)
           else go (i + 1) cum
       in
-      Float.min h.h_max (Float.max h.h_min (go 0 0))
+      finite_or (Float.min h.h_max (Float.max h.h_min (go 0 0))) 0.0
     end
 
   let counters t = t.cs
   let gauges t = t.gs
   let histograms t = t.hs
+
+  (* Fold [src] into [into]: counters and histogram buckets add,
+     gauges take src's value. Used to aggregate per-session fleet
+     registries into one fleet-wide view. *)
+  let merge_into ~into src =
+    List.iter
+      (fun c -> incr ~by:c.c_count (counter into c.c_name))
+      src.cs;
+    List.iter (fun g -> set_gauge (gauge into g.g_name) g.g_value) src.gs;
+    List.iter
+      (fun h ->
+        let d = histogram into h.h_name in
+        d.h_count <- d.h_count + h.h_count;
+        d.h_sum <- d.h_sum +. h.h_sum;
+        if h.h_count > 0 then begin
+          if h.h_min < d.h_min then d.h_min <- h.h_min;
+          if h.h_max > d.h_max then d.h_max <- h.h_max
+        end;
+        Array.iteri (fun i n -> d.h_buckets.(i) <- d.h_buckets.(i) + n)
+          h.h_buckets)
+      src.hs
 end
 
 (* ------------------------------------------------------------------ *)
@@ -147,11 +178,14 @@ type ring = {
 
 type sink = Noop | Ring of ring
 
+type level = Quiet | Info | Debug
+
 type t = {
   now : unit -> float;
   read_counters : unit -> (string * int) list;
   mutable sink : sink;
   mutable listener : (event -> unit) option;
+  mutable log_level : level;
   mx : Metrics.t;
 }
 
@@ -159,7 +193,7 @@ let default_capacity = 65536
 
 let create ~now ?(counters = fun () -> []) () =
   { now; read_counters = counters; sink = Noop; listener = None;
-    mx = Metrics.create () }
+    log_level = Quiet; mx = Metrics.create () }
 
 let null () = create ~now:(fun () -> 0.0) ()
 let now t = t.now ()
@@ -210,6 +244,45 @@ let instant t ~name ?(attrs = []) () =
   | Noop, None -> ()
   | _ -> emit t (Instant { name; ts = t.now (); attrs })
 
+(* ------------------------------------------------------------------ *)
+(* Leveled stderr logging                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Structured, virtual-time-stamped log lines on stderr. The default
+   level is Quiet, so runs that never opt in stay byte-identical to a
+   build without logging at all. *)
+
+let set_log_level t l = t.log_level <- l
+let log_level t = t.log_level
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let log_enabled t l =
+  match (t.log_level, l) with
+  | Quiet, _ -> false
+  | Info, Info -> true
+  | Info, Debug -> false
+  | Debug, (Info | Debug) -> true
+  | _, Quiet -> false
+
+let log t l fmt =
+  if log_enabled t l then
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "[vt %12.0f] %-5s %s\n%!" (t.now ())
+          (level_to_string l) msg)
+      fmt
+  else Printf.ksprintf (fun _ -> ()) fmt
+
 let span t ~name ?(attrs = []) f =
   match t.sink with
   | Noop -> f ()
@@ -251,9 +324,14 @@ module Export = struct
       s;
     Buffer.contents b
 
-  (* Fixed-precision float formatting keeps exports byte-stable. *)
+  (* Fixed-precision float formatting keeps exports byte-stable.
+     Non-finite values are clamped to valid JSON numbers so an exporter
+     can never emit "inf"/"nan" and fail a run. *)
   let num f =
-    if Float.is_integer f && Float.abs f < 1e15 then
+    if Float.is_nan f then "0"
+    else if f = infinity then "1e308"
+    else if f = neg_infinity then "-1e308"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.0f" f
     else Printf.sprintf "%.3f" f
 
@@ -311,6 +389,7 @@ module Export = struct
         ("p90", num (Metrics.percentile h 90.0));
         ("p95", num (Metrics.percentile h 95.0));
         ("p99", num (Metrics.percentile h 99.0));
+        ("p999", num (Metrics.percentile h 99.9));
       ]
 
   let metrics_json t =

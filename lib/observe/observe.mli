@@ -59,6 +59,11 @@ module Metrics : sig
   val counters : t -> counter list
   val gauges : t -> gauge list
   val histograms : t -> histogram list
+
+  val merge_into : into:t -> t -> unit
+  (** Fold one registry into another: counters and histogram buckets
+      add, gauges take the source's value. Used to aggregate
+      per-session fleet metrics into one fleet-wide registry. *)
 end
 
 type t
@@ -97,6 +102,26 @@ val events : t -> event list
 val dropped : t -> int
 val clear : t -> unit
 
+(** {2 Leveled stderr logging}
+
+    Structured, virtual-time-stamped log lines. The default level is
+    {!Quiet}, which emits nothing, so stderr stays byte-identical to a
+    build without logging unless a run opts in (e.g. the CLI's
+    [--log-level] flag). *)
+
+type level = Quiet | Info | Debug
+
+val set_log_level : t -> level -> unit
+val log_level : t -> level
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+val log : t -> level -> ('a, unit, string, unit) format4 -> 'a
+(** [log t Info "attached %s" name] prints
+    ["[vt <virtual-ns>] info  attached <name>"] to stderr when the
+    tracer's level admits it; otherwise the format arguments are
+    consumed and discarded. *)
+
 module Export : sig
   val chrome_trace : t -> string
   (** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto).
@@ -105,7 +130,11 @@ module Export : sig
 
   val metrics_json : t -> string
   (** Flat JSON snapshot: counters, gauges, histogram stats
-      (count/mean/min/max/p50/p90/p95/p99). *)
+      (count/mean/min/max/p50/p90/p95/p99/p999). Always valid JSON:
+      non-finite stats are clamped to finite numbers. *)
+
+  val num : float -> string
+  (** Byte-stable, always-finite JSON number formatting. *)
 
   val histogram_stats_json : Metrics.histogram -> string
   val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,130 @@
+(* Scenario-recipe replay: a [.vmshtrace] file names the deterministic
+   driver that produced it (plus all of its seeds), so replaying is
+   just re-running that driver and diffing the two flight recordings
+   and guest-state digests. No guest memory image is needed — the
+   recipe *is* the reproducer. *)
+
+type spec =
+  | Attach of { seed : int }
+  | Fleet_run of { seed : int; vms : int }
+  | Sweep_cell of { seed : int; cls : string; k : int }
+
+type run = { run_events : Trace.event list; run_digest : string }
+
+let meta_of_spec = function
+  | Attach { seed } -> [ ("scenario", "attach"); ("seed", string_of_int seed) ]
+  | Fleet_run { seed; vms } ->
+      [
+        ("scenario", "fleet");
+        ("fleet-seed", string_of_int seed);
+        ("vms", string_of_int vms);
+      ]
+  | Sweep_cell { seed; cls; k } ->
+      [
+        ("scenario", "sweep-cell");
+        ("sweep-seed", string_of_int seed);
+        ("class", cls);
+        ("k", string_of_int k);
+      ]
+
+let spec_of_meta meta =
+  let str k = List.assoc_opt k meta in
+  let int_or k default =
+    match str k with
+    | None -> Ok default
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad integer for %s: %s" k s))
+  in
+  let ( let* ) = Result.bind in
+  match str "scenario" with
+  | None -> Error "trace has no scenario metadata; cannot derive a recipe"
+  | Some "attach" ->
+      let* seed = int_or "seed" 5 in
+      Ok (Attach { seed })
+  | Some "fleet" ->
+      (* dump-on-failure artifacts carry the fleet seed as [fleet-seed];
+         the per-session [seed] key is the derived host seed, not the
+         recipe's *)
+      let* seed =
+        match str "fleet-seed" with
+        | Some _ -> int_or "fleet-seed" 7
+        | None -> int_or "seed" 7
+      in
+      let* vms = int_or "vms" 1 in
+      Ok (Fleet_run { seed; vms })
+  | Some "sweep-cell" ->
+      let* seed =
+        match str "sweep-seed" with
+        | Some _ -> int_or "sweep-seed" 5
+        | None -> int_or "seed" 5
+      in
+      let* k = int_or "k" (-1) in
+      let cls = Option.value (str "class") ~default:Fleet.Sweep.fault_free in
+      Ok (Sweep_cell { seed; cls; k })
+  | Some s -> Error ("unknown scenario: " ^ s)
+
+let execute = function
+  | Attach { seed } ->
+      let pt, _ = Fleet.Sweep.run_point ~seed ~cls:None ~k:None in
+      Ok
+        {
+          run_events = pt.Fleet.Sweep.pt_events;
+          run_digest = pt.Fleet.Sweep.pt_digest;
+        }
+  | Fleet_run { seed; vms } ->
+      let r = Fleet.run ~seed ~vms () in
+      Ok { run_events = Fleet.flight_events r; run_digest = Fleet.digest r }
+  | Sweep_cell { seed; cls; k } -> (
+      let parsed_cls =
+        if cls = Fleet.Sweep.fault_free then Ok None
+        else
+          match Faults.of_name cls with
+          | Some c -> Ok (Some c)
+          | None -> Error ("unknown fault class: " ^ cls)
+      in
+      match parsed_cls with
+      | Error e -> Error e
+      | Ok cls ->
+          let k = if k < 0 then None else Some k in
+          let pt, _ = Fleet.Sweep.run_point ~seed ~cls ~k in
+          Ok
+            {
+              run_events = pt.Fleet.Sweep.pt_events;
+              run_digest = pt.Fleet.Sweep.pt_digest;
+            })
+
+let record spec ~path =
+  match execute spec with
+  | Error _ as e -> e
+  | Ok run ->
+      let meta = meta_of_spec spec @ [ ("digest", run.run_digest) ] in
+      let oc = open_out_bin path in
+      output_string oc (Trace.encode ~meta run.run_events);
+      close_out oc;
+      Ok run
+
+let replay ~path =
+  match Trace.load path with
+  | Error e -> Error e
+  | Ok f -> (
+      match spec_of_meta f.Trace.f_meta with
+      | Error _ as e -> e
+      | Ok spec -> (
+          match execute spec with
+          | Error _ as e -> e
+          | Ok run ->
+              let diffs = Trace.diff f.Trace.f_events run.run_events in
+              let diffs =
+                match List.assoc_opt "digest" f.Trace.f_meta with
+                | Some d when d <> run.run_digest ->
+                    diffs
+                    @ [
+                        Printf.sprintf
+                          "snapshot digest diverges: recorded %s, replay %s" d
+                          run.run_digest;
+                      ]
+                | _ -> diffs
+              in
+              Ok diffs))

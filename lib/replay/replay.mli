@@ -1,0 +1,46 @@
+(** The replay-diff oracle: deterministic re-execution of a recorded
+    flight log.
+
+    A [.vmshtrace] file carries a {e scenario recipe} in its metadata —
+    which driver produced it (smoke attach, fleet run, crash-point
+    sweep cell) and every seed that parameterised it. Because the whole
+    substrate is a deterministic function of those seeds, {!replay} can
+    re-run the scenario without the original guest and compare the
+    fresh run against the file, event by event, plus the guest-state
+    snapshot digest. Any divergence means either nondeterminism crept
+    into the pipeline or the recording is corrupt — a second oracle
+    next to {!Vmsh.Snapshot}. *)
+
+type spec =
+  | Attach of { seed : int }  (** one fault-free smoke attach *)
+  | Fleet_run of { seed : int; vms : int }  (** a whole fleet run *)
+  | Sweep_cell of { seed : int; cls : string; k : int }
+      (** one crash-matrix cell: fault class × abort-at-yield(k);
+          [k = -1] is the class's probe (crash point out of reach) *)
+
+type run = {
+  run_events : Trace.event list;  (** the fresh run's flight recording *)
+  run_digest : string;  (** its guest-state digest *)
+}
+
+val meta_of_spec : spec -> (string * string) list
+(** The scenario recipe as trace metadata ([scenario], [seed], …). *)
+
+val spec_of_meta : (string * string) list -> (spec, string) result
+(** Parse a recipe back out of trace metadata. Accepts both the keys
+    {!meta_of_spec} writes and the ones the in-tree dump-on-failure
+    sites write ([fleet-seed], [sweep-seed]). *)
+
+val execute : spec -> (run, string) result
+(** Deterministically run the scenario; [Error] only for an unknown
+    fault-class name. *)
+
+val record : spec -> path:string -> (run, string) result
+(** {!execute}, then save the recording (with its recipe and digest in
+    the metadata) as a [.vmshtrace] file at [path]. *)
+
+val replay : path:string -> (string list, string) result
+(** Load [path], re-run its recipe, and diff. [Ok []] means the replay
+    matched the recording event-for-event and digest-for-digest;
+    [Ok lines] lists the divergences; [Error] means the file or its
+    recipe could not be read. *)

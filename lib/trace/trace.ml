@@ -1,0 +1,357 @@
+(* Hypervisor-boundary flight recorder: bounded event ring + compact
+   binary [.vmshtrace] codec + event-stream diff.
+
+   Recording is pure observation. The recorder never reads the clock
+   except through the [now] closure it was given (which does not
+   advance it), never draws randomness, and allocates only inside its
+   fixed-capacity ring — so it can stay always-on without perturbing
+   the simulation, and identically-seeded runs serialize to
+   byte-identical files. *)
+
+type value = I of int | S of string
+
+type event = {
+  kind : string;
+  ts : float;
+  session : int;
+  args : (string * value) list;
+}
+
+type file = {
+  f_meta : (string * string) list;
+  f_dropped : int;
+  f_events : event list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  type t = {
+    now : unit -> float;
+    cap : int;
+    buf : event array;
+    mutable start : int;
+    mutable len : int;
+    mutable dropped : int;
+    mutable on : bool;
+    mutable sess : int;
+    mutable hdr : (string * string) list;
+  }
+
+  let default_capacity = 65536
+
+  let create ?(capacity = default_capacity) ~now () =
+    let dummy = { kind = ""; ts = 0.0; session = 0; args = [] } in
+    {
+      now;
+      cap = max 1 capacity;
+      buf = Array.make (max 1 capacity) dummy;
+      start = 0;
+      len = 0;
+      dropped = 0;
+      on = true;
+      sess = 0;
+      hdr = [];
+    }
+
+  let enabled t = t.on
+  let set_enabled t b = t.on <- b
+  let set_session t s = t.sess <- s
+  let session t = t.sess
+
+  let set_meta t k v =
+    if List.mem_assoc k t.hdr then
+      t.hdr <- List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) t.hdr
+    else t.hdr <- t.hdr @ [ (k, v) ]
+
+  let meta t = t.hdr
+
+  let record t ~kind ?(args = []) () =
+    if t.on then begin
+      let e = { kind; ts = t.now (); session = t.sess; args } in
+      if t.len < t.cap then begin
+        t.buf.((t.start + t.len) mod t.cap) <- e;
+        t.len <- t.len + 1
+      end
+      else begin
+        t.buf.(t.start) <- e;
+        t.start <- (t.start + 1) mod t.cap;
+        t.dropped <- t.dropped + 1
+      end
+    end
+
+  let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+  let total t = t.len + t.dropped
+  let dropped t = t.dropped
+
+  let clear t =
+    t.start <- 0;
+    t.len <- 0;
+    t.dropped <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "VMSHTRC1"
+
+let add_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+let add_u32 b v =
+  add_u16 b (v land 0xffff);
+  add_u16 b ((v lsr 16) land 0xffff)
+
+let add_i64 b (v : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let add_str32 b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* Strings (kinds, arg names, string arg values) are interned in a
+   table built in first-appearance order, which is deterministic. *)
+let encode ~meta ?(dropped = 0) events =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  let nstr = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt table s with
+    | Some i -> i
+    | None ->
+        let i = !nstr in
+        Hashtbl.add table s i;
+        order := s :: !order;
+        incr nstr;
+        i
+  in
+  (* First pass: build the table. *)
+  List.iter
+    (fun e ->
+      ignore (intern e.kind);
+      List.iter
+        (fun (k, v) ->
+          ignore (intern k);
+          match v with S s -> ignore (intern s) | I _ -> ())
+        e.args)
+    events;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  add_u32 b (List.length meta);
+  List.iter
+    (fun (k, v) ->
+      add_str32 b k;
+      add_str32 b v)
+    meta;
+  add_u32 b dropped;
+  add_u32 b !nstr;
+  List.iter (fun s -> add_str32 b s) (List.rev !order);
+  add_u32 b (List.length events);
+  List.iter
+    (fun e ->
+      add_u32 b (Hashtbl.find table e.kind);
+      add_u32 b e.session;
+      add_i64 b (Int64.bits_of_float e.ts);
+      add_u16 b (List.length e.args);
+      List.iter
+        (fun (k, v) ->
+          add_u32 b (Hashtbl.find table k);
+          match v with
+          | I i ->
+              Buffer.add_char b '\000';
+              add_i64 b (Int64.of_int i)
+          | S s ->
+              Buffer.add_char b '\001';
+              add_u32 b (Hashtbl.find table s))
+        e.args)
+    events;
+  Buffer.contents b
+
+exception Bad of string
+
+let decode s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Bad "truncated trace file")
+  in
+  let u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let lo = u8 () in
+    let hi = u8 () in
+    lo lor (hi lsl 8)
+  in
+  let u32 () =
+    let lo = u16 () in
+    let hi = u16 () in
+    lo lor (hi lsl 16)
+  in
+  let i64 () =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 ())) (8 * i))
+    done;
+    !v
+  in
+  let str32 () =
+    let n = u32 () in
+    need n;
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  try
+    need (String.length magic);
+    if String.sub s 0 (String.length magic) <> magic then
+      raise (Bad "bad magic (not a .vmshtrace file)");
+    pos := String.length magic;
+    let nmeta = u32 () in
+    let meta =
+      List.init nmeta (fun _ ->
+          let k = str32 () in
+          let v = str32 () in
+          (k, v))
+    in
+    let dropped = u32 () in
+    let nstr = u32 () in
+    let table = Array.init nstr (fun _ -> str32 ()) in
+    let lookup i =
+      if i < 0 || i >= nstr then raise (Bad "string index out of range")
+      else table.(i)
+    in
+    let nev = u32 () in
+    let events =
+      List.init nev (fun _ ->
+          let kind = lookup (u32 ()) in
+          let session = u32 () in
+          let ts = Int64.float_of_bits (i64 ()) in
+          let nargs = u16 () in
+          let args =
+            List.init nargs (fun _ ->
+                let k = lookup (u32 ()) in
+                match u8 () with
+                | 0 -> (k, I (Int64.to_int (i64 ())))
+                | 1 -> (k, S (lookup (u32 ())))
+                | t -> raise (Bad (Printf.sprintf "unknown arg tag %d" t)))
+          in
+          { kind; ts; session; args })
+    in
+    Ok { f_meta = meta; f_dropped = dropped; f_events = events }
+  with Bad m -> Error m
+
+let save r ?(extra_meta = []) path =
+  let bytes =
+    encode
+      ~meta:(Recorder.meta r @ extra_meta)
+      ~dropped:(Recorder.dropped r) (Recorder.events r)
+  in
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> decode s
+  | exception Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Diff / stat                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let value_str = function I i -> string_of_int i | S s -> s
+
+let args_str args =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ value_str v) args)
+
+let event_str e =
+  Printf.sprintf "[%.0f] s%d %s %s" e.ts e.session e.kind (args_str e.args)
+
+let pp_event ppf e = Format.pp_print_string ppf (event_str e)
+
+let diff a b =
+  let max_report = 16 in
+  let rec go i a b acc nmis =
+    match (a, b) with
+    | [], [] -> (List.rev acc, nmis)
+    | x :: _, [] ->
+        ( List.rev
+            (Printf.sprintf "event %d: only in live: %s" i (event_str x) :: acc),
+          nmis + 1 )
+    | [], y :: _ ->
+        ( List.rev
+            (Printf.sprintf "event %d: only in replay: %s" i (event_str y)
+            :: acc),
+          nmis + 1 )
+    | x :: a', y :: b' ->
+        if x = y then go (i + 1) a' b' acc nmis
+        else
+          let acc =
+            if nmis < max_report then
+              Printf.sprintf "event %d: live %s | replay %s" i (event_str x)
+                (event_str y)
+              :: acc
+            else acc
+          in
+          go (i + 1) a' b' acc (nmis + 1)
+  in
+  let lines, nmis = go 0 a b [] 0 in
+  let la = List.length a and lb = List.length b in
+  let tail =
+    if nmis = 0 && la = lb then []
+    else
+      [
+        Printf.sprintf "streams diverge: %d mismatches (%d live vs %d replay events)"
+          nmis la lb;
+      ]
+  in
+  if nmis = 0 && la = lb then [] else lines @ tail
+
+let stat events =
+  let counts = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt counts e.kind with
+      | Some n -> Hashtbl.replace counts e.kind (n + 1)
+      | None ->
+          Hashtbl.add counts e.kind 1;
+          order := e.kind :: !order)
+    events;
+  List.rev_map (fun k -> (k, Hashtbl.find counts k)) !order
+
+(* ------------------------------------------------------------------ *)
+(* Failure artifacts                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dump_dir () =
+  match Sys.getenv_opt "VMSH_TRACE_DIR" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
+let dump_on_failure r ~name ?(extra_meta = []) () =
+  match dump_dir () with
+  | None -> None
+  | Some dir -> (
+      let path = Filename.concat dir (name ^ ".vmshtrace") in
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        save r ~extra_meta path;
+        Some path
+      with Sys_error _ -> None)

@@ -1,0 +1,101 @@
+(** Hypervisor-boundary flight recorder.
+
+    A {!Recorder.t} is an always-on, bounded-memory ring of KVM-boundary
+    events — ioctls, MMIO/PIO exits, eventfd kicks and notify re-kicks,
+    injected syscalls, virtqueue pump stages, journal rollback replays —
+    each tagged with the virtual timestamp, the session id, and (through
+    the header metadata) the fault-plan seed. Recording is pure
+    observation: it never advances virtual time and never draws from any
+    RNG, so two identically-seeded runs produce byte-identical
+    [.vmshtrace] files.
+
+    The on-disk format is a compact string-table-interned binary
+    encoding ({!encode}/{!decode}); the header carries the scenario
+    recipe (kind, seed, vms, fault class, crash point) that the
+    replayer uses to re-drive the run without the original guest. *)
+
+type value = I of int | S of string
+
+type event = {
+  kind : string;  (** dot-separated event class, e.g. ["kvm.exit.mmio"] *)
+  ts : float;  (** virtual nanoseconds *)
+  session : int;  (** fleet session index; 0 for single-VM runs *)
+  args : (string * value) list;
+}
+
+type file = {
+  f_meta : (string * string) list;  (** scenario recipe + tags *)
+  f_dropped : int;  (** events overwritten by the bounded ring *)
+  f_events : event list;
+}
+
+(** Bounded ring of events. Created once per {!Hostos.Host.t} and left
+    enabled; capacity bounds memory, oldest events are overwritten. *)
+module Recorder : sig
+  type t
+
+  val create : ?capacity:int -> now:(unit -> float) -> unit -> t
+  (** Default capacity 65536 events. [now] reads the virtual clock. *)
+
+  val enabled : t -> bool
+
+  val set_enabled : t -> bool -> unit
+  (** Disabling turns {!record} into a no-op (used by the bench
+      recording-overhead ablation). *)
+
+  val set_session : t -> int -> unit
+  (** Tag subsequent events with a fleet session index. *)
+
+  val session : t -> int
+
+  val set_meta : t -> string -> string -> unit
+  (** Insert-or-overwrite a header key; insertion order is preserved. *)
+
+  val meta : t -> (string * string) list
+
+  val record : t -> kind:string -> ?args:(string * value) list -> unit -> unit
+  val events : t -> event list
+  val total : t -> int  (** events ever recorded, including dropped *)
+
+  val dropped : t -> int
+  val clear : t -> unit  (** drops events and resets counts; keeps meta *)
+end
+
+val encode : meta:(string * string) list -> ?dropped:int -> event list -> string
+(** Serialize to the binary [.vmshtrace] format (magic "VMSHTRC1",
+    string-table interned, little-endian, byte-stable). *)
+
+val decode : string -> (file, string) result
+
+val save :
+  Recorder.t -> ?extra_meta:(string * string) list -> string -> unit
+(** Write the recorder's current contents to [path], appending
+    [extra_meta] after the recorder's own header entries. *)
+
+val load : string -> (file, string) result
+(** Read and decode a [.vmshtrace] file. *)
+
+val diff : event list -> event list -> string list
+(** Event-stream diff: [[]] means the streams are identical. Each
+    returned line describes one divergence (first 16 reported, then a
+    summary line). *)
+
+val stat : event list -> (string * int) list
+(** Per-kind event counts, in order of first appearance. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump_dir : unit -> string option
+(** [$VMSH_TRACE_DIR] if set and non-empty: where failure artifacts are
+    written. Unset means dump-on-failure is off (the default for unit
+    tests). *)
+
+val dump_on_failure :
+  Recorder.t ->
+  name:string ->
+  ?extra_meta:(string * string) list ->
+  unit ->
+  string option
+(** If {!dump_dir} is set, write [<dir>/<name>.vmshtrace] and return
+    the path. Never raises: I/O errors are swallowed (the artifact is
+    best-effort; the failure being reported must survive). *)

@@ -244,6 +244,43 @@ let test_fleet_deterministic () =
          find 0)
        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
 
+let test_fleet_merged_metrics () =
+  let r = Fleet.run ~seed:9 ~vms:3 () in
+  let json = Fleet.metrics_json r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i =
+      i + nl <= hl && (String.sub json i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      check cbool ("metrics_json carries " ^ needle) true (contains needle))
+    [
+      (* merged fleet-wide registry plus the per-session breakdown *)
+      "\"fleet\"";
+      "\"sessions\"";
+      "\"vm0\"";
+      "\"vm1\"";
+      "\"vm2\"";
+      (* fleet-level summary only the aggregate can know *)
+      "\"fleet.attach_ns.fleet\"";
+      "\"fleet.yields.fleet\"";
+      (* per-stage pipeline profile folded in from every session *)
+      "\"stage.attach.total_ns\"";
+      "\"symcache.hits\"";
+    ];
+  check cbool "no failures counter on a clean run" false
+    (contains "\"fleet.failures.fleet\"");
+  (* the merged document must be as deterministic as the run itself *)
+  check cstr "byte-identical merged metrics" json
+    (Fleet.metrics_json (Fleet.run ~seed:9 ~vms:3 ()));
+  (* the fleet digest folds every session digest, so it is non-empty
+     and stable across identical runs *)
+  check cstr "stable fleet digest" (Fleet.digest r)
+    (Fleet.digest (Fleet.run ~seed:9 ~vms:3 ()))
+
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -276,5 +313,6 @@ let suite =
         t "symbol cache shared" test_fleet_shares_symbol_cache;
         t "sharing can be disabled" test_fleet_no_sharing_all_miss;
         t "vms=8 byte-identical runs" test_fleet_deterministic;
+        t "merged metrics document" test_fleet_merged_metrics;
       ] );
   ]

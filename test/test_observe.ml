@@ -94,6 +94,88 @@ let test_histogram_percentiles () =
   check (Alcotest.float 0.001) "p99 of singleton" 42.0
     (Observe.Metrics.percentile one 99.0)
 
+(* --- histogram edge cases: NaN samples, empty stats, p999 --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_histogram_edge_cases () =
+  let mx = Observe.Metrics.create () in
+  let h = Observe.Metrics.histogram mx "edge" in
+  (* NaN samples are skipped, never poisoning the stats *)
+  Observe.Metrics.observe h Float.nan;
+  check cint "NaN sample is skipped" 0 (Observe.Metrics.count h);
+  (* an empty histogram still exports finite, valid JSON *)
+  let empty_json = Observe.Export.histogram_stats_json h in
+  check cbool "empty histogram exports count 0" true
+    (contains ~needle:"\"count\":0" empty_json);
+  List.iter
+    (fun bad ->
+      check cbool ("no " ^ bad ^ " in empty stats") false
+        (contains ~needle:bad empty_json))
+    [ "nan"; "inf" ];
+  check (Alcotest.float 0.001) "empty p999 is 0" 0.0
+    (Observe.Metrics.percentile h 99.9);
+  (* single sample: every quantile including p999 is that sample *)
+  Observe.Metrics.observe h 17.0;
+  check (Alcotest.float 0.001) "singleton p999" 17.0
+    (Observe.Metrics.percentile h 99.9);
+  check cbool "stats json carries p999" true
+    (contains ~needle:"\"p999\"" (Observe.Export.histogram_stats_json h));
+  (* infinite samples cannot leak non-finite stats into the export *)
+  Observe.Metrics.observe h Float.infinity;
+  let json = Observe.Export.histogram_stats_json h in
+  List.iter
+    (fun bad ->
+      check cbool ("no " ^ bad ^ " after inf sample") false
+        (contains ~needle:bad json))
+    [ "nan"; "inf" ];
+  check cstr "Export.num clamps nan" "0" (Observe.Export.num Float.nan);
+  check cstr "Export.num clamps inf" "1e308"
+    (Observe.Export.num Float.infinity)
+
+(* --- merge_into: fleet-wide aggregation semantics --- *)
+
+let test_merge_into () =
+  let a = Observe.Metrics.create () and b = Observe.Metrics.create () in
+  Observe.Metrics.incr ~by:3 (Observe.Metrics.counter a "c");
+  Observe.Metrics.incr ~by:4 (Observe.Metrics.counter b "c");
+  Observe.Metrics.incr ~by:2 (Observe.Metrics.counter b "only-b");
+  Observe.Metrics.set_gauge (Observe.Metrics.gauge a "g") 1.0;
+  Observe.Metrics.set_gauge (Observe.Metrics.gauge b "g") 9.0;
+  Observe.Metrics.observe (Observe.Metrics.histogram a "h") 10.0;
+  Observe.Metrics.observe (Observe.Metrics.histogram b "h") 20.0;
+  Observe.Metrics.merge_into ~into:a b;
+  check cint "counters add" 7
+    (Observe.Metrics.counter_value (Observe.Metrics.counter a "c"));
+  check cint "new counters appear" 2
+    (Observe.Metrics.counter_value (Observe.Metrics.counter a "only-b"));
+  check (Alcotest.float 0.001) "gauges take source value" 9.0
+    (Observe.Metrics.gauge_value (Observe.Metrics.gauge a "g"));
+  check cint "histogram buckets add" 2
+    (Observe.Metrics.count (Observe.Metrics.histogram a "h"));
+  check (Alcotest.float 0.001) "merged histogram max" 20.0
+    (Observe.Metrics.max_value (Observe.Metrics.histogram a "h"))
+
+(* --- leveled logging: default-quiet, parseable levels --- *)
+
+let test_log_levels () =
+  let t = Observe.create ~now:(fun () -> 0.0) () in
+  check cbool "default level is Quiet" true (Observe.log_level t = Observe.Quiet);
+  List.iter
+    (fun (s, l) ->
+      check cbool ("parse " ^ s) true (Observe.level_of_string s = Some l);
+      check cstr ("print " ^ s) s (Observe.level_to_string l))
+    [ ("quiet", Observe.Quiet); ("info", Observe.Info); ("debug", Observe.Debug) ];
+  check cbool "unknown level rejected" true
+    (Observe.level_of_string "chatty" = None);
+  (* a quiet tracer must consume format arguments without raising *)
+  Observe.log t Observe.Debug "dropped %d %s" 1 "arg";
+  Observe.set_log_level t Observe.Info;
+  check cbool "level is mutable" true (Observe.log_level t = Observe.Info)
+
 (* --- end-to-end: identical attaches export identical traces --- *)
 
 let boot ~seed =
@@ -136,11 +218,6 @@ let attach_phases =
     "attach"; "ptrace-attach"; "fd-discovery"; "memslot-dump"; "register-read";
     "page-table-walk"; "symbol-analysis"; "device-setup"; "klib-sideload";
   ]
-
-let contains ~needle hay =
-  let nl = String.length needle and hl = String.length hay in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  go 0
 
 let test_trace_determinism () =
   let t1 = Observe.Export.chrome_trace (traced_attach ~seed:91).H.Host.observe in
@@ -188,6 +265,11 @@ let suite =
           test_span_exception_safe;
         Alcotest.test_case "histogram percentiles" `Quick
           test_histogram_percentiles;
+        Alcotest.test_case "histogram edge cases (NaN, empty, p999)" `Quick
+          test_histogram_edge_cases;
+        Alcotest.test_case "merge_into aggregation" `Quick test_merge_into;
+        Alcotest.test_case "log levels parse and default quiet" `Quick
+          test_log_levels;
         Alcotest.test_case "chrome trace is deterministic" `Quick
           test_trace_determinism;
         Alcotest.test_case "no-op sink leaves simulation untouched" `Quick
