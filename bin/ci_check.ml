@@ -12,6 +12,9 @@
      ci_check sweep FILE         crash-matrix gate: every abort-at-yield
                                  point restored the guest, leaked no
                                  descriptors, failed cleanly
+     ci_check serve FILE         job-service gate: per-tenant admission
+                                 enforced, wire replies account for every
+                                 submission, zero failures/leaked workers
 
    Note: the metrics exporter writes counter values as JSON strings;
    [int_field] accepts both numbers and numeric strings. *)
@@ -267,7 +270,7 @@ let check_bench path =
         fail "%s: missing scenario %S" path required)
     [
       "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
-      "vmsh-detach"; "vmsh-trace";
+      "vmsh-detach"; "vmsh-trace"; "vmsh-serve";
     ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
@@ -346,7 +349,121 @@ let check_bench path =
     [
       "ptrace-attach"; "fd-discovery"; "memslot-dump"; "register-read";
       "symbol-analysis"; "device-setup"; "klib-sideload"; "total";
-    ]
+    ];
+  (* the job service under sustained load: the rate sweep found a knee,
+     the calibrated point's latency distribution is present and within
+     its bound, the hot tenant shed while the others rode clean, and no
+     worker leaked *)
+  let serve = field_exn ~ctx:path scen "vmsh-serve" in
+  let scounters = field_exn ~ctx:path serve "counters" in
+  let shists = field_exn ~ctx:path serve "histograms" in
+  List.iter
+    (fun rate ->
+      let h = field_exn ~ctx:path shists (Printf.sprintf "serve.e2e_ns.r%d" rate) in
+      if int_field ~ctx:path h "count" < 1 then
+        fail "%s: serve sweep point %d/s has no latency samples" path rate)
+    [ 400; 800; 1200; 1600 ];
+  if int_field ~ctx:path scounters "serve.knee_rps" < 400 then
+    fail "%s: serve rate sweep found no saturation knee (knee < lowest rate)"
+      path;
+  let se2e = field_exn ~ctx:path shists "service.e2e_ns" in
+  if int_field ~ctx:path se2e "count" < 100 then
+    fail "%s: calibrated serve point ran fewer than 100 jobs" path;
+  (* calibrated: p99 measured ~53 ms at 600/s with 8 workers; the gate
+     allows 2x headroom before declaring a latency regression *)
+  if int_field ~ctx:path se2e "p99" > 110_000_000 then
+    fail "%s: calibrated serve p99 %d ns exceeds the 110 ms bound" path
+      (int_field ~ctx:path se2e "p99");
+  if opt_int_field ~ctx:path scounters "service.workers.leaked" > 0 then
+    fail "%s: serve leaked workers" path;
+  if opt_int_field ~ctx:path scounters "service.failed" > 0 then
+    fail "%s: serve jobs failed at the calibrated point" path;
+  if opt_int_field ~ctx:path scounters "service.shed.rate.t0" < 1 then
+    fail "%s: hot tenant t0 was never rate-shed (admission vacuous)" path;
+  List.iter
+    (fun t ->
+      List.iter
+        (fun reason ->
+          let k = Printf.sprintf "service.shed.%s.%s" reason t in
+          if opt_int_field ~ctx:path scounters k > 0 then
+            fail "%s: light tenant %s was shed (%s)" path t k)
+        [ "rate"; "queue-full"; "evicted" ])
+    [ "t1"; "t2"; "t3" ]
+
+(* The serve metrics document (vmsh serve --metrics-out): per-tenant
+   admission enforced, every submission accounted for on the wire, no
+   failures, no leaked workers, and the latency histograms populated. *)
+let check_serve path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let jobs = int_field ~ctx:path counters "service.jobs" in
+  if jobs < 1 then fail "%s: no jobs recorded" path;
+  let submitted = int_field ~ctx:path counters "service.submitted" in
+  if submitted <> jobs then
+    fail "%s: submitted %d of %d jobs (driver lost arrivals)" path submitted
+      jobs;
+  let admitted = int_field ~ctx:path counters "service.admitted" in
+  let shed = opt_int_field ~ctx:path counters "service.shed" in
+  let completed = opt_int_field ~ctx:path counters "service.completed" in
+  if admitted < 1 then fail "%s: admission admitted nothing" path;
+  if completed < 1 then fail "%s: no job ever completed" path;
+  (* the wire protocol is observable end to end: every admission was a
+     202 at the client, every rejection a 429 *)
+  let accepted = opt_int_field ~ctx:path counters "service.client.accepted" in
+  let rejected = opt_int_field ~ctx:path counters "service.client.rejected" in
+  if accepted <> admitted then
+    fail "%s: client saw %d accepts for %d admissions" path accepted admitted;
+  if accepted + rejected <> submitted then
+    fail "%s: client replies (%d) do not cover submissions (%d)" path
+      (accepted + rejected) submitted;
+  if opt_int_field ~ctx:path counters "service.failed" > 0 then
+    fail "%s: %d jobs failed" path
+      (opt_int_field ~ctx:path counters "service.failed");
+  if opt_int_field ~ctx:path counters "service.workers.leaked" > 0 then
+    fail "%s: workers still busy after drain" path;
+  if opt_int_field ~ctx:path counters "service.lost_jobs" > 0 then
+    fail "%s: jobs vanished without a terminal record" path;
+  (* shed-counter sanity: the taxonomy sums to the total, the hot
+     tenant carries every shed, the light tenants ride clean *)
+  let shed_sum =
+    List.fold_left
+      (fun acc t ->
+        List.fold_left
+          (fun acc reason ->
+            acc
+            + opt_int_field ~ctx:path counters
+                (Printf.sprintf "service.shed.%s.%s" reason t))
+          acc [ "rate"; "queue-full"; "evicted" ])
+      0 [ "t0"; "t1"; "t2"; "t3" ]
+  in
+  if shed_sum <> shed then
+    fail "%s: per-tenant shed counters sum to %d, total says %d" path shed_sum
+      shed;
+  if opt_int_field ~ctx:path counters "service.shed.rate.t0" < 1 then
+    fail "%s: hot tenant t0 was never rate-shed (admission vacuous)" path;
+  List.iter
+    (fun t ->
+      List.iter
+        (fun reason ->
+          let k = Printf.sprintf "service.shed.%s.%s" reason t in
+          if opt_int_field ~ctx:path counters k > 0 then
+            fail "%s: light tenant %s was shed (%s)" path t k)
+        [ "rate"; "queue-full"; "evicted" ])
+    [ "t1"; "t2"; "t3" ];
+  let hists = field_exn ~ctx:path j "histograms" in
+  List.iter
+    (fun name ->
+      let h = field_exn ~ctx:path hists name in
+      if int_field ~ctx:path h "count" < 1 then
+        fail "%s: histogram %S is empty" path name)
+    [ "service.e2e_ns"; "service.wait_ns"; "service.exec_ns";
+      "service.queue.depth" ];
+  let e2e = field_exn ~ctx:path hists "service.e2e_ns" in
+  if int_field ~ctx:path e2e "count" <> completed + opt_int_field ~ctx:path counters "service.failed"
+  then
+    fail "%s: e2e histogram count %d does not match executed jobs %d" path
+      (int_field ~ctx:path e2e "count")
+      completed
 
 (* The fleet metrics document is one merged object: fleet-wide
    aggregates (every session's counters and histogram buckets folded
@@ -435,8 +552,9 @@ let () =
   | [ _; "fuzz"; f ] -> check_fuzz f
   | [ _; "fleet"; f ] -> check_fleet f
   | [ _; "sweep"; f ] -> check_sweep f
+  | [ _; "serve"; f ] -> check_serve f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
-         bench FILE | fuzz FILE | fleet FILE | sweep FILE}";
+         bench FILE | fuzz FILE | fleet FILE | sweep FILE | serve FILE}";
       exit 2

@@ -657,7 +657,7 @@ let fuzz_cmd =
    each one and assert the transaction rolled the guest back. *)
 
 let sweep_cmd =
-  let run verbose vms seed classes metrics_out =
+  let run verbose vms seed classes metrics_out log_level =
     setup_logs verbose;
     if vms <= 0 then begin
       Printf.eprintf "sweep: --vms must be positive\n";
@@ -682,7 +682,7 @@ let sweep_cmd =
                        exit 2)
                cs)
     in
-    let r = Fleet.Sweep.run ~seed ?classes ~vms () in
+    let r = Fleet.Sweep.run ~seed ?classes ~vms ?log_level () in
     if verbose then
       List.iter
         (fun p -> Format.printf "%a@." Fleet.Sweep.pp_point p)
@@ -750,7 +750,7 @@ let sweep_cmd =
        ~doc:
          "Kill the attach at every yield point under every fault class and \
           assert full rollback (crash-point sweep gate)")
-    Term.(const run $ verbose $ vms $ seed $ classes $ metrics_out)
+    Term.(const run $ verbose $ vms $ seed $ classes $ metrics_out $ log_level_arg)
 
 (* --- fleet --- *)
 
@@ -866,6 +866,237 @@ let fleet_cmd =
       const run $ verbose $ vms $ seed $ fault_rate $ no_share $ metrics_out
       $ trace_out $ log_level_arg)
 
+(* --- serve --- *)
+
+(* The long-running-service verb: feed a seeded open-loop arrival
+   stream of attach/detach/sweep/fuzz jobs through per-tenant admission
+   into a bounded worker pool, all on the virtual-time scheduler. *)
+
+let serve_cmd =
+  let module D = Service.Dispatch in
+  let run verbose workers jobs seed rate arrivals deadline_ms ram_mb
+      hot_rate metrics_out results_out trace_out log_level =
+    setup_logs verbose;
+    if workers <= 0 then begin
+      Printf.eprintf "serve: --workers must be positive\n";
+      exit 2
+    end;
+    let arrivals =
+      match D.arrivals_of_string arrivals with
+      | Some a -> a
+      | None ->
+          Printf.eprintf
+            "serve: unknown arrival profile %S (try poisson, bursty, ramp)\n"
+            arrivals;
+          exit 2
+    in
+    let tenants =
+      List.map
+        (fun tc ->
+          if tc.Service.Admission.tc_name = "t0" then
+            { tc with Service.Admission.tc_rate = hot_rate }
+          else tc)
+        D.default_tenants
+    in
+    let cfg =
+      {
+        D.default_config with
+        D.workers;
+        jobs;
+        seed;
+        rate;
+        arrivals;
+        tenants;
+        deadline_ns = deadline_ms *. 1e6;
+        ram_mb;
+        log_level;
+      }
+    in
+    let r = D.run cfg in
+    let mx = Observe.metrics r.D.rp_host.H.Host.observe in
+    let shed, expired =
+      Array.fold_left
+        (fun (s, x) jr ->
+          match jr.D.jr_status with
+          | Service.Job.Shed _ -> (s + 1, x)
+          | Service.Job.Expired _ -> (s, x + 1)
+          | _ -> (s, x))
+        (0, 0) r.D.rp_records
+    in
+    Printf.printf "serve: %d jobs over %d tenants, %d workers (%s arrivals at %.0f/s)\n"
+      jobs
+      (List.length cfg.D.tenants)
+      workers (D.arrivals_to_string arrivals) rate;
+    List.iter
+      (fun (name, st) ->
+        Printf.printf
+          "  %-4s submitted %4d  admitted %4d  shed %d (rate %d, queue %d, \
+           evicted %d)\n"
+          name st.Service.Admission.ts_submitted st.Service.Admission.ts_admitted
+          (st.Service.Admission.ts_shed_rate
+          + st.Service.Admission.ts_shed_queue
+          + st.Service.Admission.ts_shed_evicted)
+          st.Service.Admission.ts_shed_rate st.Service.Admission.ts_shed_queue
+          st.Service.Admission.ts_shed_evicted)
+      r.D.rp_stats;
+    let h = Observe.Metrics.histogram mx "service.e2e_ns" in
+    if Observe.Metrics.count h > 0 then
+      Printf.printf
+        "e2e latency: p50 %.2f ms, p99 %.2f ms, p999 %.2f ms (virtual, %d \
+         jobs ran)\n"
+        (Observe.Metrics.percentile h 50. /. 1e6)
+        (Observe.Metrics.percentile h 99. /. 1e6)
+        (Observe.Metrics.percentile h 99.9 /. 1e6)
+        (Observe.Metrics.count h);
+    Printf.printf
+      "completed %d  failed %d  shed %d  expired %d  makespan %.1f ms  \
+       throughput %.0f jobs/s (virtual)\n"
+      (D.completed r) (D.failed r) shed expired
+      (r.D.rp_makespan_ns /. 1e6)
+      (if r.D.rp_makespan_ns > 0. then
+         float_of_int (D.completed r) /. (r.D.rp_makespan_ns /. 1e9)
+       else 0.);
+    if verbose then
+      Array.iter
+        (fun jr ->
+          let j = jr.D.jr_job in
+          Printf.printf "  job %4d %-4s %-24s %s\n" j.Service.Job.id
+            j.Service.Job.tenant
+            (Service.Job.kind_to_string j.Service.Job.kind)
+            (Service.Job.status_to_string jr.D.jr_status))
+        r.D.rp_records;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (D.metrics_json r);
+        close_out oc;
+        Printf.printf "serve metrics written to %s\n" path);
+    (match results_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (D.results_jsonl r);
+        close_out oc;
+        Printf.printf "serve results written to %s\n" path);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let recorder = r.D.rp_host.H.Host.recorder in
+        let oc = open_out_bin path in
+        output_string oc
+          (Trace.encode
+             ~meta:(Trace.Recorder.meta recorder)
+             (Trace.Recorder.events recorder));
+        close_out oc;
+        Printf.printf "admission flight recording written to %s\n" path);
+    if D.failed r > 0 || r.D.rp_leaked_workers > 0 then begin
+      Array.iter
+        (fun jr ->
+          match jr.D.jr_status with
+          | Service.Job.Failed e ->
+              Printf.eprintf "job %d: %s\n" jr.D.jr_job.Service.Job.id e
+          | _ -> ())
+        r.D.rp_records;
+      if r.D.rp_leaked_workers > 0 then
+        Printf.eprintf "serve: %d workers still busy after drain\n"
+          r.D.rp_leaked_workers;
+      exit 1
+    end
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"One line per job.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"K"
+          ~doc:"Bounded worker pool size: at most K job sessions run \
+                concurrently on the virtual-time scheduler.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1000
+      & info [ "jobs" ] ~docv:"N" ~doc:"Length of the arrival stream.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 17
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seeds the arrival process and every job's machine; the whole \
+                run is a deterministic function of it.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 600.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Mean offered load in jobs per virtual second (open loop).")
+  in
+  let arrivals =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrivals" ] ~docv:"P"
+          ~doc:"Arrival profile: poisson, bursty (batches of 8), or ramp \
+                (0.25x to 1.75x of --rate across the run).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-job relative deadline in virtual milliseconds; a job \
+                still queued past it is dropped with Deadline_exceeded. 0 \
+                disables.")
+  in
+  let ram_mb =
+    Arg.(
+      value & opt int 32
+      & info [ "ram-mb" ] ~docv:"MB"
+          ~doc:"Guest RAM per job VM (bounds the real memory of K \
+                concurrent sessions).")
+  in
+  let hot_rate =
+    Arg.(
+      value & opt float 120.
+      & info [ "hot-rate" ] ~docv:"R"
+          ~doc:"Token-bucket rate (jobs/s) of the hot tenant t0, which \
+                carries over half the arrival share: arrivals beyond this \
+                are shed at admission.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the merged service metrics (latency histograms, \
+                queue-depth gauges, admission/shed counters, per-stage \
+                aggregates over every job session) as JSON.")
+  in
+  let results_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "results-out" ] ~docv:"FILE"
+          ~doc:"Write the durable per-job result log (JSON lines, one \
+                object per job in id order).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the frontend's admission flight recording \
+                (service.enqueue/admit/shed events) as .vmshtrace.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run vmsh as a long-running job service: seeded arrival stream, \
+          per-tenant admission and backpressure, bounded worker pool")
+    Term.(
+      const run $ verbose $ workers $ jobs $ seed $ rate $ arrivals
+      $ deadline_ms $ ram_mb $ hot_rate $ metrics_out $ results_out
+      $ trace_out $ log_level_arg)
+
 (* --- trace --- *)
 
 (* The flight-recorder verb: record a scenario as a .vmshtrace file,
@@ -879,7 +1110,7 @@ let trace_file_arg =
     & info [] ~docv:"FILE" ~doc:"A .vmshtrace flight recording.")
 
 let trace_record_cmd =
-  let run scenario seed vms cls k out =
+  let run scenario seed vms cls k out log_level =
     let spec =
       match scenario with
       | "attach" -> Replay.Attach { seed }
@@ -890,7 +1121,7 @@ let trace_record_cmd =
             "trace record: unknown scenario %S (try attach, fleet or sweep)\n" s;
           exit 2
     in
-    match Replay.record spec ~path:out with
+    match Replay.record ?log_level spec ~path:out with
     | Error e ->
         Printf.eprintf "trace record: %s\n" e;
         exit 1
@@ -937,10 +1168,10 @@ let trace_record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a deterministic scenario and save its flight recording")
-    Term.(const run $ scenario $ seed $ vms $ cls $ k $ out)
+    Term.(const run $ scenario $ seed $ vms $ cls $ k $ out $ log_level_arg)
 
 let trace_replay_cmd =
-  let run file =
+  let run file log_level =
     match Trace.load file with
     | Error e ->
         Printf.eprintf "trace replay: %s\n" e;
@@ -962,12 +1193,13 @@ let trace_replay_cmd =
                 |> Option.value ~default:0.15
               in
               let h, _, _, _ =
-                fuzz_one ~seed:(geti "fuzz-seed" 0) ~rate ~trace:false ()
+                fuzz_one ?log_level ~seed:(geti "fuzz-seed" 0) ~rate
+                  ~trace:false ()
               in
               Ok
                 (Trace.diff f.Trace.f_events
                    (Trace.Recorder.events h.H.Host.recorder))
-          | _ -> Replay.replay ~path:file
+          | _ -> Replay.replay ?log_level ~path:file ()
         in
         match diffs with
         | Error e ->
@@ -986,7 +1218,7 @@ let trace_replay_cmd =
        ~doc:
          "Re-run a recording's scenario deterministically and diff the two \
           event streams and guest digests")
-    Term.(const run $ trace_file_arg)
+    Term.(const run $ trace_file_arg $ log_level_arg)
 
 let trace_dump_cmd =
   let run file limit =
@@ -1053,5 +1285,5 @@ let () =
        (Cmd.group info
           [
             attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
-            fuzz_cmd; fleet_cmd; sweep_cmd; trace_cmd;
+            fuzz_cmd; fleet_cmd; sweep_cmd; serve_cmd; trace_cmd;
           ]))

@@ -23,9 +23,14 @@
 #                 attach, a fleet run, and one crash-point sweep cell;
 #                 two identically-seeded recordings must be
 #                 byte-identical
+#   serve         `vmsh serve`: a short sustained-load run at a fixed
+#                 seed — per-tenant admission enforced, zero failures,
+#                 zero leaked workers — then a double-run `cmp` on the
+#                 metrics and per-job results files
 #   bench         latency experiment regenerating BENCH_results.json,
 #                 including the vmsh-faults recovery, vmsh-fleet
-#                 scaling, and vmsh-trace recording-overhead scenarios
+#                 scaling, vmsh-trace recording-overhead, and vmsh-serve
+#                 saturation-knee scenarios
 #
 # Every sweep/fuzz/fleet failure drops a replayable .vmshtrace artifact
 # into $CI_ARTIFACTS (VMSH_TRACE_DIR), uploaded by the workflow.
@@ -38,7 +43,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace serve bench"
 
 # dump-on-failure: any failing sweep/fuzz/fleet run leaves a replayable
 # .vmshtrace recording next to the other artifacts
@@ -169,6 +174,31 @@ stage_trace() {
     return 1
   }
   vmsh trace stat "$ARTIFACTS/attach-a.vmshtrace"
+}
+
+stage_serve() {
+  serve_metrics=$ARTIFACTS/serve-metrics.json
+  # a 1000-job sustained stream through the bounded pool; the gate
+  # checks admission (hot tenant shed, light tenants clean), the wire
+  # accounting, the latency histograms, and zero failures/leaks
+  vmsh serve --workers 8 --jobs 1000 --seed 17 \
+    --metrics-out "$serve_metrics" \
+    --results-out "$ARTIFACTS/serve-results-a.jsonl" || return 1
+  ci_check json "$serve_metrics" || return 1
+  ci_check serve "$serve_metrics" || return 1
+  # Determinism: same config and seed, byte-identical metrics and
+  # per-job results.
+  vmsh serve --workers 8 --jobs 1000 --seed 17 \
+    --metrics-out "$ARTIFACTS/serve-metrics-b.json" \
+    --results-out "$ARTIFACTS/serve-results-b.jsonl" > /dev/null || return 1
+  cmp "$serve_metrics" "$ARTIFACTS/serve-metrics-b.json" || {
+    echo "ci: serve metrics diverged across identical seeds" >&2
+    return 1
+  }
+  cmp "$ARTIFACTS/serve-results-a.jsonl" "$ARTIFACTS/serve-results-b.jsonl" || {
+    echo "ci: serve per-job results diverged across identical seeds" >&2
+    return 1
+  }
 }
 
 stage_bench() {

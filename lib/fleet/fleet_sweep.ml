@@ -80,8 +80,9 @@ let crash_point_fired msg =
 (* One sweep point: fresh machine, armed plan, one attach. [k = None]
    is the probe (crash point parked at max_int); returns the point and,
    for the probe, the yield count the attach crossed. *)
-let run_point ~seed ~cls ~k =
+let run_point ?log_level ~seed ~cls ~k () =
   let host = H.Host.create ~seed () in
+  Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
   (* scenario meta makes the point's flight recording self-describing:
      [vmsh trace replay] re-runs this exact cell from the file alone *)
   let rec_meta =
@@ -199,7 +200,7 @@ let run_batched ~vms thunks =
     List.filter_map Fun.id (Array.to_list results)
   end
 
-let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) () =
+let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level () =
   let classes =
     match classes with
     | Some cs -> cs
@@ -209,11 +210,13 @@ let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) () =
     List.concat_map
       (fun cls ->
         (* probe: crash point out of reach; learns Y for this class *)
-        let probe, yields = run_point ~seed ~cls ~k:None in
+        let probe, yields = run_point ?log_level ~seed ~cls ~k:None () in
         let ks = List.init (min yields max_yields) Fun.id in
         let swept =
           run_batched ~vms
-            (List.map (fun k () -> fst (run_point ~seed ~cls ~k:(Some k))) ks)
+            (List.map
+               (fun k () -> fst (run_point ?log_level ~seed ~cls ~k:(Some k) ()))
+               ks)
         in
         probe :: swept)
       classes

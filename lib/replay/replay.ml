@@ -8,6 +8,14 @@ type spec =
   | Attach of { seed : int }
   | Fleet_run of { seed : int; vms : int }
   | Sweep_cell of { seed : int; cls : string; k : int }
+  | Serve_job of {
+      seed : int;  (* the job's host seed *)
+      id : int;
+      tenant : string;
+      kind : string;  (* Service.Job wire kind *)
+      start_ns : float;
+      ram_mb : int;
+    }
 
 type run = { run_events : Trace.event list; run_digest : string }
 
@@ -25,6 +33,18 @@ let meta_of_spec = function
         ("sweep-seed", string_of_int seed);
         ("class", cls);
         ("k", string_of_int k);
+      ]
+  | Serve_job { seed; id; tenant; kind; start_ns; ram_mb } ->
+      (* the same keys Service.Dispatch.prepare_host tags serve-job
+         failure artifacts with *)
+      [
+        ("scenario", "serve-job");
+        ("job", string_of_int id);
+        ("tenant", tenant);
+        ("kind", kind);
+        ("job-seed", string_of_int seed);
+        ("start-ns", Printf.sprintf "%.0f" start_ns);
+        ("ram-mb", string_of_int ram_mb);
       ]
 
 let spec_of_meta meta =
@@ -63,18 +83,30 @@ let spec_of_meta meta =
       let* k = int_or "k" (-1) in
       let cls = Option.value (str "class") ~default:Fleet.Sweep.fault_free in
       Ok (Sweep_cell { seed; cls; k })
+  | Some "serve-job" ->
+      let* seed = int_or "job-seed" 0 in
+      let* id = int_or "job" 0 in
+      let* ram_mb = int_or "ram-mb" 32 in
+      let tenant = Option.value (str "tenant") ~default:"t0" in
+      let kind = Option.value (str "kind") ~default:"attach" in
+      let start_ns =
+        Option.value
+          (Option.bind (str "start-ns") float_of_string_opt)
+          ~default:0.
+      in
+      Ok (Serve_job { seed; id; tenant; kind; start_ns; ram_mb })
   | Some s -> Error ("unknown scenario: " ^ s)
 
-let execute = function
+let execute ?log_level = function
   | Attach { seed } ->
-      let pt, _ = Fleet.Sweep.run_point ~seed ~cls:None ~k:None in
+      let pt, _ = Fleet.Sweep.run_point ?log_level ~seed ~cls:None ~k:None () in
       Ok
         {
           run_events = pt.Fleet.Sweep.pt_events;
           run_digest = pt.Fleet.Sweep.pt_digest;
         }
   | Fleet_run { seed; vms } ->
-      let r = Fleet.run ~seed ~vms () in
+      let r = Fleet.run ?log_level ~seed ~vms () in
       Ok { run_events = Fleet.flight_events r; run_digest = Fleet.digest r }
   | Sweep_cell { seed; cls; k } -> (
       let parsed_cls =
@@ -88,15 +120,43 @@ let execute = function
       | Error e -> Error e
       | Ok cls ->
           let k = if k < 0 then None else Some k in
-          let pt, _ = Fleet.Sweep.run_point ~seed ~cls ~k in
+          let pt, _ = Fleet.Sweep.run_point ?log_level ~seed ~cls ~k () in
           Ok
             {
               run_events = pt.Fleet.Sweep.pt_events;
               run_digest = pt.Fleet.Sweep.pt_digest;
             })
 
-let record spec ~path =
-  match execute spec with
+  | Serve_job { seed; id; tenant; kind; start_ns; ram_mb } -> (
+      match Service.Job.kind_of_string kind with
+      | None -> Error ("unknown job kind: " ^ kind)
+      | Some job_kind ->
+          let job =
+            {
+              Service.Job.id;
+              tenant;
+              kind = job_kind;
+              seed;
+              priority = 0;
+              deadline_ns = 0.;
+            }
+          in
+          let host, status =
+            Service.Dispatch.execute_job ~job ~start_ns ~ram_mb ?log_level ()
+          in
+          (* no whole-guest digest survives a detached job; the
+             terminal status stands in (computed identically on both
+             sides of the diff) *)
+          Ok
+            {
+              run_events = Trace.Recorder.events host.Hostos.Host.recorder;
+              run_digest =
+                Digest.to_hex
+                  (Digest.string (Service.Job.status_to_string status));
+            })
+
+let record ?log_level spec ~path =
+  match execute ?log_level spec with
   | Error _ as e -> e
   | Ok run ->
       let meta = meta_of_spec spec @ [ ("digest", run.run_digest) ] in
@@ -105,14 +165,14 @@ let record spec ~path =
       close_out oc;
       Ok run
 
-let replay ~path =
+let replay ?log_level ~path () =
   match Trace.load path with
   | Error e -> Error e
   | Ok f -> (
       match spec_of_meta f.Trace.f_meta with
       | Error _ as e -> e
       | Ok spec -> (
-          match execute spec with
+          match execute ?log_level spec with
           | Error _ as e -> e
           | Ok run ->
               let diffs = Trace.diff f.Trace.f_events run.run_events in

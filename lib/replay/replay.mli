@@ -17,6 +17,17 @@ type spec =
   | Sweep_cell of { seed : int; cls : string; k : int }
       (** one crash-matrix cell: fault class × abort-at-yield(k);
           [k = -1] is the class's probe (crash point out of reach) *)
+  | Serve_job of {
+      seed : int;
+      id : int;
+      tenant : string;
+      kind : string;
+      start_ns : float;
+      ram_mb : int;
+    }
+      (** one service job re-run in isolation: the same machine seed,
+          kind and dispatch instant the dispatcher used, so a failing
+          job's artifact replays without the rest of the stream *)
 
 type run = {
   run_events : Trace.event list;  (** the fresh run's flight recording *)
@@ -31,15 +42,19 @@ val spec_of_meta : (string * string) list -> (spec, string) result
     {!meta_of_spec} writes and the ones the in-tree dump-on-failure
     sites write ([fleet-seed], [sweep-seed]). *)
 
-val execute : spec -> (run, string) result
+val execute : ?log_level:Observe.level -> spec -> (run, string) result
 (** Deterministically run the scenario; [Error] only for an unknown
-    fault-class name. *)
+    fault-class or job-kind name. [log_level] sets the re-run hosts'
+    stderr log level (default quiet — replay output stays
+    byte-comparable). *)
 
-val record : spec -> path:string -> (run, string) result
+val record :
+  ?log_level:Observe.level -> spec -> path:string -> (run, string) result
 (** {!execute}, then save the recording (with its recipe and digest in
     the metadata) as a [.vmshtrace] file at [path]. *)
 
-val replay : path:string -> (string list, string) result
+val replay :
+  ?log_level:Observe.level -> path:string -> unit -> (string list, string) result
 (** Load [path], re-run its recipe, and diff. [Ok []] means the replay
     matched the recording event-for-event and digest-for-digest;
     [Ok lines] lists the divergences; [Error] means the file or its

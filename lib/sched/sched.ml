@@ -24,7 +24,9 @@ type fiber = {
 }
 
 type t = {
-  mutable fibers : fiber list; (* reverse spawn order *)
+  mutable fibers : fiber list; (* live fibers, reverse spawn order *)
+  mutable reaped : (int * string * outcome) list; (* finished, any order *)
+  mutable next_id : int;
   mutable yields : int;
   mutable running : bool;
   mutable tracer : (name:string -> now_ns:float -> unit) option;
@@ -35,13 +37,27 @@ type t = {
    is also exercised by ordinary single-session callers. *)
 let current : t option ref = ref None
 
-let create () = { fibers = []; yields = 0; running = false; tracer = None }
+let create () =
+  {
+    fibers = [];
+    reaped = [];
+    next_id = 0;
+    yields = 0;
+    running = false;
+    tracer = None;
+  }
+
 let set_tracer t tracer = t.tracer <- tracer
 
+(* Spawning is legal both before and during a run: [pick] re-reads
+   [t.fibers] on every iteration, so a fiber registered mid-run (e.g. a
+   service job dispatched while the driver fiber holds the scheduler)
+   joins the pick set at its clock's current virtual time. *)
 let spawn t ~name ~clock body =
   let fiber =
-    { id = List.length t.fibers; name; clock; resume = None; outcome = None }
+    { id = t.next_id; name; clock; resume = None; outcome = None }
   in
+  t.next_id <- t.next_id + 1;
   fiber.resume <-
     Some
       (fun () ->
@@ -102,6 +118,14 @@ let run t =
            let resume = Option.get f.resume in
            f.resume <- None;
            resume ();
+           (* Reap finished fibers so the pick stays proportional to the
+              number of *live* fibers, not every fiber ever spawned — a
+              long-running service churns through thousands. *)
+           (match f.outcome with
+           | Some o ->
+               t.fibers <- List.filter (fun g -> g.id <> f.id) t.fibers;
+               t.reaped <- (f.id, f.name, o) :: t.reaped
+           | None -> ());
            loop ()
      in
      loop ()
@@ -109,12 +133,19 @@ let run t =
      finish ();
      raise e);
   finish ();
-  List.rev_map
-    (fun f ->
-      ( f.name,
-        match f.outcome with
-        | Some o -> o
-        | None -> Failed (Invalid_argument "Sched: fiber never completed") ))
-    t.fibers
+  let leftovers =
+    List.map
+      (fun f ->
+        ( f.id,
+          f.name,
+          match f.outcome with
+          | Some o -> o
+          | None -> Failed (Invalid_argument "Sched: fiber never completed")
+        ))
+      t.fibers
+  in
+  List.concat [ leftovers; t.reaped ]
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, name, o) -> (name, o))
 
 let yields t = t.yields

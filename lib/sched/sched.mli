@@ -21,12 +21,19 @@ val create : unit -> t
 val spawn : t -> name:string -> clock:Hostos.Clock.t -> (unit -> unit) -> unit
 (** Register a fiber. Its body runs when {!run} is called; exceptions
     are captured per-fiber (one session's failure does not unwind the
-    fleet). *)
+    fleet). Spawning from inside a running fiber is supported: the new
+    fiber joins the pick set immediately at its clock's current virtual
+    time, which is how the service dispatcher launches job sessions
+    while the arrival-driver fiber is live. *)
 
 val run : t -> (string * outcome) list
 (** Drive all fibers to completion, interleaving at yield points in
-    ascending virtual-time order. Returns per-fiber outcomes in spawn
-    order. Raises [Invalid_argument] on re-entrant use. *)
+    ascending virtual-time order. Finished fibers are reaped from the
+    pick set as they complete, so each scheduling decision costs
+    O(live fibers) even when thousands of short-lived fibers pass
+    through one run. Returns per-fiber outcomes in spawn order
+    (including fibers spawned mid-run). Raises [Invalid_argument] on
+    re-entrant use. *)
 
 val yield : unit -> unit
 (** Suspend the current fiber and let the scheduler pick the next one.

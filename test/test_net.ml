@@ -240,6 +240,61 @@ let test_tcp_lite_under_loss () =
   check cint "stop-and-wait delivers all" 200 r.Traffic.completed;
   check cint "every response is the echo" (200 * 256) r.Traffic.bytes_rx
 
+(* --- per-request sampling is real, and degenerate on purpose --- *)
+
+(* On a clean link the per-request histogram collapses: all 1000
+   samples are the same round-trip time (min == mean == max == p50 at
+   any reported precision). That is not a sampling bug — the link
+   model charges a fixed propagation latency plus a deterministic
+   per-byte serialization cost, and every echo request carries the
+   same payload size, so every round trip really does take identical
+   virtual time. The only spread left is float ulps: the virtual clock
+   is an accumulating double, so [now -. t0] rounds differently as
+   absolute time grows. The histogram spreads for real only when
+   something varies per request, e.g. seeded loss forcing retransmits.
+   This pins both halves of that story so a future "fix" that perturbs
+   per-request sampling trips it. *)
+let test_request_hist_degenerate_clean () =
+  let h, vmm, g, _session = attach_with_net () in
+  let r =
+    Traffic.run_client vmm g ~requests:1000 ~payload_size:64
+      ~mode:Traffic.Echo ()
+  in
+  check cint "all completed" 1000 r.Traffic.completed;
+  check cint "no retransmits to spread it" 0 r.Traffic.retransmits;
+  let hist =
+    Observe.Metrics.histogram
+      (Observe.metrics h.H.Host.observe)
+      "net-echo.request_ns"
+  in
+  check cint "one sample per request" 1000 (Observe.Metrics.count hist);
+  let mn = Observe.Metrics.min_value hist in
+  let mx = Observe.Metrics.max_value hist in
+  check cbool "samples are positive" true (mn > 0.);
+  (* sub-nanosecond spread across 1000 samples = constant RTT *)
+  check cbool "clean link: min == max within an ulp" true (mx -. mn < 1.0);
+  check cbool "clean link: mean collapses too" true
+    (abs_float (Observe.Metrics.mean hist -. mn) < 1.0);
+  check cbool "clean link: p50 collapses too" true
+    (abs_float (Observe.Metrics.percentile hist 50.0 -. mn) < 1.0)
+
+let test_request_hist_spreads_under_loss () =
+  let h, vmm, g, _session = attach_with_net ~loss:0.2 ~seed:91 () in
+  let r =
+    Traffic.run_client vmm g ~requests:300 ~payload_size:64
+      ~mode:Traffic.Echo ()
+  in
+  check cint "all completed" 300 r.Traffic.completed;
+  check cbool "loss forced retransmits" true (r.Traffic.retransmits > 0);
+  let hist =
+    Observe.Metrics.histogram
+      (Observe.metrics h.H.Host.observe)
+      "net-echo.request_ns"
+  in
+  check cint "still one sample per request" 300 (Observe.Metrics.count hist);
+  check cbool "retried requests spread the histogram" true
+    (Observe.Metrics.min_value hist < Observe.Metrics.max_value hist)
+
 (* --- whole-scenario determinism: identical traces --- *)
 
 let traced_run () =
@@ -280,5 +335,9 @@ let suite =
           test_tcp_lite_under_loss;
         Alcotest.test_case "deterministic traces" `Quick
           test_deterministic_traces;
+        Alcotest.test_case "request histogram degenerate on clean link"
+          `Quick test_request_hist_degenerate_clean;
+        Alcotest.test_case "request histogram spreads under loss" `Quick
+          test_request_hist_spreads_under_loss;
       ] );
   ]

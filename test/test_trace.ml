@@ -136,7 +136,7 @@ let record_ok spec path =
   | Error e -> Alcotest.failf "record failed: %s" e
 
 let replay_clean path =
-  match Replay.replay ~path with
+  match Replay.replay ~path () with
   | Ok [] -> ()
   | Ok lines ->
       Alcotest.failf "replay diverged:\n%s" (String.concat "\n" lines)
