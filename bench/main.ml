@@ -1020,12 +1020,63 @@ let run_latency () =
        (Observe.Metrics.histogram sm "service.e2e_ns")
        99.9
     /. 1e6);
+  (* trace-mutation fuzzing: a short real campaign over a recorded
+     attach. The engine's bookkeeping (mutation application, protocol
+     validation, n-gram coverage hashing, corpus plumbing) must stay
+     within 5% of the pure attack-execution time — the fuzzer's cost
+     is the replays, not the harness around them. *)
+  let fzobs = Observe.create ~now:(fun () -> 0.0) () in
+  let fzm = Observe.metrics fzobs in
+  let fuzz_spec = Replay.Attach { seed = 1900 } in
+  let fuzz_base =
+    match Replay.execute fuzz_spec with
+    | Ok r -> r.Replay.run_events
+    | Error e -> failwith ("vmsh-fuzz: " ^ e)
+  in
+  let fuzz_exec_wall = ref 0.0 in
+  let fuzz_replay_hist = Observe.Metrics.histogram fzm "fuzz.replay_ns" in
+  let fuzz_execute _mutant muts =
+    let t0 = Unix.gettimeofday () in
+    let plan = Faults.create ~seed:0 ~rate:0.0 () in
+    Faults.set_script plan (Fuzz.script_of_mutations fuzz_base muts);
+    let atk = Replay.execute_attack ~plan fuzz_spec in
+    fuzz_exec_wall := !fuzz_exec_wall +. (Unix.gettimeofday () -. t0);
+    Observe.Metrics.observe fuzz_replay_hist atk.Replay.at_virtual_ns;
+    atk.Replay.at_verdict
+  in
+  let fuzz_t0 = Unix.gettimeofday () in
+  let fuzz_rep =
+    Fuzz.run_campaign ~base:fuzz_base ~seed:9 ~rounds:8 ~execute:fuzz_execute
+      ()
+  in
+  let fuzz_total = Unix.gettimeofday () -. fuzz_t0 in
+  let fuzz_bookkeeping = Float.max 0. (fuzz_total -. !fuzz_exec_wall) in
+  let fuzz_overhead =
+    int_of_float
+      (fuzz_bookkeeping /. Float.max 1e-9 !fuzz_exec_wall *. 1000.)
+  in
+  let fz_set name v =
+    Observe.Metrics.set_counter (Observe.Metrics.counter fzm name) v
+  in
+  fz_set "fuzz.mutants" fuzz_rep.Fuzz.fz_mutants_run;
+  fz_set "fuzz.bugs" fuzz_rep.Fuzz.fz_bugs;
+  fz_set "fuzz.corpus.kept" fuzz_rep.Fuzz.fz_corpus_kept;
+  fz_set "fuzz.corpus.ngrams" (List.length fuzz_rep.Fuzz.fz_coverage);
+  fz_set "fuzz.corpus_overhead_permille" fuzz_overhead;
+  Printf.printf
+    "vmsh-fuzz: %d mutants at %.1f/s wall (%d survived, %d clean aborts, %d \
+     bugs); corpus bookkeeping %.2f ms vs %.0f ms of replays (%d permille)\n"
+    fuzz_rep.Fuzz.fz_mutants_run
+    (float_of_int fuzz_rep.Fuzz.fz_mutants_run /. Float.max 1e-9 fuzz_total)
+    fuzz_rep.Fuzz.fz_survived fuzz_rep.Fuzz.fz_clean_aborts
+    fuzz_rep.Fuzz.fz_bugs (fuzz_bookkeeping *. 1e3) (!fuzz_exec_wall *. 1e3)
+    fuzz_overhead;
   let scenarios =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
       ("vmsh-fleet", flobs); ("vmsh-detach", dobs); ("vmsh-trace", tobs);
-      ("vmsh-serve", sobs);
+      ("vmsh-serve", sobs); ("vmsh-fuzz", fzobs);
     ]
   in
   let oc = open_out "BENCH_results.json" in

@@ -9,6 +9,11 @@
      ci_check bench FILE         BENCH_results.json scenarios
      ci_check fuzz FILE          fault-matrix gate: 0 hangs, 0 unclean,
                                  every fault class exercised
+     ci_check fuzz-trace FILE    trace-mutation gate: verdicts account
+                                 for every mutant (survived + clean
+                                 aborts + bugs = mutants run), 0 hangs,
+                                 every bug minimized, every mutator
+                                 class fired, the corpus non-vacuous
      ci_check sweep FILE         crash-matrix gate: every abort-at-yield
                                  point restored the guest, leaked no
                                  descriptors, failed cleanly
@@ -270,7 +275,7 @@ let check_bench path =
         fail "%s: missing scenario %S" path required)
     [
       "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
-      "vmsh-detach"; "vmsh-trace"; "vmsh-serve";
+      "vmsh-detach"; "vmsh-trace"; "vmsh-serve"; "vmsh-fuzz";
     ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
@@ -388,7 +393,26 @@ let check_bench path =
           if opt_int_field ~ctx:path scounters k > 0 then
             fail "%s: light tenant %s was shed (%s)" path t k)
         [ "rate"; "queue-full"; "evicted" ])
-    [ "t1"; "t2"; "t3" ]
+    [ "t1"; "t2"; "t3" ];
+  (* trace-mutation fuzzing: the campaign ran real mutants through the
+     attack executor, none of them broke the pipeline, and the corpus
+     bookkeeping (mutation, validation, coverage hashing, minimizer
+     plumbing) stays within 5%% of the pure execution time *)
+  let fz = field_exn ~ctx:path scen "vmsh-fuzz" in
+  let fzc = field_exn ~ctx:path fz "counters" in
+  if int_field ~ctx:path fzc "fuzz.mutants" < 1 then
+    fail "%s: vmsh-fuzz ran no mutants" path;
+  if opt_int_field ~ctx:path fzc "fuzz.bugs" > 0 then
+    fail "%s: vmsh-fuzz found BUG verdicts in a clean build" path;
+  let fov = int_field ~ctx:path fzc "fuzz.corpus_overhead_permille" in
+  if fov > 50 then
+    fail "%s: fuzz corpus bookkeeping %d permille exceeds the 5%% bound" path
+      fov;
+  let fzh =
+    field_exn ~ctx:path (field_exn ~ctx:path fz "histograms") "fuzz.replay_ns"
+  in
+  if int_field ~ctx:path fzh "count" < 1 then
+    fail "%s: vmsh-fuzz recorded no per-mutant replay times" path
 
 (* The serve metrics document (vmsh serve --metrics-out): per-tenant
    admission enforced, every submission accounted for on the wire, no
@@ -521,6 +545,44 @@ let check_fuzz path =
       if seen < 1 then fail "%s: fault class %S was never exercised" path cls)
     fault_classes
 
+let mutator_classes =
+  [ "reorder"; "drop"; "duplicate"; "corrupt"; "splice"; "timewarp" ]
+
+(* The trace-mutation campaign metrics (vmsh fuzz --from-trace). A BUG
+   verdict is any hang, unclean failure, oracle divergence or
+   descriptor leak — the gate demands zero of them, every bug (if any
+   ever appears) auto-minimized, and the campaign non-vacuous: every
+   mutator class proposed at least one mutant and the corpus kept
+   novel coverage. *)
+let check_fuzz_trace path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let run = int_field ~ctx:path counters "fuzz.mutants_run" in
+  if run < 1 then fail "%s: no mutants were run" path;
+  let survived = opt_int_field ~ctx:path counters "fuzz.survived" in
+  let clean = opt_int_field ~ctx:path counters "fuzz.clean_aborts" in
+  let bugs = opt_int_field ~ctx:path counters "fuzz.bugs" in
+  let minimized = opt_int_field ~ctx:path counters "fuzz.minimized_bugs" in
+  let hangs = opt_int_field ~ctx:path counters "fuzz.hangs" in
+  if survived + clean + bugs <> run then
+    fail "%s: verdicts (%d survived + %d clean + %d bugs) do not account for \
+          %d mutants"
+      path survived clean bugs run;
+  if hangs > 0 then fail "%s: %d mutants hung the pipeline" path hangs;
+  if bugs > 0 then
+    fail "%s: %d mutants broke the pipeline (BUG verdicts)" path bugs;
+  if minimized <> bugs then
+    fail "%s: %d bugs but %d minimized reproducers" path bugs minimized;
+  List.iter
+    (fun cls ->
+      if opt_int_field ~ctx:path counters ("fuzz.mutator_fired." ^ cls) < 1
+      then fail "%s: mutator class %S never fired" path cls)
+    mutator_classes;
+  if int_field ~ctx:path counters "fuzz.corpus.kept" < 1 then
+    fail "%s: the corpus kept nothing (coverage feedback vacuous)" path;
+  if int_field ~ctx:path counters "fuzz.corpus.ngrams" < 1 then
+    fail "%s: no coverage n-grams recorded" path
+
 let check_sweep path =
   let j = load path in
   let counters = field_exn ~ctx:path j "counters" in
@@ -550,11 +612,13 @@ let () =
   | [ _; "net-metrics"; f ] -> check_net_metrics f
   | [ _; "bench"; f ] -> check_bench f
   | [ _; "fuzz"; f ] -> check_fuzz f
+  | [ _; "fuzz-trace"; f ] -> check_fuzz_trace f
   | [ _; "fleet"; f ] -> check_fleet f
   | [ _; "sweep"; f ] -> check_sweep f
   | [ _; "serve"; f ] -> check_serve f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
-         bench FILE | fuzz FILE | fleet FILE | sweep FILE | serve FILE}";
+         bench FILE | fuzz FILE | fuzz-trace FILE | fleet FILE | sweep FILE \
+         | serve FILE}";
       exit 2

@@ -516,9 +516,195 @@ let fuzz_one ?log_level ~seed ~rate ~trace () =
   in
   (h, plan, boosted, outcome)
 
+(* --- fuzz --from-trace: trace-mutation campaigns --- *)
+
+(* The session a mutation chain perturbs — the session of its first
+   site in the base stream. A fleet recording interleaves sessions;
+   the attack re-runs the one the mutation touched. *)
+let mutation_session base (ms : Fuzz.mutation list) =
+  let arr = Array.of_list base in
+  match ms with
+  | m :: _ when m.Fuzz.m_at >= 0 && m.Fuzz.m_at < Array.length arr ->
+      arr.(m.Fuzz.m_at).Trace.session
+  | _ -> 0
+
+(* A corpus entry or reproducer is a .vmshtrace holding the base-recipe
+   prefix the chain applies to, with the chain itself (and the verdict)
+   in the metadata — [vmsh trace replay] rebuilds the mutant and
+   re-executes the attack from the file alone. *)
+let write_mutant_trace ~path ~base_meta ~base_events ~muts ~verdict =
+  let events = Fuzz.truncate_base base_events muts in
+  let meta =
+    Fuzz.mutant_meta ~base_meta ~muts ~prefix:(List.length events) ~verdict
+  in
+  let oc = open_out_bin path in
+  output_string oc (Trace.encode ~meta events);
+  close_out oc
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (if l = "" then acc else l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  end
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+(* Build the executor the campaign judges protocol-consistent mutants
+   with: lower the chain to a scripted fault plan and re-run the
+   recipe's attach for real, oracle live. *)
+let attack_executor ?log_level ~base ~spec () =
+  let virtual_ns = ref 0.0 in
+  let execute _mutant muts =
+    let plan = Faults.create ~seed:0 ~rate:0.0 () in
+    Faults.set_script plan (Fuzz.script_of_mutations base muts);
+    let session = mutation_session base muts in
+    let atk = Replay.execute_attack ?log_level ~session ~plan spec in
+    virtual_ns := !virtual_ns +. atk.Replay.at_virtual_ns;
+    atk.Replay.at_verdict
+  in
+  (execute, virtual_ns)
+
+let fuzz_from_trace ?log_level ~file ~rounds ~seed ~corpus ~minimize
+    ~metrics_out () =
+  let f =
+    match Trace.load file with
+    | Ok f -> f
+    | Error e ->
+        Printf.eprintf "fuzz: %s\n" e;
+        exit 1
+  in
+  let spec =
+    match Replay.spec_of_meta f.Trace.f_meta with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "fuzz: %s\n" e;
+        exit 1
+  in
+  let base = f.Trace.f_events in
+  (match Fuzz.validate base with
+  | [] -> ()
+  | p :: _ ->
+      Printf.eprintf "fuzz: base recording violates the protocol model: %s\n" p;
+      exit 1);
+  let seen =
+    match corpus with
+    | Some dir -> read_lines (Filename.concat dir "coverage.txt")
+    | None -> []
+  in
+  let execute, _ = attack_executor ?log_level ~base ~spec () in
+  let rep =
+    Fuzz.run_campaign ~base ~seed ~rounds ~minimize_bugs:minimize ~seen
+      ~execute ()
+  in
+  (* the verdict ledger: one deterministic line per mutant *)
+  let ledger =
+    List.map
+      (fun (r : Fuzz.round_result) ->
+        Printf.sprintf "round=%d op=%s chain=%d verdict=%s new-keys=%d muts=%s"
+          r.Fuzz.rr_round
+          (Fuzz.mutator_name r.Fuzz.rr_op)
+          (List.length r.Fuzz.rr_muts)
+          (Faults.Abort.label r.Fuzz.rr_verdict)
+          r.Fuzz.rr_new_keys
+          (Fuzz.mutations_to_string r.Fuzz.rr_muts))
+      rep.Fuzz.fz_rounds
+  in
+  List.iter print_endline ledger;
+  (* persist the corpus: coverage keys, the ledger, kept mutants and
+     minimized reproducers, all deterministic functions of (trace,
+     seed) so a double run is byte-identical *)
+  (match corpus with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      write_lines (Filename.concat dir "coverage.txt") rep.Fuzz.fz_coverage;
+      write_lines (Filename.concat dir "ledger.txt") ledger;
+      List.iter
+        (fun (r : Fuzz.round_result) ->
+          if r.Fuzz.rr_new_keys > 0 && not (Faults.Abort.is_bug r.Fuzz.rr_verdict)
+          then
+            write_mutant_trace
+              ~path:
+                (Filename.concat dir
+                   (Printf.sprintf "mutant-%d.vmshtrace" r.Fuzz.rr_round))
+              ~base_meta:f.Trace.f_meta ~base_events:base ~muts:r.Fuzz.rr_muts
+              ~verdict:r.Fuzz.rr_verdict;
+          match r.Fuzz.rr_minimized with
+          | None -> ()
+          | Some min_muts ->
+              (* the reproducer carries the minimized chain's own
+                 verdict (recomputed — minimization can land on a
+                 different failure message than the full chain) *)
+              let mutant = Fuzz.apply_all base min_muts in
+              let verdict =
+                match Fuzz.validate mutant with
+                | p :: _ -> Faults.Abort.Clean_abort ("protocol: " ^ p)
+                | [] -> execute mutant min_muts
+              in
+              write_mutant_trace
+                ~path:
+                  (Filename.concat dir
+                     (Printf.sprintf "repro-%d.vmshtrace" r.Fuzz.rr_round))
+                ~base_meta:f.Trace.f_meta ~base_events:base ~muts:min_muts
+                ~verdict)
+        rep.Fuzz.fz_rounds);
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let sobs = Observe.create ~now:(fun () -> 0.0) () in
+      let sm = Observe.metrics sobs in
+      let set name v =
+        Observe.Metrics.set_counter (Observe.Metrics.counter sm name) v
+      in
+      set "fuzz.mutants_run" rep.Fuzz.fz_mutants_run;
+      set "fuzz.survived" rep.Fuzz.fz_survived;
+      set "fuzz.clean_aborts" rep.Fuzz.fz_clean_aborts;
+      set "fuzz.bugs" rep.Fuzz.fz_bugs;
+      set "fuzz.minimized_bugs" rep.Fuzz.fz_minimized_bugs;
+      set "fuzz.hangs" rep.Fuzz.fz_hangs;
+      set "fuzz.corpus.kept" rep.Fuzz.fz_corpus_kept;
+      set "fuzz.corpus.ngrams" (List.length rep.Fuzz.fz_coverage);
+      List.iter
+        (fun (op, n) -> set ("fuzz.mutator_fired." ^ Fuzz.mutator_name op) n)
+        rep.Fuzz.fz_mutator_fired;
+      let oc = open_out path in
+      output_string oc (Observe.Export.metrics_json sobs);
+      close_out oc;
+      Printf.printf "fuzz metrics written to %s\n" path);
+  Printf.printf
+    "fuzz --from-trace: %d mutants, %d survived, %d clean aborts, %d bugs \
+     (%d minimized), %d hangs, corpus +%d entries / %d n-grams\n"
+    rep.Fuzz.fz_mutants_run rep.Fuzz.fz_survived rep.Fuzz.fz_clean_aborts
+    rep.Fuzz.fz_bugs rep.Fuzz.fz_minimized_bugs rep.Fuzz.fz_hangs
+    rep.Fuzz.fz_corpus_kept
+    (List.length rep.Fuzz.fz_coverage);
+  if rep.Fuzz.fz_bugs > 0 then exit 1
+
 let fuzz_cmd =
-  let run verbose seeds rate metrics_out trace_out trace_seed log_level =
+  let run verbose seeds rate metrics_out trace_out trace_seed from_trace
+      rounds campaign_seed corpus minimize log_level =
     setup_logs verbose;
+    (match from_trace with
+    | Some file ->
+        if rounds <= 0 then begin
+          Printf.eprintf "fuzz: --rounds must be positive\n";
+          exit 2
+        end;
+        fuzz_from_trace ?log_level ~file ~rounds ~seed:campaign_seed ~corpus
+          ~minimize ~metrics_out ();
+        exit 0
+    | None -> ());
     if seeds <= 0 then begin
       Printf.eprintf "fuzz: --seeds must be positive\n";
       exit 2
@@ -641,13 +827,58 @@ let fuzz_cmd =
       & info [ "trace-seed" ] ~docv:"K"
           ~doc:"Which schedule --trace-out captures (default 0).")
   in
+  let from_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:
+            "Trace-mutation mode: mutate the recorded .vmshtrace with seeded \
+             structure-aware operators and judge every mutant through the \
+             causality validator and the live attach pipeline (journal + \
+             snapshot oracle). Replaces the --seeds sweep.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 32
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Mutants per campaign (--from-trace mode).")
+  in
+  let campaign_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Campaign seed (--from-trace mode); the whole campaign is a \
+             deterministic function of (trace bytes, seed, rounds).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory (--from-trace mode): pre-loads coverage.txt, \
+             then persists coverage, the verdict ledger, kept mutants and \
+             minimized reproducers as .vmshtrace files.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:
+            "Auto-minimize every BUG mutant by delta-debugging its mutation \
+             chain (--from-trace mode).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Sweep N deterministic fault schedules through boot + attach and \
-          assert every one completes or fails cleanly")
+         "Sweep N deterministic fault schedules through boot + attach (or, \
+          with --from-trace, mutate a recorded boundary trace) and assert \
+          every run completes or fails cleanly")
     Term.(
       const run $ verbose $ seeds $ rate $ metrics_out $ trace_out $ trace_seed
+      $ from_trace $ rounds $ campaign_seed $ corpus $ minimize
       $ log_level_arg)
 
 (* --- sweep --- *)
@@ -1178,9 +1409,42 @@ let trace_replay_cmd =
         exit 1
     | Ok f -> (
         (* fuzz artifacts replay through the CLI's own fuzz driver;
-           every other scenario through the recipe library *)
+           fuzz-mutant corpus entries and reproducers by rebuilding the
+           mutant from the stored base prefix + mutation chain and
+           re-executing the attack; every other scenario through the
+           recipe library *)
         let diffs =
           match List.assoc_opt "scenario" f.Trace.f_meta with
+          | Some s when s = Fuzz.mutant_scenario -> (
+              match Fuzz.parse_mutant_meta f.Trace.f_meta with
+              | Error _ as e -> e
+              | Ok mf -> (
+                  match Replay.spec_of_meta mf.Fuzz.mf_base_meta with
+                  | Error _ as e -> e
+                  | Ok spec ->
+                      let base = f.Trace.f_events in
+                      let mutant = Fuzz.apply_all base mf.Fuzz.mf_muts in
+                      let verdict =
+                        match Fuzz.validate mutant with
+                        | p :: _ ->
+                            Faults.Abort.Clean_abort ("protocol: " ^ p)
+                        | [] ->
+                            let execute, _ =
+                              attack_executor ?log_level ~base ~spec ()
+                            in
+                            execute mutant mf.Fuzz.mf_muts
+                      in
+                      let got = Faults.Abort.to_string verdict in
+                      let want = Faults.Abort.to_string mf.Fuzz.mf_verdict in
+                      Ok
+                        (if got = want then []
+                         else
+                           [
+                             Printf.sprintf
+                               "mutant verdict diverges: recorded %S, replay \
+                                %S"
+                               want got;
+                           ])))
           | Some "fuzz" ->
               let geti key d =
                 Option.bind (List.assoc_opt key f.Trace.f_meta)
@@ -1206,9 +1470,21 @@ let trace_replay_cmd =
             Printf.eprintf "trace replay: %s\n" e;
             exit 1
         | Ok [] ->
-            Printf.printf
-              "replay matches recording: %d events, guest digest identical\n"
-              (List.length f.Trace.f_events)
+            if
+              List.assoc_opt "scenario" f.Trace.f_meta
+              = Some Fuzz.mutant_scenario
+            then
+              Printf.printf
+                "mutant re-executes to its recorded verdict (%s; %d base \
+                 events)\n"
+                (Option.value
+                   (List.assoc_opt "verdict" f.Trace.f_meta)
+                   ~default:"?")
+                (List.length f.Trace.f_events)
+            else
+              Printf.printf
+                "replay matches recording: %d events, guest digest identical\n"
+                (List.length f.Trace.f_events)
         | Ok lines ->
             List.iter (Printf.eprintf "replay-diff: %s\n") lines;
             exit 1)

@@ -23,6 +23,13 @@
 #                 attach, a fleet run, and one crash-point sweep cell;
 #                 two identically-seeded recordings must be
 #                 byte-identical
+#   fuzz-trace    trace-mutation fuzzing: record seed attach and
+#                 fleet-8 traces, run `vmsh fuzz --from-trace` at a
+#                 pinned seed with the minimizing corpus on — 0 hangs,
+#                 0 unclean, 0 oracle divergences, every mutator class
+#                 fired — replay a corpus mutant from its file alone,
+#                 then double-run `cmp`/`diff -r` proving the whole
+#                 campaign (metrics, ledger, corpus) byte-identical
 #   serve         `vmsh serve`: a short sustained-load run at a fixed
 #                 seed — per-tenant admission enforced, zero failures,
 #                 zero leaked workers — then a double-run `cmp` on the
@@ -43,7 +50,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace serve bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace fuzz-trace serve bench"
 
 # dump-on-failure: any failing sweep/fuzz/fleet run leaves a replayable
 # .vmshtrace recording next to the other artifacts
@@ -65,11 +72,19 @@ while [ $# -gt 0 ]; do
   esac
 done
 
+# Exact-match the stage name. (A substring `case` pattern here let
+# values like "build test" slip through validation, match nothing in
+# the run loop below, and exit 0 having run no stage at all.)
 if [ -n "$only_stage" ]; then
-  case " $STAGES " in
-    *" $only_stage "*) ;;
-    *) echo "ci: no such stage: $only_stage" >&2; usage >&2; exit 2 ;;
-  esac
+  found=0
+  for s in $STAGES; do
+    if [ "$s" = "$only_stage" ]; then found=1; fi
+  done
+  if [ "$found" -ne 1 ]; then
+    echo "ci: no such stage: $only_stage" >&2
+    usage >&2
+    exit 2
+  fi
 fi
 
 mkdir -p "$ARTIFACTS"
@@ -174,6 +189,56 @@ stage_trace() {
     return 1
   }
   vmsh trace stat "$ARTIFACTS/attach-a.vmshtrace"
+}
+
+stage_fuzz_trace() {
+  # the nightly workflow raises these for an extended campaign; PR CI
+  # runs the pinned short ones
+  rounds=${VMSH_FUZZ_ROUNDS:-24}
+  fleet_rounds=${VMSH_FUZZ_FLEET_ROUNDS:-10}
+  # seed recordings the campaigns mutate
+  vmsh trace record --scenario attach --seed 5 \
+    -o "$ARTIFACTS/fuzz-base-attach.vmshtrace" > /dev/null
+  vmsh trace record --scenario fleet --seed 7 --vms 8 \
+    -o "$ARTIFACTS/fuzz-base-fleet.vmshtrace" > /dev/null
+  # the determinism pair below must start from identical (empty)
+  # corpora; the nightly job accumulates in its own cached directory
+  rm -rf "$ARTIFACTS/fuzz-corpus-a" "$ARTIFACTS/fuzz-corpus-b" \
+    "$ARTIFACTS/fuzz-corpus-fleet"
+  # pinned-seed campaign over the attach recording, minimizer on:
+  # 0 hangs, 0 unclean, 0 oracle divergences (any of those is a BUG
+  # verdict, which both the CLI exit code and the gate reject)
+  vmsh fuzz --from-trace "$ARTIFACTS/fuzz-base-attach.vmshtrace" \
+    --rounds "$rounds" --seed 9 --minimize \
+    --corpus "$ARTIFACTS/fuzz-corpus-a" \
+    --metrics-out "$ARTIFACTS/fuzz-trace-metrics-a.json"
+  ci_check fuzz-trace "$ARTIFACTS/fuzz-trace-metrics-a.json"
+  # the same engine over the interleaved fleet-8 recording
+  vmsh fuzz --from-trace "$ARTIFACTS/fuzz-base-fleet.vmshtrace" \
+    --rounds "$fleet_rounds" --seed 11 --minimize \
+    --corpus "$ARTIFACTS/fuzz-corpus-fleet" \
+    --metrics-out "$ARTIFACTS/fuzz-fleet-metrics.json"
+  ci_check fuzz-trace "$ARTIFACTS/fuzz-fleet-metrics.json"
+  # a kept corpus mutant must re-execute to its recorded verdict from
+  # the .vmshtrace file alone
+  set -- "$ARTIFACTS"/fuzz-corpus-a/mutant-*.vmshtrace
+  vmsh trace replay "$1"
+  # Determinism: the whole campaign — metrics, verdict ledger,
+  # coverage, every corpus/reproducer file — is a function of
+  # (trace bytes, seed), so a double run is byte-identical.
+  vmsh fuzz --from-trace "$ARTIFACTS/fuzz-base-attach.vmshtrace" \
+    --rounds "$rounds" --seed 9 --minimize \
+    --corpus "$ARTIFACTS/fuzz-corpus-b" \
+    --metrics-out "$ARTIFACTS/fuzz-trace-metrics-b.json" > /dev/null
+  cmp "$ARTIFACTS/fuzz-trace-metrics-a.json" \
+    "$ARTIFACTS/fuzz-trace-metrics-b.json" || {
+    echo "ci: fuzz campaign metrics diverged across identical seeds" >&2
+    return 1
+  }
+  diff -r "$ARTIFACTS/fuzz-corpus-a" "$ARTIFACTS/fuzz-corpus-b" || {
+    echo "ci: fuzz corpus diverged across identical seeds" >&2
+    return 1
+  }
 }
 
 stage_serve() {

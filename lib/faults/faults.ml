@@ -47,6 +47,8 @@ type t = {
   rates : float array;
   caps : int array;
   counts : int array;
+  decisions : int array;
+  mutable script : (cls * int) list;
   mutable state : int64;
   mutable metrics : Observe.Metrics.t option;
   mutable abort_at_yield : int option;
@@ -61,6 +63,8 @@ let disabled =
     rates = [||];
     caps = [||];
     counts = [||];
+    decisions = [||];
+    script = [];
     state = 0L;
     metrics = None;
     abort_at_yield = None;
@@ -98,6 +102,8 @@ let create ~seed ?(rate = 0.15) ?(cap = max_int) ?(classes = all) ?(burst = 3) (
     rates;
     caps;
     counts = Array.make n_cls 0;
+    decisions = Array.make n_cls 0;
+    script = [];
     state = Int64.of_int seed;
     metrics = None;
     abort_at_yield = None;
@@ -115,19 +121,47 @@ let seed t = t.seed
 let burst t = t.burst
 let set_metrics t m = if t.armed then t.metrics <- m
 
+(* --- scripted injections ---
+
+   The trace-mutation fuzzer needs *exact* perturbations — "drop the
+   4th doorbell", "tear the 2nd descriptor read" — derived from a
+   mutated flight recording, not sampled from a rate. A script is a
+   list of [(class, decision-index)] pairs; every armed {!fire} query
+   counts as one decision for its class, and a scripted decision fires
+   deterministically without touching the RNG stream (so a scripted
+   plan with zero rates draws no randomness at all, and mixing a
+   script into a rate-driven plan never shifts the probabilistic
+   replay). *)
+
+let set_script t s = if t.armed then t.script <- s
+let script t = if t.armed then t.script else []
+let decisions t c = if t.armed then t.decisions.(idx c) else 0
+
+let count_injection t c i =
+  t.counts.(i) <- t.counts.(i) + 1;
+  match t.metrics with
+  | Some m ->
+      Observe.Metrics.incr
+        (Observe.Metrics.counter m ("faults.injected." ^ name c))
+  | None -> ()
+
 let fire t c =
   if not t.armed then false
-  else
+  else begin
     let i = idx c in
-    if t.rates.(i) <= 0.0 || t.counts.(i) >= t.caps.(i) then false
+    let d = t.decisions.(i) in
+    t.decisions.(i) <- d + 1;
+    if List.exists (fun (c', n) -> c' = c && n = d) t.script then begin
+      count_injection t c i;
+      true
+    end
+    else if t.rates.(i) <= 0.0 || t.counts.(i) >= t.caps.(i) then false
     else if draw_unit t < t.rates.(i) then begin
-      t.counts.(i) <- t.counts.(i) + 1;
-      (match t.metrics with
-      | Some m -> Observe.Metrics.incr (Observe.Metrics.counter m ("faults.injected." ^ name c))
-      | None -> ());
+      count_injection t c i;
       true
     end
     else false
+  end
 
 let injected t c = if t.armed then t.counts.(idx c) else 0
 let total_injected t = if t.armed then Array.fold_left ( + ) 0 t.counts else 0
@@ -157,3 +191,43 @@ let yield_tick t =
       let n = t.yield_seen in
       t.yield_seen <- n + 1;
       if n = k then raise (Crash_point k)
+
+(* --- shared abort taxonomy ---
+
+   Every harness that perturbs the pipeline (the fault matrix, the
+   crash-point sweep, the trace-mutation fuzzer) classifies a run the
+   same three ways, so verdicts render and round-trip through one
+   vocabulary. *)
+
+module Abort = struct
+  type verdict = Survived | Clean_abort of string | Bug of string
+
+  let label = function
+    | Survived -> "survived"
+    | Clean_abort _ -> "clean-abort"
+    | Bug _ -> "BUG"
+
+  let detail = function Survived -> "" | Clean_abort m | Bug m -> m
+  let is_bug = function Bug _ -> true | _ -> false
+
+  let to_string = function
+    | Survived -> "survived"
+    | Clean_abort m -> "clean-abort: " ^ m
+    | Bug m -> "BUG: " ^ m
+
+  let strip_prefix p s =
+    let pl = String.length p in
+    if String.length s >= pl && String.sub s 0 pl = p then
+      Some (String.sub s pl (String.length s - pl))
+    else None
+
+  let of_string s =
+    if s = "survived" then Some Survived
+    else
+      match strip_prefix "clean-abort: " s with
+      | Some m -> Some (Clean_abort m)
+      | None -> (
+          match strip_prefix "BUG: " s with
+          | Some m -> Some (Bug m)
+          | None -> None)
+end

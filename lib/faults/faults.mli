@@ -62,7 +62,27 @@ val set_metrics : t -> Observe.Metrics.t option -> unit
 val fire : t -> cls -> bool
 (** Ask the plan whether this operation faults. Draws from the plan's
     RNG only when the plan is armed and the class has a non-zero rate;
-    counts the injection when it fires. *)
+    counts the injection when it fires. Every armed query also counts
+    one {e decision} for the class (see {!set_script}). *)
+
+(** {2 Scripted injections}
+
+    The trace-mutation fuzzer derives exact perturbations from a
+    mutated flight recording — "drop the 4th doorbell", "tear the 2nd
+    descriptor read". A script is a list of [(class, decision-index)]
+    pairs: the class's n-th armed {!fire} query fires
+    deterministically, without an RNG draw, so a zero-rate scripted
+    plan draws no randomness at all and scripting never shifts a
+    probabilistic replay. *)
+
+val set_script : t -> (cls * int) list -> unit
+(** Install the script (replacing any previous one). A no-op on
+    {!disabled}. *)
+
+val script : t -> (cls * int) list
+
+val decisions : t -> cls -> int
+(** Armed {!fire} queries seen for this class so far. *)
 
 val injected : t -> cls -> int
 val total_injected : t -> int
@@ -92,3 +112,28 @@ val yield_tick : t -> unit
 
 val yield_ticks : t -> int
 (** Yield points seen since the crash point was last (dis)armed. *)
+
+(** {2 Shared abort taxonomy}
+
+    The three-way verdict every perturbation harness (fault matrix,
+    crash-point sweep, trace-mutation fuzzer) classifies a run into. *)
+
+module Abort : sig
+  type verdict =
+    | Survived  (** completed; oracle clean; nothing leaked *)
+    | Clean_abort of string
+        (** failed with a round-trippable error after full rollback *)
+    | Bug of string
+        (** escaped exception, oracle divergence, descriptor leak, or
+            virtual-budget hang *)
+
+  val label : verdict -> string
+  (** ["survived"] / ["clean-abort"] / ["BUG"] — the ledger keys. *)
+
+  val detail : verdict -> string
+  val is_bug : verdict -> bool
+
+  val to_string : verdict -> string
+  val of_string : string -> verdict option
+  (** Round-trips {!to_string} (used by reproducer trace metadata). *)
+end

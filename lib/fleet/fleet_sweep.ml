@@ -33,6 +33,7 @@ type point = {
   pt_unclean : string option;  (** escaped exception, if any *)
   pt_digest : string;  (** {!Vmsh.Snapshot.digest} of the final guest state *)
   pt_events : Trace.event list;  (** the point's flight recording *)
+  pt_virtual_ns : float;  (** the point's virtual clock at the end *)
 }
 
 type report = {
@@ -79,8 +80,10 @@ let crash_point_fired msg =
 
 (* One sweep point: fresh machine, armed plan, one attach. [k = None]
    is the probe (crash point parked at max_int); returns the point and,
-   for the probe, the yield count the attach crossed. *)
-let run_point ?log_level ~seed ~cls ~k () =
+   for the probe, the yield count the attach crossed. [?plan] lets the
+   trace-mutation fuzzer run the same harness under its own scripted
+   fault plan instead of the sweep's class arming. *)
+let run_point ?log_level ?plan ~seed ~cls ~k () =
   let host = H.Host.create ~seed () in
   Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
   (* scenario meta makes the point's flight recording self-describing:
@@ -98,10 +101,19 @@ let run_point ?log_level ~seed ~cls ~k () =
   let vmm = Vmm.create host ~profile:Profile.qemu ~disk:(boot_disk host) () in
   ignore (Vmm.boot vmm ~version:KV.V5_10);
   let vm = Vmm.kvm_vm vmm in
-  let plan = Faults.create ~seed:((seed * 31) + Option.value k ~default:0) ~rate:0.0 () in
-  (match cls with
-  | Some c -> Faults.set_class plan c ~rate:1.0 ~cap:2
-  | None -> ());
+  let plan =
+    match plan with
+    | Some p -> p
+    | None ->
+        let p =
+          Faults.create ~seed:((seed * 31) + Option.value k ~default:0)
+            ~rate:0.0 ()
+        in
+        (match cls with
+        | Some c -> Faults.set_class p c ~rate:1.0 ~cap:2
+        | None -> ());
+        p
+  in
   Faults.set_abort_at_yield plan (Some (Option.value k ~default:max_int));
   let before = Vmsh.Snapshot.capture vm in
   let fds_before = open_fds host in
@@ -159,6 +171,7 @@ let run_point ?log_level ~seed ~cls ~k () =
       pt_unclean = unclean;
       pt_digest = Vmsh.Snapshot.digest after;
       pt_events = Trace.Recorder.events host.H.Host.recorder;
+      pt_virtual_ns = H.Clock.now_ns host.H.Host.clock;
     }
   in
   (* a failed post-condition leaves a replayable artifact when

@@ -155,6 +155,69 @@ let execute ?log_level = function
                   (Digest.string (Service.Job.status_to_string status));
             })
 
+(* ------------------------------------------------------------------ *)
+(* Mutant execution: drive the recipe under a scripted fault plan      *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace-mutation fuzzer turns a mutated flight recording into a
+   scripted {!Faults.t} plan and asks: does the real pipeline survive
+   that perturbation? The attack re-runs the recipe's attach on a fresh
+   machine (for a fleet recipe, the one session the mutation touched —
+   per-session host seeds are the fleet's own derivation) with the
+   journal + snapshot oracle and the fd-leak check live, then folds the
+   sweep point into the shared three-way taxonomy. *)
+
+type attack = {
+  at_verdict : Faults.Abort.verdict;
+  at_events : Trace.event list;  (** the attacked run's flight recording *)
+  at_virtual_ns : float;  (** virtual time the attacked run consumed *)
+}
+
+let default_budget_ns = 120e9
+
+let attack_host_seed spec ~session =
+  match spec with
+  | Attach { seed } -> seed
+  | Sweep_cell { seed; _ } -> seed
+  | Serve_job { seed; _ } -> seed
+  (* the fleet engine's per-session host seed derivation *)
+  | Fleet_run { seed; _ } -> (seed * 1009) + (session * 17)
+
+let execute_attack ?log_level ?(budget_ns = default_budget_ns) ?(session = 0)
+    ~plan spec =
+  let seed = attack_host_seed spec ~session in
+  let pt, _ =
+    Fleet.Sweep.run_point ?log_level ~plan ~seed ~cls:None ~k:None ()
+  in
+  let verdict =
+    if pt.Fleet.Sweep.pt_virtual_ns > budget_ns then
+      Faults.Abort.Bug
+        (Printf.sprintf "hang: %.0f ms of virtual time exceeds the budget"
+           (pt.Fleet.Sweep.pt_virtual_ns /. 1e6))
+    else
+      match pt.Fleet.Sweep.pt_unclean with
+      | Some m -> Faults.Abort.Bug ("unclean: " ^ m)
+      | None ->
+          if pt.Fleet.Sweep.pt_oracle <> [] then
+            Faults.Abort.Bug
+              ("oracle: " ^ List.hd pt.Fleet.Sweep.pt_oracle)
+          else if pt.Fleet.Sweep.pt_leaked_fds > 0 then
+            Faults.Abort.Bug
+              (Printf.sprintf "%d descriptors leaked"
+                 pt.Fleet.Sweep.pt_leaked_fds)
+          else if pt.Fleet.Sweep.pt_outcome = "completed" then
+            Faults.Abort.Survived
+          else
+            Faults.Abort.Clean_abort
+              (Option.value pt.Fleet.Sweep.pt_error
+                 ~default:pt.Fleet.Sweep.pt_outcome)
+  in
+  {
+    at_verdict = verdict;
+    at_events = pt.Fleet.Sweep.pt_events;
+    at_virtual_ns = pt.Fleet.Sweep.pt_virtual_ns;
+  }
+
 let record ?log_level spec ~path =
   match execute ?log_level spec with
   | Error _ as e -> e

@@ -48,6 +48,37 @@ val execute : ?log_level:Observe.level -> spec -> (run, string) result
     stderr log level (default quiet — replay output stays
     byte-comparable). *)
 
+(** {2 Mutant execution}
+
+    The trace-mutation fuzzer (lib/fuzz) derives a scripted
+    {!Faults.t} plan from a mutated recording and asks whether the real
+    pipeline survives it. *)
+
+type attack = {
+  at_verdict : Faults.Abort.verdict;
+  at_events : Trace.event list;  (** the attacked run's flight recording *)
+  at_virtual_ns : float;  (** virtual time the attacked run consumed *)
+}
+
+val default_budget_ns : float
+(** 120 virtual seconds — same hang budget as the fault matrix. *)
+
+val execute_attack :
+  ?log_level:Observe.level ->
+  ?budget_ns:float ->
+  ?session:int ->
+  plan:Faults.t ->
+  spec ->
+  attack
+(** Re-run the recipe's attach on a fresh machine under [plan] (for a
+    fleet recipe, the one [session] the mutation touched, using the
+    fleet engine's per-session host-seed derivation), with the journal
+    + snapshot oracle and fd-leak check live. Exceeding [budget_ns] of
+    virtual time, an escaped exception, an oracle divergence or a
+    descriptor leak is a {!Faults.Abort.Bug}; a round-trippable attach
+    failure after full rollback is a [Clean_abort]; completion is
+    [Survived]. *)
+
 val record :
   ?log_level:Observe.level -> spec -> path:string -> (run, string) result
 (** {!execute}, then save the recording (with its recipe and digest in

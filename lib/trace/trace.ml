@@ -93,10 +93,58 @@ module Recorder = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Mutation-safe accessors & causality metadata                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace-mutation fuzzer (lib/fuzz) edits events without knowing
+   their layout; these accessors keep every edit well-typed so a mutant
+   still round-trips through the codec. *)
+
+let int_arg e k =
+  match List.assoc_opt k e.args with Some (I i) -> Some i | _ -> None
+
+let str_arg e k =
+  match List.assoc_opt k e.args with Some (S s) -> Some s | _ -> None
+
+let with_int_arg e k v =
+  if List.mem_assoc k e.args then
+    {
+      e with
+      args =
+        List.map (fun (k', v') -> if k' = k then (k', I v) else (k', v')) e.args;
+    }
+  else { e with args = e.args @ [ (k, I v) ] }
+
+let with_ts e ts = { e with ts }
+let with_session e session = { e with session }
+
+(* Causality metadata: which event pairs a mutator may legally swap.
+   Lifecycle events anchor a session's transaction window — everything
+   else in the session is causally ordered against them — and two
+   same-kind events in one session form a FIFO (descriptor completions,
+   injected syscalls, pump rounds) whose order carries meaning. Events
+   of different sessions are concurrent by construction (each session
+   owns its machine) and always commute. *)
+
+let lifecycle e =
+  match e.kind with
+  | "attach.begin" | "attach.commit" | "attach.abort" | "journal.rollback" ->
+      true
+  | _ -> false
+
+let commutes a b =
+  a.session <> b.session
+  || ((not (lifecycle a)) && (not (lifecycle b)) && a.kind <> b.kind)
+
+(* ------------------------------------------------------------------ *)
 (* Binary codec                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let magic = "VMSHTRC1"
+
+(* The corpus cache key: coverage accumulated under one codec version
+   must not seed a fuzzer reading another. *)
+let codec_version = magic
 
 let add_u16 b v =
   Buffer.add_char b (Char.chr (v land 0xff));

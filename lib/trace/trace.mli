@@ -61,6 +61,34 @@ module Recorder : sig
   val clear : t -> unit  (** drops events and resets counts; keeps meta *)
 end
 
+(** {2 Mutation-safe accessors & causality metadata}
+
+    Used by the trace-mutation fuzzer (lib/fuzz) to edit recorded
+    events without breaking the codec's typing, and to decide which
+    adjacent events may legally be reordered. *)
+
+val int_arg : event -> string -> int option
+val str_arg : event -> string -> string option
+
+val with_int_arg : event -> string -> int -> event
+(** Replace (or append) an integer argument, preserving arg order. *)
+
+val with_ts : event -> float -> event
+val with_session : event -> int -> event
+
+val lifecycle : event -> bool
+(** [attach.begin]/[attach.commit]/[attach.abort]/[journal.rollback]:
+    the events that anchor a session's transaction window. *)
+
+val commutes : event -> event -> bool
+(** May these two adjacent events be swapped without violating
+    causality? Different sessions always commute; within a session,
+    lifecycle events and same-kind pairs (per-kind FIFOs) never do. *)
+
+val codec_version : string
+(** The on-disk format version (the magic string). Nightly fuzz runs
+    key their corpus cache on it. *)
+
 val encode : meta:(string * string) list -> ?dropped:int -> event list -> string
 (** Serialize to the binary [.vmshtrace] format (magic "VMSHTRC1",
     string-table interned, little-endian, byte-stable). *)

@@ -1,0 +1,375 @@
+(* lib/fuzz: the trace-mutation engine — seeded mutators, the causality
+   validator, n-gram coverage, the deterministic campaign loop and the
+   delta-debugging minimizer. Campaigns here run against stub executors
+   (the engine is executor-agnostic by construction); one test drives a
+   real recorded attach through the real attack executor. *)
+
+let check = Alcotest.check
+let cbool = Alcotest.bool
+let cint = Alcotest.int
+let cstr = Alcotest.string
+
+let ev ?(session = 0) ?(args = []) ts kind =
+  { Trace.kind; ts; session; args }
+
+(* A protocol-consistent synthetic boundary stream with legal sites for
+   every mutator class: droppable doorbells, corruptible typed args,
+   commuting adjacent pairs, and enough length to splice. *)
+let base_events =
+  [
+    ev 10. "attach.begin" ~args:[ ("hypervisor_pid", Trace.I 100) ];
+    ev 20. "attach.phase"
+      ~args:[ ("name", Trace.S "ptrace-attach"); ("dur_ns", Trace.I 10) ];
+    ev 30. "inject.syscall" ~args:[ ("nr", Trace.S "ioctl"); ("ret", Trace.I 0) ];
+    ev 40. "kvm.ioctl" ~args:[ ("code", Trace.I 0xae80) ];
+    ev 50. "kvm.exit.mmio"
+      ~args:[ ("addr", Trace.I 0xfe003000); ("len", Trace.I 4); ("is_write", Trace.I 1) ];
+    ev 60. "kvm.exit.ioregionfd"
+      ~args:[ ("addr", Trace.I 0xfe004000); ("kind", Trace.S "read") ];
+    ev 70. "kvm.kick" ~args:[ ("addr", Trace.I 0xfe005000) ];
+    ev 80. "kvm.irq" ~args:[ ("gsi", Trace.I 33); ("source", Trace.S "msi") ];
+    ev 90. "kvm.notify_rekick" ~args:[];
+    ev 100. "inject.syscall"
+      ~args:[ ("nr", Trace.S "eventfd2"); ("ret", Trace.I 9) ];
+    ev 110. "kvm.kick" ~args:[ ("addr", Trace.I 0xfe005000) ];
+    ev 120. "pump.blk" ~args:[ ("n", Trace.I 3) ];
+    ev 130. "kvm.irq" ~args:[ ("gsi", Trace.I 34); ("source", Trace.S "msi") ];
+    ev 140. "attach.commit" ~args:[ ("dur_ns", Trace.I 130) ];
+    ev 150. "journal.rollback"
+      ~args:[ ("entries", Trace.I 7); ("origin", Trace.S "detach") ];
+    ev 160. "inject.syscall"
+      ~args:[ ("nr", Trace.S "close"); ("ret", Trace.I 0) ];
+  ]
+
+let survive_all _events _muts = Faults.Abort.Survived
+
+(* --- mutation serialization --- *)
+
+let sample_mutations =
+  [
+    { Fuzz.m_op = Fuzz.Reorder; m_at = 4; m_src = 0; m_span = 0; m_key = ""; m_delta = 0 };
+    { Fuzz.m_op = Fuzz.Drop; m_at = 6; m_src = 0; m_span = 0; m_key = ""; m_delta = 0 };
+    { Fuzz.m_op = Fuzz.Duplicate; m_at = 8; m_src = 0; m_span = 0; m_key = ""; m_delta = 0 };
+    { Fuzz.m_op = Fuzz.Corrupt; m_at = 7; m_src = 0; m_span = 0; m_key = "gsi"; m_delta = 2 };
+    { Fuzz.m_op = Fuzz.Splice; m_at = 11; m_src = 3; m_span = 3; m_key = ""; m_delta = 0 };
+    { Fuzz.m_op = Fuzz.Timewarp; m_at = 5; m_src = 0; m_span = 0; m_key = ""; m_delta = 500 };
+  ]
+
+let test_mutation_roundtrip () =
+  List.iter
+    (fun m ->
+      match Fuzz.mutation_of_string (Fuzz.mutation_to_string m) with
+      | Some m' ->
+          check cbool
+            ("round-trips: " ^ Fuzz.mutation_to_string m)
+            true (m = m')
+      | None ->
+          Alcotest.failf "unparseable: %s" (Fuzz.mutation_to_string m))
+    sample_mutations;
+  (match Fuzz.mutations_of_string (Fuzz.mutations_to_string sample_mutations) with
+  | Some ms -> check cbool "chain round-trips" true (ms = sample_mutations)
+  | None -> Alcotest.fail "chain unparseable");
+  check cbool "empty chain round-trips" true
+    (Fuzz.mutations_of_string (Fuzz.mutations_to_string []) = Some []);
+  check cbool "garbage rejected" true
+    (Fuzz.mutations_of_string "reorder:x:0:0::0" = None)
+
+(* Every mutator class applies to the synthetic base and the mutant
+   still round-trips through the binary trace codec. *)
+let test_mutants_roundtrip_codec () =
+  List.iter
+    (fun m ->
+      match Fuzz.apply base_events m with
+      | None ->
+          Alcotest.failf "mutation did not apply: %s"
+            (Fuzz.mutation_to_string m)
+      | Some mutant -> (
+          let bytes = Trace.encode ~meta:[] mutant in
+          match Trace.decode bytes with
+          | Error e -> Alcotest.failf "mutant decode failed: %s" e
+          | Ok f ->
+              check cbool
+                ("codec round-trip after " ^ Fuzz.mutator_name m.Fuzz.m_op)
+                true
+                (f.Trace.f_events = mutant)))
+    sample_mutations
+
+(* --- causality validator --- *)
+
+let test_validator_accepts_base () =
+  check cbool "synthetic base is protocol-consistent" true
+    (Fuzz.validate base_events = [])
+
+let test_validator_rejects_violations () =
+  let violates evs = Fuzz.validate evs <> [] in
+  check cbool "phase before begin" true
+    (violates [ ev 1. "attach.phase" ~args:[ ("name", Trace.S "x") ] ]);
+  check cbool "double begin" true
+    (violates [ ev 1. "attach.begin"; ev 2. "attach.begin" ]);
+  check cbool "commit without begin" true (violates [ ev 1. "attach.commit" ]);
+  check cbool "injection with no transaction" true
+    (violates [ ev 1. "inject.syscall" ~args:[ ("ret", Trace.I 0) ] ]);
+  check cbool "session clock runs backwards" true
+    (violates [ ev 5. "kvm.kick"; ev 1. "kvm.kick" ]);
+  check cbool "independent session clocks accepted" true
+    (not
+       (violates [ ev ~session:0 5. "kvm.kick"; ev ~session:1 1. "kvm.kick" ]));
+  check cbool "mmio len out of range" true
+    (violates [ ev 1. "kvm.exit.mmio" ~args:[ ("len", Trace.I 3) ] ]);
+  check cbool "gsi out of range" true
+    (violates [ ev 1. "kvm.irq" ~args:[ ("gsi", Trace.I 5000) ] ]);
+  check cbool "bad ioregionfd op" true
+    (violates [ ev 1. "kvm.exit.ioregionfd" ~args:[ ("kind", Trace.S "rmw") ] ])
+
+(* --- coverage --- *)
+
+let test_coverage_keys () =
+  let keys = Fuzz.coverage_keys base_events in
+  check cbool "non-empty" true (keys <> []);
+  check cbool "sorted" true (List.sort compare keys = keys);
+  check cint "deduplicated" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  (* set semantics: repeating the stream adds no new 3-grams beyond the
+     seam, and identical double computations are identical *)
+  check cbool "double computation identical" true
+    (Fuzz.coverage_keys base_events = keys);
+  let renumbered =
+    List.map (fun e -> Trace.with_session e 1) base_events
+  in
+  check cbool "session is part of the key" true
+    (Fuzz.coverage_keys renumbered <> keys)
+
+(* --- campaign determinism: same (trace, seed) => byte-identical
+   mutant streams, ledger and coverage --- *)
+
+let test_campaign_deterministic () =
+  let run () =
+    Fuzz.run_campaign ~base:base_events ~seed:42 ~rounds:18
+      ~execute:survive_all ()
+  in
+  let a = run () and b = run () in
+  check cint "same mutant count" a.Fuzz.fz_mutants_run b.Fuzz.fz_mutants_run;
+  check cint "18 mutants ran" 18 a.Fuzz.fz_mutants_run;
+  List.iter2
+    (fun (ra : Fuzz.round_result) (rb : Fuzz.round_result) ->
+      check cstr
+        (Printf.sprintf "round %d mutant stream byte-identical" ra.Fuzz.rr_round)
+        (Trace.encode ~meta:[] ra.Fuzz.rr_events)
+        (Trace.encode ~meta:[] rb.Fuzz.rr_events);
+      check cstr
+        (Printf.sprintf "round %d chain identical" ra.Fuzz.rr_round)
+        (Fuzz.mutations_to_string ra.Fuzz.rr_muts)
+        (Fuzz.mutations_to_string rb.Fuzz.rr_muts))
+    a.Fuzz.fz_rounds b.Fuzz.fz_rounds;
+  check cbool "coverage identical" true (a.Fuzz.fz_coverage = b.Fuzz.fz_coverage);
+  (* every mutator class fired across 18 rounds of round-robin boosting *)
+  List.iter
+    (fun (op, n) ->
+      check cbool ("mutator fired: " ^ Fuzz.mutator_name op) true (n >= 1))
+    a.Fuzz.fz_mutator_fired;
+  check cbool "corpus kept novel mutants" true (a.Fuzz.fz_corpus_kept >= 1);
+  (* a different seed explores differently *)
+  let c =
+    Fuzz.run_campaign ~base:base_events ~seed:43 ~rounds:18
+      ~execute:survive_all ()
+  in
+  check cbool "different seed, different campaign" true
+    (List.map (fun (r : Fuzz.round_result) -> Fuzz.mutations_to_string r.Fuzz.rr_muts)
+       a.Fuzz.fz_rounds
+    <> List.map (fun (r : Fuzz.round_result) -> Fuzz.mutations_to_string r.Fuzz.rr_muts)
+         c.Fuzz.fz_rounds)
+
+(* --- minimization: a seeded known-bad mutant shrinks to a stable,
+   minimal reproducer --- *)
+
+(* Stub executor wired to a planted failure mode: any chain containing
+   a Drop mutation is a BUG. *)
+let bug_on_drop _events muts =
+  if List.exists (fun m -> m.Fuzz.m_op = Fuzz.Drop) muts then
+    Faults.Abort.Bug "planted: dropped doorbell wedges the device"
+  else Faults.Abort.Survived
+
+let test_minimizer () =
+  let still_bug ms =
+    ms <> [] && Faults.Abort.is_bug (bug_on_drop [] ms)
+  in
+  let chain =
+    List.filter
+      (fun m -> m.Fuzz.m_op <> Fuzz.Drop)
+      sample_mutations
+  in
+  let drop =
+    { Fuzz.m_op = Fuzz.Drop; m_at = 6; m_src = 0; m_span = 0; m_key = "";
+      m_delta = 0 }
+  in
+  let noisy = List.concat [ chain; [ drop ]; chain ] in
+  let min1 = Fuzz.minimize ~still_bug noisy in
+  check cint "minimizes to a single mutation" 1 (List.length min1);
+  check cbool "and it is the planted drop" true
+    ((List.hd min1).Fuzz.m_op = Fuzz.Drop);
+  let min2 = Fuzz.minimize ~still_bug noisy in
+  check cbool "minimization is stable across double runs" true (min1 = min2)
+
+let test_campaign_minimizes_bugs () =
+  let run () =
+    Fuzz.run_campaign ~base:base_events ~seed:7 ~rounds:18
+      ~execute:bug_on_drop ()
+  in
+  let rep = run () in
+  check cbool "the planted bug fired" true (rep.Fuzz.fz_bugs >= 1);
+  check cint "every bug was minimized" rep.Fuzz.fz_bugs
+    rep.Fuzz.fz_minimized_bugs;
+  check cint "verdicts account for every mutant" rep.Fuzz.fz_mutants_run
+    (rep.Fuzz.fz_survived + rep.Fuzz.fz_clean_aborts + rep.Fuzz.fz_bugs);
+  List.iter
+    (fun (r : Fuzz.round_result) ->
+      match r.Fuzz.rr_minimized with
+      | None -> ()
+      | Some ms ->
+          check cint "reproducer is a single mutation" 1 (List.length ms);
+          check cbool "reproducer is the planted drop" true
+            ((List.hd ms).Fuzz.m_op = Fuzz.Drop);
+          (* the reproducer's truncated base is genuinely smaller and
+             the chain still applies to it *)
+          let trunc = Fuzz.truncate_base base_events ms in
+          check cbool "base truncated" true
+            (List.length trunc < List.length base_events);
+          check cbool "chain still applies to the truncated base" true
+            (Fuzz.apply trunc (List.hd ms) <> None))
+    rep.Fuzz.fz_rounds;
+  let rep2 = run () in
+  check cbool "bug campaign is deterministic" true
+    (List.map (fun (r : Fuzz.round_result) -> r.Fuzz.rr_minimized)
+       rep.Fuzz.fz_rounds
+    = List.map (fun (r : Fuzz.round_result) -> r.Fuzz.rr_minimized)
+        rep2.Fuzz.fz_rounds)
+
+(* --- lowering --- *)
+
+let test_script_of_mutations () =
+  let drop_kick =
+    { Fuzz.m_op = Fuzz.Drop; m_at = 10; m_src = 0; m_span = 0; m_key = "";
+      m_delta = 0 }
+  in
+  let corrupt_ioregionfd =
+    { Fuzz.m_op = Fuzz.Corrupt; m_at = 5; m_src = 0; m_span = 0;
+      m_key = "addr"; m_delta = 4 }
+  in
+  let script =
+    Fuzz.script_of_mutations base_events [ drop_kick; corrupt_ioregionfd ]
+  in
+  (* event 10 is the 4th doorbell-shaped event (kick, irq, rekick,
+     syscall... no — kick@6 irq@7 rekick@8 kick@10: occurrence 3) *)
+  check cbool "dropped doorbell lowers to a notify drop" true
+    (List.mem (Faults.Notify_drop, 3) script);
+  check cbool "corrupted descriptor lowers to a torn read" true
+    (List.exists (fun (c, _) -> c = Faults.Desc_torn) script);
+  check cbool "script is deterministic" true
+    (script = Fuzz.script_of_mutations base_events [ drop_kick; corrupt_ioregionfd ]);
+  (* timewarp executes unperturbed: no script entries *)
+  check cbool "timewarp lowers to no injection" true
+    (Fuzz.script_of_mutations base_events
+       [ { Fuzz.m_op = Fuzz.Timewarp; m_at = 3; m_src = 0; m_span = 0;
+           m_key = ""; m_delta = 500 } ]
+    = [])
+
+(* --- reproducer metadata --- *)
+
+let test_mutant_meta_roundtrip () =
+  let base_meta = [ ("scenario", "attach"); ("seed", "5"); ("digest", "ff") ] in
+  let verdict = Faults.Abort.Bug "unclean: boom" in
+  let meta =
+    Fuzz.mutant_meta ~base_meta ~muts:sample_mutations ~prefix:12 ~verdict
+  in
+  check cbool "tagged as a fuzz mutant" true
+    (List.assoc_opt "scenario" meta = Some Fuzz.mutant_scenario);
+  match Fuzz.parse_mutant_meta meta with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok mf ->
+      check cbool "chain survives" true (mf.Fuzz.mf_muts = sample_mutations);
+      check cint "prefix survives" 12 mf.Fuzz.mf_prefix;
+      check cbool "verdict survives" true (mf.Fuzz.mf_verdict = verdict);
+      check cbool "base scenario restored" true
+        (List.assoc_opt "scenario" mf.Fuzz.mf_base_meta = Some "attach");
+      check cbool "base seed survives" true
+        (List.assoc_opt "seed" mf.Fuzz.mf_base_meta = Some "5")
+
+(* --- the real pipeline: a recorded attach validates, and the attack
+   executor survives both an empty and a scripted plan --- *)
+
+let test_real_trace_validates_and_survives () =
+  let spec = Replay.Attach { seed = 5 } in
+  match Replay.execute spec with
+  | Error e -> Alcotest.failf "attach execute failed: %s" e
+  | Ok run ->
+      check cbool "recorded attach passes the protocol model" true
+        (Fuzz.validate run.Replay.run_events = []);
+      let attack plan = Replay.execute_attack ~plan spec in
+      let empty = Faults.create ~seed:0 ~rate:0.0 () in
+      check cbool "unperturbed attack survives" true
+        ((attack empty).Replay.at_verdict = Faults.Abort.Survived);
+      (* a scripted doorbell drop must be absorbed (retry/rekick), not
+         break the pipeline *)
+      let scripted = Faults.create ~seed:0 ~rate:0.0 () in
+      Faults.set_script scripted [ (Faults.Notify_drop, 0) ];
+      let v = (attack scripted).Replay.at_verdict in
+      check cbool "scripted notify drop is survivable or a clean abort" true
+        (not (Faults.Abort.is_bug v))
+
+(* --- ci.sh regression: an unknown --stage must list stages and exit 2
+   (the old substring match let "build test" run zero stages, exit 0) --- *)
+
+let find_ci_sh () =
+  let rec up dir n =
+    if n = 0 then None
+    else
+      let candidate = Filename.concat dir "ci.sh" in
+      if Sys.file_exists candidate then Some candidate
+      else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let test_ci_stage_exact_match () =
+  match find_ci_sh () with
+  | None -> () (* not running from a build tree; nothing to check *)
+  | Some ci ->
+      let run arg =
+        Sys.command
+          (Printf.sprintf "sh %s --stage %s > /dev/null 2>&1"
+             (Filename.quote ci) (Filename.quote arg))
+      in
+      check cint "unknown stage exits 2" 2 (run "not-a-stage");
+      (* the regression: a word-boundary substring of the stage list
+         used to pass validation and silently run nothing *)
+      check cint "stage-list substring exits 2" 2 (run "build test")
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "mutation serialization round-trips" `Quick
+          test_mutation_roundtrip;
+        Alcotest.test_case "every mutator round-trips the codec" `Quick
+          test_mutants_roundtrip_codec;
+        Alcotest.test_case "validator accepts the synthetic base" `Quick
+          test_validator_accepts_base;
+        Alcotest.test_case "validator rejects protocol violations" `Quick
+          test_validator_rejects_violations;
+        Alcotest.test_case "coverage keys are canonical" `Quick
+          test_coverage_keys;
+        Alcotest.test_case "campaigns are deterministic" `Quick
+          test_campaign_deterministic;
+        Alcotest.test_case "minimizer shrinks to the planted mutation" `Quick
+          test_minimizer;
+        Alcotest.test_case "campaign auto-minimizes bugs" `Quick
+          test_campaign_minimizes_bugs;
+        Alcotest.test_case "mutations lower to scripted faults" `Quick
+          test_script_of_mutations;
+        Alcotest.test_case "reproducer metadata round-trips" `Quick
+          test_mutant_meta_roundtrip;
+        Alcotest.test_case "recorded attach validates and survives attack"
+          `Quick test_real_trace_validates_and_survives;
+        Alcotest.test_case "ci.sh rejects unknown stages" `Quick
+          test_ci_stage_exact_match;
+      ] );
+  ]
