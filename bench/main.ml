@@ -786,9 +786,18 @@ let run_latency () =
      cache counters land in their own registry *)
   let flobs = Observe.create ~now:(fun () -> 0.0) () in
   let flm = Observe.metrics flobs in
+  let cold_reports = ref [] in
   List.iter
     (fun n ->
-      let r = Fleet.run ~seed:1600 ~vms:n () in
+      let r =
+        match
+          Fleet.run
+            (Fleet.Config.make ~vms:n () |> Fleet.Config.with_seed 1600)
+        with
+        | Ok r -> r
+        | Error e -> failwith ("vmsh-fleet: " ^ Vmsh.Vmsh_error.to_string e)
+      in
+      cold_reports := (n, r) :: !cold_reports;
       Fleet.record flm ~label:(Printf.sprintf "n%d" n) r;
       let ok =
         List.length
@@ -803,6 +812,64 @@ let run_latency () =
         (Fleet.attach_p r 0.50 /. 1e6)
         (Fleet.attach_p r 0.99 /. 1e6))
     [ 1; 8; 64 ];
+  (* copy-on-write fork scaling: bake one baseline, stand whole fleets
+     up as linked clones, and hold the fork cost against the cold boots
+     above. Cold references reuse the vmsh-fleet runs (same seed); the
+     largest size is fork-only — 512 cold boots would hold ~16 GiB of
+     private RAM images, the very cost the overlay removes. *)
+  let fkobs = Observe.create ~now:(fun () -> 0.0) () in
+  let fkm = Observe.metrics fkobs in
+  let fork_img = Fleet.Baseline.bake ~seed:1650 () in
+  List.iter
+    (fun (n, r) ->
+      if n > 1 then Fleet.record fkm ~label:(Printf.sprintf "cold.n%d" n) r)
+    (List.rev !cold_reports);
+  Printf.printf
+    "vmsh-fork: cold reference at n=512 skipped (unbounded private RAM); \
+     cold.n8/cold.n64 reuse the vmsh-fleet runs\n";
+  List.iter
+    (fun n ->
+      let cfg =
+        Fleet.Config.make ~vms:n ()
+        |> Fleet.Config.with_seed 1600
+        |> Fleet.Config.with_boot_source (Fleet.Config.Fork_of fork_img)
+      in
+      let r =
+        match Fleet.run cfg with
+        | Ok r -> r
+        | Error e -> failwith ("vmsh-fork: " ^ Vmsh.Vmsh_error.to_string e)
+      in
+      Fleet.record fkm ~label:(Printf.sprintf "fork.n%d" n) r;
+      (* overlay occupancy summed over the fleet's sessions *)
+      let total name =
+        List.fold_left
+          (fun acc s ->
+            acc
+            + Observe.Metrics.counter_value
+                (Observe.Metrics.counter
+                   (Observe.metrics s.Fleet.s_host.H.Host.observe)
+                   name))
+          0 r.Fleet.r_sessions
+      in
+      let copied = total "overlay.pages_copied"
+      and shared = total "overlay.pages_shared"
+      and resident = total "overlay.resident_bytes" in
+      let set name v =
+        Observe.Metrics.set_counter (Observe.Metrics.counter fkm name) v
+      in
+      set (Printf.sprintf "overlay.pages_copied.n%d" n) copied;
+      set (Printf.sprintf "overlay.pages_shared.n%d" n) shared;
+      set (Printf.sprintf "overlay.resident_bytes.n%d" n) resident;
+      Printf.printf
+        "vmsh-fork: n=%-3d attach p50 %.2f ms p99 %.2f ms; fork p50 %.2f us \
+         p99 %.2f us; %d pages copied / %d shared (%d KiB resident)\n"
+        n
+        (Fleet.attach_p r 0.50 /. 1e6)
+        (Fleet.attach_p r 0.99 /. 1e6)
+        (Fleet.fork_p r 0.50 /. 1e3)
+        (Fleet.fork_p r 0.99 /. 1e3)
+        copied shared (resident / 1024))
+    [ 8; 64; 512 ];
   (* transactional detach: attach+detach round-trip latency with the
      journal on, the snapshot oracle re-checked per cycle, and the
      journal's fault-free overhead vs the with_journal-false ablation *)
@@ -1075,7 +1142,8 @@ let run_latency () =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
-      ("vmsh-fleet", flobs); ("vmsh-detach", dobs); ("vmsh-trace", tobs);
+      ("vmsh-fleet", flobs); ("vmsh-fork", fkobs); ("vmsh-detach", dobs);
+      ("vmsh-trace", tobs);
       ("vmsh-serve", sobs); ("vmsh-fuzz", fzobs);
     ]
   in

@@ -17,6 +17,10 @@
      ci_check sweep FILE         crash-matrix gate: every abort-at-yield
                                  point restored the guest, leaked no
                                  descriptors, failed cleanly
+     ci_check fleet-fork COLD FORK
+                                 CoW-fork gate: fork p99 <= 10% of the
+                                 cold attach p50, overlay mostly shared
+                                 (copied < shared), zero session failures
      ci_check serve FILE         job-service gate: per-tenant admission
                                  enforced, wire replies account for every
                                  submission, zero failures/leaked workers
@@ -275,7 +279,7 @@ let check_bench path =
         fail "%s: missing scenario %S" path required)
     [
       "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
-      "vmsh-detach"; "vmsh-trace"; "vmsh-serve"; "vmsh-fuzz";
+      "vmsh-fork"; "vmsh-detach"; "vmsh-trace"; "vmsh-serve"; "vmsh-fuzz";
     ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
@@ -305,6 +309,25 @@ let check_bench path =
   let fcounters = field_exn ~ctx:path fleet "counters" in
   if int_field ~ctx:path fcounters "symcache.hits" < 1 then
     fail "%s: vmsh-fleet symbol cache never hit" path;
+  (* the fork scenario: per-N fork histograms for every forked fleet
+     size, and an overlay that stays mostly shared at the largest one *)
+  let forksc = field_exn ~ctx:path scen "vmsh-fork" in
+  let fkhists = field_exn ~ctx:path forksc "histograms" in
+  List.iter
+    (fun n ->
+      let h =
+        field_exn ~ctx:path fkhists (Printf.sprintf "fleet.fork_ns.fork.n%d" n)
+      in
+      let c = int_field ~ctx:path h "count" in
+      if c <> n then
+        fail "%s: fleet.fork_ns.fork.n%d count: %d (want %d)" path n c n)
+    [ 8; 64; 512 ];
+  let fkcounters = field_exn ~ctx:path forksc "counters" in
+  let fkcopied = int_field ~ctx:path fkcounters "overlay.pages_copied.n512" in
+  let fkshared = int_field ~ctx:path fkcounters "overlay.pages_shared.n512" in
+  if fkcopied >= fkshared then
+    fail "%s: vmsh-fork n512 copied %d pages vs %d shared" path fkcopied
+      fkshared;
   (* transactional detach: round-trips recorded, oracle clean, and the
      journal's fault-free overhead within the 5%% acceptance bound *)
   let detach = field_exn ~ctx:path scen "vmsh-detach" in
@@ -530,6 +553,56 @@ let check_fleet path =
         fail "%s: session %s has no stage profile" path name)
     sessions
 
+(* The fork gate: hold a forked fleet's metrics document against a
+   cold-boot one. Forking must be at least 10x below the cold attach
+   p50, the overlay must stay mostly shared (copied < shared), every
+   forked session must attach, and the per-fork isolation/oracle
+   checks (counted into fleet.failures on violation) must be silent. *)
+let check_fleet_fork cold_path fork_path =
+  let cold = load cold_path and fork = load fork_path in
+  let fleet_of j path = field_exn ~ctx:path j "fleet" in
+  let cold_fleet = fleet_of cold cold_path
+  and fork_fleet = fleet_of fork fork_path in
+  let hist ~path fleet name =
+    field_exn ~ctx:path (field_exn ~ctx:path fleet "histograms") name
+  in
+  let cold_attach = hist ~path:cold_path cold_fleet "fleet.attach_ns.fleet" in
+  let fork_hist = hist ~path:fork_path fork_fleet "fleet.fork_ns.fleet" in
+  let sessions j path =
+    match field_exn ~ctx:path j "sessions" with
+    | Obj kvs -> List.length kvs
+    | _ -> fail "%s: sessions is not an object" path
+  in
+  let n = sessions fork fork_path in
+  if n < 1 then fail "%s: no forked sessions" fork_path;
+  if int_field ~ctx:fork_path fork_hist "count" <> n then
+    fail "%s: fork histogram count %d does not cover %d sessions" fork_path
+      (int_field ~ctx:fork_path fork_hist "count")
+      n;
+  let cold_p50 = int_field ~ctx:cold_path cold_attach "p50" in
+  let fork_p99 = int_field ~ctx:fork_path fork_hist "p99" in
+  if fork_p99 * 10 > cold_p50 then
+    fail
+      "%s: fork p99 %d ns exceeds 10%% of the cold-boot attach p50 %d ns \
+       (forking is not a cheap spawn)"
+      fork_path fork_p99 cold_p50;
+  let fcounters = field_exn ~ctx:fork_path fork_fleet "counters" in
+  let copied = int_field ~ctx:fork_path fcounters "overlay.pages_copied" in
+  let shared = int_field ~ctx:fork_path fcounters "overlay.pages_shared" in
+  if copied >= shared then
+    fail "%s: overlay copied %d pages vs %d shared (CoW is not sharing)"
+      fork_path copied shared;
+  (* session failures fold the fork-isolation console check and every
+     per-session oracle into one counter *)
+  if opt_int_field ~ctx:fork_path fcounters "fleet.failures.fleet" > 0 then
+    fail "%s: forked sessions failed" fork_path;
+  if
+    opt_int_field ~ctx:cold_path
+      (field_exn ~ctx:cold_path cold_fleet "counters")
+      "fleet.failures.fleet"
+    > 0
+  then fail "%s: cold-boot sessions failed" cold_path
+
 let check_fuzz path =
   let j = load path in
   let counters = field_exn ~ctx:path j "counters" in
@@ -614,11 +687,12 @@ let () =
   | [ _; "fuzz"; f ] -> check_fuzz f
   | [ _; "fuzz-trace"; f ] -> check_fuzz_trace f
   | [ _; "fleet"; f ] -> check_fleet f
+  | [ _; "fleet-fork"; cold; fork ] -> check_fleet_fork cold fork
   | [ _; "sweep"; f ] -> check_sweep f
   | [ _; "serve"; f ] -> check_serve f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
-         bench FILE | fuzz FILE | fuzz-trace FILE | fleet FILE | sweep FILE \
-         | serve FILE}";
+         bench FILE | fuzz FILE | fuzz-trace FILE | fleet FILE | \
+         fleet-fork COLD FORK | sweep FILE | serve FILE}";
       exit 2

@@ -985,16 +985,78 @@ let sweep_cmd =
 
 (* --- fleet --- *)
 
+(* Bake a boot-once baseline image and persist it; [vmsh fleet
+   --from-baseline FILE] then stands every session up as a CoW fork. *)
+let bake_baseline_cmd =
+  let run seed hostname out =
+    let img = Fleet.Baseline.bake ~seed ~hostname () in
+    (match Fleet.Baseline.save img ~path:out with
+    | () -> ()
+    | exception Sys_error e ->
+        Printf.eprintf "bake-baseline: %s\n" e;
+        exit 1);
+    Printf.printf "baked baseline (kernel %s, hostname %s, digest %s) to %s\n"
+      (Linux_guest.Kernel_version.to_string (Fleet.Baseline.version img))
+      (Fleet.Baseline.hostname img)
+      (Fleet.Baseline.digest img)
+      out
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xba5e
+      & info [ "seed" ] ~docv:"S" ~doc:"Seed for the baseline's boot host.")
+  in
+  let hostname =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "hostname" ] ~docv:"H"
+          ~doc:"Hostname frozen into the baseline (forks that keep it copy \
+                zero pages).")
+  in
+  let out =
+    Arg.(
+      value & opt string "baseline.vmshbase"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output image file.")
+  in
+  Cmd.v
+    (Cmd.info "bake-baseline"
+       ~doc:
+         "Boot one machine to the attach-ready point and freeze it as a \
+          forkable baseline image")
+    Term.(const run $ seed $ hostname $ out)
+
 let fleet_cmd =
-  let run verbose vms seed fault_rate no_share metrics_out trace_out log_level =
+  let run verbose vms seed fault_rate no_share from_baseline metrics_out
+      trace_out log_level =
     setup_logs verbose;
-    if vms <= 0 then begin
-      Printf.eprintf "fleet: --vms must be positive\n";
-      exit 2
-    end;
+    let cfg =
+      Fleet.Config.make ~vms ()
+      |> Fleet.Config.with_seed seed
+      |> Fleet.Config.with_fault_rate fault_rate
+      |> Fleet.Config.with_share_symbols (not no_share)
+    in
+    let cfg =
+      match log_level with
+      | Some l -> Fleet.Config.with_log_level l cfg
+      | None -> cfg
+    in
+    let cfg =
+      match from_baseline with
+      | None -> cfg
+      | Some path -> (
+          match Fleet.Baseline.load ~path with
+          | Ok img ->
+              Fleet.Config.with_boot_source (Fleet.Config.Fork_of img) cfg
+          | Error e ->
+              Printf.eprintf "fleet: %s\n" (Vmsh.Vmsh_error.to_string e);
+              exit 2)
+    in
     let r =
-      Fleet.run ~seed ~fault_rate ~share_symbols:(not no_share) ?log_level ~vms
-        ()
+      match Fleet.run cfg with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "fleet: %s\n" (Vmsh.Vmsh_error.to_string e);
+          exit 2
     in
     let failures =
       List.filter
@@ -1020,6 +1082,12 @@ let fleet_cmd =
     if not (Float.is_nan p50) then
       Printf.printf "attach latency: p50 %.2f ms, p99 %.2f ms (virtual)\n"
         (p50 /. 1e6) (p99 /. 1e6);
+    if r.Fleet.r_forked then begin
+      let f50 = Fleet.fork_p r 0.50 and f99 = Fleet.fork_p r 0.99 in
+      if not (Float.is_nan f50) then
+        Printf.printf "fork latency:   p50 %.2f us, p99 %.2f us (virtual)\n"
+          (f50 /. 1e3) (f99 /. 1e3)
+    end;
     (match metrics_out with
     | None -> ()
     | Some path ->
@@ -1073,12 +1141,23 @@ let fleet_cmd =
           ~doc:"Disable the shared build-id symbol cache (every session \
                 pays the full binary analysis).")
   in
+  let from_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-baseline" ] ~docv:"FILE"
+          ~doc:"Fork every session from this baked baseline image (see \
+                $(b,vmsh bake-baseline)) through per-page copy-on-write \
+                overlays instead of cold-booting it.")
+  in
   let metrics_out =
     Arg.(
       value
       & opt (some string) None
       & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:"Write attach-latency histograms and cache counters as JSON.")
+          ~doc:"Write attach-latency histograms and cache counters as JSON \
+                (forked runs also carry fleet.fork_ns and the overlay.* \
+                occupancy counters).")
   in
   let trace_out =
     Arg.(
@@ -1094,8 +1173,8 @@ let fleet_cmd =
          "Attach to N VMs concurrently over virtual time with a shared \
           symbol cache")
     Term.(
-      const run $ verbose $ vms $ seed $ fault_rate $ no_share $ metrics_out
-      $ trace_out $ log_level_arg)
+      const run $ verbose $ vms $ seed $ fault_rate $ no_share $ from_baseline
+      $ metrics_out $ trace_out $ log_level_arg)
 
 (* --- serve --- *)
 
@@ -1341,11 +1420,11 @@ let trace_file_arg =
     & info [] ~docv:"FILE" ~doc:"A .vmshtrace flight recording.")
 
 let trace_record_cmd =
-  let run scenario seed vms cls k out log_level =
+  let run scenario seed vms from_baseline cls k out log_level =
     let spec =
       match scenario with
       | "attach" -> Replay.Attach { seed }
-      | "fleet" -> Replay.Fleet_run { seed; vms }
+      | "fleet" -> Replay.Fleet_run { seed; vms; from_baseline }
       | "sweep" | "sweep-cell" -> Replay.Sweep_cell { seed; cls; k }
       | s ->
           Printf.eprintf
@@ -1377,6 +1456,14 @@ let trace_record_cmd =
       value & opt int 8
       & info [ "vms" ] ~docv:"N" ~doc:"Fleet size (fleet scenario only).")
   in
+  let from_baseline =
+    Arg.(
+      value & flag
+      & info [ "from-baseline" ]
+          ~doc:"Fork the fleet's sessions from a deterministically re-baked \
+                baseline instead of cold-booting them (fleet scenario only; \
+                the replay re-bakes the identical image).")
+  in
   let cls =
     Arg.(
       value & opt string "fault-free"
@@ -1399,7 +1486,9 @@ let trace_record_cmd =
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a deterministic scenario and save its flight recording")
-    Term.(const run $ scenario $ seed $ vms $ cls $ k $ out $ log_level_arg)
+    Term.(
+      const run $ scenario $ seed $ vms $ from_baseline $ cls $ k $ out
+      $ log_level_arg)
 
 let trace_replay_cmd =
   let run file log_level =
@@ -1561,5 +1650,6 @@ let () =
        (Cmd.group info
           [
             attach_cmd; matrix_cmd; debloat_cmd; rescue_cmd; monitor_cmd;
-            fuzz_cmd; fleet_cmd; sweep_cmd; serve_cmd; trace_cmd;
+            fuzz_cmd; fleet_cmd; bake_baseline_cmd; sweep_cmd; serve_cmd;
+            trace_cmd;
           ]))

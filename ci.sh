@@ -14,6 +14,11 @@
 #   fleet         `vmsh fleet --vms 8`: all sessions attach, the shared
 #                 symbol cache hits, and two identical runs produce
 #                 byte-identical schedules and metrics
+#   fleet-fork    linked clones: bake a baseline image, fork a 64-VM
+#                 fleet from it through the CoW overlay, gate fork p99
+#                 against the cold attach p50 and shared vs copied
+#                 pages, then prove bake and double fork runs
+#                 byte-identical
 #   crash-matrix  `vmsh sweep`: abort-at-yield(k) for every k on every
 #                 fault class; each point must restore the guest
 #                 byte-for-byte, leak no descriptors, and fail with a
@@ -36,8 +41,9 @@
 #                 metrics and per-job results files
 #   bench         latency experiment regenerating BENCH_results.json,
 #                 including the vmsh-faults recovery, vmsh-fleet
-#                 scaling, vmsh-trace recording-overhead, and vmsh-serve
-#                 saturation-knee scenarios
+#                 scaling, vmsh-fork cold-vs-fork, vmsh-trace
+#                 recording-overhead, and vmsh-serve saturation-knee
+#                 scenarios
 #
 # Every sweep/fuzz/fleet failure drops a replayable .vmshtrace artifact
 # into $CI_ARTIFACTS (VMSH_TRACE_DIR), uploaded by the workflow.
@@ -50,7 +56,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet crash-matrix trace fuzz-trace serve bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet fleet-fork crash-matrix trace fuzz-trace serve bench"
 
 # dump-on-failure: any failing sweep/fuzz/fleet run leaves a replayable
 # .vmshtrace recording next to the other artifacts
@@ -153,6 +159,45 @@ stage_fleet() {
   }
   cmp "$fleet_metrics" "$ARTIFACTS/fleet-metrics-b.json" || {
     echo "ci: fleet metrics diverged across identical seeds" >&2
+    return 1
+  }
+}
+
+stage_fleet_fork() {
+  base=$ARTIFACTS/baseline.vmshbase
+  # bake the boot-once baseline; baking is deterministic, so a second
+  # bake must produce a byte-identical image file
+  vmsh bake-baseline -o "$base"
+  vmsh bake-baseline -o "$ARTIFACTS/baseline-b.vmshbase" > /dev/null
+  cmp "$base" "$ARTIFACTS/baseline-b.vmshbase" || {
+    echo "ci: baked baseline images diverged across identical seeds" >&2
+    return 1
+  }
+  # cold-boot reference fleet: the attach p50 the fork gate compares
+  # against
+  vmsh fleet --vms 8 \
+    --metrics-out "$ARTIFACTS/fork-cold-metrics.json" > /dev/null
+  # 64 linked clones of the baked image; the standard fleet gates must
+  # hold for forked sessions too, then the fork-specific gates: fork
+  # p99 <= 10% of cold attach p50, pages_copied < pages_shared, zero
+  # failures
+  vmsh fleet --vms 64 --from-baseline "$base" \
+    --trace-out "$ARTIFACTS/fork-sched-a.txt" \
+    --metrics-out "$ARTIFACTS/fork-metrics-a.json"
+  ci_check fleet "$ARTIFACTS/fork-metrics-a.json"
+  ci_check fleet-fork "$ARTIFACTS/fork-cold-metrics.json" \
+    "$ARTIFACTS/fork-metrics-a.json"
+  # Determinism: forking through the overlay must not perturb the
+  # schedule — same seed, byte-identical schedule and metrics.
+  vmsh fleet --vms 64 --from-baseline "$base" \
+    --trace-out "$ARTIFACTS/fork-sched-b.txt" \
+    --metrics-out "$ARTIFACTS/fork-metrics-b.json" > /dev/null
+  cmp "$ARTIFACTS/fork-sched-a.txt" "$ARTIFACTS/fork-sched-b.txt" || {
+    echo "ci: forked-fleet schedules diverged across identical seeds" >&2
+    return 1
+  }
+  cmp "$ARTIFACTS/fork-metrics-a.json" "$ARTIFACTS/fork-metrics-b.json" || {
+    echo "ci: forked-fleet metrics diverged across identical seeds" >&2
     return 1
   }
 }

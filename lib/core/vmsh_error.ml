@@ -13,6 +13,8 @@ type t =
   | Msg of string
   | Rollback_failed of t
   | Deadline_exceeded of int
+  | Baseline_stale of string
+  | Overlay_fault of string
 
 exception Error of t
 
@@ -46,6 +48,8 @@ let rec to_string = function
   | Rollback_failed e -> "rollback failed: " ^ to_string e
   | Deadline_exceeded ns ->
       Printf.sprintf "virtual-time deadline exceeded after %d ns" ns
+  | Baseline_stale m -> "stale baseline image: " ^ m
+  | Overlay_fault m -> "overlay fault: " ^ m
 
 let all_errnos =
   Errno.
@@ -89,6 +93,12 @@ let rec of_string s =
       with
       | Some ns -> Deadline_exceeded ns
       | None -> (
+      match drop_prefix ~prefix:"stale baseline image: " s with
+      | Some rest -> Baseline_stale rest
+      | None -> (
+      match drop_prefix ~prefix:"overlay fault: " s with
+      | Some rest -> Overlay_fault rest
+      | None -> (
       match drop_prefix ~prefix:"guest error: " s with
       | Some rest -> Guest_fault rest
       | None -> (
@@ -125,4 +135,4 @@ let rec of_string s =
                                   match of_string tail with
                                   | Msg _ -> Msg s
                                   | inner -> Context (what, inner)))
-                          | None -> Msg s))))))))
+                          | None -> Msg s))))))))))

@@ -25,6 +25,13 @@ type t =
   | Deadline_exceeded of int
       (** a virtual-time watchdog expired after this many ns; wrap in
           [Context] to name the guarded phase *)
+  | Baseline_stale of string
+      (** a fork was requested from a baseline image that no longer
+          matches the fleet configuration (kernel version, hypervisor
+          profile, or file format drift) *)
+  | Overlay_fault of string
+      (** the per-page CoW overlay of a forked VM is inconsistent with
+          its baseline (size mismatch, corrupt frozen region) *)
 
 exception Error of t
 (** For internal paths that must raise (memory fabric, loader arena);

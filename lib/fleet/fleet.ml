@@ -3,16 +3,80 @@ module Sfs = Blockdev.Simplefs
 module Vmm = Hypervisor.Vmm
 module Profile = Hypervisor.Profile
 module KV = Linux_guest.Kernel_version
+module E = Vmsh.Vmsh_error
 module Sweep = Fleet_sweep
+module Baseline = Baseline
 
 let src = Logs.Src.create "vmsh.fleet" ~doc:"VMSH fleet attach engine"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* --- configuration ------------------------------------------------ *)
+
+module Config = struct
+  type boot_source = Cold_boot | Fork_of of Baseline.image
+
+  type t = {
+    vms : int;
+    seed : int;
+    profile : Profile.t;
+    version : KV.t;
+    fault_rate : float;
+    share_symbols : bool;
+    log_level : Observe.level option;
+    boot_source : boot_source;
+  }
+
+  let make ?(vms = 1) () =
+    {
+      vms;
+      seed = 7;
+      profile = Profile.qemu;
+      version = KV.V5_10;
+      fault_rate = 0.0;
+      share_symbols = true;
+      log_level = None;
+      boot_source = Cold_boot;
+    }
+
+  let with_vms vms t = { t with vms }
+  let with_seed seed t = { t with seed }
+  let with_profile profile t = { t with profile }
+  let with_version version t = { t with version }
+  let with_fault_rate fault_rate t = { t with fault_rate }
+  let with_share_symbols share_symbols t = { t with share_symbols }
+  let with_log_level level t = { t with log_level = Some level }
+  let with_boot_source boot_source t = { t with boot_source }
+  let vms t = t.vms
+  let seed t = t.seed
+  let profile t = t.profile
+  let version t = t.version
+  let fault_rate t = t.fault_rate
+  let share_symbols t = t.share_symbols
+  let log_level t = t.log_level
+  let boot_source t = t.boot_source
+  let is_fork t = match t.boot_source with Fork_of _ -> true | Cold_boot -> false
+
+  let validate t =
+    if t.vms <= 0 then Error (E.Invalid_config "fleet: vms must be positive")
+    else if t.fault_rate < 0.0 || t.fault_rate > 1.0 then
+      Error (E.Invalid_config "fleet: fault_rate must be within [0, 1]")
+    else
+      match t.boot_source with
+      | Cold_boot -> Ok t
+      | Fork_of img -> (
+          match Baseline.validate img ~profile:t.profile ~version:t.version with
+          | Ok () -> Ok t
+          | Error e -> Error e)
+end
+
+(* --- per-session reports ------------------------------------------ *)
+
 type session_report = {
   s_name : string;
   s_result : (unit, string) result;
   s_attach_ns : float;
+  s_fork_ns : float;
   s_total_ns : float;
   s_host : H.Host.t;
   s_digest : string;
@@ -21,6 +85,7 @@ type session_report = {
 type report = {
   r_vms : int;
   r_seed : int;
+  r_forked : bool;
   r_sessions : session_report list;
   r_yields : int;
   r_cache_hits : int;
@@ -44,68 +109,166 @@ let tools_image clock =
   | Ok (backend, _) -> backend
   | Error e -> failwith (H.Errno.show e)
 
-(* One fleet session: boot a fresh VM on its own host, attach, prove
-   the overlay answers on the console, detach. Runs as a fiber; every
-   step between yield points touches only this session's host. *)
-let session ~host ~name ~profile ~version ~fault_rate ~seed ~index ~cache
-    results () =
+(* Stand up the session's machine: a cold boot builds disk + VMM +
+   guest from scratch; a fork clones the baked baseline through CoW
+   overlays and is charged only the linked-clone cost. Returns the live
+   VMM plus the virtual nanoseconds the stand-up cost this session. *)
+let provision ~host ~name ~(cfg : Config.t) =
+  let t0 = H.Clock.now_ns host.H.Host.clock in
+  match cfg.Config.boot_source with
+  | Config.Cold_boot ->
+      let disk = boot_disk host ~name in
+      let disable_seccomp =
+        cfg.Config.profile.Profile.prof_name = "Firecracker"
+      in
+      let vmm =
+        Vmm.create host ~profile:cfg.Config.profile ~disk ~disable_seccomp ()
+      in
+      ignore (Vmm.boot vmm ~version:cfg.Config.version);
+      Ok (vmm, H.Clock.now_ns host.H.Host.clock -. t0)
+  | Config.Fork_of img -> (
+      match
+        Baseline.fork img ~host ~profile:cfg.Config.profile ~name
+      with
+      | Ok f -> Ok (f.Baseline.fk_vmm, f.Baseline.fk_fork_ns)
+      | Error e -> Error e)
+
+(* Fold the fork's overlay occupancy into the session registry so the
+   merged fleet document carries the real memory story: pages still
+   shared with the baseline vs pages the clone privately copied. *)
+let observe_overlay mx vmm =
+  let p = Vmm.proc vmm in
+  let ram = H.Mem.Addr_space.cow_totals p.H.Proc.aspace in
+  let disk =
+    match H.Mem.cow_stats (Blockdev.Backend.mem (Vmm.disk vmm)) with
+    | Some s -> s
+    | None ->
+        {
+          H.Mem.cs_pages_total = 0;
+          cs_pages_copied = 0;
+          cs_silent_writes = 0;
+          cs_resident_bytes = 0;
+        }
+  in
+  let set name v =
+    Observe.Metrics.set_counter (Observe.Metrics.counter mx name) v
+  in
+  let total = ram.H.Mem.cs_pages_total + disk.H.Mem.cs_pages_total in
+  let copied = ram.H.Mem.cs_pages_copied + disk.H.Mem.cs_pages_copied in
+  set "overlay.pages_copied" copied;
+  set "overlay.pages_shared" (total - copied);
+  set "overlay.silent_writes"
+    (ram.H.Mem.cs_silent_writes + disk.H.Mem.cs_silent_writes);
+  set "overlay.resident_bytes"
+    (ram.H.Mem.cs_resident_bytes + disk.H.Mem.cs_resident_bytes)
+
+(* One fleet session: stand up a VM on its own host (cold boot or CoW
+   fork), attach, prove the overlay answers on the console, detach.
+   Runs as a fiber; every step between yield points touches only this
+   session's host. *)
+let session ~host ~name ~(cfg : Config.t) ~index ~cache results () =
   (* tag every flight event and any failure artifact with the session *)
   Trace.Recorder.set_session host.H.Host.recorder index;
   Trace.Recorder.set_meta host.H.Host.recorder "session" name;
-  let disk = boot_disk host ~name in
-  let disable_seccomp = profile.Profile.prof_name = "Firecracker" in
-  let vmm = Vmm.create host ~profile ~disk ~disable_seccomp () in
-  ignore (Vmm.boot vmm ~version);
-  let t0 = H.Clock.now_ns host.H.Host.clock in
-  let config =
-    let open Vmsh.Attach.Config in
-    let c = make () in
-    let c = match cache with Some k -> with_symbol_cache k c | None -> c in
-    if fault_rate > 0.0 then
-      with_faults (Faults.create ~seed:((seed * 31) + index) ~rate:fault_rate ()) c
-    else c
-  in
-  let result =
-    match
-      Vmsh.Attach.attach host ~hypervisor_pid:(Vmm.pid vmm)
-        ~fs_image:(tools_image host.H.Host.clock)
-        ~config
-        ~pump:(fun () -> Vmm.run_until_idle vmm)
-        ()
-    with
-    | Error e -> Error (Vmsh.Vmsh_error.to_string e)
-    | Ok sess -> (
-        ignore (Vmsh.Attach.console_recv sess);
-        let out = Vmsh.Attach.console_roundtrip sess "hostname" in
-        match Vmsh.Attach.detach sess with
-        | Error e -> Error (Vmsh.Vmsh_error.to_string e)
-        | Ok () ->
-            if String.length out = 0 then Error "console dead after attach"
-            else Ok ())
-  in
-  let now = H.Clock.now_ns host.H.Host.clock in
-  (* zero-virtual-cost guest-state digest: the replay-diff oracle
-     compares it between a live fleet run and its replay *)
-  let digest = Vmsh.Snapshot.digest (Vmsh.Snapshot.capture (Vmm.kvm_vm vmm)) in
-  results.(index) <-
-    Some
-      {
-        s_name = name;
-        s_result = result;
-        s_attach_ns = now -. t0;
-        s_total_ns = now;
-        s_host = host;
-        s_digest = digest;
-      }
+  Trace.Recorder.set_meta host.H.Host.recorder "boot"
+    (if Config.is_fork cfg then "fork" else "cold");
+  match provision ~host ~name ~cfg with
+  | Error e ->
+      results.(index) <-
+        Some
+          {
+            s_name = name;
+            s_result = Error (E.to_string e);
+            s_attach_ns = Float.nan;
+            s_fork_ns = Float.nan;
+            s_total_ns = H.Clock.now_ns host.H.Host.clock;
+            s_host = host;
+            s_digest = "";
+          }
+  | Ok (vmm, standup_ns) ->
+      let mx = Observe.metrics host.H.Host.observe in
+      let fork_ns =
+        if Config.is_fork cfg then begin
+          Observe.Metrics.observe
+            (Observe.Metrics.histogram mx "fleet.fork_ns")
+            standup_ns;
+          standup_ns
+        end
+        else Float.nan
+      in
+      let t0 = H.Clock.now_ns host.H.Host.clock in
+      let config =
+        let open Vmsh.Attach.Config in
+        let c = make () in
+        let c =
+          match cache with Some k -> with_symbol_cache k c | None -> c
+        in
+        if cfg.Config.fault_rate > 0.0 then
+          with_faults
+            (Faults.create
+               ~seed:((cfg.Config.seed * 31) + index)
+               ~rate:cfg.Config.fault_rate ())
+            c
+        else c
+      in
+      let result =
+        match
+          Vmsh.Attach.attach host ~hypervisor_pid:(Vmm.pid vmm)
+            ~fs_image:(tools_image host.H.Host.clock)
+            ~config
+            ~pump:(fun () -> Vmm.run_until_idle vmm)
+            ()
+        with
+        | Error e -> Error (E.to_string e)
+        | Ok sess -> (
+            ignore (Vmsh.Attach.console_recv sess);
+            let out = Vmsh.Attach.console_roundtrip sess "hostname" in
+            match Vmsh.Attach.detach sess with
+            | Error e -> Error (E.to_string e)
+            | Ok () ->
+                if String.length out = 0 then Error "console dead after attach"
+                else if
+                  (* a fork must answer with its own per-clone hostname:
+                     the one write that diverged it from the baseline —
+                     and from every sibling *)
+                  Config.is_fork cfg
+                  && not (String.length out > String.length name
+                          && String.sub out 0 (String.length name + 1)
+                             = name ^ "\n")
+                then
+                  Error
+                    (Printf.sprintf
+                       "fork isolation: console answered %S, want %S" out name)
+                else Ok ())
+      in
+      let now = H.Clock.now_ns host.H.Host.clock in
+      if Config.is_fork cfg then observe_overlay mx vmm;
+      (* zero-virtual-cost guest-state digest: the replay-diff oracle
+         compares it between a live fleet run and its replay *)
+      let digest =
+        Vmsh.Snapshot.digest (Vmsh.Snapshot.capture (Vmm.kvm_vm vmm))
+      in
+      results.(index) <-
+        Some
+          {
+            s_name = name;
+            s_result = result;
+            s_attach_ns = now -. t0;
+            s_fork_ns = fork_ns;
+            s_total_ns = now;
+            s_host = host;
+            s_digest = digest;
+          }
 
 let counter_value mx name =
   Observe.Metrics.counter_value (Observe.Metrics.counter mx name)
 
-let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
-    ?(fault_rate = 0.0) ?(share_symbols = true) ?log_level ~vms () =
-  if vms <= 0 then invalid_arg "Fleet.run: vms must be positive";
+let run_validated (cfg : Config.t) =
+  let vms = cfg.Config.vms and seed = cfg.Config.seed in
   let cache =
-    if share_symbols then Some (Vmsh.Symbol_analysis.Cache.create ()) else None
+    if cfg.Config.share_symbols then
+      Some (Vmsh.Symbol_analysis.Cache.create ())
+    else None
   in
   let sched = Sched.create () in
   let schedule = Buffer.create (vms * 256) in
@@ -122,11 +285,12 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
         (* distinct, well-separated seed per session: each host draws an
            independent deterministic RNG stream *)
         let host = H.Host.create ~seed:((seed * 1009) + (i * 17)) () in
-        Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
+        Option.iter
+          (Observe.set_log_level host.H.Host.observe)
+          cfg.Config.log_level;
         let name = Printf.sprintf "vm%d" i in
         Sched.spawn sched ~name ~clock:host.H.Host.clock
-          (session ~host ~name ~profile ~version ~fault_rate ~seed ~index:i
-             ~cache results);
+          (session ~host ~name ~cfg ~index:i ~cache results);
         host)
   in
   let outcomes = Sched.run sched in
@@ -150,6 +314,7 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
                 s_name = name;
                 s_result = Error msg;
                 s_attach_ns = Float.nan;
+                s_fork_ns = Float.nan;
                 s_total_ns = H.Clock.now_ns host.H.Host.clock;
                 s_host = host;
                 s_digest = "";
@@ -169,6 +334,8 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
                    ("scenario", "fleet");
                    ("fleet-seed", string_of_int seed);
                    ("vms", string_of_int vms);
+                   ( "boot",
+                     if Config.is_fork cfg then "fork" else "cold" );
                    ("error", Result.fold ~ok:(fun () -> "") ~error:Fun.id s.s_result);
                  ]
                ())
@@ -185,6 +352,7 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
   {
     r_vms = vms;
     r_seed = seed;
+    r_forked = Config.is_fork cfg;
     r_sessions = List.filter_map Fun.id (Array.to_list results);
     r_yields = Sched.yields sched;
     r_cache_hits = hits;
@@ -192,14 +360,50 @@ let run ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
     r_schedule = Buffer.contents schedule;
   }
 
+let run cfg =
+  match Config.validate cfg with
+  | Error e -> Error e
+  | Ok cfg -> Ok (run_validated cfg)
+
+(* Transition shim for the pre-boot-source optional-argument API; one
+   release only. The old signature could not express a fork and raised
+   on a bad [vms], so this keeps raising. *)
+let run_legacy ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
+    ?(fault_rate = 0.0) ?(share_symbols = true) ?log_level ~vms () =
+  let cfg =
+    Config.make ~vms () |> Config.with_seed seed
+    |> Config.with_profile profile |> Config.with_version version
+    |> Config.with_fault_rate fault_rate
+    |> Config.with_share_symbols share_symbols
+  in
+  let cfg =
+    match log_level with Some l -> Config.with_log_level l cfg | None -> cfg
+  in
+  match run cfg with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Fleet.run: " ^ E.to_string e)
+
 let successes r =
   List.filter_map
     (fun s -> if Result.is_ok s.s_result then Some s.s_attach_ns else None)
     r.r_sessions
 
+let fork_latencies r =
+  List.filter_map
+    (fun s ->
+      if Result.is_ok s.s_result && not (Float.is_nan s.s_fork_ns) then
+        Some s.s_fork_ns
+      else None)
+    r.r_sessions
+
 let record mx ~label r =
   let hist = Observe.Metrics.histogram mx ("fleet.attach_ns." ^ label) in
   List.iter (Observe.Metrics.observe hist) (successes r);
+  (match fork_latencies r with
+  | [] -> ()
+  | forks ->
+      let fh = Observe.Metrics.histogram mx ("fleet.fork_ns." ^ label) in
+      List.iter (Observe.Metrics.observe fh) forks);
   let bump name by =
     Observe.Metrics.incr ~by (Observe.Metrics.counter mx name)
   in
@@ -211,8 +415,8 @@ let record mx ~label r =
   in
   if failures > 0 then bump ("fleet.failures." ^ label) failures
 
-let attach_p r p =
-  match successes r with
+let percentile_of xs p =
+  match xs with
   | [] -> Float.nan
   | xs ->
       let a = Array.of_list xs in
@@ -220,6 +424,9 @@ let attach_p r p =
       let n = Array.length a in
       let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
       a.(max 0 (min (n - 1) i))
+
+let attach_p r p = percentile_of (successes r) p
+let fork_p r p = percentile_of (fork_latencies r) p
 
 (* One hex digest over every session's final guest-state digest, in
    session order — the fleet-wide half of the replay-diff oracle. *)
@@ -246,11 +453,16 @@ let metrics_json r =
     (fun s -> Observe.Metrics.merge_into ~into:mx
         (Observe.metrics s.s_host.H.Host.observe))
     r.r_sessions;
-  (* the merge already folded each session's symcache, recovery and
-     stage counters together; add only the fleet-level summary the
-     sessions cannot know *)
+  (* the merge already folded each session's symcache, recovery, stage
+     and overlay counters together; add only the fleet-level summary
+     the sessions cannot know *)
   let hist = Observe.Metrics.histogram mx "fleet.attach_ns.fleet" in
   List.iter (Observe.Metrics.observe hist) (successes r);
+  (match fork_latencies r with
+  | [] -> ()
+  | forks ->
+      let fh = Observe.Metrics.histogram mx "fleet.fork_ns.fleet" in
+      List.iter (Observe.Metrics.observe fh) forks);
   Observe.Metrics.set_counter
     (Observe.Metrics.counter mx "fleet.yields.fleet")
     r.r_yields;

@@ -82,8 +82,11 @@ let crash_point_fired msg =
    is the probe (crash point parked at max_int); returns the point and,
    for the probe, the yield count the attach crossed. [?plan] lets the
    trace-mutation fuzzer run the same harness under its own scripted
-   fault plan instead of the sweep's class arming. *)
-let run_point ?log_level ?plan ~seed ~cls ~k () =
+   fault plan instead of the sweep's class arming. [?baseline] stands
+   the point's machine up as a CoW fork of a baked image instead of a
+   cold boot, so the crash matrix also covers forked sessions — the
+   rollback oracle then proves restoration through the overlay. *)
+let run_point ?log_level ?plan ?baseline ~seed ~cls ~k () =
   let host = H.Host.create ~seed () in
   Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
   (* scenario meta makes the point's flight recording self-describing:
@@ -94,12 +97,24 @@ let run_point ?log_level ?plan ~seed ~cls ~k () =
       ("sweep-seed", string_of_int seed);
       ("class", class_label cls);
       ("k", string_of_int (Option.value k ~default:(-1)));
+      ("boot", (match baseline with Some _ -> "fork" | None -> "cold"));
     ]
   in
   List.iter (fun (key, v) -> Trace.Recorder.set_meta host.H.Host.recorder key v)
     rec_meta;
-  let vmm = Vmm.create host ~profile:Profile.qemu ~disk:(boot_disk host) () in
-  ignore (Vmm.boot vmm ~version:KV.V5_10);
+  let vmm =
+    match baseline with
+    | None ->
+        let vmm =
+          Vmm.create host ~profile:Profile.qemu ~disk:(boot_disk host) ()
+        in
+        ignore (Vmm.boot vmm ~version:KV.V5_10);
+        vmm
+    | Some img -> (
+        match Baseline.fork img ~host ~profile:Profile.qemu ~name:"sweep-vm" with
+        | Ok f -> f.Baseline.fk_vmm
+        | Error e -> Vmsh.Vmsh_error.fail e)
+  in
   let vm = Vmm.kvm_vm vmm in
   let plan =
     match plan with
@@ -213,7 +228,8 @@ let run_batched ~vms thunks =
     List.filter_map Fun.id (Array.to_list results)
   end
 
-let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level () =
+let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level
+    ?baseline () =
   let classes =
     match classes with
     | Some cs -> cs
@@ -223,12 +239,15 @@ let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level () =
     List.concat_map
       (fun cls ->
         (* probe: crash point out of reach; learns Y for this class *)
-        let probe, yields = run_point ?log_level ~seed ~cls ~k:None () in
+        let probe, yields =
+          run_point ?log_level ?baseline ~seed ~cls ~k:None ()
+        in
         let ks = List.init (min yields max_yields) Fun.id in
         let swept =
           run_batched ~vms
             (List.map
-               (fun k () -> fst (run_point ?log_level ~seed ~cls ~k:(Some k) ()))
+               (fun k () ->
+                 fst (run_point ?log_level ?baseline ~seed ~cls ~k:(Some k) ()))
                ks)
         in
         probe :: swept)

@@ -167,6 +167,41 @@ let fs_op t =
   t.counters.fs_ops <- t.counters.fs_ops + 1;
   advance t t.costs.ns_fs_op
 
+(* Run [f], then restore both the time and the counters to their
+   values at entry. Used by VM forking: the fork *replays* the
+   baseline's deterministic boot to reconstruct in-simulation state,
+   but the forked machine never booted — it was cloned — so none of
+   the replay's events may be observable in virtual time or in the
+   mechanism counters. The caller charges the true fork cost (a few
+   syscalls mapping shared memory) afterwards. *)
+let restore_section t f =
+  let now = t.now in
+  let saved = snapshot t in
+  let restore () =
+    t.now <- now;
+    let c = t.counters in
+    c.context_switches <- saved.context_switches;
+    c.syscalls <- saved.syscalls;
+    c.vmexits <- saved.vmexits;
+    c.mmio_exits <- saved.mmio_exits;
+    c.ptrace_stops <- saved.ptrace_stops;
+    c.bytes_copied <- saved.bytes_copied;
+    c.bytes_copied_remote <- saved.bytes_copied_remote;
+    c.page_cache_hits <- saved.page_cache_hits;
+    c.page_cache_misses <- saved.page_cache_misses;
+    c.irq_injections <- saved.irq_injections;
+    c.socket_msgs <- saved.socket_msgs;
+    c.device_ops <- saved.device_ops;
+    c.fs_ops <- saved.fs_ops
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
 let to_fields c =
   [
     ("context_switches", c.context_switches);

@@ -80,6 +80,14 @@ val socket_msg : t -> unit
 val device_op : t -> blocks:int -> unit
 val fs_op : t -> unit
 
+val restore_section : t -> (unit -> 'a) -> 'a
+(** [restore_section t f] runs [f] and then rewinds both the virtual
+    time and the counters to their values at entry (also on
+    exception). VM forking replays the baseline's deterministic boot
+    inside such a section: the replay reconstructs simulator state but
+    the clone never booted, so none of its events are chargeable; the
+    caller accounts the true fork cost separately. *)
+
 val to_fields : counters -> (string * int) list
 (** The counters as a stably-ordered (name, value) vector — the shape
     the tracing layer diffs to attribute events to spans. *)

@@ -8,13 +8,49 @@
     mappings (paper, Fig. 3). *)
 
 type t
-(** A contiguous byte buffer with little-endian accessors. *)
+(** A contiguous byte buffer with little-endian accessors — either a
+    flat private allocation or a per-4KiB-page copy-on-write overlay
+    over a frozen base (see {!cow}). *)
 
 val create : int -> t
 (** [create len] allocates [len] zeroed bytes. *)
 
 val of_bytes : bytes -> t
 val length : t -> int
+
+val page_size : int
+(** Overlay granularity: 4096. *)
+
+val cow : bytes -> t
+(** [cow base] is a copy-on-write view over the frozen [base]: reads
+    fall through to [base]; the first write that *diverges* from the
+    base copies that 4KiB page into a private overlay. Writing bytes
+    identical to the base is recorded as a silent write and copies
+    nothing, so a deterministic replay against the overlay stays fully
+    shared. [base] must never be mutated while any view is alive. *)
+
+val freeze : t -> bytes
+(** A private snapshot of the full current contents (base + overlay
+    for CoW buffers) — the frozen image a {!cow} view forks from. *)
+
+val is_cow : t -> bool
+
+(** Overlay occupancy counters of a {!cow} buffer. *)
+type cow_stats = {
+  cs_pages_total : int;  (** pages spanned by the buffer *)
+  cs_pages_copied : int;  (** privately materialised pages *)
+  cs_silent_writes : int;  (** writes that matched the base (no copy) *)
+  cs_resident_bytes : int;  (** private overlay footprint in bytes *)
+}
+
+val cow_stats : t -> cow_stats option
+
+val cow_reclaim : t -> int
+(** Drop private overlay pages whose content re-converged with the
+    shared base (e.g. page tables a fork's boot replay rebuilt
+    byte-identically) so they stop counting as resident. Returns the
+    number of pages reclaimed; 0 on a flat buffer. *)
+(** [None] for flat buffers. *)
 
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
@@ -81,4 +117,13 @@ module Addr_space : sig
   val write : t -> int -> bytes -> unit
   val read_u64 : t -> int -> int
   val write_u64 : t -> int -> int -> unit
+
+  val cow_totals : t -> cow_stats
+
+  val cow_reclaim_all : t -> int
+  (** {!cow_reclaim} over every distinct CoW buffer mapped here;
+      returns the total number of pages reclaimed. *)
+  (** Summed {!cow_stats} over every distinct CoW buffer mapped in
+      this address space (zeros when none is mapped) — the overlay
+      footprint of a forked process. *)
 end

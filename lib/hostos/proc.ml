@@ -29,6 +29,7 @@ type t = {
   mutable tracer : int option;
   mutable hook : syscall_hook option;
   mutable exited : bool;
+  mutable mmap_backing : (int -> Mem.t) option;
 }
 
 let make_thread ~tid ~name =
@@ -47,6 +48,7 @@ let create ~pid ~name ~uid =
     tracer = None;
     hook = None;
     exited = false;
+    mmap_backing = None;
   }
 
 let add_thread t ~name =

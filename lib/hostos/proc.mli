@@ -47,6 +47,12 @@ type t = {
   mutable tracer : int option;  (** pid of the attached tracer, if any *)
   mutable hook : syscall_hook option;
   mutable exited : bool;
+  mutable mmap_backing : (int -> Mem.t) option;
+      (** when set, the next mmap syscalls take their backing buffer
+          from this allocator (given the requested length) instead of
+          a fresh zeroed one — how a forked VMM maps guest RAM as a
+          CoW overlay over a shared baseline instead of allocating
+          private pages. The installer clears it when done. *)
 }
 
 val create : pid:int -> name:string -> uid:int -> t

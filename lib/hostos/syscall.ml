@@ -72,7 +72,11 @@ let dispatch host p (th : Proc.thread) : int Errno.result =
     let len = a2 in
     if len <= 0 then Error EINVAL
     else begin
-      let backing = Mem.create len in
+      let backing =
+        match p.Proc.mmap_backing with
+        | Some alloc -> alloc len
+        | None -> Mem.create len
+      in
       let hint = if a1 <> 0 then a1 else mmap_area_base in
       let base = Mem.Addr_space.find_free p.Proc.aspace ~hint ~len in
       Mem.Addr_space.map p.Proc.aspace

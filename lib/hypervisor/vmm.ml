@@ -317,9 +317,32 @@ let add_device t ~slot_index ~regs ~process ~want_irqfd =
   Virtio.Mmio.Device.set_notify regs (fun ~queue:_ -> slot.process t slot);
   t.devices <- t.devices @ [ slot ]
 
+type fork_source = { fs_ram : bytes; fs_databuf : bytes }
+
 let create h ~profile:profx ~disk:diskb ?(ram_mb = 64) ?(vcpus = 1)
-    ?(disable_seccomp = false) ?ninep_root () =
+    ?(disable_seccomp = false) ?ninep_root ?fork () =
   let p = Host.spawn h ~name:profx.Profile.process_name ~uid:1000 () in
+  (* A fork maps guest RAM and the bounce buffer as CoW overlays over
+     the baseline's frozen regions instead of allocating private
+     zeroed pages — the linked-clone analogue of mmapping the baseline
+     file MAP_PRIVATE. The mmap syscalls below then pick these up. *)
+  (match fork with
+  | None -> ()
+  | Some f ->
+      let ram_size = ram_mb * 1024 * 1024 in
+      if Bytes.length f.fs_ram <> ram_size then
+        invalid_arg
+          (Printf.sprintf
+             "Vmm.create: baseline RAM is %d bytes but the VM wants %d"
+             (Bytes.length f.fs_ram) ram_size);
+      if Bytes.length f.fs_databuf <> 256 * 1024 then
+        invalid_arg "Vmm.create: baseline bounce buffer is not 256 KiB";
+      p.Proc.mmap_backing <-
+        Some
+          (fun len ->
+            if len = Bytes.length f.fs_ram then Mem.cow f.fs_ram
+            else if len = Bytes.length f.fs_databuf then Mem.cow f.fs_databuf
+            else Mem.create len));
   let io_thread = Proc.add_thread p ~name:"iothread" in
   let th = Proc.main_thread p in
   let kvm_fd = Vm.dev_kvm h p in
@@ -340,6 +363,7 @@ let create h ~profile:profx ~disk:diskb ?(ram_mb = 64) ?(vcpus = 1)
   in
   let ram_size = ram_mb * 1024 * 1024 in
   let ram_hva = Syscall.call h p th ~nr:Syscall.Nr.mmap ~args:[| 0; ram_size |] in
+  p.Proc.mmap_backing <- None;
   Api.write_memory_region p.Proc.aspace ~ptr:scratch
     {
       Api.slot = 0;
@@ -495,12 +519,29 @@ let run_until_idle ?(max_exits = 2_000_000) t =
   in
   loop 0 0
 
-let boot t ~version =
-  let rng = Hostos.Rng.split t.h.Host.rng in
-  let g = Guest.boot ~vm:t.vm ~version ~rng () in
+let boot ?boot_rng ?prebuilt_image t ~version =
+  let rng =
+    match boot_rng with
+    | Some r -> r
+    | None -> Hostos.Rng.split t.h.Host.rng
+  in
+  let g = Guest.boot ~vm:t.vm ~version ~rng ?prebuilt_image () in
   t.guest_t <- Some g;
   run_until_idle t;
   g
+
+(* Freeze the regions a fork shares: called on a baked baseline VM at
+   the attach-ready point, before anything attaches. *)
+let freeze_fork_state t =
+  let mem_at what hva =
+    match Mem.Addr_space.resolve t.p.Proc.aspace hva with
+    | Some (m, 0) -> m
+    | _ -> invalid_arg ("Vmm.freeze_fork_state: cannot resolve " ^ what)
+  in
+  {
+    fs_ram = Mem.freeze (mem_at "guest RAM" t.ram_hva);
+    fs_databuf = Mem.freeze (mem_at "bounce buffer" t.databuf);
+  }
 
 let run_task t ~name thunk =
   Vm.enqueue_task t.vm ~name thunk;

@@ -8,10 +8,14 @@
 
 type t
 
+type fork_source = { fs_ram : bytes; fs_databuf : bytes }
+(** Frozen per-VM memory regions of a baked baseline: guest RAM and
+    the VMM's disk bounce buffer (see {!freeze_fork_state}). *)
+
 val create :
   Hostos.Host.t -> profile:Profile.t -> disk:Blockdev.Backend.t ->
   ?ram_mb:int -> ?vcpus:int -> ?disable_seccomp:bool ->
-  ?ninep_root:Blockdev.Simplefs.t -> unit -> t
+  ?ninep_root:Blockdev.Simplefs.t -> ?fork:fork_source -> unit -> t
 (** Spawn the hypervisor process, create the VM, map RAM, register the
     memslot, create vCPUs and instantiate the profile's devices.
     [disable_seccomp] models running Firecracker with its filters off
@@ -26,9 +30,20 @@ val disk : t -> Blockdev.Backend.t
 val guest : t -> Linux_guest.Guest.t option
 val guest_exn : t -> Linux_guest.Guest.t
 
-val boot : t -> version:Linux_guest.Kernel_version.t -> Linux_guest.Guest.t
+val boot :
+  ?boot_rng:Hostos.Rng.t -> ?prebuilt_image:bytes -> t ->
+  version:Linux_guest.Kernel_version.t -> Linux_guest.Guest.t
 (** Install the synthetic guest kernel and run the vCPU until the
-    guest's init task completes (devices probed, root mounted). *)
+    guest's init task completes (devices probed, root mounted).
+    [boot_rng] overrides the RNG stream the guest boots under (a fork
+    replays its baseline's stream so KASLR, symbol layout and every
+    allocation land identically); [prebuilt_image] skips the image
+    encoding and installs the given bytes (the baseline's frozen
+    kernel image). *)
+
+val freeze_fork_state : t -> fork_source
+(** Copy out the regions a fork shares (guest RAM, bounce buffer).
+    Call on a baked baseline VM at the attach-ready point. *)
 
 exception Stuck of string
 (** Raised when the guest can make no progress (all contexts parked and

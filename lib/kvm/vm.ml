@@ -110,6 +110,37 @@ let has_runnable t =
   (* a parked context whose predicate already holds can also run *)
   || List.exists (fun p -> p.pred ()) t.parked
 let memslots t = List.map (fun i -> i.s) t.islots
+
+(* Summed overlay occupancy over every distinct CoW-backed memslot: a
+   forked VM's RAM is an overlay over the shared baseline, so this is
+   the clone's private guest-memory footprint. All zeros for
+   cold-booted VMs (flat backings). *)
+let overlay_stats t =
+  let zero =
+    {
+      Mem.cs_pages_total = 0;
+      cs_pages_copied = 0;
+      cs_silent_writes = 0;
+      cs_resident_bytes = 0;
+    }
+  in
+  let seen = ref [] in
+  List.fold_left
+    (fun acc i ->
+      if List.memq i.backing !seen then acc
+      else begin
+        seen := i.backing :: !seen;
+        match Mem.cow_stats i.backing with
+        | None -> acc
+        | Some s ->
+            {
+              Mem.cs_pages_total = acc.Mem.cs_pages_total + s.Mem.cs_pages_total;
+              cs_pages_copied = acc.cs_pages_copied + s.cs_pages_copied;
+              cs_silent_writes = acc.cs_silent_writes + s.cs_silent_writes;
+              cs_resident_bytes = acc.cs_resident_bytes + s.cs_resident_bytes;
+            }
+      end)
+    zero t.islots
 let vcpus t = t.vcpu_list
 let vcpu_index v = v.index
 let vcpu_regs v = v.vregs

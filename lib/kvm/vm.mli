@@ -74,6 +74,11 @@ val has_runnable : t -> bool
 
 val memslots : t -> memslot list
 
+val overlay_stats : t -> Hostos.Mem.cow_stats
+(** Summed copy-on-write overlay occupancy across the VM's memslots —
+    the private footprint of a forked (linked-clone) VM over its
+    shared baseline. All zeros for a cold-booted VM. *)
+
 val read_phys : t -> int -> int -> bytes
 (** In-guest view of RAM: resolves through the memslots to the
     hypervisor memory backing them. Raises on unbacked addresses. *)

@@ -67,9 +67,13 @@ type t = {
   mutable next_kfd : int;
   mutable pending_threads : (int * int * int) list;
       (** (handle, kind, arg) created but not woken *)
+  mutable kimage : bytes;
+      (** the encoded kernel image (shared, not copied, when booted
+          from a baseline's prebuilt image) *)
 }
 
 let vm t = t.vmh
+let kernel_image t = t.kimage
 let observe_of t = (Vm.host t.vmh).Hostos.Host.observe
 let version t = t.ver
 let kernel_virt t = t.kvirt
@@ -796,7 +800,7 @@ let mount_boot_devices t =
              else [])
            t.proc_list))
 
-let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) () =
+let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) ?prebuilt_image () =
   let host = Vm.host vmh in
   let clock = host.Hostos.Host.clock in
   let ram_size =
@@ -843,6 +847,7 @@ let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) () =
       kfiles = Hashtbl.create 16;
       next_kfd = 3;
       pending_threads = [];
+      kimage = Bytes.empty;
     }
   in
   (* kernel functions + exported symbols *)
@@ -860,11 +865,33 @@ let boot ~vm:vmh ~version:ver ~rng ?(cache_blocks = 4096) () =
     Array.to_list arr
   in
   t.exports_list <- List.map (fun s -> (s.Ksymtab.name, s.Ksymtab.va)) all_syms;
-  (* encode the image into guest physical memory *)
-  let img = build_image t ~syms:all_syms in
+  (* encode the image into guest physical memory. A forked VM passes
+     the baseline's prebuilt image so the expensive noise-text build is
+     skipped; the [Rng.split] build_image would have drawn still
+     advances [t.rng] so every later draw stays aligned with the
+     baseline's boot. *)
+  let img =
+    match prebuilt_image with
+    | Some img ->
+        ignore (Rng.split t.rng : Rng.t);
+        img
+    | None -> build_image t ~syms:all_syms
+  in
+  t.kimage <- img;
   Vm.write_phys vmh kernel_phys img;
-  (* page tables: zero root, direct map, kernel mapping *)
-  Vm.write_phys vmh t.pt_root (Bytes.make Layout.page_size '\000');
+  (* page tables: zero root, direct map, kernel mapping. A forked VM's
+     RAM view falls through to the frozen baseline, whose arena holds
+     the *final* boot tables — and the mapper reads entries before
+     writing them, so a replay would graft its fresh allocations onto
+     the baseline's future tree and corrupt it. Make the whole arena
+     read as empty first: zero pages over already-zero baseline pages
+     are absorbed silently by the CoW layer, and the few real PT pages
+     diverge only until the mapper rebuilds them byte-identically. *)
+  (match prebuilt_image with
+  | Some _ ->
+      Vm.write_phys vmh pt_arena_start
+        (Bytes.make (pt_arena_pages * Layout.page_size) '\000')
+  | None -> Vm.write_phys vmh t.pt_root (Bytes.make Layout.page_size '\000'));
   let acc = Vm.pt_access vmh in
   let alloc = pt_alloc t in
   let flags = PT.Flags.(present lor writable) in

@@ -18,11 +18,18 @@ type t
 
 val boot :
   vm:Kvm.Vm.t -> version:Kernel_version.t -> rng:Hostos.Rng.t ->
-  ?cache_blocks:int -> unit -> t
+  ?cache_blocks:int -> ?prebuilt_image:bytes -> unit -> t
 (** Requires RAM at guest-physical 0 (memslot registered by the VMM).
     Device probing and root mounting are queued as the guest's init
     task — drive the vCPU (e.g. [Vmm.run_until_idle]) to complete
-    boot. *)
+    boot. [prebuilt_image] (a forked VM replaying its baseline's boot)
+    skips the expensive image encoding and installs the given bytes
+    instead; the caller must supply the same [rng] stream the image
+    was built under, or the symbol layout will not match. *)
+
+val kernel_image : t -> bytes
+(** The encoded kernel image this guest booted — what a baseline
+    freezes so its forks can pass it back as [prebuilt_image]. *)
 
 val vm : t -> Kvm.Vm.t
 val version : t -> Kernel_version.t

@@ -6,7 +6,7 @@
 
 type spec =
   | Attach of { seed : int }
-  | Fleet_run of { seed : int; vms : int }
+  | Fleet_run of { seed : int; vms : int; from_baseline : bool }
   | Sweep_cell of { seed : int; cls : string; k : int }
   | Serve_job of {
       seed : int;  (* the job's host seed *)
@@ -21,11 +21,12 @@ type run = { run_events : Trace.event list; run_digest : string }
 
 let meta_of_spec = function
   | Attach { seed } -> [ ("scenario", "attach"); ("seed", string_of_int seed) ]
-  | Fleet_run { seed; vms } ->
+  | Fleet_run { seed; vms; from_baseline } ->
       [
         ("scenario", "fleet");
         ("fleet-seed", string_of_int seed);
         ("vms", string_of_int vms);
+        ("boot", (if from_baseline then "fork" else "cold"));
       ]
   | Sweep_cell { seed; cls; k } ->
       [
@@ -73,7 +74,8 @@ let spec_of_meta meta =
         | None -> int_or "seed" 7
       in
       let* vms = int_or "vms" 1 in
-      Ok (Fleet_run { seed; vms })
+      let from_baseline = str "boot" = Some "fork" in
+      Ok (Fleet_run { seed; vms; from_baseline })
   | Some "sweep-cell" ->
       let* seed =
         match str "sweep-seed" with
@@ -105,9 +107,26 @@ let execute ?log_level = function
           run_events = pt.Fleet.Sweep.pt_events;
           run_digest = pt.Fleet.Sweep.pt_digest;
         }
-  | Fleet_run { seed; vms } ->
-      let r = Fleet.run ?log_level ~seed ~vms () in
-      Ok { run_events = Fleet.flight_events r; run_digest = Fleet.digest r }
+  | Fleet_run { seed; vms; from_baseline } -> (
+      (* a forked fleet needs no baseline file: baking is itself
+         deterministic, so the replay re-bakes the identical image *)
+      let cfg = Fleet.Config.make ~vms () |> Fleet.Config.with_seed seed in
+      let cfg =
+        if from_baseline then
+          Fleet.Config.with_boot_source
+            (Fleet.Config.Fork_of (Fleet.Baseline.bake ()))
+            cfg
+        else cfg
+      in
+      let cfg =
+        match log_level with
+        | Some l -> Fleet.Config.with_log_level l cfg
+        | None -> cfg
+      in
+      match Fleet.run cfg with
+      | Error e -> Error (Vmsh.Vmsh_error.to_string e)
+      | Ok r ->
+          Ok { run_events = Fleet.flight_events r; run_digest = Fleet.digest r })
   | Sweep_cell { seed; cls; k } -> (
       let parsed_cls =
         if cls = Fleet.Sweep.fault_free then Ok None

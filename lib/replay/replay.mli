@@ -13,7 +13,9 @@
 
 type spec =
   | Attach of { seed : int }  (** one fault-free smoke attach *)
-  | Fleet_run of { seed : int; vms : int }  (** a whole fleet run *)
+  | Fleet_run of { seed : int; vms : int; from_baseline : bool }
+      (** a whole fleet run; [from_baseline] replays the sessions as CoW
+          forks of a deterministically re-baked {!Fleet.Baseline.image} *)
   | Sweep_cell of { seed : int; cls : string; k : int }
       (** one crash-matrix cell: fault class × abort-at-yield(k);
           [k = -1] is the class's probe (crash point out of reach) *)

@@ -6,7 +6,19 @@
    [Clock.now_ns]. Determinism hinges on exactly two things: the pick
    is a pure function of (virtual time, spawn id), and fibers never
    touch shared mutable state between yield points except through
-   their own per-session Host. *)
+   their own per-session Host.
+
+   The pick set is a binary min-heap keyed by (virtual time, spawn id)
+   rather than a linear scan: a forked fleet multiplexes thousands of
+   fibers, each yielding at every vmexit of its boot replay, and an
+   O(live) scan per slice turns quadratic there. A parked fiber's clock
+   can still advance before it is resumed (another fiber pre-advances a
+   job host; charges land between spawn and first run), so the heap is
+   lazy: entries are validated on pop and re-inserted at the clock's
+   current reading when stale. This is exactly equivalent to the full
+   scan as long as a *parked* fiber's clock never moves backward —
+   virtual clocks only rewind inside [Clock.restore_section], which runs
+   within the owning (running) fiber, so the invariant holds. *)
 
 open Effect
 open Effect.Deep
@@ -23,9 +35,75 @@ type fiber = {
   mutable outcome : outcome option;
 }
 
+(* Min-heap of fibers keyed by (key_ns, id): smallest virtual time
+   first, spawn order breaking ties. [key_ns] is the clock reading at
+   insertion time; it may be stale-low by the time the entry surfaces,
+   never stale-high. *)
+module Heap = struct
+  type entry = { key_ns : float; fib : fiber }
+  type h = { mutable a : entry array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let less x y =
+    x.key_ns < y.key_ns || (x.key_ns = y.key_ns && x.fib.id < y.fib.id)
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let cap = max 16 (2 * h.n) in
+      let a = Array.make cap e in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- e;
+    h.n <- h.n + 1;
+    (* sift up *)
+    let i = ref (h.n - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(!i) in
+      h.a.(!i) <- h.a.(p);
+      h.a.(p) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        h.a.(0) <- h.a.(h.n);
+        (* sift down *)
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < h.n && less h.a.(l) h.a.(!s) then s := l;
+          if r < h.n && less h.a.(r) h.a.(!s) then s := r;
+          if !s <> !i then begin
+            let tmp = h.a.(!i) in
+            h.a.(!i) <- h.a.(!s);
+            h.a.(!s) <- tmp;
+            i := !s
+          end
+          else continue_ := false
+        done
+      end;
+      Some top
+    end
+end
+
 type t = {
   mutable fibers : fiber list; (* live fibers, reverse spawn order *)
   mutable reaped : (int * string * outcome) list; (* finished, any order *)
+  heap : Heap.h; (* runnable pick set (lazy keys) *)
   mutable next_id : int;
   mutable yields : int;
   mutable running : bool;
@@ -41,6 +119,7 @@ let create () =
   {
     fibers = [];
     reaped = [];
+    heap = Heap.create ();
     next_id = 0;
     yields = 0;
     running = false;
@@ -49,10 +128,10 @@ let create () =
 
 let set_tracer t tracer = t.tracer <- tracer
 
-(* Spawning is legal both before and during a run: [pick] re-reads
-   [t.fibers] on every iteration, so a fiber registered mid-run (e.g. a
-   service job dispatched while the driver fiber holds the scheduler)
-   joins the pick set at its clock's current virtual time. *)
+(* Spawning is legal both before and during a run: the fiber is pushed
+   into the heap at its clock's current virtual time, so one registered
+   mid-run (e.g. a service job dispatched while the driver fiber holds
+   the scheduler) joins the pick set immediately. *)
 let spawn t ~name ~clock body =
   let fiber =
     { id = t.next_id; name; clock; resume = None; outcome = None }
@@ -74,7 +153,8 @@ let spawn t ~name ~clock body =
                         fiber.resume <- Some (fun () -> continue k ()))
                 | _ -> None);
           });
-  t.fibers <- fiber :: t.fibers
+  t.fibers <- fiber :: t.fibers;
+  Heap.push t.heap { Heap.key_ns = Hostos.Clock.now_ns clock; fib = fiber }
 
 let yield () =
   match !current with
@@ -82,18 +162,6 @@ let yield () =
       t.yields <- t.yields + 1;
       perform Yield
   | None -> ()
-
-let pick fibers =
-  List.fold_left
-    (fun best f ->
-      match (f.resume, best) with
-      | None, _ -> best
-      | Some _, None -> Some f
-      | Some _, Some b ->
-          let tf = Hostos.Clock.now_ns f.clock
-          and tb = Hostos.Clock.now_ns b.clock in
-          if tf < tb || (tf = tb && f.id < b.id) then Some f else best)
-    None fibers
 
 let run t =
   if t.running then invalid_arg "Sched.run: scheduler already running";
@@ -108,25 +176,39 @@ let run t =
   in
   (try
      let rec loop () =
-       match pick t.fibers with
+       match Heap.pop t.heap with
        | None -> ()
-       | Some f ->
-           (match t.tracer with
-           | Some trace ->
-               trace ~name:f.name ~now_ns:(Hostos.Clock.now_ns f.clock)
-           | None -> ());
-           let resume = Option.get f.resume in
-           f.resume <- None;
-           resume ();
-           (* Reap finished fibers so the pick stays proportional to the
-              number of *live* fibers, not every fiber ever spawned — a
-              long-running service churns through thousands. *)
-           (match f.outcome with
-           | Some o ->
-               t.fibers <- List.filter (fun g -> g.id <> f.id) t.fibers;
-               t.reaped <- (f.id, f.name, o) :: t.reaped
-           | None -> ());
-           loop ()
+       | Some { Heap.key_ns; fib = f } -> (
+           match f.resume with
+           | None -> loop () (* finished before surfacing; already reaped *)
+           | Some resume ->
+               let now = Hostos.Clock.now_ns f.clock in
+               if now > key_ns then begin
+                 (* clock advanced while parked: the stored key went
+                    stale-low — re-insert at the current reading *)
+                 Heap.push t.heap { Heap.key_ns = now; fib = f };
+                 loop ()
+               end
+               else begin
+                 (match t.tracer with
+                 | Some trace -> trace ~name:f.name ~now_ns:now
+                 | None -> ());
+                 f.resume <- None;
+                 resume ();
+                 (* Reap finished fibers so bookkeeping stays proportional
+                    to the number of *live* fibers, not every fiber ever
+                    spawned — a long-running service churns through
+                    thousands. A yielded fiber goes back into the heap at
+                    its post-slice virtual time. *)
+                 (match f.outcome with
+                 | Some o ->
+                     t.fibers <- List.filter (fun g -> g.id <> f.id) t.fibers;
+                     t.reaped <- (f.id, f.name, o) :: t.reaped
+                 | None ->
+                     Heap.push t.heap
+                       { Heap.key_ns = Hostos.Clock.now_ns f.clock; fib = f });
+                 loop ()
+               end)
      in
      loop ()
    with e ->

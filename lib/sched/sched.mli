@@ -28,10 +28,12 @@ val spawn : t -> name:string -> clock:Hostos.Clock.t -> (unit -> unit) -> unit
 
 val run : t -> (string * outcome) list
 (** Drive all fibers to completion, interleaving at yield points in
-    ascending virtual-time order. Finished fibers are reaped from the
-    pick set as they complete, so each scheduling decision costs
-    O(live fibers) even when thousands of short-lived fibers pass
-    through one run. Returns per-fiber outcomes in spawn order
+    ascending virtual-time order. The pick set is a min-heap keyed by
+    (virtual time, spawn id), so each scheduling decision costs
+    O(log live fibers) — a forked fleet of thousands of sessions
+    yields at every vmexit of its boot replay, and a linear scan per
+    slice turns quadratic there. Finished fibers are reaped as they
+    complete. Returns per-fiber outcomes in spawn order
     (including fibers spawned mid-run). Raises [Invalid_argument] on
     re-entrant use. *)
 

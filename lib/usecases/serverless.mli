@@ -43,3 +43,48 @@ val end_debug : stack -> lambda -> Vmsh.Attach.session -> unit
 val scale_down : stack -> int
 (** Reclaim idle unpinned instances; returns how many were reclaimed.
     Pinned instances survive. *)
+
+(** {2 Clone-on-request}
+
+    Instead of one warm microVM per function, bake a single
+    attach-ready {!Fleet.Baseline.image} and fork a fresh microVM per
+    incoming request through the copy-on-write overlay: per-request
+    isolation at linked-clone cost, resident only for the pages each
+    request diverges. *)
+
+type clone_pool = {
+  cp_image : Fleet.Baseline.image;
+  cp_profile : Hypervisor.Profile.t;
+  cp_seed : int;
+  mutable cp_served : int;
+  mutable cp_errors : int;
+  mutable cp_fork_ns : float list;  (** per-request, most recent first *)
+  mutable cp_resident_bytes : int;  (** summed over served clones *)
+}
+
+val clone_pool : ?seed:int -> unit -> clone_pool
+(** Bake the pool's baseline (the boot-once cost every request
+    amortizes). *)
+
+val serve_request :
+  clone_pool ->
+  handler:(string -> (string, string) result) ->
+  id:int -> payload:string -> (string, string) result
+(** Fork a clone, run [handler] inside it (request/response through the
+    clone's private overlay pages), verify the clone's identity
+    diverged from the base, retire the clone. *)
+
+type flood_report = {
+  fl_requests : int;
+  fl_served : int;
+  fl_errors : int;
+  fl_fork_p50_ns : float;
+  fl_fork_p99_ns : float;
+  fl_resident_bytes : int;
+}
+
+val serve_flood :
+  clone_pool ->
+  handler:(string -> (string, string) result) ->
+  requests:int -> flood_report
+(** Serve [requests] sequential clone-on-request invocations. *)

@@ -4,11 +4,36 @@
 
 module H = Hostos
 module E = Vmsh.Vmsh_error
+module Vmm = Hypervisor.Vmm
+module B = Fleet.Baseline
 
 let check = Alcotest.check
 let cbool = Alcotest.bool
 let cint = Alcotest.int
 let cstr = Alcotest.string
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let run_ok cfg =
+  match Fleet.run cfg with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "fleet run rejected: %s" (E.to_string e)
+
+let cold ~seed ~vms =
+  run_ok (Fleet.Config.make ~vms () |> Fleet.Config.with_seed seed)
+
+(* one baked baseline shared by every fork test (baking is the
+   expensive boot-once step the whole design amortizes) *)
+let baked = lazy (B.bake ())
+
+let fork_ok ?(seed = 111) ~name img =
+  let host = H.Host.create ~seed () in
+  match B.fork img ~host ~profile:Hypervisor.Profile.qemu ~name with
+  | Ok f -> (host, f)
+  | Error e -> Alcotest.failf "fork: %s" (E.to_string e)
 
 (* --- scheduler --- *)
 
@@ -148,6 +173,9 @@ let test_error_roundtrips () =
       E.Attach_aborted
         (E.Rollback_failed
            (E.Injection ("injected munmap failed", H.Errno.EBADF)));
+      E.Baseline_stale "kernel 5.4 does not match the baked 5.10 image";
+      E.Overlay_fault "ram region is 1 MiB, want 32 MiB";
+      E.Context ("fleet fork vm3", E.Baseline_stale "build id drifted");
     ]
   in
   List.iter
@@ -185,10 +213,227 @@ let test_gsi_plan_matches_legacy_assignment () =
       ()
   | plan -> Alcotest.failf "unexpected plan (%d entries)" (List.length plan)
 
+(* --- fleet config builder --- *)
+
+let test_fleet_config_defaults () =
+  let c = Fleet.Config.make () in
+  check cint "one vm" 1 (Fleet.Config.vms c);
+  check cint "seed 7" 7 (Fleet.Config.seed c);
+  check cbool "cold boot by default" false (Fleet.Config.is_fork c);
+  check cbool "defaults validate" true
+    (Result.is_ok (Fleet.Config.validate c))
+
+let test_fleet_config_rejects_bad_values () =
+  (match Fleet.Config.validate (Fleet.Config.make ~vms:0 ()) with
+  | Error (E.Invalid_config _) -> ()
+  | Error e -> Alcotest.failf "wrong error for vms=0: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "vms=0 must be rejected");
+  match
+    Fleet.Config.validate
+      (Fleet.Config.make ~vms:1 () |> Fleet.Config.with_fault_rate 1.5)
+  with
+  | Error (E.Invalid_config _) -> ()
+  | Error e -> Alcotest.failf "wrong error for fault_rate: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "fault_rate outside [0,1] must be rejected"
+
+let test_fleet_config_rejects_stale_baseline () =
+  let img = Lazy.force baked in
+  let c =
+    Fleet.Config.make ~vms:1 ()
+    |> Fleet.Config.with_boot_source (Fleet.Config.Fork_of img)
+    |> Fleet.Config.with_version Linux_guest.Kernel_version.V5_4
+  in
+  (match Fleet.Config.validate c with
+  | Error (E.Baseline_stale _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "kernel mismatch must be Baseline_stale");
+  (* and the engine rejects it as a typed error before any session runs *)
+  match Fleet.run c with
+  | Error (E.Baseline_stale _) -> ()
+  | Error e -> Alcotest.failf "run: wrong error: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "run must reject a stale baseline"
+
+let test_fleet_legacy_shim () =
+  (* the deprecated pre-Config signature still drives the same engine *)
+  let r = (Fleet.run_legacy [@alert "-deprecated"]) ~seed:5 ~vms:2 () in
+  check cint "two sessions" 2 (List.length r.Fleet.r_sessions);
+  check cbool "shim is cold-boot" false r.Fleet.r_forked;
+  List.iter
+    (fun s ->
+      check cbool (s.Fleet.s_name ^ " attached") true
+        (Result.is_ok s.Fleet.s_result))
+    r.Fleet.r_sessions;
+  (* old contract: a bad configuration raises *)
+  match (Fleet.run_legacy [@alert "-deprecated"]) ~vms:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "vms=0 must raise through the legacy shim"
+
+(* --- copy-on-write overlays & baseline forking --- *)
+
+let test_mem_cow_semantics () =
+  let base = Bytes.make (3 * 4096) 'a' in
+  let m = H.Mem.cow base in
+  check cint "read falls through to the base" (Char.code 'a')
+    (H.Mem.read_u8 m 5000);
+  (* a write of identical bytes must not copy the page *)
+  H.Mem.write_u8 m 5000 (Char.code 'a');
+  let st = Option.get (H.Mem.cow_stats m) in
+  check cint "identical write copies nothing" 0 st.H.Mem.cs_pages_copied;
+  check cbool "identical write counted as silent" true
+    (st.H.Mem.cs_silent_writes >= 1);
+  (* first diverging write copies exactly the touched page *)
+  H.Mem.write_u8 m 5000 (Char.code 'b');
+  let st = Option.get (H.Mem.cow_stats m) in
+  check cint "one page copied" 1 st.H.Mem.cs_pages_copied;
+  check cint "writer sees its copy" (Char.code 'b') (H.Mem.read_u8 m 5000);
+  (* the copy is invisible to the base and to a sibling overlay *)
+  check cint "base unaffected" (Char.code 'a') (Char.code (Bytes.get base 5000));
+  check cint "sibling unaffected" (Char.code 'a')
+    (H.Mem.read_u8 (H.Mem.cow base) 5000);
+  (* a page written back to its base bytes is reclaimable *)
+  H.Mem.write_u8 m 5000 (Char.code 'a');
+  check cint "re-converged page reclaimed" 1 (H.Mem.cow_reclaim m);
+  let st = Option.get (H.Mem.cow_stats m) in
+  check cint "sharing restored" 0 st.H.Mem.cs_pages_copied
+
+let test_fork_digest_matches_baseline () =
+  (* a fork that keeps the baseline's hostname diverges on nothing: the
+     snapshot oracle digests identical bytes straight through the
+     base/overlay fall-through *)
+  let img = Lazy.force baked in
+  let _, f = fork_ok ~name:(B.hostname img) img in
+  check cstr "digest through fall-through" (B.digest img)
+    (Vmsh.Snapshot.digest (Vmsh.Snapshot.capture (Vmm.kvm_vm f.B.fk_vmm)));
+  let st = B.resident f in
+  check cint "zero pages copied" 0 st.H.Mem.cs_pages_copied;
+  check cbool "pages shared with the image" true (st.H.Mem.cs_pages_total > 0);
+  check cbool "fork cost charged" true (f.B.fk_fork_ns > 0.)
+
+let test_fork_isolation () =
+  let img = Lazy.force baked in
+  let _, fa = fork_ok ~seed:111 ~name:"vm-a" img in
+  let _, fb = fork_ok ~seed:112 ~name:"vm-b" img in
+  let gpa = 0x50_0000 in
+  let before = Kvm.Vm.read_phys (Vmm.kvm_vm fb.B.fk_vmm) gpa 4096 in
+  Kvm.Vm.write_phys (Vmm.kvm_vm fa.B.fk_vmm) gpa (Bytes.make 4096 '\xee');
+  check cbool "writer sees its private copy" true
+    (Kvm.Vm.read_phys (Vmm.kvm_vm fa.B.fk_vmm) gpa 4096
+    = Bytes.make 4096 '\xee');
+  check cbool "sibling still sees the shared page" true
+    (Kvm.Vm.read_phys (Vmm.kvm_vm fb.B.fk_vmm) gpa 4096 = before);
+  check cbool "base image untouched" true
+    (Bytes.sub (B.Debug.ram img) gpa 4096 = before);
+  (* per-clone provisioning already diverged the hostname pages, and
+     each clone answers with its own name *)
+  check cbool "writer copied at least one page" true
+    ((B.resident fa).H.Mem.cs_pages_copied >= 1)
+
+let test_fork_journal_rollback () =
+  (* one forked crash-matrix cell: kill the attach at a yield point and
+     let the snapshot oracle prove the journal restored the overlay *)
+  let img = Lazy.force baked in
+  let pt, _ =
+    Fleet.Sweep.run_point ~baseline:img ~seed:5 ~cls:None ~k:(Some 4) ()
+  in
+  check cstr "crash point fired" "aborted" pt.Fleet.Sweep.pt_outcome;
+  check cbool "journal rolled the overlay back" true
+    (pt.Fleet.Sweep.pt_oracle = []);
+  check cint "no leaked descriptors" 0 pt.Fleet.Sweep.pt_leaked_fds;
+  check cbool "clean abort" true (pt.Fleet.Sweep.pt_unclean = None)
+
+let test_baseline_save_load_roundtrip () =
+  let img = Lazy.force baked in
+  let path = Filename.temp_file "vmsh-baseline" ".vmshbase" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  B.save img ~path;
+  (match B.load ~path with
+  | Error e -> Alcotest.failf "load: %s" (E.to_string e)
+  | Ok img' ->
+      check cstr "digest survives" (B.digest img) (B.digest img');
+      check cstr "hostname survives" (B.hostname img) (B.hostname img');
+      check cbool "ram bytes survive" true (B.Debug.ram img = B.Debug.ram img');
+      check cbool "disk bytes survive" true
+        (B.Debug.disk img = B.Debug.disk img');
+      (* the reloaded image forks into the same guest *)
+      let _, f = fork_ok ~name:(B.hostname img') img' in
+      check cstr "reloaded image forks identically" (B.digest img)
+        (Vmsh.Snapshot.digest (Vmsh.Snapshot.capture (Vmm.kvm_vm f.B.fk_vmm))));
+  (* a corrupt file is a typed, recoverable staleness error *)
+  let oc = open_out_bin path in
+  output_string oc "not a baseline";
+  close_out oc;
+  match B.load ~path with
+  | Error (E.Baseline_stale _) -> ()
+  | Error e -> Alcotest.failf "wrong error for garbage: %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "garbage must not load"
+
+let test_forked_fleet_cheap_and_isolated () =
+  let img = Lazy.force baked in
+  let r =
+    run_ok
+      (Fleet.Config.make ~vms:4 ()
+      |> Fleet.Config.with_seed 11
+      |> Fleet.Config.with_boot_source (Fleet.Config.Fork_of img))
+  in
+  check cbool "report marked forked" true r.Fleet.r_forked;
+  List.iter
+    (fun s ->
+      check cbool (s.Fleet.s_name ^ " attached") true
+        (Result.is_ok s.Fleet.s_result);
+      check cbool (s.Fleet.s_name ^ " fork cost recorded") true
+        (not (Float.is_nan s.Fleet.s_fork_ns)))
+    r.Fleet.r_sessions;
+  (* the acceptance bar: forking is at least 10x below a cold attach *)
+  check cbool "fork p99 well below attach p50" true
+    (Fleet.fork_p r 0.99 *. 10. < Fleet.attach_p r 0.50);
+  let json = Fleet.metrics_json r in
+  List.iter
+    (fun needle ->
+      check cbool ("forked metrics carry " ^ needle) true (contains json needle))
+    [ "\"fleet.fork_ns.fleet\""; "\"overlay.pages_copied\"";
+      "\"overlay.pages_shared\""; "\"overlay.resident_bytes\"" ];
+  (* bounded occupancy: every session diverges a handful of pages, not
+     its whole address space *)
+  List.iter
+    (fun s ->
+      let c name =
+        Observe.Metrics.counter_value
+          (Observe.Metrics.counter
+             (Observe.metrics s.Fleet.s_host.H.Host.observe)
+             name)
+      in
+      check cbool (s.Fleet.s_name ^ " copied < shared") true
+        (c "overlay.pages_copied" < c "overlay.pages_shared"))
+    r.Fleet.r_sessions
+
+let test_forked_fleet_deterministic_256 () =
+  let img = Lazy.force baked in
+  let cfg =
+    Fleet.Config.make ~vms:256 ()
+    |> Fleet.Config.with_seed 11
+    |> Fleet.Config.with_boot_source (Fleet.Config.Fork_of img)
+  in
+  let run () =
+    let r = run_ok cfg in
+    check cint "256 sessions" 256 (List.length r.Fleet.r_sessions);
+    List.iter
+      (fun s ->
+        check cbool (s.Fleet.s_name ^ " attached") true
+          (Result.is_ok s.Fleet.s_result))
+      r.Fleet.r_sessions;
+    (r.Fleet.r_schedule, Fleet.metrics_json r, Fleet.digest r)
+  in
+  let sched_a, metrics_a, digest_a = run () in
+  let sched_b, metrics_b, digest_b = run () in
+  check cbool "byte-identical schedule" true (sched_a = sched_b);
+  check cbool "byte-identical metrics" true (metrics_a = metrics_b);
+  check cstr "identical fleet digest" digest_a digest_b
+
 (* --- fleet engine --- *)
 
 let test_fleet_attaches_all_sessions () =
-  let r = Fleet.run ~seed:5 ~vms:3 () in
+  let r = cold ~seed:5 ~vms:3 in
   check cint "three sessions" 3 (List.length r.Fleet.r_sessions);
   List.iter
     (fun s ->
@@ -199,7 +444,7 @@ let test_fleet_attaches_all_sessions () =
   check cbool "schedule nonempty" true (String.length r.Fleet.r_schedule > 0)
 
 let test_fleet_shares_symbol_cache () =
-  let r = Fleet.run ~seed:6 ~vms:4 () in
+  let r = cold ~seed:6 ~vms:4 in
   check cint "one full analysis" 1 r.Fleet.r_cache_misses;
   check cint "rest hit the cache" 3 r.Fleet.r_cache_hits;
   (* the hit must be measurably cheaper: every cached session attaches
@@ -214,7 +459,12 @@ let test_fleet_shares_symbol_cache () =
   | [] -> Alcotest.fail "no sessions"
 
 let test_fleet_no_sharing_all_miss () =
-  let r = Fleet.run ~seed:6 ~vms:2 ~share_symbols:false () in
+  let r =
+    run_ok
+      (Fleet.Config.make ~vms:2 ()
+      |> Fleet.Config.with_seed 6
+      |> Fleet.Config.with_share_symbols false)
+  in
   check cint "no hits" 0 r.Fleet.r_cache_hits;
   check cint "no misses counted (no cache armed)" 0 r.Fleet.r_cache_misses
 
@@ -222,7 +472,7 @@ let test_fleet_deterministic () =
   (* the acceptance bar: two identical runs, byte-identical schedules
      and metrics *)
   let run () =
-    let r = Fleet.run ~seed:7 ~vms:8 () in
+    let r = cold ~seed:7 ~vms:8 in
     let obs = Observe.create ~now:(fun () -> 0.0) () in
     Fleet.record (Observe.metrics obs) ~label:"n8" r;
     (r.Fleet.r_schedule, Observe.Export.metrics_json obs)
@@ -245,15 +495,9 @@ let test_fleet_deterministic () =
        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
 
 let test_fleet_merged_metrics () =
-  let r = Fleet.run ~seed:9 ~vms:3 () in
+  let r = cold ~seed:9 ~vms:3 in
   let json = Fleet.metrics_json r in
-  let contains needle =
-    let nl = String.length needle and hl = String.length json in
-    let rec go i =
-      i + nl <= hl && (String.sub json i nl = needle || go (i + 1))
-    in
-    go 0
-  in
+  let contains needle = contains json needle in
   List.iter
     (fun needle ->
       check cbool ("metrics_json carries " ^ needle) true (contains needle))
@@ -275,11 +519,11 @@ let test_fleet_merged_metrics () =
     (contains "\"fleet.failures.fleet\"");
   (* the merged document must be as deterministic as the run itself *)
   check cstr "byte-identical merged metrics" json
-    (Fleet.metrics_json (Fleet.run ~seed:9 ~vms:3 ()));
+    (Fleet.metrics_json (cold ~seed:9 ~vms:3));
   (* the fleet digest folds every session digest, so it is non-empty
      and stable across identical runs *)
   check cstr "stable fleet digest" (Fleet.digest r)
-    (Fleet.digest (Fleet.run ~seed:9 ~vms:3 ()))
+    (Fleet.digest (cold ~seed:9 ~vms:3))
 
 let suite =
   let t name f = Alcotest.test_case name `Quick f in
@@ -307,6 +551,25 @@ let suite =
       ] );
     ( "devices.registry",
       [ t "gsi plan matches legacy" test_gsi_plan_matches_legacy_assignment ] );
+    ( "fleet.config",
+      [
+        t "defaults valid" test_fleet_config_defaults;
+        t "bad vms / fault_rate rejected" test_fleet_config_rejects_bad_values;
+        t "stale baseline rejected" test_fleet_config_rejects_stale_baseline;
+        t "deprecated shim still works" test_fleet_legacy_shim;
+      ] );
+    ( "fleet.baseline",
+      [
+        t "cow page semantics" test_mem_cow_semantics;
+        t "fork digests through fall-through" test_fork_digest_matches_baseline;
+        t "fork isolation" test_fork_isolation;
+        t "journal rolls back overlay writes" test_fork_journal_rollback;
+        t "save/load roundtrip" test_baseline_save_load_roundtrip;
+        t "forked fleet is cheap and isolated"
+          test_forked_fleet_cheap_and_isolated;
+        Alcotest.test_case "vms=256 forked byte-identical runs" `Slow
+          test_forked_fleet_deterministic_256;
+      ] );
     ( "fleet",
       [
         t "all sessions attach" test_fleet_attaches_all_sessions;

@@ -201,6 +201,20 @@ let test_sweep_gate_subset () =
           (fun p -> p.Fleet.Sweep.pt_yield < 0)
           r.Fleet.Sweep.sw_points))
 
+let test_sweep_covers_forked_sessions () =
+  (* the crash matrix must hold through the CoW overlay too: sweep one
+     class against sessions forked from a baked baseline and require
+     the rollback oracle to prove restoration of the overlay *)
+  let baseline = Fleet.Baseline.bake () in
+  let r =
+    Fleet.Sweep.run ~seed:5 ~classes:[ None ] ~max_yields:4 ~baseline ()
+  in
+  check cbool "forked gate passes" true (Fleet.Sweep.ok r);
+  check cbool "forked crash points fired" true
+    (List.exists
+       (fun p -> p.Fleet.Sweep.pt_outcome = "aborted")
+       r.Fleet.Sweep.sw_points)
+
 let test_sweep_interleaves_on_scheduler () =
   (* vms > 1 runs the points as fibers on the virtual-time scheduler;
      the post-conditions must hold under interleaving too *)
@@ -231,6 +245,7 @@ let suite =
     ( "rollback.sweep",
       [
         t "crash-point sweep gate (subset)" test_sweep_gate_subset;
+        t "sweep covers forked sessions" test_sweep_covers_forked_sessions;
         t "sweep interleaves on the scheduler" test_sweep_interleaves_on_scheduler;
       ] );
   ]

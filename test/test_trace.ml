@@ -160,7 +160,7 @@ let test_attach_determinism () =
 
 let test_fleet_determinism () =
   let path = tmp_trace () in
-  let run = record_ok (Replay.Fleet_run { seed = 7; vms = 8 }) path in
+  let run = record_ok (Replay.Fleet_run { seed = 7; vms = 8; from_baseline = false }) path in
   (* a clean replay proves the second, independent run matched the
      first event-for-event and digest-for-digest *)
   replay_clean path;

@@ -173,6 +173,25 @@ let test_serverless_invoke_after_reclaim () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "invocation on a reclaimed instance must fail"
 
+let test_serverless_clone_on_request_flood () =
+  let module S = Usecases.Serverless in
+  let pool = S.clone_pool ~seed:77 () in
+  let handler p = if p = "req-3" then Error "boom" else Ok ("done:" ^ p) in
+  let r = S.serve_flood pool ~handler ~requests:8 in
+  check cint "flood size" 8 r.S.fl_requests;
+  check cint "all but the bad request served" 7 r.S.fl_served;
+  check cint "one handler error" 1 r.S.fl_errors;
+  check cbool "fork cost measured" true (r.S.fl_fork_p99_ns > 0.);
+  (* bounded occupancy: eight clones together stay far below one
+     private copy of the baseline's RAM + disk *)
+  check cbool "resident bytes bounded" true
+    (r.S.fl_resident_bytes
+    < Bytes.length (Fleet.Baseline.Debug.ram pool.S.cp_image));
+  (* a single request's response is readable back and isolated *)
+  match S.serve_request pool ~handler ~id:100 ~payload:"ping" with
+  | Ok out -> check Alcotest.string "handler output" "done:ping" out
+  | Error e -> Alcotest.fail e
+
 (* --- monitor --- *)
 
 let test_monitor_collects () =
@@ -282,6 +301,7 @@ let suite =
         t "fault location" test_serverless_fault_location;
         t "debug + pinning" test_serverless_debug_and_pinning;
         t "invoke after reclaim" test_serverless_invoke_after_reclaim;
+        t "clone-on-request flood" test_serverless_clone_on_request_flood;
       ] );
     ( "debloat",
       [
