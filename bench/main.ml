@@ -1138,13 +1138,98 @@ let run_latency () =
     fuzz_rep.Fuzz.fz_survived fuzz_rep.Fuzz.fz_clean_aborts
     fuzz_rep.Fuzz.fz_bugs (fuzz_bookkeeping *. 1e3) (!fuzz_exec_wall *. 1e3)
     fuzz_overhead;
+  (* adversarial-guest attach: the latency a hostile guest costs the
+     attach path, and what the hardening itself costs a clean one. Two
+     distributions (clean attach vs attach under descriptor chaos — the
+     noisiest class that still completes) plus the ablation the 5% gate
+     holds: use-time symbol revalidation on vs off on a clean guest. *)
+  let hobs = Observe.create ~now:(fun () -> 0.0) () in
+  let hm = Observe.metrics hobs in
+  let hostile_attach ?hostile ?(revalidate = true) ~seed () =
+    let h = H.Host.create ~seed () in
+    let disk = make_disk ~blocks:4096 h in
+    let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+    let _g = Vmm.boot vmm ~version:KV.V5_10 in
+    let config =
+      let c =
+        Vmsh.Attach.Config.with_revalidate revalidate
+          (Vmsh.Attach.Config.make ())
+      in
+      match hostile with
+      | None -> c
+      | Some cls ->
+          let plan = Faults.create ~seed ~rate:0.0 () in
+          let eng = Hostile.create ~seed ~cls vmm in
+          Faults.set_on_yield plan (Some (fun _ -> Hostile.step eng));
+          Vmsh.Attach.Config.with_faults plan c
+    in
+    let t0 = Clock.now_ns h.H.Host.clock in
+    let outcome =
+      Vmsh.Attach.attach h ~hypervisor_pid:(Vmm.pid vmm)
+        ~fs_image:(vmsh_image ~clock:h.H.Host.clock ~extra_blocks:64 ())
+        ~config
+        ~pump:(fun () -> Vmm.run_until_idle vmm)
+        ()
+    in
+    (outcome, Clock.now_ns h.H.Host.clock -. t0)
+  in
+  let h_clean = Observe.Metrics.histogram hm "hostile.clean_attach_ns" in
+  let h_attacked = Observe.Metrics.histogram hm "hostile.attach_ns" in
+  let hostile_survived = ref 0 in
+  let samples = 5 in
+  let clean_ns =
+    List.init samples (fun i ->
+        let outcome, dt = hostile_attach ~seed:(2100 + i) () in
+        (match outcome with
+        | Ok _ -> ()
+        | Error e ->
+            failwith ("vmsh-hostile clean: " ^ Vmsh.Vmsh_error.to_string e));
+        Observe.Metrics.observe h_clean dt;
+        dt)
+  in
+  List.iter
+    (fun i ->
+      let outcome, dt =
+        hostile_attach ~hostile:Hostile.Desc_chaos ~seed:(2100 + i) ()
+      in
+      (match outcome with
+      | Ok _ -> incr hostile_survived
+      | Error e ->
+          (* a clean round-trippable abort is an acceptable outcome
+             under attack; anything else fails the bench *)
+          let msg = Vmsh.Vmsh_error.to_string e in
+          if Vmsh.Vmsh_error.to_string (Vmsh.Vmsh_error.of_string msg) <> msg
+          then failwith ("vmsh-hostile: unclean abort: " ^ msg));
+      Observe.Metrics.observe h_attacked dt)
+    [ 0; 1; 2; 3; 4 ];
+  let bare_ns =
+    List.init samples (fun i ->
+        snd (hostile_attach ~revalidate:false ~seed:(2100 + i) ()))
+  in
+  let clean50 = p50 clean_ns and bare50 = p50 bare_ns in
+  let hardening_overhead =
+    max 0 (int_of_float ((clean50 -. bare50) /. bare50 *. 1000.))
+  in
+  let hm_set name v =
+    Observe.Metrics.set_counter (Observe.Metrics.counter hm name) v
+  in
+  hm_set "hostile.overhead_permille" hardening_overhead;
+  hm_set "hostile.survived" !hostile_survived;
+  Printf.printf
+    "vmsh-hostile: clean attach p50 %.2f ms vs %.2f ms under desc-chaos \
+     (%d/%d survived); hardening %.2f ms hardened vs %.2f ms ablated (%d \
+     permille)\n"
+    (clean50 /. 1e6)
+    (Observe.Metrics.percentile h_attacked 50. /. 1e6)
+    !hostile_survived samples (clean50 /. 1e6) (bare50 /. 1e6)
+    hardening_overhead;
   let scenarios =
     [
       ("qemu-blk", hq.H.Host.observe); ("vmsh-blk", hv.H.Host.observe);
       ("vmsh-net", hn.H.Host.observe); ("vmsh-faults", fobs);
       ("vmsh-fleet", flobs); ("vmsh-fork", fkobs); ("vmsh-detach", dobs);
       ("vmsh-trace", tobs);
-      ("vmsh-serve", sobs); ("vmsh-fuzz", fzobs);
+      ("vmsh-serve", sobs); ("vmsh-fuzz", fzobs); ("vmsh-hostile", hobs);
     ]
   in
   let oc = open_out "BENCH_results.json" in

@@ -24,6 +24,10 @@
      ci_check serve FILE         job-service gate: per-tenant admission
                                  enforced, wire replies account for every
                                  submission, zero failures/leaked workers
+     ci_check hostile FILE       chaos-matrix gate: every hostile guest
+                                 class swept, every cell restored the
+                                 guest, leaked nothing, aborted cleanly
+                                 (or completed) under attack
 
    Note: the metrics exporter writes counter values as JSON strings;
    [int_field] accepts both numbers and numeric strings. *)
@@ -280,6 +284,7 @@ let check_bench path =
     [
       "qemu-blk"; "vmsh-blk"; "vmsh-net"; "vmsh-faults"; "vmsh-fleet";
       "vmsh-fork"; "vmsh-detach"; "vmsh-trace"; "vmsh-serve"; "vmsh-fuzz";
+      "vmsh-hostile";
     ];
   let net = field_exn ~ctx:path scen "vmsh-net" in
   let hist =
@@ -435,7 +440,24 @@ let check_bench path =
     field_exn ~ctx:path (field_exn ~ctx:path fz "histograms") "fuzz.replay_ns"
   in
   if int_field ~ctx:path fzh "count" < 1 then
-    fail "%s: vmsh-fuzz recorded no per-mutant replay times" path
+    fail "%s: vmsh-fuzz recorded no per-mutant replay times" path;
+  (* adversarial-guest attach: both latency distributions populated,
+     and the hardening ablation (use-time revalidation on vs off on a
+     clean guest) within the 5%% acceptance bound *)
+  let ho = field_exn ~ctx:path scen "vmsh-hostile" in
+  let hoh = field_exn ~ctx:path ho "histograms" in
+  List.iter
+    (fun name ->
+      let h = field_exn ~ctx:path hoh name in
+      if int_field ~ctx:path h "count" < 1 then
+        fail "%s: vmsh-hostile histogram %S is empty" path name)
+    [ "hostile.clean_attach_ns"; "hostile.attach_ns" ];
+  let hoc = field_exn ~ctx:path ho "counters" in
+  let hov = int_field ~ctx:path hoc "hostile.overhead_permille" in
+  if hov > 50 then
+    fail "%s: hardening overhead %d permille exceeds the 5%% bound" path hov;
+  if int_field ~ctx:path hoc "hostile.survived" < 1 then
+    fail "%s: no attach ever completed under the hostile guest" path
 
 (* The serve metrics document (vmsh serve --metrics-out): per-tenant
    admission enforced, every submission accounted for on the wire, no
@@ -678,6 +700,46 @@ let check_sweep path =
   if opt_int_field ~ctx:path counters "sweep.completed" < 1 then
     fail "%s: no probe completed (sweep vacuous)" path
 
+let hostile_classes =
+  [ "toctou-scan"; "balloon"; "desc-chaos"; "mem-churn" ]
+
+(* The hostile-guest chaos matrix (vmsh sweep --hostile): the standard
+   sweep post-conditions must hold with an adversary racing every cell
+   — snapshot oracle clean everywhere, nothing leaked, no unclean
+   failure — and the matrix must be non-vacuous: all four adversarial
+   classes swept at least one cell, at least one crash point fired
+   under attack, and at least one attach completed despite it. *)
+let check_hostile path =
+  let j = load path in
+  let counters = field_exn ~ctx:path j "counters" in
+  let points = int_field ~ctx:path counters "sweep.points" in
+  if points < 1 then fail "%s: no hostile cells recorded" path;
+  if int_field ~ctx:path counters "sweep.classes" < List.length hostile_classes
+  then
+    fail "%s: hostile matrix covered fewer than %d adversary classes" path
+      (List.length hostile_classes);
+  List.iter
+    (fun cls ->
+      let k = "sweep.cells.hostile-" ^ cls in
+      if opt_int_field ~ctx:path counters k < 1 then
+        fail "%s: hostile class %S never swept a cell" path cls)
+    hostile_classes;
+  let pass = int_field ~ctx:path counters "sweep.oracle_pass" in
+  if pass <> points then
+    fail "%s: oracle passed %d of %d hostile cells" path pass points;
+  if opt_int_field ~ctx:path counters "sweep.oracle_fail" > 0 then
+    fail "%s: hostile cells left the guest mutated" path;
+  let leaked = opt_int_field ~ctx:path counters "sweep.leaked_fds" in
+  if leaked > 0 then
+    fail "%s: %d descriptors leaked to the adversary" path leaked;
+  let unclean = opt_int_field ~ctx:path counters "sweep.unclean" in
+  if unclean > 0 then
+    fail "%s: %d unclean failures under attack" path unclean;
+  if opt_int_field ~ctx:path counters "sweep.aborted" < 1 then
+    fail "%s: no crash point ever fired under attack (matrix vacuous)" path;
+  if opt_int_field ~ctx:path counters "sweep.completed" < 1 then
+    fail "%s: no attach ever completed under attack (hardening vacuous)" path
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "json" :: (_ :: _ as files) -> List.iter (fun f -> ignore (load f)) files
@@ -690,9 +752,10 @@ let () =
   | [ _; "fleet-fork"; cold; fork ] -> check_fleet_fork cold fork
   | [ _; "sweep"; f ] -> check_sweep f
   | [ _; "serve"; f ] -> check_serve f
+  | [ _; "hostile"; f ] -> check_hostile f
   | _ ->
       prerr_endline
         "usage: ci_check {json FILE... | trace FILE | net-metrics FILE | \
          bench FILE | fuzz FILE | fuzz-trace FILE | fleet FILE | \
-         fleet-fork COLD FORK | sweep FILE | serve FILE}";
+         fleet-fork COLD FORK | sweep FILE | serve FILE | hostile FILE}";
       exit 2

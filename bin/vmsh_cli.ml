@@ -139,8 +139,20 @@ let write_observe_outputs h ~trace_out ~metrics_out =
 
 let attach_cmd =
   let run verbose profile version transport commands net_echo detach_after
-      trace_out metrics_out log_level =
+      hostile trace_out metrics_out log_level =
     setup_logs verbose;
+    let hostile =
+      Option.map
+        (fun s ->
+          match Hostile.of_name s with
+          | Some c -> c
+          | None ->
+              Printf.eprintf "attach: unknown hostile class %S (one of: %s)\n"
+                s
+                (String.concat ", " (List.map Hostile.name Hostile.all));
+              exit 2)
+        hostile
+    in
     let h, vmm, g = boot_vm ~profile ~version ~seed:11 in
     let obs = h.H.Host.observe in
     Option.iter (Observe.set_log_level obs) log_level;
@@ -166,6 +178,18 @@ let attach_cmd =
       | Some (fabric, port) ->
           Vmsh.Attach.Config.with_net { Vmsh.Attach.fabric; port } c
       | None -> c
+    in
+    (* an adversarial guest races the attach from inside: one seeded
+       engine step at every cooperative yield point of the attach path *)
+    let config =
+      match hostile with
+      | None -> config
+      | Some cls ->
+          let plan = Faults.create ~seed:11 ~rate:0.0 () in
+          let eng = Hostile.create ~seed:11 ~cls vmm in
+          Faults.set_on_yield plan (Some (fun _ -> Hostile.step eng));
+          Printf.printf "hostile guest armed: %s\n" (Hostile.name cls);
+          Vmsh.Attach.Config.with_faults plan config
     in
     let before =
       if detach_after then Some (Vmsh.Snapshot.capture (Vmm.kvm_vm vmm))
@@ -291,6 +315,16 @@ let attach_cmd =
              byte-for-byte (modulo pages the guest itself dirtied); exit 1 \
              if the oracle finds a discrepancy.")
   in
+  let hostile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hostile" ] ~docv:"CLASS"
+          ~doc:
+            "Attach while a seeded adversarial guest attacks from inside \
+             (toctou-scan, balloon, desc-chaos or mem-churn); combine with \
+             --detach-after to assert the rollback oracle under attack.")
+  in
   let trace_out =
     Arg.(
       value
@@ -311,7 +345,8 @@ let attach_cmd =
     (Cmd.info "attach" ~doc:"Boot a VM and attach a VMSH shell to it")
     Term.(
       const run $ verbose $ profile $ version $ transport $ commands
-      $ net_echo $ detach_after $ trace_out $ metrics_out $ log_level_arg)
+      $ net_echo $ detach_after $ hostile $ trace_out $ metrics_out
+      $ log_level_arg)
 
 (* --- matrix --- *)
 
@@ -565,15 +600,18 @@ let write_lines path lines =
    recipe's attach for real, oracle live. *)
 let attack_executor ?log_level ~base ~spec () =
   let virtual_ns = ref 0.0 in
+  let noops = ref 0 in
   let execute _mutant muts =
     let plan = Faults.create ~seed:0 ~rate:0.0 () in
     Faults.set_script plan (Fuzz.script_of_mutations base muts);
+    Faults.set_skew_script plan (Fuzz.skew_script_of_mutations base muts);
+    noops := !noops + Fuzz.lowering_noops muts;
     let session = mutation_session base muts in
     let atk = Replay.execute_attack ?log_level ~session ~plan spec in
     virtual_ns := !virtual_ns +. atk.Replay.at_virtual_ns;
     atk.Replay.at_verdict
   in
-  (execute, virtual_ns)
+  (execute, virtual_ns, noops)
 
 let fuzz_from_trace ?log_level ~file ~rounds ~seed ~corpus ~minimize
     ~metrics_out () =
@@ -602,7 +640,7 @@ let fuzz_from_trace ?log_level ~file ~rounds ~seed ~corpus ~minimize
     | Some dir -> read_lines (Filename.concat dir "coverage.txt")
     | None -> []
   in
-  let execute, _ = attack_executor ?log_level ~base ~spec () in
+  let execute, _, lowering_noops = attack_executor ?log_level ~base ~spec () in
   let rep =
     Fuzz.run_campaign ~base ~seed ~rounds ~minimize_bugs:minimize ~seen
       ~execute ()
@@ -675,6 +713,7 @@ let fuzz_from_trace ?log_level ~file ~rounds ~seed ~corpus ~minimize
       set "fuzz.hangs" rep.Fuzz.fz_hangs;
       set "fuzz.corpus.kept" rep.Fuzz.fz_corpus_kept;
       set "fuzz.corpus.ngrams" (List.length rep.Fuzz.fz_coverage);
+      set "fuzz.lowering.noop" !lowering_noops;
       List.iter
         (fun (op, n) -> set ("fuzz.mutator_fired." ^ Fuzz.mutator_name op) n)
         rep.Fuzz.fz_mutator_fired;
@@ -888,32 +927,59 @@ let fuzz_cmd =
    each one and assert the transaction rolled the guest back. *)
 
 let sweep_cmd =
-  let run verbose vms seed classes metrics_out log_level =
+  let run verbose vms seed classes hostile metrics_out log_level =
     setup_logs verbose;
     if vms <= 0 then begin
       Printf.eprintf "sweep: --vms must be positive\n";
       exit 2
     end;
-    let classes =
-      match classes with
-      | [] -> None
-      | cs ->
-          Some
-            (List.map
-               (fun s ->
-                 if s = "fault-free" then None
-                 else
-                   match Faults.of_name s with
-                   | Some c -> Some c
-                   | None ->
-                       Printf.eprintf
-                         "sweep: unknown fault class %S (try fault-free or: %s)\n"
-                         s
-                         (String.concat ", " (List.map Faults.name Faults.all));
-                       exit 2)
-               cs)
+    let r =
+      if hostile then begin
+        (* the hostile-guest chaos matrix: --class names select hostile
+           classes here, not fault classes *)
+        let classes =
+          match classes with
+          | [] -> None
+          | cs ->
+              Some
+                (List.map
+                   (fun s ->
+                     match Hostile.of_name s with
+                     | Some c -> c
+                     | None ->
+                         Printf.eprintf
+                           "sweep: unknown hostile class %S (one of: %s)\n" s
+                           (String.concat ", "
+                              (List.map Hostile.name Hostile.all));
+                         exit 2)
+                   cs)
+        in
+        Fleet.Sweep.run_hostile ~seed ?classes ~vms ?log_level ()
+      end
+      else
+        let classes =
+          match classes with
+          | [] -> None
+          | cs ->
+              Some
+                (List.map
+                   (fun s ->
+                     if s = "fault-free" then None
+                     else
+                       match Faults.of_name s with
+                       | Some c -> Some c
+                       | None ->
+                           Printf.eprintf
+                             "sweep: unknown fault class %S (try fault-free \
+                              or: %s)\n"
+                             s
+                             (String.concat ", "
+                                (List.map Faults.name Faults.all));
+                           exit 2)
+                   cs)
+        in
+        Fleet.Sweep.run ~seed ?classes ~vms ?log_level ()
     in
-    let r = Fleet.Sweep.run ~seed ?classes ~vms ?log_level () in
     if verbose then
       List.iter
         (fun p -> Format.printf "%a@." Fleet.Sweep.pp_point p)
@@ -966,7 +1032,19 @@ let sweep_cmd =
           ~doc:
             "Restrict the sweep to this fault class (repeatable; \
              \"fault-free\" sweeps crash points with no faults armed). \
-             Default: fault-free plus every class.")
+             Default: fault-free plus every class. With --hostile, names \
+             select hostile classes instead.")
+  in
+  let hostile =
+    Arg.(
+      value & flag
+      & info [ "hostile" ]
+          ~doc:
+            "Run the hostile-guest chaos matrix instead of the fault sweep: \
+             every cell races the attach (and each crash point) against a \
+             seeded adversarial guest mutating scanned structures, \
+             ballooning scanned pages, corrupting virtqueue descriptors or \
+             churning memory from inside.")
   in
   let metrics_out =
     Arg.(
@@ -981,7 +1059,9 @@ let sweep_cmd =
        ~doc:
          "Kill the attach at every yield point under every fault class and \
           assert full rollback (crash-point sweep gate)")
-    Term.(const run $ verbose $ vms $ seed $ classes $ metrics_out $ log_level_arg)
+    Term.(
+      const run $ verbose $ vms $ seed $ classes $ hostile $ metrics_out
+      $ log_level_arg)
 
 (* --- fleet --- *)
 
@@ -1185,12 +1265,34 @@ let fleet_cmd =
 let serve_cmd =
   let module D = Service.Dispatch in
   let run verbose workers jobs seed rate arrivals deadline_ms ram_mb
-      hot_rate metrics_out results_out trace_out log_level =
+      hot_rate hostile_tenant metrics_out results_out trace_out log_level =
     setup_logs verbose;
     if workers <= 0 then begin
       Printf.eprintf "serve: --workers must be positive\n";
       exit 2
     end;
+    let hostile_tenant =
+      match hostile_tenant with
+      | None -> None
+      | Some spec -> (
+          match String.index_opt spec ':' with
+          | None ->
+              Printf.eprintf
+                "serve: --hostile-tenant wants TENANT:CLASS, got %S\n" spec;
+              exit 2
+          | Some i ->
+              let tenant = String.sub spec 0 i in
+              let cls =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              if Hostile.of_name cls = None then begin
+                Printf.eprintf
+                  "serve: unknown hostile class %S (try %s)\n" cls
+                  (String.concat ", " (List.map Hostile.name Hostile.all));
+                exit 2
+              end;
+              Some (tenant, cls))
+    in
     let arrivals =
       match D.arrivals_of_string arrivals with
       | Some a -> a
@@ -1217,6 +1319,7 @@ let serve_cmd =
         rate;
         arrivals;
         tenants;
+        hostile_tenant;
         deadline_ns = deadline_ms *. 1e6;
         ram_mb;
         log_level;
@@ -1372,6 +1475,16 @@ let serve_cmd =
                 carries over half the arrival share: arrivals beyond this \
                 are shed at admission.")
   in
+  let hostile_tenant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "hostile-tenant" ] ~docv:"TENANT:CLASS"
+          ~doc:"Turn every job of TENANT into an adversarial-guest attach \
+                of the named hostile class (e.g. t3:desc-chaos): the \
+                misbehaving tenant's guests race their own attaches while \
+                the other tenants' streams run unchanged.")
+  in
   let metrics_out =
     Arg.(
       value
@@ -1404,7 +1517,8 @@ let serve_cmd =
           per-tenant admission and backpressure, bounded worker pool")
     Term.(
       const run $ verbose $ workers $ jobs $ seed $ rate $ arrivals
-      $ deadline_ms $ ram_mb $ hot_rate $ metrics_out $ results_out
+      $ deadline_ms $ ram_mb $ hot_rate $ hostile_tenant $ metrics_out
+      $ results_out
       $ trace_out $ log_level_arg)
 
 (* --- trace --- *)
@@ -1420,12 +1534,12 @@ let trace_file_arg =
     & info [] ~docv:"FILE" ~doc:"A .vmshtrace flight recording.")
 
 let trace_record_cmd =
-  let run scenario seed vms from_baseline cls k out log_level =
+  let run scenario seed vms from_baseline cls k hostile out log_level =
     let spec =
       match scenario with
       | "attach" -> Replay.Attach { seed }
       | "fleet" -> Replay.Fleet_run { seed; vms; from_baseline }
-      | "sweep" | "sweep-cell" -> Replay.Sweep_cell { seed; cls; k }
+      | "sweep" | "sweep-cell" -> Replay.Sweep_cell { seed; cls; k; hostile }
       | s ->
           Printf.eprintf
             "trace record: unknown scenario %S (try attach, fleet or sweep)\n" s;
@@ -1478,6 +1592,14 @@ let trace_record_cmd =
             "Abort-at-yield index of the sweep cell; -1 is the probe \
              (sweep scenario only).")
   in
+  let hostile =
+    Arg.(
+      value & opt string ""
+      & info [ "hostile" ] ~docv:"CLASS"
+          ~doc:
+            "Adversarial-guest class attacking the sweep cell (sweep \
+             scenario only; empty = no adversary).")
+  in
   let out =
     Arg.(
       value & opt string "out.vmshtrace"
@@ -1487,8 +1609,8 @@ let trace_record_cmd =
     (Cmd.info "record"
        ~doc:"Run a deterministic scenario and save its flight recording")
     Term.(
-      const run $ scenario $ seed $ vms $ from_baseline $ cls $ k $ out
-      $ log_level_arg)
+      const run $ scenario $ seed $ vms $ from_baseline $ cls $ k $ hostile
+      $ out $ log_level_arg)
 
 let trace_replay_cmd =
   let run file log_level =
@@ -1518,7 +1640,7 @@ let trace_replay_cmd =
                         | p :: _ ->
                             Faults.Abort.Clean_abort ("protocol: " ^ p)
                         | [] ->
-                            let execute, _ =
+                            let execute, _, _ =
                               attack_executor ?log_level ~base ~spec ()
                             in
                             execute mutant mf.Fuzz.mf_muts

@@ -24,6 +24,16 @@
 #                 byte-for-byte, leak no descriptors, and fail with a
 #                 clean round-trippable error — then a concurrent
 #                 subset on the virtual-time scheduler
+#   hostile-matrix
+#                 `vmsh sweep --hostile`: the adversarial-guest chaos
+#                 matrix — every hostile class (TOCTOU scanner races,
+#                 balloon unmaps, descriptor chaos, memory churn)
+#                 crossed with every crash point; each cell must end in
+#                 a completed attach or a clean round-trippable abort,
+#                 with the guest restored and nothing leaked — then a
+#                 hostile cell recorded and replayed through the
+#                 replay-diff oracle, and a double-run determinism
+#                 check on the matrix metrics
 #   trace         flight recorder: record -> replay -> diff on a smoke
 #                 attach, a fleet run, and one crash-point sweep cell;
 #                 two identically-seeded recordings must be
@@ -56,7 +66,7 @@ set -u
 cd "$(dirname "$0")"
 
 ARTIFACTS=${CI_ARTIFACTS:-/tmp/vmsh-ci}
-STAGES="build test smoke-attach smoke-net fault-matrix fleet fleet-fork crash-matrix trace fuzz-trace serve bench"
+STAGES="build test smoke-attach smoke-net fault-matrix fleet fleet-fork crash-matrix hostile-matrix trace fuzz-trace serve bench"
 
 # dump-on-failure: any failing sweep/fuzz/fleet run leaves a replayable
 # .vmshtrace recording next to the other artifacts
@@ -212,6 +222,29 @@ stage_crash_matrix() {
   vmsh sweep --vms 4 --class fault-free --class inject-eintr \
     --metrics-out "$ARTIFACTS/sweep-metrics-vms4.json"
   ci_check sweep "$ARTIFACTS/sweep-metrics-vms4.json"
+}
+
+stage_hostile_matrix() {
+  hostile_metrics=$ARTIFACTS/hostile-metrics.json
+  # the full chaos matrix: every hostile class x every crash point;
+  # any failing cell drops a replayable .vmshtrace into $ARTIFACTS
+  vmsh sweep --hostile --metrics-out "$hostile_metrics"
+  ci_check hostile "$hostile_metrics"
+  # a hostile cell's recipe must round-trip: record one chaos-matrix
+  # cell, then re-run it from the .vmshtrace file alone and diff
+  vmsh trace record --scenario sweep --hostile toctou-scan --seed 11 \
+    -o "$ARTIFACTS/hostile-cell.vmshtrace"
+  vmsh trace replay "$ARTIFACTS/hostile-cell.vmshtrace"
+  # Determinism: the adversary is seeded like everything else, so the
+  # same matrix twice is byte-identical.
+  vmsh sweep --hostile --class toctou-scan --class desc-chaos \
+    --metrics-out "$ARTIFACTS/hostile-metrics-a.json" > /dev/null
+  vmsh sweep --hostile --class toctou-scan --class desc-chaos \
+    --metrics-out "$ARTIFACTS/hostile-metrics-b.json" > /dev/null
+  cmp "$ARTIFACTS/hostile-metrics-a.json" "$ARTIFACTS/hostile-metrics-b.json" || {
+    echo "ci: hostile-matrix metrics diverged across identical seeds" >&2
+    return 1
+  }
 }
 
 stage_trace() {

@@ -12,18 +12,6 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type net_attachment = { fabric : Net.Fabric.t; port : Net.Link.port }
 
-type config = {
-  transport : Devices.transport;
-  copy_mode : Hyp_mem.copy_mode;
-  container_pid : int option;
-  command : string option;
-  drop_privileges : bool;
-  seccomp_heuristic : bool;
-  pci : bool;
-  net : (Net.Fabric.t * Net.Link.port) option;
-}
-[@@deprecated "use Attach.Config (builder + validate) instead"]
-
 module Config = struct
   type t = {
     transport : Devices.transport;
@@ -37,6 +25,7 @@ module Config = struct
     faults : Faults.t option;
     symbol_cache : Symbol_analysis.Cache.t option;
     journal : bool;
+    revalidate : bool;
   }
 
   let make () =
@@ -52,6 +41,7 @@ module Config = struct
       faults = None;
       symbol_cache = None;
       journal = true;
+      revalidate = true;
     }
 
   let with_transport transport t = { t with transport }
@@ -65,6 +55,7 @@ module Config = struct
   let with_faults plan t = { t with faults = Some plan }
   let with_symbol_cache cache t = { t with symbol_cache = Some cache }
   let with_journal journal t = { t with journal }
+  let with_revalidate revalidate t = { t with revalidate }
   let transport t = t.transport
   let copy_mode t = t.copy_mode
   let container_pid t = t.container_pid
@@ -76,6 +67,7 @@ module Config = struct
   let faults t = t.faults
   let symbol_cache t = t.symbol_cache
   let journal t = t.journal
+  let revalidate t = t.revalidate
 
   let validate t =
     if t.pci && t.transport = Devices.Wrap_syscall then
@@ -92,38 +84,7 @@ module Config = struct
       Error "container_pid must be positive"
     else if t.command = Some "" then Error "command must be non-empty"
     else Ok t
-
-  let of_legacy (c : config) =
-    (* transition shim for the bare-record API; one release only *)
-    {
-      transport = c.transport;
-      copy_mode = c.copy_mode;
-      container_pid = c.container_pid;
-      command = c.command;
-      drop_privileges = c.drop_privileges;
-      seccomp_heuristic = c.seccomp_heuristic;
-      pci = c.pci;
-      net = Option.map (fun (fabric, port) -> { fabric; port }) c.net;
-      faults = None;
-      symbol_cache = None;
-      journal = true;
-    }
-  [@@alert "-deprecated"]
 end
-[@@alert "-deprecated"]
-
-let default_config =
-  {
-    transport = Devices.Ioregionfd;
-    copy_mode = Hyp_mem.Bulk;
-    container_pid = None;
-    command = None;
-    drop_privileges = true;
-    seccomp_heuristic = false;
-    pci = false;
-    net = None;
-  }
-[@@alert "-deprecated"] [@@deprecated "use Attach.Config.make instead"]
 
 type session = {
   cfg : Config.t;
@@ -215,6 +176,55 @@ let required_symbols =
 (* The devices every attach stands up, in registration order; the
    registry derives windows and GSIs from this order. *)
 let device_plan = [ Devices.Console; Devices.Blk; Devices.Net; Devices.Ninep ]
+
+let missing_symbols anal =
+  List.filter (fun s -> Symbol_analysis.resolve anal s = None) required_symbols
+
+(* Use-time TOCTOU check: the scanned kernel structures are only
+   trusted at the moment the loader patches the guest, and by then a
+   hostile guest may have rewritten them. Re-validate against the
+   scan's witness; on a mismatch, grant the guest one benefit of the
+   doubt (it may have legitimately modified and settled its ksymtab —
+   e.g. a module load) with a single cache-bypassing rescan. A second
+   mismatch is misbehavior: abort, roll back, never patch through lying
+   metadata. The recovery counter and trace event register lazily, so a
+   well-behaved run stays byte-identical. *)
+let revalidated_analysis host mem ~cr3 anal =
+  match Symbol_analysis.revalidate ~names:required_symbols mem ~cr3 anal with
+  | Ok () -> Ok anal
+  | Error first -> (
+      Observe.Metrics.incr
+        (Observe.Metrics.counter
+           (Observe.metrics host.Host.observe)
+           "recovery.toctou_rescan");
+      Trace.Recorder.record host.Host.recorder ~kind:"hostile.rescan"
+        ~args:[ ("reason", Trace.S first) ]
+        ();
+      match Symbol_analysis.analyze mem ~cr3 with
+      | Error m ->
+          Error
+            (E.Guest_misbehavior
+               (Printf.sprintf "%s; rescan found no kernel (%s)" first m))
+      | Ok anal' -> (
+          match missing_symbols anal' with
+          | _ :: _ as missing ->
+              Error
+                (E.Guest_misbehavior
+                   (Printf.sprintf "%s; rescan lost required symbols: %s" first
+                      (String.concat ", " missing)))
+          | [] -> (
+              match
+                Symbol_analysis.revalidate ~names:required_symbols mem ~cr3
+                  anal'
+              with
+              | Ok () -> Ok anal'
+              | Error second ->
+                  Error
+                    (E.Guest_misbehavior
+                       (Printf.sprintf
+                          "scanned kernel structures keep mutating under the \
+                           scanner: %s"
+                          second)))))
 
 (* Install an MSI route for [gsi] (the PCI transport's interrupt path:
    MSI-X-only irqchips accept irqfds only for MSI-routed GSIs). *)
@@ -495,11 +505,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
                ~cr3:regs.X86.Regs.cr3))
     in
     let* () =
-      let missing =
-        List.filter
-          (fun s -> Symbol_analysis.resolve anal s = None)
-          required_symbols
-      in
+      let missing = missing_symbols anal in
       if missing = [] then Ok ()
       else
         Error
@@ -571,8 +577,15 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
     in
     Faults.yield_tick host.Host.faults;
     Sched.yield ();
-    let* loaded =
+    let* loaded, anal =
       phase host "klib-sideload" @@ fun () ->
+      (* the scan is stale by now if the guest raced it: re-check the
+         witnessed structures before trusting any symbol address *)
+      let* anal =
+        if Config.revalidate cfg then
+          revalidated_analysis host mem ~cr3:regs.X86.Regs.cr3 anal
+        else Ok anal
+      in
       (* guest program + kernel library *)
       let program =
         Overlay.register
@@ -598,7 +611,7 @@ let attach host ~hypervisor_pid ~fs_image ?config ~pump () =
       let* () = Loader.redirect ~tracee ~mem loaded in
       pump ();
       let* () = wait_ready ~mem ~loaded ~pump in
-      Ok loaded
+      Ok (loaded, anal)
     in
     Ok { cfg; vmsh; tracee; mem; devs; anal; loaded; pump; journal = j }
     with

@@ -33,22 +33,6 @@ type net_attachment = { fabric : Net.Fabric.t; port : Net.Link.port }
 (** Cable the side-loaded NIC to one [port] of a deterministic
     {!Net} fabric; the port must belong to [fabric]. *)
 
-type config = {
-  transport : Devices.transport;
-  copy_mode : Hyp_mem.copy_mode;
-  container_pid : int option;
-  command : string option;
-  drop_privileges : bool;
-  seccomp_heuristic : bool;
-  pci : bool;
-  net : (Net.Fabric.t * Net.Link.port) option;
-}
-[@@deprecated "use Attach.Config (builder + validate) instead"]
-(** The bare configuration record of the previous release. Construct
-    configurations with {!Config.make} and its [with_*] setters; this
-    record (and {!default_config}) remain for one release as a shim —
-    convert with {!Config.of_legacy}. *)
-
 (** Validated attach configuration: a builder ({!make} plus [with_*]
     setters, each returning an updated value) and an explicit
     {!validate} step. [attach] validates internally, so callers only
@@ -59,8 +43,7 @@ module Config : sig
 
   val make : unit -> t
   (** ioregionfd transport, bulk copies, interactive shell, privileges
-      dropped after discovery — the defaults of the old
-      [default_config]. *)
+      dropped after discovery, journal and use-time revalidation on. *)
 
   val with_transport : Devices.transport -> t -> t
   val with_copy_mode : Hyp_mem.copy_mode -> t -> t
@@ -105,6 +88,14 @@ module Config : sig
       reverts to the journal-free attach of the previous release (the
       bench ablation knob). *)
 
+  val with_revalidate : bool -> t -> t
+  (** Re-validate the scanned kernel structures (ksymtab + strings
+      region) against their witness at use time, just before the loader
+      patches the guest (default [true]). A mismatch earns the guest
+      one cache-bypassing rescan; a second mismatch aborts with
+      {!Vmsh_error.Guest_misbehavior}. [false] is the bench ablation
+      knob that measures the hardening's clean-path overhead. *)
+
   val validate : t -> (t, string) result
   (** Reject combinations no attach can serve: PCI over the
       wrap_syscall transport, a net port cabled on a different fabric
@@ -122,15 +113,8 @@ module Config : sig
   val faults : t -> Faults.t option
   val symbol_cache : t -> Symbol_analysis.Cache.t option
   val journal : t -> bool
-
-  val of_legacy : config -> t
-    [@@alert "-deprecated"]
-  (** Transition shim for the deprecated record; one release only. *)
+  val revalidate : t -> bool
 end
-
-val default_config : config
-  [@@deprecated "use Attach.Config.make instead"] [@@alert "-deprecated"]
-(** ioregionfd transport, bulk copies, interactive shell. *)
 
 type session
 

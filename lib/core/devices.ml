@@ -98,6 +98,12 @@ let nic_mac t = t.mac
 let stats_requests t = t.requests
 let stats_net_frames t = t.net_frames
 
+(* Upper bound on a single descriptor buffer. No legitimate driver in
+   this guest posts anything close to 1 MiB in one descriptor; a larger
+   length is a hostile mutation (or garbage read through a torn
+   pointer) and is quarantined before any process_vm call. *)
+let max_desc_len = 1 lsl 20
+
 (* Remote view of guest memory for the device-side queue halves. *)
 let remote_gmem t =
   {
@@ -117,15 +123,37 @@ let ensure_queue t h slot =
       if not qs.Mmio.Device.ready then None
       else begin
         let host = Tracee.host t.tracee in
+        let dev = kind_name h.kind in
+        (* hostile-descriptor counters and events are lazily registered:
+           a run with no quarantines keeps a byte-identical metrics
+           registry and flight recording *)
+        let bump name =
+          Observe.Metrics.incr
+            (Observe.Metrics.counter
+               (Observe.metrics host.Hostos.Host.observe)
+               name)
+        in
         let q =
           Queue.Device.create
             ~torn:(fun () ->
               Faults.fire host.Hostos.Host.faults Faults.Desc_torn)
-            ~on_requeue:(fun () ->
-              Observe.Metrics.incr
-                (Observe.Metrics.counter
-                   (Observe.metrics host.Hostos.Host.observe)
-                   "recovery.vq_requeue"))
+            ~on_requeue:(fun () -> bump "recovery.vq_requeue")
+            ~validate:(fun b ->
+              b.Queue.Device.len <= max_desc_len
+              && Hyp_mem.backed t.mem ~gpa:b.Queue.Device.addr
+                   ~len:b.Queue.Device.len)
+            ~on_quarantine:(fun head ->
+              bump (Printf.sprintf "vmsh-%s.quarantined" dev);
+              Trace.Recorder.record host.Hostos.Host.recorder
+                ~kind:"hostile.quarantine"
+                ~args:[ ("dev", Trace.S dev); ("head", Trace.I head) ]
+                ())
+            ~on_ring_reset:(fun () ->
+              bump (Printf.sprintf "vmsh-%s.ring_resets" dev);
+              Trace.Recorder.record host.Hostos.Host.recorder
+                ~kind:"hostile.ring_reset"
+                ~args:[ ("dev", Trace.S dev) ]
+                ())
             (remote_gmem t) ~qsz:qs.Mmio.Device.num ~desc:qs.Mmio.Device.desc
             ~avail:qs.Mmio.Device.avail ~used:qs.Mmio.Device.used
         in

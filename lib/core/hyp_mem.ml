@@ -49,6 +49,26 @@ let gpa_to_hva t gpa =
 let top_of_guest_phys t =
   List.fold_left (fun acc s -> max acc (s.gpa + s.size)) 0 t.slot_list
 
+(* Pure bounds probe — the virtqueue bounds validator asks this for
+   every descriptor buffer before any process_vm call is issued, so a
+   hostile out-of-bounds address is quarantined instead of raised. *)
+let backed t ~gpa ~len =
+  len >= 0
+  && gpa >= 0
+  &&
+  let rec go gpa len =
+    len = 0
+    ||
+    match
+      List.find_opt (fun s -> gpa >= s.gpa && gpa < s.gpa + s.size) t.slot_list
+    with
+    | None -> false
+    | Some s ->
+        let chunk = min (s.gpa + s.size - gpa) len in
+        go (gpa + chunk) (len - chunk)
+  in
+  go gpa len
+
 let fail_errno what e = Vmsh_error.fail (Vmsh_error.substrate ("Hyp_mem." ^ what) e)
 
 (* All remote-memory traffic goes through the bounded-retry wrappers: a

@@ -62,6 +62,11 @@ val top_of_guest_phys : t -> int
     VMSH places its own memory ("hypervisors allocate from low to
     high", §4.2). *)
 
+val backed : t -> gpa:int -> len:int -> bool
+(** Whether the whole guest-physical range resolves to memslots — the
+    descriptor bounds check, free of side effects (no syscalls, no
+    raises). *)
+
 val read_phys : t -> gpa:int -> len:int -> bytes
 (** Raises [Failure] on unbacked addresses or access errors. *)
 

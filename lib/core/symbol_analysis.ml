@@ -2,12 +2,23 @@ module Layout = X86.Layout
 module PT = X86.Page_table
 module KV = Linux_guest.Kernel_version
 
+(* Where inside the image the two scanned sections were found — the
+   witness the attach path re-reads at use time to detect a guest that
+   rewrote them after the scan (TOCTOU). Offsets are base-relative, so
+   the witness survives the cache's KASLR rebase. *)
+type witness = {
+  w_table_off : int;  (** ksymtab table start, image offset *)
+  w_strings_lo : int;  (** strings region, image offsets [lo, hi) *)
+  w_strings_hi : int;
+}
+
 type analysis = {
   kernel_base : int;
   image_len : int;
   layout : KV.ksymtab_layout;
   symbols : (string * int) list;
   version : KV.t;
+  witness : witness;
 }
 
 let anchor_symbol = "printk"
@@ -145,17 +156,19 @@ let find_table img ~kbase ~region layout =
   let esz = Linux_guest.Ksymtab.entry_size layout in
   let n = Bytes.length img in
   let best = ref [] in
+  let best_off = ref 0 in
   let o = ref 0 in
   while !o + esz <= n do
     let entries = entries_at img ~kbase ~region layout !o in
     if List.length entries > List.length !best then begin
       best := entries;
+      best_off := !o;
       (* skip past this run to avoid re-parsing suffixes *)
       o := !o + (List.length entries * esz)
     end
     else o := !o + 8
   done;
-  !best
+  (!best_off, !best)
 
 (* --- build-id memoization ---
 
@@ -175,6 +188,7 @@ module Cache = struct
     c_layout : KV.ksymtab_layout;
     c_sym_offsets : (string * int) list;  (* name -> va - kernel_base *)
     c_version : KV.t;
+    c_witness : witness;  (* image offsets: valid for any KASLR base *)
   }
 
   type t = (string, entry) Hashtbl.t
@@ -216,19 +230,27 @@ let analyze_full ?cache ~build_id mem ~cr3 ~kernel_base ~image_len =
         let candidates =
           List.map
             (fun layout ->
-              (layout, find_table img ~kbase:kernel_base ~region layout))
+              let off, entries = find_table img ~kbase:kernel_base ~region layout in
+              (layout, off, entries))
             [ KV.Absolute_value_first; KV.Absolute_name_first; KV.Prel32 ]
         in
-        let layout, entries =
+        let layout, table_off, entries =
           List.fold_left
-            (fun (bl, be) (l, e) ->
-              if List.length e > List.length be then (l, e) else (bl, be))
-            (KV.Prel32, []) candidates
+            (fun (bl, bo, be) (l, o, e) ->
+              if List.length e > List.length be then (l, o, e) else (bl, bo, be))
+            (KV.Prel32, 0, []) candidates
         in
         if List.length entries < 8 then
           Error "no consistent ksymtab candidate found in any known layout"
         else
           let symbols = entries in
+          let witness =
+            {
+              w_table_off = table_off;
+              w_strings_lo = fst region;
+              w_strings_hi = snd region;
+            }
+          in
           let* version =
             match List.assoc_opt "linux_banner" symbols with
             | None -> Error "linux_banner not exported; cannot identify version"
@@ -256,9 +278,10 @@ let analyze_full ?cache ~build_id mem ~cr3 ~kernel_base ~image_len =
                     c_sym_offsets =
                       List.map (fun (n, va) -> (n, va - kernel_base)) symbols;
                     c_version = version;
+                    c_witness = witness;
                   }
             | _ -> ());
-            Ok { kernel_base; image_len; layout; symbols; version }
+            Ok { kernel_base; image_len; layout; symbols; version; witness }
           end
 
 let analyze ?cache mem ~cr3 =
@@ -303,9 +326,130 @@ let analyze ?cache mem ~cr3 =
                     (fun (n, off) -> (n, kernel_base + off))
                     e.Cache.c_sym_offsets;
                 version = e.Cache.c_version;
+                witness = e.Cache.c_witness;
               })
     | None ->
         (match cache with Some _ -> bump mem "symcache.misses" | None -> ());
         analyze_full ?cache ~build_id mem ~cr3 ~kernel_base ~image_len
 
 let resolve a name = List.assoc_opt name a.symbols
+
+(* --- use-time revalidation (TOCTOU hardening) ---
+
+   Between the scan and the moment the loader patches the guest, a
+   hostile guest can rewrite the ksymtab or its strings, or balloon the
+   scanned pages away entirely. [revalidate] re-reads both witnessed
+   regions from the live guest, re-derives (name, value) pairs with the
+   same layout rules and compares against the scan's result — bounds
+   re-check first, then the content check. Pure reads; the witness is
+   base-relative, so it survives the cache's KASLR rebase.
+
+   The comparison is by *name*, not by table position, and [?names]
+   restricts it to the symbols the caller is about to rely on. Both
+   matter for cache-hit analyses: a build-id cache guarantees the
+   symbols vmsh uses (deterministic layout offsets), while filler
+   exports and their table order legitimately differ VM to VM — only a
+   divergence in a symbol we will actually patch through is guest
+   misbehavior. *)
+let revalidate ?names mem ~cr3 a =
+  let w = a.witness in
+  let esz = Linux_guest.Ksymtab.entry_size a.layout in
+  let table_len = List.length a.symbols * esz in
+  let slo = w.w_strings_lo and shi = w.w_strings_hi in
+  (* the witnessed hi bound is the *detected* strings extent, which is
+     content-dependent: another VM of the same build packs different
+     filler names, so its strings run a little shorter or longer. When
+     the table follows the strings (every layout we scan), the section
+     structurally extends to the table base — validate against that
+     window so a cache-hit analysis can resolve this VM's names *)
+  let shi = if w.w_table_off >= shi then w.w_table_off else shi in
+  if
+    w.w_table_off < 0
+    || w.w_table_off + table_len > a.image_len
+    || slo < 0 || shi > a.image_len || slo >= shi
+  then Error "witness out of image bounds"
+  else begin
+    (* one parse pass over the re-read bytes — charged to virtual time
+       like the original scans (a fraction of their cost) *)
+    Hostos.Clock.copy_bytes (Hyp_mem.host mem).Hostos.Host.clock
+      (table_len + (shi - slo));
+    match
+      Hyp_mem.read_virt mem ~cr3 ~va:(a.kernel_base + slo) ~len:(shi - slo)
+    with
+    | None -> Error "strings region pages vanished since the scan"
+    | Some strings -> (
+        match
+          Hyp_mem.read_virt mem ~cr3 ~va:(a.kernel_base + w.w_table_off)
+            ~len:table_len
+        with
+        | None -> Error "ksymtab pages vanished since the scan"
+        | Some table ->
+            let i64 o = Int64.to_int (Bytes.get_int64_le table o) in
+            let i32 o = Int32.to_int (Bytes.get_int32_le table o) in
+            let name_at name_va =
+              let off = name_va - a.kernel_base - slo in
+              if off < 0 || off >= shi - slo then None
+              else
+                let rec fin i =
+                  if i >= shi - slo then None
+                  else if Bytes.get strings i = '\000' then Some i
+                  else if not (printable (Bytes.get strings i)) then None
+                  else fin (i + 1)
+                in
+                Option.map
+                  (fun e -> Bytes.sub_string strings off (e - off))
+                  (fin off)
+            in
+            (* one pass over the live table: every entry that still
+               parses and whose name pointer lands in the strings
+               region contributes a (name, value) pair; mutated-to-
+               garbage entries simply contribute nothing and are caught
+               below when a needed name has vanished or moved *)
+            let parse i =
+              let o = i * esz in
+              let parsed =
+                try
+                  match a.layout with
+                  | KV.Absolute_value_first -> Some (i64 o, i64 (o + 8))
+                  | KV.Absolute_name_first -> Some (i64 (o + 8), i64 o)
+                  | KV.Prel32 ->
+                      Some
+                        ( a.kernel_base + w.w_table_off + o + i32 o,
+                          a.kernel_base + w.w_table_off + o + 4 + i32 (o + 4) )
+                with Invalid_argument _ -> None
+              in
+              match parsed with
+              | None -> None
+              | Some (value, name_va) ->
+                  Option.map (fun n -> (n, value)) (name_at name_va)
+            in
+            let live =
+              List.filter_map parse (List.init (List.length a.symbols) Fun.id)
+            in
+            let wanted =
+              match names with
+              | Some ns ->
+                  List.filter_map
+                    (fun n ->
+                      Option.map (fun va -> (n, va)) (List.assoc_opt n a.symbols))
+                    ns
+              | None -> a.symbols
+            in
+            let rec check = function
+              | [] -> Ok ()
+              | (name, va) :: rest -> (
+                  match List.assoc_opt name live with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "symbol %s vanished from the ksymtab since the scan"
+                           name)
+                  | Some value when value <> va ->
+                      Error
+                        (Printf.sprintf
+                           "symbol %s moved since the scan (0x%x -> 0x%x)" name
+                           va value)
+                  | Some _ -> check rest)
+            in
+            check wanted)
+  end

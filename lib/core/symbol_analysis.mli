@@ -11,12 +11,21 @@
     reference string starts (the paper's consistency check); finally
     reads [linux_banner] to learn the kernel version. *)
 
+(** Image-relative locations of the two scanned sections — re-read at
+    use time to catch a guest that mutates them after the scan. *)
+type witness = {
+  w_table_off : int;  (** ksymtab table start, image offset *)
+  w_strings_lo : int;  (** strings region, image offsets [lo, hi) *)
+  w_strings_hi : int;
+}
+
 type analysis = {
   kernel_base : int;  (** virtual base chosen by KASLR *)
   image_len : int;  (** contiguously mapped bytes copied for analysis *)
   layout : Linux_guest.Kernel_version.ksymtab_layout;
   symbols : (string * int) list;  (** exported name -> virtual address *)
   version : Linux_guest.Kernel_version.t;
+  witness : witness;
 }
 
 val anchor_symbol : string
@@ -43,3 +52,17 @@ val analyze : ?cache:Cache.t -> Hyp_mem.t -> cr3:int -> (analysis, string) resul
 
 val resolve : analysis -> string -> int option
 (** Look up an exported symbol's address. *)
+
+val revalidate :
+  ?names:string list -> Hyp_mem.t -> cr3:int -> analysis ->
+  (unit, string) result
+(** Use-time TOCTOU check: bounds-recheck the witness, re-read the
+    ksymtab table and strings region from the live guest, re-derive the
+    live (name, value) pairs with the analysis's layout and compare by
+    name against {!analysis.symbols}. [?names] restricts the check to
+    the symbols the caller is about to rely on — the right scope for a
+    cache-hit analysis, where filler exports and table order
+    legitimately differ between VMs of one build while the used
+    symbols' layout offsets do not. [Error] names the first divergence:
+    a symbol that moved or vanished, or scanned pages the guest
+    ballooned away. Pure reads. *)

@@ -15,6 +15,7 @@ type t =
   | Deadline_exceeded of int
   | Baseline_stale of string
   | Overlay_fault of string
+  | Guest_misbehavior of string
 
 exception Error of t
 
@@ -50,6 +51,7 @@ let rec to_string = function
       Printf.sprintf "virtual-time deadline exceeded after %d ns" ns
   | Baseline_stale m -> "stale baseline image: " ^ m
   | Overlay_fault m -> "overlay fault: " ^ m
+  | Guest_misbehavior m -> "guest misbehavior: " ^ m
 
 let all_errnos =
   Errno.
@@ -99,6 +101,9 @@ let rec of_string s =
       match drop_prefix ~prefix:"overlay fault: " s with
       | Some rest -> Overlay_fault rest
       | None -> (
+      match drop_prefix ~prefix:"guest misbehavior: " s with
+      | Some rest -> Guest_misbehavior rest
+      | None -> (
       match drop_prefix ~prefix:"guest error: " s with
       | Some rest -> Guest_fault rest
       | None -> (
@@ -135,4 +140,4 @@ let rec of_string s =
                                   match of_string tail with
                                   | Msg _ -> Msg s
                                   | inner -> Context (what, inner)))
-                          | None -> Msg s))))))))))
+                          | None -> Msg s)))))))))))

@@ -32,6 +32,12 @@ type t =
   | Overlay_fault of string
       (** the per-page CoW overlay of a forked VM is inconsistent with
           its baseline (size mismatch, corrupt frozen region) *)
+  | Guest_misbehavior of string
+      (** the guest violated a protocol or memory contract mid-attach
+          (TOCTOU mutation of scanned structures, out-of-bounds or
+          looping virtqueue descriptors past the quarantine limit,
+          scanned pages stolen by a balloon) — the attach rolls back
+          rather than trusting the guest *)
 
 exception Error of t
 (** For internal paths that must raise (memory fabric, loader arena);

@@ -53,6 +53,9 @@ type t = {
   mutable metrics : Observe.Metrics.t option;
   mutable abort_at_yield : int option;
   mutable yield_seen : int;
+  mutable on_yield : (int -> unit) option;
+  mutable skew_script : (int * int) list;
+  mutable on_skew : (int -> unit) option;
 }
 
 let disabled =
@@ -69,6 +72,9 @@ let disabled =
     metrics = None;
     abort_at_yield = None;
     yield_seen = 0;
+    on_yield = None;
+    skew_script = [];
+    on_skew = None;
   }
 
 (* Private splitmix64 stream: the plan must not perturb the host's RNG,
@@ -108,6 +114,9 @@ let create ~seed ?(rate = 0.15) ?(cap = max_int) ?(classes = all) ?(burst = 3) (
     metrics = None;
     abort_at_yield = None;
     yield_seen = 0;
+    on_yield = None;
+    skew_script = [];
+    on_skew = None;
   }
 
 let set_class t c ~rate ~cap =
@@ -184,13 +193,35 @@ let set_abort_at_yield t k =
 let abort_at_yield t = t.abort_at_yield
 let yield_ticks t = t.yield_seen
 
+(* --- yield hooks ---
+
+   Two deterministic observers ride the same yield-point stream the
+   crash-point sweep enumerates. [on_yield] is how an adversarial-guest
+   engine interleaves with the attach — it runs guest-side steps at
+   exactly the seams where a real guest would race a real attach.
+   [skew_script] is the timewarp lowering: at the scripted yield index,
+   [on_skew factor_permille] fires (the harness advances the virtual
+   clock), turning a mutated recording's timing perturbation into a
+   real scheduling decision. Neither draws from the RNG stream, and
+   neither perturbs the yield count the sweep measures. *)
+
+let set_on_yield t f = if t.armed then t.on_yield <- f
+let set_skew_script t s = if t.armed then t.skew_script <- s
+let skew_script t = if t.armed then t.skew_script else []
+let set_on_skew t f = if t.armed then t.on_skew <- f
+
 let yield_tick t =
-  match t.abort_at_yield with
-  | None -> ()
-  | Some k ->
-      let n = t.yield_seen in
-      t.yield_seen <- n + 1;
-      if n = k then raise (Crash_point k)
+  if t.armed then begin
+    let n = t.yield_seen in
+    t.yield_seen <- n + 1;
+    (match t.on_yield with Some f -> f n | None -> ());
+    (match (t.on_skew, List.assoc_opt n t.skew_script) with
+    | Some f, Some permille -> f permille
+    | _ -> ());
+    match t.abort_at_yield with
+    | Some k when n = k -> raise (Crash_point k)
+    | _ -> ()
+  end
 
 (* --- shared abort taxonomy ---
 

@@ -113,6 +113,30 @@ val yield_tick : t -> unit
 val yield_ticks : t -> int
 (** Yield points seen since the crash point was last (dis)armed. *)
 
+(** {2 Yield hooks}
+
+    Deterministic observers of the same yield-point stream the crash
+    sweep enumerates. Neither draws from the RNG stream nor perturbs
+    the yield count. All are no-ops on {!disabled}. *)
+
+val set_on_yield : t -> (int -> unit) option -> unit
+(** Install a hook called with the yield index at every {!yield_tick}
+    of an armed plan — the seam an adversarial-guest engine uses to
+    run guest-side steps exactly where a real guest would race the
+    attach. *)
+
+val set_skew_script : t -> (int * int) list -> unit
+(** [(yield index, factor in permille)] pairs: at each scripted index,
+    {!yield_tick} fires the {!set_on_skew} hook with the factor — the
+    scripted lowering of a timewarp trace mutation. *)
+
+val skew_script : t -> (int * int) list
+
+val set_on_skew : t -> (int -> unit) option -> unit
+(** The skew executor (the harness advances the virtual clock by the
+    scripted proportion); separated from the script so lowering stays
+    decoupled from clock ownership. *)
+
 (** {2 Shared abort taxonomy}
 
     The three-way verdict every perturbation harness (fault matrix,

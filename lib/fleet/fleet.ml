@@ -365,24 +365,6 @@ let run cfg =
   | Error e -> Error e
   | Ok cfg -> Ok (run_validated cfg)
 
-(* Transition shim for the pre-boot-source optional-argument API; one
-   release only. The old signature could not express a fork and raised
-   on a bad [vms], so this keeps raising. *)
-let run_legacy ?(seed = 7) ?(profile = Profile.qemu) ?(version = KV.V5_10)
-    ?(fault_rate = 0.0) ?(share_symbols = true) ?log_level ~vms () =
-  let cfg =
-    Config.make ~vms () |> Config.with_seed seed
-    |> Config.with_profile profile |> Config.with_version version
-    |> Config.with_fault_rate fault_rate
-    |> Config.with_share_symbols share_symbols
-  in
-  let cfg =
-    match log_level with Some l -> Config.with_log_level l cfg | None -> cfg
-  in
-  match run cfg with
-  | Ok r -> r
-  | Error e -> invalid_arg ("Fleet.run: " ^ E.to_string e)
-
 let successes r =
   List.filter_map
     (fun s -> if Result.is_ok s.s_result then Some s.s_attach_ns else None)

@@ -115,18 +115,6 @@ val run : Config.t -> (report, Vmsh.Vmsh_error.t) result
     is set each failed session dumps a replayable [.vmshtrace]
     artifact. *)
 
-val run_legacy :
-  ?seed:int ->
-  ?profile:Hypervisor.Profile.t ->
-  ?version:Linux_guest.Kernel_version.t ->
-  ?fault_rate:float ->
-  ?share_symbols:bool ->
-  ?log_level:Observe.level ->
-  vms:int -> unit -> report
-[@@deprecated "use Fleet.Config (builder + validate) with Fleet.run instead"]
-(** Transition shim for the pre-{!Config} API. Cold boots only; raises
-    [Invalid_argument] on a bad configuration (the old contract). *)
-
 val record : Observe.Metrics.t -> label:string -> report -> unit
 (** Fold a report into a metrics registry: [fleet.attach_ns.<label>]
     (and, for forked runs, [fleet.fork_ns.<label>]) histograms over

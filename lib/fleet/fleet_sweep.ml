@@ -86,11 +86,13 @@ let crash_point_fired msg =
    the point's machine up as a CoW fork of a baked image instead of a
    cold boot, so the crash matrix also covers forked sessions — the
    rollback oracle then proves restoration through the overlay. *)
-let run_point ?log_level ?plan ?baseline ~seed ~cls ~k () =
+let run_point ?log_level ?plan ?baseline ?hostile ~seed ~cls ~k () =
   let host = H.Host.create ~seed () in
   Option.iter (Observe.set_log_level host.H.Host.observe) log_level;
   (* scenario meta makes the point's flight recording self-describing:
-     [vmsh trace replay] re-runs this exact cell from the file alone *)
+     [vmsh trace replay] re-runs this exact cell from the file alone.
+     The "hostile" key is only written for hostile cells so plain-sweep
+     recordings stay byte-identical to earlier versions. *)
   let rec_meta =
     [
       ("scenario", "sweep-cell");
@@ -99,6 +101,10 @@ let run_point ?log_level ?plan ?baseline ~seed ~cls ~k () =
       ("k", string_of_int (Option.value k ~default:(-1)));
       ("boot", (match baseline with Some _ -> "fork" | None -> "cold"));
     ]
+    @
+    match hostile with
+    | Some h -> [ ("hostile", Hostile.name h) ]
+    | None -> []
   in
   List.iter (fun (key, v) -> Trace.Recorder.set_meta host.H.Host.recorder key v)
     rec_meta;
@@ -130,6 +136,25 @@ let run_point ?log_level ?plan ?baseline ~seed ~cls ~k () =
         p
   in
   Faults.set_abort_at_yield plan (Some (Option.value k ~default:max_int));
+  (* the timewarp lowering's executor: a scripted skew at yield point n
+     stretches the virtual clock by the factor's excess over unity — a
+     4000-permille warp inserts 3 ms of virtual latency right there.
+     Compression factors (< 1000) fire but add nothing: virtual time is
+     monotone. *)
+  if Faults.skew_script plan <> [] then
+    Faults.set_on_skew plan
+      (Some
+         (fun permille ->
+           let stretch_ns = float_of_int (max 0 (permille - 1000)) *. 1e3 in
+           if stretch_ns > 0. then H.Clock.advance host.H.Host.clock stretch_ns));
+  (* the hostile engine rides the same yield-point stream the crash
+     point enumerates: one adversarial action per cooperative yield of
+     the attach path, from its own seeded stream *)
+  (match hostile with
+  | Some h ->
+      let eng = Hostile.create ~seed ~cls:h vmm in
+      Faults.set_on_yield plan (Some (fun _ -> Hostile.step eng))
+  | None -> ());
   let before = Vmsh.Snapshot.capture vm in
   let fds_before = open_fds host in
   let config = Vmsh.Attach.Config.(with_faults plan (make ())) in
@@ -175,9 +200,14 @@ let run_point ?log_level ?plan ?baseline ~seed ~cls ~k () =
   let exclude = Vmsh.Snapshot.dirty_since vm before @ late_writes in
   let after = Vmsh.Snapshot.capture vm in
   let oracle = Vmsh.Snapshot.diff ~before ~after ~exclude in
+  let cell_label =
+    match hostile with
+    | Some h -> "hostile-" ^ Hostile.name h
+    | None -> class_label cls
+  in
   let point =
     {
-      pt_class = class_label cls;
+      pt_class = cell_label;
       pt_yield = (match k with Some k -> k | None -> -1);
       pt_outcome = outcome;
       pt_error = error;
@@ -263,6 +293,48 @@ let run ?(seed = 5) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level
     sw_unclean = count (fun p -> p.pt_unclean <> None);
   }
 
+(* The hostile-guest chaos matrix: hostile-class × crash-point cells.
+   Same probe-then-sweep shape as the fault matrix, but instead of an
+   armed fault class each cell runs a seeded adversarial guest (see
+   {!Hostile}) stepping at every yield point while the crash point is
+   additionally enumerated — the attack races both the attach and its
+   rollback. Post-conditions are identical: every cell must end in a
+   completed attach or a clean, round-trippable abort with the snapshot
+   oracle passing and no descriptor leaked. *)
+let run_hostile ?(seed = 11) ?classes ?(vms = 1) ?(max_yields = 256) ?log_level
+    ?baseline () =
+  let classes =
+    match classes with Some cs -> cs | None -> Hostile.all
+  in
+  let points =
+    List.concat_map
+      (fun h ->
+        let probe, yields =
+          run_point ?log_level ?baseline ~hostile:h ~seed ~cls:None ~k:None ()
+        in
+        let ks = List.init (min yields max_yields) Fun.id in
+        let swept =
+          run_batched ~vms
+            (List.map
+               (fun k () ->
+                 fst
+                   (run_point ?log_level ?baseline ~hostile:h ~seed ~cls:None
+                      ~k:(Some k) ()))
+               ks)
+        in
+        probe :: swept)
+      classes
+  in
+  let count f = List.length (List.filter f points) in
+  {
+    sw_points = points;
+    sw_classes = List.length classes;
+    sw_oracle_pass = count (fun p -> p.pt_oracle = []);
+    sw_oracle_fail = count (fun p -> p.pt_oracle <> []);
+    sw_leaked_fds = List.fold_left (fun a p -> a + max 0 p.pt_leaked_fds) 0 points;
+    sw_unclean = count (fun p -> p.pt_unclean <> None);
+  }
+
 let ok r = r.sw_oracle_fail = 0 && r.sw_leaked_fds = 0 && r.sw_unclean = 0
 
 let record mx r =
@@ -278,7 +350,14 @@ let record mx r =
   set "sweep.aborted"
     (List.length (List.filter (fun p -> p.pt_outcome = "aborted") r.sw_points));
   set "sweep.completed"
-    (List.length (List.filter (fun p -> p.pt_outcome = "completed") r.sw_points))
+    (List.length (List.filter (fun p -> p.pt_outcome = "completed") r.sw_points));
+  (* per-cell-class coverage, so the CI gates can prove every class
+     (fault or hostile) actually swept at least one cell *)
+  List.iter
+    (fun p ->
+      Observe.Metrics.incr
+        (Observe.Metrics.counter mx ("sweep.cells." ^ p.pt_class)))
+    r.sw_points
 
 let pp_point ppf p =
   Format.fprintf ppf "%-13s k=%-3s %-10s oracle=%-5s fds=%+d%s%s"

@@ -447,14 +447,49 @@ let script_of_mutations (base : Trace.event list) (ms : mutation list) :
                 Some
                   (Faults.Vm_rw_efault, occurrence (fun _ -> true) m.m_at mod 4)
           (* a duplicated doorbell is a spurious kick the devices must
-             tolerate; splice and timewarp perturb ordering and timing
-             the validator already vetted — all three execute the
-             recipe unperturbed and must survive *)
+             tolerate; a splice is foreign-session interleaving the
+             validator already vetted — both execute the recipe
+             unperturbed and must survive. Timewarp lowers separately,
+             to the skew script (see [skew_script_of_mutations]). *)
           | Duplicate, _ | Splice, _ | Timewarp, _ -> None
           | Drop, _ | Corrupt, _ -> None)
       ms
   in
   List.sort_uniq compare entries
+
+(* Timewarp's lowering target is not a fault injection but a scripted
+   virtual-time decision: at the yield point matching the mutation's
+   site (occurrence-folded exactly like the fault script), the harness
+   stretches the virtual clock by the warp factor. Compression factors
+   (< 1000 permille) still fire but add nothing — virtual time is
+   monotone, so a compressed suffix can only be replayed, not
+   rewound. *)
+let skew_script_of_mutations (base : Trace.event list) (ms : mutation list) :
+    (int * int) list =
+  let arr = Array.of_list base in
+  let n = Array.length arr in
+  let occurrence at =
+    let sess = arr.(at).Trace.session in
+    let c = ref 0 in
+    for i = 0 to at - 1 do
+      if arr.(i).Trace.session = sess then incr c
+    done;
+    !c mod script_fold
+  in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun m ->
+         if m.m_op <> Timewarp || m.m_at < 0 || m.m_at >= n || m.m_delta <= 0
+         then None
+         else Some (occurrence m.m_at, m.m_delta))
+       ms)
+
+(* Mutations with no runtime lowering at all: the mutant stream itself
+   is the whole perturbation. Counted per executed chain so campaign
+   metrics ([fuzz.lowering.noop]) show how much ran unperturbed. *)
+let lowering_noops (ms : mutation list) : int =
+  List.length
+    (List.filter (fun m -> m.m_op = Duplicate || m.m_op = Splice) ms)
 
 (* ------------------------------------------------------------------ *)
 (* Coverage: n-gram keys over the event-kind stream                    *)

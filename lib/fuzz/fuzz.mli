@@ -77,9 +77,24 @@ val script_of_mutations :
     [(class, decision-index)] injections for {!Faults.set_script}:
     dropped doorbells become notify drops, corrupted descriptors
     become torn reads, corrupted syscall returns become injector
-    bounces, reorders near injections become attach races. Duplicate,
-    splice and timewarp mutants execute unperturbed — the pipeline
-    must simply survive them. *)
+    bounces, reorders near injections become attach races. Duplicate
+    and splice mutants execute unperturbed — the pipeline must simply
+    survive them; timewarp lowers through
+    {!skew_script_of_mutations} instead. *)
+
+val skew_script_of_mutations :
+  Trace.event list -> mutation list -> (int * int) list
+(** Lower the chain's timewarp mutations to
+    [(yield-index, factor-permille)] pairs for
+    {!Faults.set_skew_script}: at the scripted yield point of the live
+    attach, the harness stretches the virtual clock by the warp
+    factor (a scripted timing decision, not a fault injection). *)
+
+val lowering_noops : mutation list -> int
+(** How many mutations of the chain have no runtime lowering at all
+    (duplicate, splice) — the mutant stream itself is their whole
+    perturbation. Campaigns surface the total as the
+    [fuzz.lowering.noop] counter. *)
 
 (** {2 Coverage} *)
 

@@ -73,6 +73,15 @@ type t = {
 }
 
 let vm t = t.vmh
+
+(* The guest structures the attach scanner reads (ksymtab strings and
+   table) — ground truth a hostile guest running inside this kernel
+   would know and mutate to race the scan. *)
+let scanner_target_regions t =
+  [
+    (kernel_phys + strings_off, t.kvirt + strings_off, table_off - strings_off);
+    (kernel_phys + table_off, t.kvirt + table_off, image_size - table_off);
+  ]
 let kernel_image t = t.kimage
 let observe_of t = (Vm.host t.vmh).Hostos.Host.observe
 let version t = t.ver

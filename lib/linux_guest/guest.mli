@@ -36,6 +36,12 @@ val version : t -> Kernel_version.t
 val kernel_virt : t -> int
 (** Where KASLR placed the kernel (ground truth, for tests only). *)
 
+val scanner_target_regions : t -> (int * int * int) list
+(** [(phys, virt, len)] of the ksymtab strings and table regions — the
+    guest structures the attach scanner reads, and therefore what an
+    adversarial guest mutates to race the scan (the hostile-guest
+    engine's targets). *)
+
 val image_bytes : t -> int
 val idle_rip : t -> int
 val page_cache : t -> Page_cache.t

@@ -7,7 +7,7 @@
 type spec =
   | Attach of { seed : int }
   | Fleet_run of { seed : int; vms : int; from_baseline : bool }
-  | Sweep_cell of { seed : int; cls : string; k : int }
+  | Sweep_cell of { seed : int; cls : string; k : int; hostile : string }
   | Serve_job of {
       seed : int;  (* the job's host seed *)
       id : int;
@@ -28,13 +28,16 @@ let meta_of_spec = function
         ("vms", string_of_int vms);
         ("boot", (if from_baseline then "fork" else "cold"));
       ]
-  | Sweep_cell { seed; cls; k } ->
+  | Sweep_cell { seed; cls; k; hostile } ->
       [
         ("scenario", "sweep-cell");
         ("sweep-seed", string_of_int seed);
         ("class", cls);
         ("k", string_of_int k);
       ]
+      (* only chaos-matrix cells carry the key, so plain-sweep
+         recordings stay byte-identical to earlier versions *)
+      @ (if hostile = "" then [] else [ ("hostile", hostile) ])
   | Serve_job { seed; id; tenant; kind; start_ns; ram_mb } ->
       (* the same keys Service.Dispatch.prepare_host tags serve-job
          failure artifacts with *)
@@ -84,7 +87,8 @@ let spec_of_meta meta =
       in
       let* k = int_or "k" (-1) in
       let cls = Option.value (str "class") ~default:Fleet.Sweep.fault_free in
-      Ok (Sweep_cell { seed; cls; k })
+      let hostile = Option.value (str "hostile") ~default:"" in
+      Ok (Sweep_cell { seed; cls; k; hostile })
   | Some "serve-job" ->
       let* seed = int_or "job-seed" 0 in
       let* id = int_or "job" 0 in
@@ -127,19 +131,30 @@ let execute ?log_level = function
       | Error e -> Error (Vmsh.Vmsh_error.to_string e)
       | Ok r ->
           Ok { run_events = Fleet.flight_events r; run_digest = Fleet.digest r })
-  | Sweep_cell { seed; cls; k } -> (
+  | Sweep_cell { seed; cls; k; hostile } -> (
       let parsed_cls =
-        if cls = Fleet.Sweep.fault_free then Ok None
+        (* chaos-matrix cells record pt_class = "hostile-<class>" with
+           no fault class armed; accept that label too *)
+        if cls = Fleet.Sweep.fault_free || hostile <> "" then Ok None
         else
           match Faults.of_name cls with
           | Some c -> Ok (Some c)
           | None -> Error ("unknown fault class: " ^ cls)
       in
-      match parsed_cls with
-      | Error e -> Error e
-      | Ok cls ->
+      let parsed_hostile =
+        if hostile = "" then Ok None
+        else
+          match Hostile.of_name hostile with
+          | Some h -> Ok (Some h)
+          | None -> Error ("unknown hostile class: " ^ hostile)
+      in
+      match (parsed_cls, parsed_hostile) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok cls, Ok hostile ->
           let k = if k < 0 then None else Some k in
-          let pt, _ = Fleet.Sweep.run_point ?log_level ~seed ~cls ~k () in
+          let pt, _ =
+            Fleet.Sweep.run_point ?log_level ?hostile ~seed ~cls ~k ()
+          in
           Ok
             {
               run_events = pt.Fleet.Sweep.pt_events;

@@ -16,9 +16,12 @@ type spec =
   | Fleet_run of { seed : int; vms : int; from_baseline : bool }
       (** a whole fleet run; [from_baseline] replays the sessions as CoW
           forks of a deterministically re-baked {!Fleet.Baseline.image} *)
-  | Sweep_cell of { seed : int; cls : string; k : int }
+  | Sweep_cell of { seed : int; cls : string; k : int; hostile : string }
       (** one crash-matrix cell: fault class × abort-at-yield(k);
-          [k = -1] is the class's probe (crash point out of reach) *)
+          [k = -1] is the class's probe (crash point out of reach).
+          [hostile] names the adversarial-guest class attacking the
+          cell (chaos-matrix recordings), or is [""] for a plain
+          sweep cell *)
   | Serve_job of {
       seed : int;
       id : int;

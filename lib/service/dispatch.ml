@@ -63,6 +63,10 @@ type config = {
   arrivals : arrivals;
   tenants : Admission.tenant_cfg list;
   mix : (mix_kind * int) list;  (** kind, weight *)
+  hostile_tenant : (string * string) option;
+      (** [(tenant, cls)]: every arrival drawn for [tenant] becomes a
+          {!Job.Hostile_attach} of that adversarial class — one
+          misbehaving tenant inside an otherwise clean stream *)
   deadline_ns : float;  (** per-job relative deadline; [0.] = none *)
   ram_mb : int;
   log_level : Observe.level option;
@@ -98,6 +102,7 @@ let default_config =
     arrivals = Poisson;
     tenants = default_tenants;
     mix = default_mix;
+    hostile_tenant = None;
     deadline_ns = 0.;
     (* 32 MiB guests (64 elsewhere): enough to boot and attach, and it
        bounds the real memory of [workers] concurrent sessions times
@@ -196,7 +201,7 @@ let execute_on ~host ~(job : Job.t) ~ram_mb ?cache () =
   (* the oracle baseline and fd watermark, where the kind wants them *)
   let needs_oracle =
     match job.Job.kind with
-    | Job.Attach_detach | Job.Sweep_cell _ -> true
+    | Job.Attach_detach | Job.Sweep_cell _ | Job.Hostile_attach _ -> true
     | Job.Attach | Job.Fuzz_seed _ -> false
   in
   let before = if needs_oracle then Some (Vmsh.Snapshot.capture vm) else None in
@@ -223,6 +228,19 @@ let execute_on ~host ~(job : Job.t) ~ram_mb ?cache () =
         | None -> ());
         Faults.set_abort_at_yield plan (Some k);
         Some plan
+    | Job.Hostile_attach { cls } -> (
+        (* a rate-0 plan injects no faults; it only carries the yield
+           hook the in-guest adversary steps from, exactly as the chaos
+           matrix arms it *)
+        match Hostile.of_name cls with
+        | None -> None
+        | Some c ->
+            let plan =
+              Faults.create ~seed:((job.Job.seed * 31) + 13) ~rate:0.0 ()
+            in
+            let eng = Hostile.create ~seed:job.Job.seed ~cls:c vmm in
+            Faults.set_on_yield plan (Some (fun _ -> Hostile.step eng));
+            Some plan)
   in
   let config =
     let open Vmsh.Attach.Config in
@@ -273,7 +291,7 @@ let execute_on ~host ~(job : Job.t) ~ram_mb ?cache () =
         let msg = E.to_string e in
         match job.Job.kind with
         | Job.Attach | Job.Attach_detach -> Job.Failed msg
-        | Job.Fuzz_seed _ | Job.Sweep_cell _ ->
+        | Job.Fuzz_seed _ | Job.Sweep_cell _ | Job.Hostile_attach _ ->
             (* survival kinds: a clean, round-trippable abort that rolls
                the guest back and leaks nothing is a success *)
             if not (round_trips msg) then
@@ -634,11 +652,19 @@ let run (cfg : config) : report =
            ~weight:(fun tc -> tc.Admission.tc_share))
           .Admission.tc_name
       in
+      (* the mix draw always runs, so flipping one tenant hostile
+         leaves every other tenant's job stream untouched *)
+      let kind = draw_kind arrival_rng cfg in
+      let kind =
+        match cfg.hostile_tenant with
+        | Some (t, cls) when t = tenant -> Job.Hostile_attach { cls }
+        | _ -> kind
+      in
       let job =
         {
           Job.id = i;
           tenant;
-          kind = draw_kind arrival_rng cfg;
+          kind;
           seed = (cfg.seed * 1_000_003) + (i * 7919);
           priority = H.Rng.int arrival_rng 3;
           deadline_ns = cfg.deadline_ns;

@@ -15,6 +15,11 @@ type kind =
   | Fuzz_seed of { boost : string }
       (** a fuzz schedule: every class armed, [boost] at rate 1;
           completion or clean round-trippable failure both count *)
+  | Hostile_attach of { cls : string }
+      (** an attach against an adversarial guest of the named
+          {!Hostile.cls}: the engine races the attach from inside the
+          VM; completion or a clean round-trippable abort (with the
+          guest rolled back and nothing leaked) both count *)
 
 type t = {
   id : int;  (** dense, assigned by the arrival driver *)
@@ -40,6 +45,7 @@ let kind_to_string = function
   | Attach_detach -> "attach-detach"
   | Sweep_cell { cls; k } -> Printf.sprintf "sweep:%s:%d" cls k
   | Fuzz_seed { boost } -> Printf.sprintf "fuzz:%s" boost
+  | Hostile_attach { cls } -> Printf.sprintf "hostile:%s" cls
 
 let kind_of_string s =
   match String.split_on_char ':' s with
@@ -50,6 +56,7 @@ let kind_of_string s =
       | Some k when k >= 0 -> Some (Sweep_cell { cls; k })
       | _ -> None)
   | [ "fuzz"; boost ] -> Some (Fuzz_seed { boost })
+  | [ "hostile"; cls ] -> Some (Hostile_attach { cls })
   | _ -> None
 
 let status_to_string = function

@@ -194,6 +194,7 @@ module Driver = struct
           }
 
   let capacity_sectors t = t.capacity
+  let queue t = t.queue
   let set_observe t obs ~name = t.obs <- Some (obs, name)
 
   (* Queue-in to completion latency in virtual ns, recorded per request

@@ -52,6 +52,10 @@ module Driver : sig
 
   val capacity_sectors : t -> int
 
+  val queue : t -> Queue.Driver.t
+  (** The request queue — exposed so an in-guest adversary (the
+      hostile-guest engine) can reach its own ring addresses. *)
+
   val set_observe : t -> Observe.t -> name:string -> unit
   (** Record per-request latency (queue-in to completion, virtual ns)
       into histograms ["<name>.read_ns"], ["<name>.write_ns"], etc. on

@@ -56,6 +56,9 @@ module Driver = struct
     mutable last_used : int;  (** last seen used idx *)
     mutable live : int;
     completed_heads : (int, unit) Hashtbl.t;
+    outstanding : (int, unit) Hashtbl.t;
+        (** heads posted and not yet completed; used-ring entries for
+            any other id are forged and dropped *)
   }
 
   let create g ~qsz ~desc ~avail ~used =
@@ -72,9 +75,11 @@ module Driver = struct
       last_used = 0;
       live = 0;
       completed_heads = Hashtbl.create 16;
+      outstanding = Hashtbl.create 16;
     }
 
   let qsz t = t.qsz
+  let rings t = (t.desc, t.avail, t.used)
 
   let add t ~out ~in_ =
     let bufs =
@@ -104,6 +109,7 @@ module Driver = struct
       in
       link (List.combine descs bufs);
       let head = List.hd descs in
+      Hashtbl.replace t.outstanding head ();
       set_avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.next_avail head;
       t.next_avail <- t.next_avail + 1;
       set_avail_idx t.g ~avail:t.avail t.next_avail;
@@ -111,27 +117,45 @@ module Driver = struct
       Some head
     end
 
+  (* Walk the chain from guest memory to return its descriptors to the
+     free list. The chain lives in shared memory a hostile guest can
+     rewrite, so the walk is bounded and never frees an index twice or
+     out of range — a corrupted [next] must not poison the free list. *)
   let free_chain t head =
-    let rec go d acc =
-      let flags = desc_flags t.g ~desc:t.desc d in
-      let acc = d :: acc in
-      if flags land desc_f_next <> 0 then go (desc_next t.g ~desc:t.desc d) acc
-      else acc
+    let seen = Hashtbl.create 8 in
+    List.iter (fun d -> Hashtbl.replace seen d ()) t.free;
+    let rec go d acc guard =
+      if guard > t.qsz || d >= t.qsz || d < 0 || Hashtbl.mem seen d then acc
+      else begin
+        Hashtbl.replace seen d ();
+        let flags = desc_flags t.g ~desc:t.desc d in
+        let acc = d :: acc in
+        if flags land desc_f_next <> 0 then
+          go (desc_next t.g ~desc:t.desc d) acc (guard + 1)
+        else acc
+      end
     in
-    t.free <- go head [] @ t.free
+    t.free <- go head [] 0 @ t.free
 
   let used_pending t = used_idx t.g ~used:t.used <> t.last_used land 0xffff
 
-  let poll_used t =
+  let rec poll_used t =
     let cur = used_idx t.g ~used:t.used in
     if t.last_used land 0xffff = cur then None
     else begin
       let id, len = used_elem t.g ~used:t.used ~qsz:t.qsz t.last_used in
       t.last_used <- (t.last_used + 1) land 0xffff;
-      free_chain t id;
-      t.live <- t.live - 1;
-      Hashtbl.replace t.completed_heads id ();
-      Some (id, len)
+      if not (Hashtbl.mem t.outstanding id) then
+        (* completion for a head we never posted (a forged used element):
+           freeing it would corrupt the free list, so drop it *)
+        poll_used t
+      else begin
+        Hashtbl.remove t.outstanding id;
+        free_chain t id;
+        t.live <- t.live - 1;
+        Hashtbl.replace t.completed_heads id ();
+        Some (id, len)
+      end
     end
 
   let completed t ~head =
@@ -147,6 +171,8 @@ module Driver = struct
 end
 
 module Device = struct
+  type buffer = { addr : int; len : int; writable : bool }
+
   type t = {
     g : Gmem.t;
     qsz : int;
@@ -157,13 +183,20 @@ module Device = struct
     mutable used_count : int;
     torn : (unit -> bool) option;
     on_requeue : (unit -> unit) option;
+    validate : (buffer -> bool) option;
+    on_quarantine : (int -> unit) option;
+    on_ring_reset : (unit -> unit) option;
+    quarantine_limit : int;
+    mutable quarantined_since_reset : int;
+    mutable quarantined_total : int;
+    mutable ring_resets : int;
   }
 
-  type buffer = { addr : int; len : int; writable : bool }
-
-  let create ?torn ?on_requeue g ~qsz ~desc ~avail ~used =
+  let create ?torn ?on_requeue ?validate ?on_quarantine ?on_ring_reset
+      ?(quarantine_limit = 8) g ~qsz ~desc ~avail ~used =
     { g; qsz; desc; avail; used; last_avail = 0; used_count = 0; torn;
-      on_requeue }
+      on_requeue; validate; on_quarantine; on_ring_reset; quarantine_limit;
+      quarantined_since_reset = 0; quarantined_total = 0; ring_resets = 0 }
 
   let read_chain t head =
     let rec go d acc guard =
@@ -182,6 +215,63 @@ module Device = struct
         else List.rev (buf :: acc)
     in
     go head [] 0
+
+  (* [read_chain] with shape checking: flags a chain whose [next] links
+     loop, leave the table, or run past [qsz] hops — the self-modifying
+     descriptor attacks a guest can mount between our validation and
+     our use of the chain. *)
+  let read_chain_checked t head =
+    let visited = Hashtbl.create 8 in
+    let rec go d acc guard =
+      if d < 0 || d >= t.qsz || Hashtbl.mem visited d || guard > t.qsz then
+        (List.rev acc, true)
+      else begin
+        Hashtbl.replace visited d ();
+        let flags = desc_flags t.g ~desc:t.desc d in
+        let buf =
+          {
+            addr = desc_addr t.g ~desc:t.desc d;
+            len = desc_len t.g ~desc:t.desc d;
+            writable = flags land desc_f_write <> 0;
+          }
+        in
+        if flags land desc_f_next <> 0 then
+          go (desc_next t.g ~desc:t.desc d) (buf :: acc) (guard + 1)
+        else (List.rev (buf :: acc), false)
+      end
+    in
+    go head [] 0
+
+  let push_used t ~head ~written =
+    set_used_elem t.g ~used:t.used ~qsz:t.qsz t.used_count ~id:head ~len:written;
+    t.used_count <- (t.used_count + 1) land 0xffff;
+    set_used_idx t.g ~used:t.used t.used_count
+
+  (* Graceful ring reset after too many quarantined chains: drain every
+     pending available entry, completing the plausible heads with
+     [written = 0] so no real request hangs, and start over with a
+     clean quarantine budget. The device stays up — a hostile driver
+     gets its ring wiped, not the host crashed. *)
+  let ring_reset t =
+    let cur = avail_idx t.g ~avail:t.avail in
+    while t.last_avail land 0xffff <> cur do
+      let head = avail_ring t.g ~avail:t.avail ~qsz:t.qsz t.last_avail in
+      t.last_avail <- (t.last_avail + 1) land 0xffff;
+      if head < t.qsz then push_used t ~head ~written:0
+    done;
+    t.quarantined_since_reset <- 0;
+    t.ring_resets <- t.ring_resets + 1;
+    match t.on_ring_reset with Some f -> f () | None -> ()
+
+  let quarantine t head =
+    t.quarantined_since_reset <- t.quarantined_since_reset + 1;
+    t.quarantined_total <- t.quarantined_total + 1;
+    (match t.on_quarantine with Some f -> f head | None -> ());
+    (* complete the rejected chain with nothing written: if it was a
+       real request the guest mutated, the driver still gets it back
+       (marked failed) instead of hanging on a descriptor we ate *)
+    push_used t ~head ~written:0;
+    if t.quarantined_since_reset >= t.quarantine_limit then ring_reset t
 
   let rec pop t =
     let cur = avail_idx t.g ~avail:t.avail in
@@ -208,11 +298,22 @@ module Device = struct
         end
       in
       t.last_avail <- (t.last_avail + 1) land 0xffff;
-      if head < t.qsz then Some (head, read_chain t head) else pop t
+      if head >= t.qsz then pop t
+      else begin
+        let chain, malformed = read_chain_checked t head in
+        let oob =
+          match t.validate with
+          | Some v -> not (List.for_all v chain)
+          | None -> false
+        in
+        if malformed || oob then begin
+          quarantine t head;
+          pop t
+        end
+        else Some (head, chain)
+      end
     end
 
-  let push_used t ~head ~written =
-    set_used_elem t.g ~used:t.used ~qsz:t.qsz t.used_count ~id:head ~len:written;
-    t.used_count <- (t.used_count + 1) land 0xffff;
-    set_used_idx t.g ~used:t.used t.used_count
+  let quarantined t = t.quarantined_total
+  let ring_resets t = t.ring_resets
 end

@@ -28,6 +28,11 @@ module Driver : sig
 
   val qsz : t -> int
 
+  val rings : t -> int * int * int
+  (** [(desc, avail, used)] guest-physical ring addresses — what an
+      in-guest adversary knows about its own queues (the hostile-guest
+      engine corrupts rings through this). *)
+
   val add :
     t -> out:(int * int) list -> in_:(int * int) list -> int option
   (** [add q ~out ~in_] links the device-readable [(addr, len)] buffers
@@ -56,9 +61,16 @@ end
 module Device : sig
   type t
 
+  (** One buffer of a request chain as the device sees it. *)
+  type buffer = { addr : int; len : int; writable : bool }
+
   val create :
     ?torn:(unit -> bool) ->
     ?on_requeue:(unit -> unit) ->
+    ?validate:(buffer -> bool) ->
+    ?on_quarantine:(int -> unit) ->
+    ?on_ring_reset:(unit -> unit) ->
+    ?quarantine_limit:int ->
     Gmem.t ->
     qsz:int ->
     desc:int ->
@@ -68,16 +80,32 @@ module Device : sig
   (** [torn] is polled once per {!pop} of a non-empty ring; when it
       returns [true] the ring-slot read is simulated as torn (a garbage
       head). [on_requeue] is called each time an invalid head forces a
-      re-read of the slot. *)
+      re-read of the slot.
 
-  (** One buffer of a request chain as the device sees it. *)
-  type buffer = { addr : int; len : int; writable : bool }
+      [validate] is the per-buffer bounds check (typically: the guest
+      physical range is backed and the length sane). A chain with any
+      buffer failing it — or whose [next] links loop, revisit a
+      descriptor, or leave the table — is {e quarantined}: completed
+      with [written = 0] (so a real-but-mutated request never hangs the
+      driver), counted, and reported through [on_quarantine head].
+      After [quarantine_limit] (default 8) quarantines the ring is
+      gracefully reset — every pending entry drained, plausible heads
+      completed empty, [on_ring_reset] fired — instead of crashing. *)
 
   val pop : t -> (int * buffer list) option
   (** Next available chain as [(head, buffers)], or [None] if the ring
       is empty. Out-of-range heads (torn or corrupt ring slots) are
       re-read once and skipped if still invalid — a chain is never built
-      from an invalid descriptor index. *)
+      from an invalid descriptor index. Malformed or out-of-bounds
+      chains are quarantined (see {!create}) and skipped. *)
+
+  val read_chain : t -> int -> buffer list
+  (** The raw bounded chain walk (no validation); exposed for tests. *)
 
   val push_used : t -> head:int -> written:int -> unit
+
+  val quarantined : t -> int
+  (** Chains quarantined over the device's lifetime. *)
+
+  val ring_resets : t -> int
 end

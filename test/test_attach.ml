@@ -527,6 +527,83 @@ let test_analysis_rejects_corrupted_ksymtab () =
           | None -> ())
         anal.Vmsh.Symbol_analysis.symbols
 
+(* Boot + analyze, returning the handles the revalidation tests poke. *)
+let analysis_fixture ~seed =
+  let h = H.Host.create ~seed () in
+  let disk = make_root_disk h in
+  let vmm = Vmm.create h ~profile:Profile.qemu ~disk () in
+  let g = Vmm.boot vmm ~version:KV.V5_10 in
+  let vm = Guest.vm g in
+  let vmsh = H.Host.spawn h ~name:"vmsh-reval" ~uid:1000 () in
+  let slots =
+    List.map
+      (fun (s : Kvm.Vm.memslot) ->
+        { Vmsh.Hyp_mem.gpa = s.Kvm.Vm.gpa; size = s.size; hva = s.hva })
+      (Kvm.Vm.memslots vm)
+  in
+  let mem = Vmsh.Hyp_mem.create h ~vmsh ~hypervisor_pid:(Vmm.pid vmm) ~slots () in
+  let cr3 = (Kvm.Vm.vcpu_regs (List.hd (Kvm.Vm.vcpus vm))).X86.Regs.cr3 in
+  match Vmsh.Symbol_analysis.analyze mem ~cr3 with
+  | Error e -> Alcotest.failf "analyze: %s" e
+  | Ok anal -> (g, vm, cr3, mem, anal)
+
+(* Guest-physical offset of an exported name inside .ksymtab_strings,
+   found the way the adversary would: by scanning its own memory. *)
+let find_name_phys vm name =
+  let strings_phys = 0x40_0000 + 0x11_0000 in
+  let blob = Kvm.Vm.read_phys vm strings_phys 0x1_0000 in
+  let needle = Bytes.of_string (name ^ "\000") in
+  let nlen = Bytes.length needle in
+  let rec go i =
+    if i + nlen > Bytes.length blob then
+      Alcotest.failf "%s not found in strings section" name
+    else if
+      Bytes.sub blob i nlen = needle
+      && (i = 0 || Bytes.get blob (i - 1) = '\000')
+    then strings_phys + i
+    else go (i + 1)
+  in
+  go 0
+
+let test_revalidate_clean_guest_passes () =
+  let _, _, cr3, mem, anal = analysis_fixture ~seed:57 in
+  (match Vmsh.Symbol_analysis.revalidate mem ~cr3 anal with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full revalidate on a clean guest: %s" e);
+  let some_name, _ = List.hd anal.Vmsh.Symbol_analysis.symbols in
+  match Vmsh.Symbol_analysis.revalidate ~names:[ some_name ] mem ~cr3 anal with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "scoped revalidate on a clean guest: %s" e
+
+let test_revalidate_catches_mutated_symbol () =
+  let g, vm, cr3, mem, anal = analysis_fixture ~seed:59 in
+  (* pick two distinct ground-truth exports; clobber one's name bytes
+     the way the TOCTOU engine rewrites just-scanned pages *)
+  let victim, bystander =
+    match Guest.exports g with
+    | a :: b :: _ -> (fst a, fst b)
+    | _ -> Alcotest.fail "need two exports"
+  in
+  Kvm.Vm.write_phys vm (find_name_phys vm victim) (Bytes.of_string "\xff");
+  (match Vmsh.Symbol_analysis.revalidate ~names:[ victim ] mem ~cr3 anal with
+  | Error e ->
+      check cbool "error names the symbol" true
+        (contains e victim && contains e "since the scan")
+  | Ok () -> Alcotest.fail "mutated symbol must fail revalidation");
+  (* scoping: a symbol the caller does not rely on is not re-checked *)
+  match Vmsh.Symbol_analysis.revalidate ~names:[ bystander ] mem ~cr3 anal with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bystander symbol dragged in: %s" e
+
+let test_revalidate_catches_moved_table () =
+  let _, vm, cr3, mem, anal = analysis_fixture ~seed:61 in
+  (* corrupt the first entries of the ksymtab table itself *)
+  let table_phys = 0x40_0000 + 0x12_0000 in
+  Kvm.Vm.write_phys vm table_phys (Bytes.make 16 '\xA5');
+  match Vmsh.Symbol_analysis.revalidate mem ~cr3 anal with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "corrupted table must fail full revalidation"
+
 let robustness_suite =
   let t name f = Alcotest.test_case name `Quick f in
   [
@@ -536,5 +613,10 @@ let robustness_suite =
         t "multi-vcpu attach" test_multi_vcpu_attach;
         QCheck_alcotest.to_alcotest test_loader_region_never_overlaps;
         t "corrupted ksymtab" test_analysis_rejects_corrupted_ksymtab;
+        t "revalidate: clean guest passes" test_revalidate_clean_guest_passes;
+        t "revalidate: mutated symbol caught"
+          test_revalidate_catches_mutated_symbol;
+        t "revalidate: corrupted table caught"
+          test_revalidate_catches_moved_table;
       ] );
   ]

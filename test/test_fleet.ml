@@ -176,6 +176,12 @@ let test_error_roundtrips () =
       E.Baseline_stale "kernel 5.4 does not match the baked 5.10 image";
       E.Overlay_fault "ram region is 1 MiB, want 32 MiB";
       E.Context ("fleet fork vm3", E.Baseline_stale "build id drifted");
+      E.Guest_misbehavior "ksymtab mutated between scan and use";
+      E.Attach_aborted
+        (E.Guest_misbehavior
+           "scanned kernel structures keep mutating under the scanner");
+      E.Context
+        ("use-time revalidation", E.Guest_misbehavior "symbol moved");
     ]
   in
   List.iter
@@ -253,20 +259,46 @@ let test_fleet_config_rejects_stale_baseline () =
   | Error e -> Alcotest.failf "run: wrong error: %s" (E.to_string e)
   | Ok _ -> Alcotest.fail "run must reject a stale baseline"
 
-let test_fleet_legacy_shim () =
-  (* the deprecated pre-Config signature still drives the same engine *)
-  let r = (Fleet.run_legacy [@alert "-deprecated"]) ~seed:5 ~vms:2 () in
-  check cint "two sessions" 2 (List.length r.Fleet.r_sessions);
-  check cbool "shim is cold-boot" false r.Fleet.r_forked;
-  List.iter
-    (fun s ->
-      check cbool (s.Fleet.s_name ^ " attached") true
-        (Result.is_ok s.Fleet.s_result))
-    r.Fleet.r_sessions;
-  (* old contract: a bad configuration raises *)
-  match (Fleet.run_legacy [@alert "-deprecated"]) ~vms:0 () with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "vms=0 must raise through the legacy shim"
+(* The one-release deprecation window for the pre-Config shims is over:
+   [Fleet.run_legacy] and the [Attach.of_legacy] record path are gone.
+   Pin their absence by scanning the interfaces themselves (declared as
+   test deps), so a future revival fails here instead of silently
+   re-growing the old API. *)
+let test_fleet_shims_retired () =
+  let read path =
+    (* dune runtest copies the declared deps next to the test's cwd;
+       under a bare [dune exec] the cwd is the repo root instead *)
+    let path =
+      if Sys.file_exists path then path
+      else String.sub path 3 (String.length path - 3)
+    in
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  let fleet_mli = read "../lib/fleet/fleet.mli" in
+  let attach_mli = read "../lib/core/attach.mli" in
+  check cbool "Fleet.run_legacy retired" false
+    (contains fleet_mli "run_legacy");
+  check cbool "Attach.Config.of_legacy retired" false
+    (contains attach_mli "of_legacy");
+  check cbool "Attach.default_config retired" false
+    (contains attach_mli "default_config");
+  check cbool "legacy config record retired" false
+    (contains attach_mli "type config =");
+  (* the replacement APIs are present *)
+  check cbool "Fleet.run present" true (contains fleet_mli "val run :");
+  check cbool "Config builder present" true
+    (contains attach_mli "val with_revalidate")
 
 (* --- copy-on-write overlays & baseline forking --- *)
 
@@ -295,6 +327,60 @@ let test_mem_cow_semantics () =
   check cint "re-converged page reclaimed" 1 (H.Mem.cow_reclaim m);
   let st = Option.get (H.Mem.cow_stats m) in
   check cint "sharing restored" 0 st.H.Mem.cs_pages_copied
+
+let test_mem_cow_edge_cases () =
+  let pages = 4 in
+  let base = Bytes.make (pages * 4096) 'a' in
+  let m = H.Mem.cow base in
+  let stats () = Option.get (H.Mem.cow_stats m) in
+  check cint "total spans the buffer" pages (stats ()).H.Mem.cs_pages_total;
+  (* silent write then diverging write to the same page: the silent
+     write must not pre-copy, and the diverging one must copy exactly
+     once with both counters advancing independently *)
+  H.Mem.write_u8 m 100 (Char.code 'a');
+  let silent_before = (stats ()).H.Mem.cs_silent_writes in
+  check cint "silent write copies nothing" 0 (stats ()).H.Mem.cs_pages_copied;
+  H.Mem.write_u8 m 101 (Char.code 'z');
+  let st = stats () in
+  check cint "diverging write copies the page" 1 st.H.Mem.cs_pages_copied;
+  check cint "silent count survives the copy" silent_before
+    st.H.Mem.cs_silent_writes;
+  check cint "page carries both writes" (Char.code 'z') (H.Mem.read_u8 m 101);
+  check cint "untouched bytes fell through at copy time" (Char.code 'a')
+    (H.Mem.read_u8 m 102);
+  (* resident bytes track copied pages exactly *)
+  H.Mem.write_u8 m (2 * 4096) (Char.code 'q');
+  let st = stats () in
+  check cint "two pages resident" (2 * 4096) st.H.Mem.cs_resident_bytes;
+  check cint "copied matches residency" 2 st.H.Mem.cs_pages_copied;
+  check cint "total is invariant under writes" pages st.H.Mem.cs_pages_total;
+  (* reclaim takes back only the re-converged page ... *)
+  H.Mem.write_u8 m 101 (Char.code 'a');
+  check cint "one page re-converged" 1 (H.Mem.cow_reclaim m);
+  let st = stats () in
+  check cint "the diverged page stays resident" 1 st.H.Mem.cs_pages_copied;
+  check cint "residency shrank with the reclaim" 4096 st.H.Mem.cs_resident_bytes;
+  (* ... and a write to the reclaimed page after reclaim (the
+     write-during-replay hazard: the overlay page is gone, the base is
+     shared again) must copy afresh, not scribble on the shared base *)
+  H.Mem.write_u8 m 100 (Char.code 'y');
+  let st = stats () in
+  check cint "reclaimed page re-copied on divergence" 2
+    st.H.Mem.cs_pages_copied;
+  check cint "base still pristine" (Char.code 'a')
+    (Char.code (Bytes.get base 100));
+  check cint "overlay sees the new write" (Char.code 'y')
+    (H.Mem.read_u8 m 100);
+  (* a second reclaim with nothing re-converged is a no-op *)
+  check cint "reclaim without convergence reclaims nothing" 0
+    (H.Mem.cow_reclaim m);
+  (* freeze folds base + overlay; a fresh view over it shares fully *)
+  let frozen = H.Mem.freeze m in
+  let m2 = H.Mem.cow frozen in
+  check cint "frozen image carries the overlay" (Char.code 'y')
+    (H.Mem.read_u8 m2 100);
+  check cint "fresh view starts fully shared" 0
+    (Option.get (H.Mem.cow_stats m2)).H.Mem.cs_pages_copied
 
 let test_fork_digest_matches_baseline () =
   (* a fork that keeps the baseline's hostname diverges on nothing: the
@@ -556,11 +642,12 @@ let suite =
         t "defaults valid" test_fleet_config_defaults;
         t "bad vms / fault_rate rejected" test_fleet_config_rejects_bad_values;
         t "stale baseline rejected" test_fleet_config_rejects_stale_baseline;
-        t "deprecated shim still works" test_fleet_legacy_shim;
+        t "deprecated shims retired" test_fleet_shims_retired;
       ] );
     ( "fleet.baseline",
       [
         t "cow page semantics" test_mem_cow_semantics;
+        t "cow reclaim and re-copy edge cases" test_mem_cow_edge_cases;
         t "fork digests through fall-through" test_fork_digest_matches_baseline;
         t "fork isolation" test_fork_isolation;
         t "journal rolls back overlay writes" test_fork_journal_rollback;

@@ -266,12 +266,29 @@ let test_script_of_mutations () =
     (List.exists (fun (c, _) -> c = Faults.Desc_torn) script);
   check cbool "script is deterministic" true
     (script = Fuzz.script_of_mutations base_events [ drop_kick; corrupt_ioregionfd ]);
-  (* timewarp executes unperturbed: no script entries *)
-  check cbool "timewarp lowers to no injection" true
-    (Fuzz.script_of_mutations base_events
-       [ { Fuzz.m_op = Fuzz.Timewarp; m_at = 3; m_src = 0; m_span = 0;
-           m_key = ""; m_delta = 500 } ]
-    = [])
+  (* timewarp contributes nothing to the fault script — it lowers to
+     the skew script instead, as a (yield-index, permille) decision *)
+  let warp =
+    { Fuzz.m_op = Fuzz.Timewarp; m_at = 3; m_src = 0; m_span = 0;
+      m_key = ""; m_delta = 4000 }
+  in
+  check cbool "timewarp lowers to no fault injection" true
+    (Fuzz.script_of_mutations base_events [ warp ] = []);
+  check cbool "timewarp lowers to a scripted skew" true
+    (Fuzz.skew_script_of_mutations base_events [ warp ] = [ (3, 4000) ]);
+  check cbool "skew script is deterministic" true
+    (Fuzz.skew_script_of_mutations base_events [ warp ]
+    = Fuzz.skew_script_of_mutations base_events [ warp ]);
+  (* duplicate and splice have no lowering at all; the noop count is
+     what [fuzz.lowering.noop] surfaces *)
+  let dup =
+    { Fuzz.m_op = Fuzz.Duplicate; m_at = 6; m_src = 0; m_span = 0;
+      m_key = ""; m_delta = 0 }
+  in
+  check cint "noop lowerings counted" 1
+    (Fuzz.lowering_noops [ warp; dup; drop_kick ]);
+  check cbool "non-timewarp mutations skew nothing" true
+    (Fuzz.skew_script_of_mutations base_events [ dup; drop_kick ] = [])
 
 (* --- reproducer metadata --- *)
 

@@ -25,6 +25,7 @@ let test_wire_roundtrip () =
       Job.Attach_detach;
       Job.Sweep_cell { cls = "wedged-stop"; k = 7 };
       Job.Fuzz_seed { boost = "msg-drop" };
+      Job.Hostile_attach { cls = "desc-chaos" };
     ]
   in
   List.iteri
@@ -286,6 +287,50 @@ let test_serve_hot_tenant_shed_others_clean () =
   check cint "every job accounted for" cfg.D.jobs
     (Array.length r.D.rp_records)
 
+(* --- a hostile tenant cannot hurt its neighbours --- *)
+
+let test_serve_hostile_tenant_isolated () =
+  (* turn one tenant's entire stream into adversarial-guest attaches:
+     its guests race their own attach from inside the VM. The other
+     tenants' jobs — same ids, kinds and machine seeds either way —
+     must reach the same terminal statuses, and the adversary must not
+     fail jobs, leak workers, or break whole-service determinism *)
+  let base =
+    { D.default_config with D.workers = 4; jobs = 40; seed = 29; ram_mb = 16 }
+  in
+  let hostile = { base with D.hostile_tenant = Some ("t3", "toctou-scan") } in
+  let clean_r = D.run base in
+  let host_r = D.run hostile in
+  check cint "no failures under attack" 0 (D.failed host_r);
+  check cint "no leaked workers under attack" 0 host_r.D.rp_leaked_workers;
+  let hostile_jobs =
+    Array.to_list host_r.D.rp_records
+    |> List.filter (fun jr ->
+           match jr.D.jr_job.Job.kind with
+           | Job.Hostile_attach _ -> true
+           | _ -> false)
+  in
+  check cbool "the hostile tenant actually ran hostile jobs" true
+    (hostile_jobs <> []);
+  List.iter
+    (fun jr ->
+      check cstr "hostile jobs confined to the hostile tenant" "t3"
+        jr.D.jr_job.Job.tenant)
+    hostile_jobs;
+  let neighbour_outcomes r =
+    Array.to_list r.D.rp_records
+    |> List.filter (fun jr -> jr.D.jr_job.Job.tenant <> "t3")
+    |> List.map (fun jr ->
+           ( jr.D.jr_job.Job.id,
+             Job.kind_to_string jr.D.jr_job.Job.kind,
+             Job.status_to_string jr.D.jr_status ))
+  in
+  check cbool "neighbour tenants' outcomes unchanged by the adversary" true
+    (neighbour_outcomes clean_r = neighbour_outcomes host_r);
+  let host_r2 = D.run hostile in
+  check cstr "hostile run still double-run identical" (D.digest host_r)
+    (D.digest host_r2)
+
 let suite =
   [
     ( "service.units",
@@ -314,5 +359,7 @@ let suite =
           test_serve_double_run_identical;
         Alcotest.test_case "hot tenant shed, others unaffected" `Quick
           test_serve_hot_tenant_shed_others_clean;
+        Alcotest.test_case "hostile tenant isolated from neighbours" `Quick
+          test_serve_hostile_tenant_isolated;
       ] );
   ]

@@ -171,20 +171,44 @@ let test_fleet_determinism () =
 let test_sweep_cell_determinism () =
   let path = tmp_trace () in
   let run =
-    record_ok (Replay.Sweep_cell { seed = 5; cls = "inject-eintr"; k = 3 }) path
+    record_ok
+      (Replay.Sweep_cell { seed = 5; cls = "inject-eintr"; k = 3; hostile = "" })
+      path
   in
   replay_clean path;
   check cbool "crash cell recorded events" true
     (run.Replay.run_events <> []);
   (* the recipe must round-trip through the file's metadata *)
-  match Trace.load path with
+  (match Trace.load path with
   | Error e -> Alcotest.failf "load failed: %s" e
   | Ok f -> (
       match Replay.spec_of_meta f.Trace.f_meta with
-      | Ok (Replay.Sweep_cell { seed = 5; cls = "inject-eintr"; k = 3 }) ->
+      | Ok
+          (Replay.Sweep_cell
+             { seed = 5; cls = "inject-eintr"; k = 3; hostile = "" }) ->
           Sys.remove path
       | Ok _ -> Alcotest.fail "recipe did not round-trip"
-      | Error e -> Alcotest.failf "recipe unreadable: %s" e)
+      | Error e -> Alcotest.failf "recipe unreadable: %s" e));
+  (* a chaos-matrix cell round-trips its adversary too *)
+  let path = tmp_trace () in
+  let run =
+    record_ok
+      (Replay.Sweep_cell
+         { seed = 11; cls = "fault-free"; k = -1; hostile = "toctou-scan" })
+      path
+  in
+  replay_clean path;
+  check cbool "hostile cell recorded events" true (run.Replay.run_events <> []);
+  match Trace.load path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok f -> (
+      check cbool "hostile key in metadata" true
+        (List.assoc_opt "hostile" f.Trace.f_meta = Some "toctou-scan");
+      match Replay.spec_of_meta f.Trace.f_meta with
+      | Ok (Replay.Sweep_cell { hostile = "toctou-scan"; _ }) ->
+          Sys.remove path
+      | Ok _ -> Alcotest.fail "hostile recipe did not round-trip"
+      | Error e -> Alcotest.failf "hostile recipe unreadable: %s" e)
 
 let suite =
   [

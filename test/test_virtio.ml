@@ -293,6 +293,160 @@ let test_ninep_through_virtqueue () =
   let miss = roundtrip (Virtio.Ninep.Read { path = "/nope"; off = 0; len = 1 }) in
   check cint "missing file errors" 2 miss.Virtio.Ninep.status
 
+(* --- hostile-guest hardening: forged rings and malformed chains ---
+
+   These own both ring halves directly, which lets them mount the
+   ring-index attacks the in-VM hostile engine deliberately avoids
+   (forging shared indices also desyncs the attacker's own driver, so
+   end-to-end they are indistinguishable from a guest hanging itself). *)
+
+let make_hostile_queue ?torn ?on_requeue ?validate ?on_quarantine
+    ?on_ring_reset ?quarantine_limit ?(qsz = 8) () =
+  let m, g = raw_gmem 65536 in
+  let desc, avail, used, _total = Q.bytes_needed ~qsz in
+  let base = 0x100 in
+  let driver =
+    Q.Driver.create g ~qsz ~desc:(base + desc) ~avail:(base + avail)
+      ~used:(base + used)
+  in
+  let device =
+    Q.Device.create ?torn ?on_requeue ?validate ?on_quarantine ?on_ring_reset
+      ?quarantine_limit g ~qsz ~desc:(base + desc) ~avail:(base + avail)
+      ~used:(base + used)
+  in
+  (m, driver, device, (base + desc, base + avail, base + used))
+
+(* A used element whose id was never posted must be dropped — freeing it
+   would push a descriptor we do not own onto the free list. *)
+let test_forged_used_id_dropped () =
+  let _, driver, device, _ = make_hostile_queue () in
+  let head = Option.get (Q.Driver.add driver ~out:[ (0x1000, 8) ] ~in_:[]) in
+  Q.Device.push_used device ~head:((head + 3) mod 8) ~written:99;
+  check cbool "forged completion ignored" true
+    (Q.Driver.poll_used driver = None);
+  check cint "request still in flight" 1 (Q.Driver.in_flight driver);
+  (match Q.Device.pop device with
+  | Some (h, _) -> Q.Device.push_used device ~head:h ~written:4
+  | None -> Alcotest.fail "pop");
+  (match Q.Driver.poll_used driver with
+  | Some (h, w) ->
+      check cint "real head" head h;
+      check cint "real written" 4 w
+  | None -> Alcotest.fail "real completion lost");
+  check cint "drained" 0 (Q.Driver.in_flight driver)
+
+(* An avail-ring slot rewritten to an out-of-range index after publish:
+   pop must re-read once, then skip — never build a chain from it. *)
+let test_corrupt_avail_head_skipped () =
+  let requeues = ref 0 in
+  let m, driver, device, (_, avail, _) =
+    make_hostile_queue ~on_requeue:(fun () -> incr requeues) ()
+  in
+  ignore (Option.get (Q.Driver.add driver ~out:[ (0x1000, 8) ] ~in_:[]));
+  Mem.write_u16 m (avail + 4) 0xbeef;
+  check cbool "corrupt head skipped" true (Q.Device.pop device = None);
+  check cint "requeue observed" 1 !requeues;
+  check cint "nothing quarantined" 0 (Q.Device.quarantined device)
+
+(* A self-looping chain (flags/next mutated after the driver published
+   it) is quarantined: completed with written = 0 so the driver never
+   hangs on a descriptor the device ate. *)
+let test_looping_chain_quarantined () =
+  let quarantined_head = ref (-1) in
+  let m, driver, device, (desc, _, _) =
+    make_hostile_queue ~on_quarantine:(fun h -> quarantined_head := h) ()
+  in
+  let head =
+    Option.get (Q.Driver.add driver ~out:[ (0x1000, 8); (0x2000, 8) ] ~in_:[])
+  in
+  (* make the head descriptor chain to itself *)
+  Mem.write_u16 m (desc + (head * 16) + 12) Q.desc_f_next;
+  Mem.write_u16 m (desc + (head * 16) + 14) head;
+  check cbool "looping chain never served" true (Q.Device.pop device = None);
+  check cint "quarantine hook saw the head" head !quarantined_head;
+  check cint "counted" 1 (Q.Device.quarantined device);
+  (match Q.Driver.poll_used driver with
+  | Some (h, w) ->
+      check cint "rejected chain returned" head h;
+      check cint "nothing written" 0 w
+  | None -> Alcotest.fail "quarantined chain must still complete");
+  check cint "nothing in flight" 0 (Q.Driver.in_flight driver)
+
+(* A buffer whose address fails the device's bounds check (OOB guest
+   physical) is quarantined the same way. *)
+let test_oob_buffer_quarantined () =
+  let _, driver, device, _ =
+    make_hostile_queue
+      ~validate:(fun b -> b.Q.Device.addr + b.Q.Device.len <= 65536)
+      ()
+  in
+  let head =
+    Option.get (Q.Driver.add driver ~out:[ (0x7fff_f000, 16) ] ~in_:[])
+  in
+  check cbool "oob chain never served" true (Q.Device.pop device = None);
+  check cint "counted" 1 (Q.Device.quarantined device);
+  match Q.Driver.poll_used driver with
+  | Some (h, w) ->
+      check cint "rejected chain returned" head h;
+      check cint "nothing written" 0 w
+  | None -> Alcotest.fail "quarantined chain must still complete"
+
+(* Past the quarantine limit the ring is gracefully reset: every pending
+   entry — including innocent ones — drained and completed empty, and
+   the device keeps running. *)
+let test_ring_reset_after_quarantine_storm () =
+  let resets = ref 0 in
+  let _, driver, device, _ =
+    make_hostile_queue ~qsz:16 ~quarantine_limit:2
+      ~validate:(fun b -> b.Q.Device.addr + b.Q.Device.len <= 65536)
+      ~on_ring_reset:(fun () -> incr resets)
+      ()
+  in
+  for _ = 1 to 3 do
+    ignore (Option.get (Q.Driver.add driver ~out:[ (0x7fff_f000, 16) ] ~in_:[]))
+  done;
+  ignore (Option.get (Q.Driver.add driver ~out:[ (0x1000, 16) ] ~in_:[]));
+  check cbool "storm never serves a chain" true (Q.Device.pop device = None);
+  check cint "reset fired once" 1 !resets;
+  check cint "reset visible on device" 1 (Q.Device.ring_resets device);
+  check cint "limit quarantines before reset" 2 (Q.Device.quarantined device);
+  (* all four chains come back (two quarantined, two drained by the
+     reset), each empty, and the free list survives intact *)
+  let rec drain n =
+    match Q.Driver.poll_used driver with
+    | Some (_, w) ->
+        check cint "drained empty" 0 w;
+        drain (n + 1)
+    | None -> n
+  in
+  check cint "every chain returned" 4 (drain 0);
+  check cint "nothing in flight" 0 (Q.Driver.in_flight driver)
+
+(* Completing a chain whose [next] was redirected at a free descriptor
+   must not double-free it: the free list never hands out one index to
+   two chains. *)
+let test_free_list_survives_corrupt_next () =
+  let m, driver, device, (desc, _, _) = make_hostile_queue ~qsz:4 () in
+  let head =
+    Option.get (Q.Driver.add driver ~out:[ (0x1000, 8); (0x2000, 8) ] ~in_:[])
+  in
+  (match Q.Device.pop device with
+  | Some (h, _) -> Q.Device.push_used device ~head:h ~written:0
+  | None -> Alcotest.fail "pop");
+  (* redirect the head's next at a descriptor that is still free *)
+  Mem.write_u16 m (desc + (head * 16) + 14) 2;
+  ignore (Q.Driver.poll_used driver);
+  (* 2 never-used + 1 recovered head = 3 free entries; the truncated
+     chain's tail leaks rather than risking a duplicate free *)
+  let singles =
+    List.init 4 (fun i -> Q.Driver.add driver ~out:[ (i * 64, 8) ] ~in_:[])
+  in
+  check cint "three singles fit" 3
+    (List.length (List.filter Option.is_some singles));
+  let heads = List.filter_map Fun.id singles in
+  check cint "all distinct" (List.length heads)
+    (List.length (List.sort_uniq compare heads))
+
 let prop_queue_chains_roundtrip =
   QCheck.Test.make ~name:"descriptor chains survive add/pop" ~count:100
     QCheck.(
@@ -333,6 +487,16 @@ let suite =
         t "exhaustion + reuse" test_queue_exhaustion_and_reuse;
         t "fifo order" test_queue_fifo_order;
         QCheck_alcotest.to_alcotest prop_queue_chains_roundtrip;
+      ] );
+    ( "virtio.hostile",
+      [
+        t "forged used id dropped" test_forged_used_id_dropped;
+        t "corrupt avail head skipped" test_corrupt_avail_head_skipped;
+        t "looping chain quarantined" test_looping_chain_quarantined;
+        t "oob buffer quarantined" test_oob_buffer_quarantined;
+        t "ring reset after quarantine storm"
+          test_ring_reset_after_quarantine_storm;
+        t "free list survives corrupt next" test_free_list_survives_corrupt_next;
       ] );
     ( "virtio.mmio",
       [
